@@ -1,0 +1,43 @@
+//! Figure-level benches: the cost of regenerating each coverage map
+//! (FIG3–FIG6) and the worked-example kernels (FIG2, FIG7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use detdiv_bench::small_corpus;
+use detdiv_core::IncidentSpan;
+use detdiv_detectors::lane_brodley_similarity;
+use detdiv_eval::{coverage_map, DetectorKind};
+use detdiv_sequence::symbols;
+
+fn bench_coverage_maps(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let mut group = c.benchmark_group("coverage_map");
+    group.sample_size(10);
+    for (figure, kind) in [
+        ("fig3_lane_brodley", DetectorKind::LaneBrodley),
+        ("fig4_markov", DetectorKind::Markov),
+        ("fig5_stide", DetectorKind::Stide),
+        ("fig6_neural", DetectorKind::neural_default()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(figure), &kind, |b, kind| {
+            b.iter(|| coverage_map(&corpus, kind).expect("map computes"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig2_kernel(c: &mut Criterion) {
+    c.bench_function("fig2_incident_span", |b| {
+        b.iter(|| IncidentSpan::compute(4096, 5, 2048, 8).expect("valid geometry"))
+    });
+}
+
+fn bench_fig7_kernel(c: &mut Criterion) {
+    let a = symbols(&[0, 1, 2, 3, 4, 5, 6, 7, 0, 1, 2, 3, 4, 5, 6]);
+    let bvec = symbols(&[0, 1, 2, 3, 9, 5, 6, 7, 0, 9, 2, 3, 4, 5, 0]);
+    c.bench_function("fig7_lane_brodley_similarity_dw15", |b| {
+        b.iter(|| lane_brodley_similarity(&a, &bvec))
+    });
+}
+
+criterion_group!(benches, bench_coverage_maps, bench_fig2_kernel, bench_fig7_kernel);
+criterion_main!(benches);

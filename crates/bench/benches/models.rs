@@ -1,0 +1,101 @@
+//! Model-substrate kernels: Markov estimation, conditional queries,
+//! neural-network epochs and HMM training/filtering (PERF experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use detdiv_hmm::{baum_welch, InitStrategy, TrainConfig};
+use detdiv_markov::{ConditionalModel, TransitionMatrix};
+use detdiv_nn::{encode_context, Mlp, MlpConfig};
+use detdiv_sequence::{Alphabet, Symbol};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn noisy_stream(len: usize) -> Vec<Symbol> {
+    let m = TransitionMatrix::noisy_cycle(Alphabet::new(8), 0.02);
+    let mut rng = SmallRng::seed_from_u64(1);
+    m.generate(Symbol::new(0), len, &mut rng)
+}
+
+fn bench_markov(c: &mut Criterion) {
+    let stream = noisy_stream(100_000);
+    let mut group = c.benchmark_group("markov");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.sample_size(10);
+    for k in [1usize, 5, 14] {
+        group.bench_with_input(BenchmarkId::new("estimate_order", k), &k, |b, &k| {
+            b.iter(|| ConditionalModel::estimate(&stream, k).expect("estimates"))
+        });
+    }
+    group.finish();
+
+    let model = ConditionalModel::estimate(&stream, 5).expect("estimates");
+    let context = &stream[100..105];
+    c.bench_function("markov/predict", |b| {
+        b.iter(|| model.predict(context, stream[105]))
+    });
+}
+
+fn bench_nn(c: &mut Criterion) {
+    // A weighted empirical dataset of the shape the neural detector
+    // trains on: 8 cycle contexts with large weights plus rare contexts.
+    let mut dataset = Vec::new();
+    for i in 0..8usize {
+        dataset.push((encode_context(&[i], 8), (i + 1) % 8, 10_000.0));
+        dataset.push((encode_context(&[i], 8), (i + 2) % 8, 10.0));
+    }
+    let mut group = c.benchmark_group("nn");
+    group.sample_size(10);
+    group.bench_function("train_epoch_16hidden", |b| {
+        let mut net = Mlp::new(
+            MlpConfig::new(vec![8, 16, 8])
+                .with_seed(1)
+                .with_learning_rate(0.4)
+                .with_momentum(0.7),
+        )
+        .expect("valid config");
+        b.iter(|| net.train_epoch(&dataset).expect("trains"))
+    });
+    let net = Mlp::new(MlpConfig::new(vec![8, 16, 8]).with_seed(1)).expect("valid config");
+    let input = encode_context(&[3], 8);
+    group.bench_function("forward", |b| b.iter(|| net.forward(&input).expect("runs")));
+    group.finish();
+}
+
+fn bench_hmm(c: &mut Criterion) {
+    let stream = noisy_stream(8_000);
+    let mut group = c.benchmark_group("hmm");
+    group.sample_size(10);
+    group.bench_function("baum_welch_8states", |b| {
+        b.iter(|| {
+            baum_welch(
+                &[&stream],
+                &TrainConfig {
+                    states: 8,
+                    max_iters: 5,
+                    tol: 0.0,
+                    seed: 1,
+                    init: InitStrategy::FirstOrder,
+                },
+            )
+            .expect("trains")
+        })
+    });
+    let (hmm, _) = baum_welch(
+        &[&stream],
+        &TrainConfig {
+            states: 8,
+            max_iters: 10,
+            tol: 1e-6,
+            seed: 1,
+            init: InitStrategy::FirstOrder,
+        },
+    )
+    .expect("trains");
+    let context = &stream[0..14];
+    group.bench_function("predict_next_dw15", |b| {
+        b.iter(|| hmm.predict_next(context, stream[14]).expect("predicts"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_markov, bench_nn, bench_hmm);
+criterion_main!(benches);

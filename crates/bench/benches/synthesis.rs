@@ -1,0 +1,99 @@
+//! Synthesis kernels: corpus generation, invariant verification,
+//! profile building and the MFS census (PERF experiment of DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use detdiv_bench::small_corpus;
+use detdiv_sequence::{StreamProfile, SubstringIndex};
+use detdiv_synth::{Corpus, SynthesisConfig};
+use detdiv_trace::{generate_sendmail_like, mfs_census, TraceGenConfig};
+
+fn bench_corpus_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize");
+    group.sample_size(10);
+    for training_len in [30_000usize, 60_000] {
+        let config = SynthesisConfig::builder()
+            .training_len(training_len)
+            .anomaly_sizes(2..=4)
+            .windows(2..=6)
+            .background_len(1024)
+            .plant_repeats(4)
+            .seed(1)
+            .build()
+            .expect("valid config");
+        group.throughput(Throughput::Elements(training_len as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(training_len),
+            &config,
+            |b, config| b.iter(|| Corpus::synthesize(config).expect("synthesis succeeds")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let corpus = small_corpus();
+    c.bench_function("verify_corpus", |b| {
+        b.iter(|| corpus.verify().expect("verified corpus"))
+    });
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let training = corpus.training();
+    let mut group = c.benchmark_group("stream_profile");
+    group.throughput(Throughput::Elements(training.len() as u64));
+    group.sample_size(10);
+    for max_len in [6usize, 15] {
+        group.bench_with_input(BenchmarkId::from_parameter(max_len), &max_len, |b, &l| {
+            b.iter(|| StreamProfile::build(training, l).expect("profile builds"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_substring_index(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let training = corpus.training();
+    let mut group = c.benchmark_group("substring_index");
+    group.throughput(Throughput::Elements(training.len() as u64));
+    group.sample_size(10);
+    group.bench_function("build", |b| b.iter(|| SubstringIndex::build(training)));
+    let idx = SubstringIndex::build(training);
+    let probe = &training[100..115];
+    group.bench_function("count_dw15", |b| b.iter(|| idx.count(probe)));
+    group.finish();
+}
+
+fn bench_census(c: &mut Criterion) {
+    let training = generate_sendmail_like(&TraceGenConfig {
+        processes: 4,
+        events_per_process: 3000,
+        seed: 100,
+    })
+    .expect("trace generates")
+    .concatenated();
+    let test = generate_sendmail_like(&TraceGenConfig {
+        processes: 2,
+        events_per_process: 2000,
+        seed: 200,
+    })
+    .expect("trace generates")
+    .concatenated();
+    let mut group = c.benchmark_group("mfs_census");
+    group.throughput(Throughput::Elements(test.len() as u64));
+    group.sample_size(10);
+    group.bench_function("sendmail_like", |b| {
+        b.iter(|| mfs_census(&training, &test, 8).expect("census succeeds"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_corpus_synthesis,
+    bench_verification,
+    bench_profile,
+    bench_substring_index,
+    bench_census
+);
+criterion_main!(benches);

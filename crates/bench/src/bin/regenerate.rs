@@ -1,0 +1,287 @@
+//! Regenerates every figure and analysis of Tan & Maxion (DSN 2005).
+//!
+//! ```text
+//! regenerate [--experiment ID] [--training-len N] [--paper] [--seed N] [--json PATH]
+//! ```
+//!
+//! * `--experiment` — one of `fig2 fig3 fig4 fig5 fig6 fig7 comb1 comb2
+//!   comb3 abl1 abl2 abl3 abl4 nat1 ext1 div1 masq1 fn1 ana1 all` (default `all`);
+//! * `--training-len` — training-stream length (default 200,000; the
+//!   paper's full scale is 1,000,000);
+//! * `--paper` — shorthand for `--training-len 1000000`;
+//! * `--seed` — synthesis seed (default: the paper configuration's);
+//! * `--json` — additionally write the full report as JSON (only with
+//!   `all`).
+
+use std::process::ExitCode;
+
+use detdiv_eval::{
+    abl1_maximal_response_semantics, ana1_response_map, fn1_threshold_sweeps, abl2_locality_frame_count, abl3_nn_sensitivity,
+    abl4_training_length,
+    comb1_stide_markov_subset, comb2_stide_lb_union, comb3_suppression, coverage_map,
+    div1_diversity_matrix, ext1_extended_families,
+    fig2_incident_span, fig7_similarity, masq1_lane_brodley_masquerade, nat1_census,
+    render_suppression_table, DetectorKind,
+    FullReport, SuppressionConfig,
+};
+use detdiv_synth::{Corpus, SynthesisConfig};
+
+struct Args {
+    experiment: String,
+    training_len: usize,
+    seed: Option<u64>,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        experiment: "all".to_owned(),
+        training_len: 200_000,
+        seed: None,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--experiment" => {
+                args.experiment = it.next().ok_or("--experiment needs a value")?;
+            }
+            "--training-len" => {
+                args.training_len = it
+                    .next()
+                    .ok_or("--training-len needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--training-len: {e}"))?;
+            }
+            "--paper" => args.training_len = 1_000_000,
+            "--seed" => {
+                args.seed = Some(
+                    it.next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                );
+            }
+            "--json" => {
+                args.json = Some(it.next().ok_or("--json needs a path")?);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: regenerate [--experiment ID] [--training-len N] [--paper] [--seed N] [--json PATH]\n\
+                     experiments: fig2 fig3 fig4 fig5 fig6 fig7 comb1 comb2 comb3 abl1 abl2 abl3 abl4 nat1 ext1 div1 masq1 fn1 ana1 all"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_corpus(args: &Args) -> Result<Corpus, Box<dyn std::error::Error>> {
+    let mut builder = SynthesisConfig::builder().training_len(args.training_len);
+    if let Some(seed) = args.seed {
+        builder = builder.seed(seed);
+    }
+    let config = builder.build()?;
+    eprintln!(
+        "synthesizing corpus: {} training elements, AS {:?}, DW {:?} ...",
+        config.training_len(),
+        config.anomaly_sizes(),
+        config.windows()
+    );
+    Ok(Corpus::synthesize(&config)?)
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let coverage_kind = |kind: DetectorKind| -> Result<(), Box<dyn std::error::Error>> {
+        let corpus = build_corpus(args)?;
+        let map = coverage_map(&corpus, &kind)?;
+        println!("{}", map.render());
+        Ok(())
+    };
+
+    match args.experiment.as_str() {
+        "fig2" => {
+            let r = fig2_incident_span(5, 8)?;
+            println!("{}", r.rendering);
+            println!(
+                "boundary sequences per side: {}; incident span length: {}",
+                r.boundary_sequences_per_side, r.span_len
+            );
+        }
+        "fig3" => coverage_kind(DetectorKind::LaneBrodley)?,
+        "fig4" => coverage_kind(DetectorKind::Markov)?,
+        "fig5" => coverage_kind(DetectorKind::Stide)?,
+        "fig6" => coverage_kind(DetectorKind::neural_default())?,
+        "fig7" => {
+            let r = fig7_similarity();
+            println!(
+                "identical size-5 sequences: Sim = {} (max {})\n\
+                 final-element mismatch:     Sim = {} -> response {:.3}",
+                r.sim_identical, r.sim_max, r.sim_final_mismatch, r.response_final_mismatch
+            );
+        }
+        "comb1" => {
+            let corpus = build_corpus(args)?;
+            let r = comb1_stide_markov_subset(&corpus)?;
+            println!("{}", r.stide_map.render());
+            println!("{}", r.markov_map.render());
+            println!(
+                "subset holds: {}; stide={} markov={} jaccard={:.3}",
+                r.stide_subset_of_markov, r.stide_detections, r.markov_detections, r.jaccard
+            );
+        }
+        "comb2" => {
+            let corpus = build_corpus(args)?;
+            let r = comb2_stide_lb_union(&corpus)?;
+            println!("{}", r.union_map.render());
+            println!(
+                "L&B detections: {}; gain over Stide: {}; union equals Stide: {}",
+                r.lb_detections, r.lb_gain_over_stide, r.union_equals_stide
+            );
+        }
+        "comb3" => {
+            let corpus = build_corpus(args)?;
+            let rows = comb3_suppression(&corpus, &SuppressionConfig::default())?;
+            println!("{}", render_suppression_table(&rows));
+        }
+        "abl1" => {
+            let corpus = build_corpus(args)?;
+            let r = abl1_maximal_response_semantics(&corpus)?;
+            println!("{}", r.tolerant_map.render());
+            println!("{}", r.strict_map.render());
+            println!(
+                "tolerant detections: {}; strict: {}; strict equals Stide: {}",
+                r.detections.0, r.detections.1, r.strict_equals_stide
+            );
+        }
+        "abl2" => {
+            let corpus = build_corpus(args)?;
+            let rows = abl2_locality_frame_count(&corpus, 6, 4, 8192, 3)?;
+            println!("{:>6} {:>10} {:>5} {:>13}", "frame", "threshold", "hit", "false alarms");
+            for r in rows {
+                println!(
+                    "{:>6} {:>10.2} {:>5} {:>13}",
+                    r.frame,
+                    r.threshold,
+                    if r.hit { "yes" } else { "no" },
+                    r.false_alarms
+                );
+            }
+        }
+        "abl3" => {
+            let corpus = build_corpus(args)?;
+            let rows = abl3_nn_sensitivity(&corpus, 4, 4)?;
+            println!(
+                "{:>7} {:>6} {:>9} {:>7} {:>13} {:>8}",
+                "hidden", "lr", "momentum", "epochs", "max response", "capable"
+            );
+            for r in rows {
+                println!(
+                    "{:>7} {:>6.3} {:>9.2} {:>7} {:>13.4} {:>8}",
+                    r.hidden,
+                    r.learning_rate,
+                    r.momentum,
+                    r.epochs,
+                    r.max_response,
+                    if r.capable { "yes" } else { "no" }
+                );
+            }
+        }
+        "abl4" => {
+            let mut builder = SynthesisConfig::builder().training_len(args.training_len);
+            if let Some(seed) = args.seed {
+                builder = builder.seed(seed);
+            }
+            let base = builder.build()?;
+            let lengths = [50_000usize, 100_000, 200_000];
+            let rows = abl4_training_length(&base, &lengths)?;
+            println!(
+                "{:>12} {:>12} {:>12} {:>16}",
+                "training len", "stide cells", "markov cells", "stide shape holds"
+            );
+            for r in rows {
+                println!(
+                    "{:>12} {:>12} {:>12} {:>16}",
+                    r.training_len,
+                    r.stide_detections,
+                    r.markov_detections,
+                    if r.stide_shape_holds { "yes" } else { "no" }
+                );
+            }
+        }
+        "ext1" => {
+            let corpus = build_corpus(args)?;
+            let r = ext1_extended_families(&corpus)?;
+            println!("{}", r.tstide_map.render());
+            println!("{}", r.hmm_map.render());
+            println!(
+                "t-stide contains Stide: {}; t-stide equals Markov: {}; HMM equals Markov: {}",
+                r.tstide_contains_stide, r.tstide_equals_markov, r.hmm_equals_markov
+            );
+        }
+        "div1" => {
+            let corpus = build_corpus(args)?;
+            let r = div1_diversity_matrix(&corpus)?;
+            println!("{}", r.matrix.render());
+            println!("no-coverage-gain pairs: {:?}", r.no_gain_pairs);
+            println!("subset pairs: {:?}", r.subset_pairs);
+            println!("complementary pairs: {:?}", r.complementary_pairs);
+        }
+        "fn1" => {
+            let corpus = build_corpus(args)?;
+            for sweep in fn1_threshold_sweeps(&corpus, 5, 6)? {
+                println!(
+                    "{:<16} in-span max {:.4}; hit survives every threshold <= max: {}",
+                    sweep.detector, sweep.in_span_max, sweep.hit_never_lost_below_max
+                );
+            }
+        }
+        "ana1" => {
+            let corpus = build_corpus(args)?;
+            println!("{}", ana1_response_map(&corpus, &DetectorKind::LaneBrodley)?.render());
+            println!("{}", ana1_response_map(&corpus, &DetectorKind::Markov)?.render());
+        }
+        "masq1" => {
+            let r = masq1_lane_brodley_masquerade(5, 11)?;
+            println!(
+                "mean profile similarity at DW {}: self {:.3}, masquerader {:.3} (margin {:.3}); segment-separable: {}",
+                r.window, r.self_similarity, r.masquerader_similarity, r.margin, r.separable
+            );
+        }
+        "nat1" => {
+            let r = nat1_census(100, 200, 8)?;
+            println!("training events: {}", r.training_events);
+            println!("{}", r.report);
+        }
+        "all" => {
+            let corpus = build_corpus(args)?;
+            let report = FullReport::generate_on(&corpus)?;
+            println!("{}", report.render_text());
+            if let Some(path) = &args.json {
+                std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
+                eprintln!("wrote JSON report to {path}");
+            }
+        }
+        other => return Err(format!("unknown experiment {other}").into()),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

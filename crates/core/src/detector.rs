@@ -1,0 +1,178 @@
+//! The generic shape of a sequence-based anomaly detector.
+//!
+//! §4.2 of the paper describes the detectors under study as consisting of
+//! three components: (1) a mechanism for modelling normal behaviour —
+//! invariant across the study: a database acquired by sliding a
+//! fixed-length window over training data; (2) a similarity metric — the
+//! sole axis of diversity; and (3) a thresholding mechanism. This module
+//! fixes that shape as a trait so the evaluation framework can treat all
+//! four (and any future) detectors uniformly.
+
+use detdiv_sequence::Symbol;
+
+/// A sequence-based anomaly detector operating on fixed-length windows.
+///
+/// Implementations produce one **anomaly response in `[0, 1]`** per
+/// window position of a test stream: `0` means completely normal, `1`
+/// maximally anomalous (§5.5). The response at index `i` covers the
+/// window `test[i .. i + window()]`; for next-element predictors (the
+/// Markov- and neural-network-based detectors) that window comprises the
+/// DW − 1 context elements *and* the predicted element, so all detectors
+/// share one indexing convention.
+///
+/// Implementations must be deterministic once trained: repeated calls to
+/// [`SequenceAnomalyDetector::scores`] on the same stream return the same
+/// responses.
+pub trait SequenceAnomalyDetector {
+    /// Human-readable detector name, used in maps and reports.
+    fn name(&self) -> &str;
+
+    /// The detector-window length DW this instance was configured with.
+    fn window(&self) -> usize;
+
+    /// Acquires the model of normal behaviour from `training`.
+    ///
+    /// Called once per experiment; a second call replaces the model with
+    /// one trained on the new stream only.
+    fn train(&mut self, training: &[Symbol]);
+
+    /// Anomaly responses for every window position of `test`, each in
+    /// `[0, 1]`.
+    ///
+    /// Returns exactly `test.len() - window() + 1` responses, or an empty
+    /// vector when the stream is shorter than the window.
+    fn scores(&self, test: &[Symbol]) -> Vec<f64>;
+
+    /// The smallest response this detector's thresholding treats as a
+    /// *maximal* (alarm-certain) response.
+    ///
+    /// Binary and similarity detectors (Stide, Lane & Brodley) keep the
+    /// default of `1.0`: only exact maximal responses count. The
+    /// probabilistic detectors override this to `1 − r` where `r` is the
+    /// rare-sequence threshold, per the maximal-response rule documented
+    /// in `DESIGN.md` §2.3.
+    fn maximal_response_floor(&self) -> f64 {
+        1.0
+    }
+
+    /// The smallest usable window for this detector family (2 for the
+    /// Markov- and neural-network-based detectors, which need at least
+    /// one context element plus the predicted element; 1 is technically
+    /// possible but excluded for Stide and L&B as well, see §6).
+    fn min_window(&self) -> usize {
+        2
+    }
+}
+
+impl<D: SequenceAnomalyDetector + ?Sized> SequenceAnomalyDetector for Box<D> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn window(&self) -> usize {
+        (**self).window()
+    }
+    fn train(&mut self, training: &[Symbol]) {
+        (**self).train(training)
+    }
+    fn scores(&self, test: &[Symbol]) -> Vec<f64> {
+        (**self).scores(test)
+    }
+    fn maximal_response_floor(&self) -> f64 {
+        (**self).maximal_response_floor()
+    }
+    fn min_window(&self) -> usize {
+        (**self).min_window()
+    }
+}
+
+/// Number of window positions a detector with window `window` produces
+/// on a stream of length `stream_len` (zero if the window does not fit).
+#[inline]
+pub fn response_count(stream_len: usize, window: usize) -> usize {
+    if window == 0 || stream_len < window {
+        0
+    } else {
+        stream_len - window + 1
+    }
+}
+
+/// Binarises responses into alarms at `threshold`: `score >= threshold`.
+///
+/// # Examples
+///
+/// ```
+/// use detdiv_core::alarms_at;
+///
+/// assert_eq!(alarms_at(&[0.0, 0.5, 1.0], 0.5), vec![false, true, true]);
+/// ```
+pub fn alarms_at(scores: &[f64], threshold: f64) -> Vec<bool> {
+    scores.iter().map(|&s| s >= threshold).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detdiv_sequence::symbols;
+
+    /// A toy detector flagging any window containing symbol 9.
+    struct FlagNine {
+        window: usize,
+    }
+
+    impl SequenceAnomalyDetector for FlagNine {
+        fn name(&self) -> &str {
+            "flag-nine"
+        }
+        fn window(&self) -> usize {
+            self.window
+        }
+        fn train(&mut self, _training: &[Symbol]) {}
+        fn scores(&self, test: &[Symbol]) -> Vec<f64> {
+            if test.len() < self.window {
+                return Vec::new();
+            }
+            test.windows(self.window)
+                .map(|w| {
+                    if w.iter().any(|s| s.id() == 9) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn scores_len_matches_response_count() {
+        let d = FlagNine { window: 3 };
+        let s = symbols(&[1, 2, 9, 4, 5]);
+        assert_eq!(d.scores(&s).len(), response_count(s.len(), 3));
+        assert_eq!(d.scores(&symbols(&[1, 2])).len(), 0);
+    }
+
+    #[test]
+    fn response_count_edges() {
+        assert_eq!(response_count(10, 3), 8);
+        assert_eq!(response_count(3, 3), 1);
+        assert_eq!(response_count(2, 3), 0);
+        assert_eq!(response_count(0, 1), 0);
+        assert_eq!(response_count(5, 0), 0);
+    }
+
+    #[test]
+    fn boxed_detectors_delegate() {
+        let mut d: Box<dyn SequenceAnomalyDetector> = Box::new(FlagNine { window: 2 });
+        d.train(&symbols(&[1, 2]));
+        assert_eq!(d.name(), "flag-nine");
+        assert_eq!(d.window(), 2);
+        assert_eq!(d.maximal_response_floor(), 1.0);
+        assert_eq!(d.min_window(), 2);
+        assert_eq!(d.scores(&symbols(&[1, 9, 2])), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn alarms_threshold_is_inclusive() {
+        assert_eq!(alarms_at(&[0.995, 0.994], 0.995), vec![true, false]);
+    }
+}

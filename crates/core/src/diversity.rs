@@ -1,0 +1,302 @@
+//! Pairwise diversity analysis over a set of coverage maps.
+//!
+//! The paper's motivation (§1): provide defenders with "a basis upon
+//! which to select amongst diverse detector designs" and "knowledge
+//! regarding the effects of combining more than one detector". A
+//! [`DiversityMatrix`] condenses that basis: for every ordered detector
+//! pair, the *gain* (cells the second detects that the first misses) and
+//! for every unordered pair the Jaccard overlap of their detection
+//! regions. A gain of zero in both directions is the paper's
+//! "no-advantage" combination (Stide + L&B); a large one-directional
+//! gain identifies a subset relation (Stide ⊂ Markov).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::coverage::CoverageMap;
+use crate::error::EvalError;
+
+/// Pairwise coverage relations over a set of detectors.
+///
+/// # Examples
+///
+/// ```
+/// use detdiv_core::{CellStatus, CoverageMap, DiversityMatrix};
+///
+/// let mut a = CoverageMap::new("a", 2..=3, 2..=3);
+/// let mut b = CoverageMap::new("b", 2..=3, 2..=3);
+/// a.set(2, 2, CellStatus::Detect).unwrap();
+/// b.set(2, 2, CellStatus::Detect).unwrap();
+/// b.set(3, 3, CellStatus::Detect).unwrap();
+///
+/// let m = DiversityMatrix::from_maps(&[a, b]).unwrap();
+/// assert_eq!(m.gain(0, 1).unwrap(), 1); // b adds one cell to a
+/// assert_eq!(m.gain(1, 0).unwrap(), 0); // a adds nothing to b
+/// assert!((m.jaccard(0, 1).unwrap() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiversityMatrix {
+    names: Vec<String>,
+    detections: Vec<usize>,
+    /// `gains[i * n + j]` = cells detector `j` detects that `i` misses.
+    gains: Vec<usize>,
+    /// `jaccards[i * n + j]`, symmetric.
+    jaccards: Vec<f64>,
+}
+
+impl DiversityMatrix {
+    /// Builds the matrix from one coverage map per detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::GridMismatch`] if the maps span different
+    /// grids, and [`EvalError::EmptyAnomaly`] is never returned; an
+    /// empty input yields an empty matrix.
+    pub fn from_maps(maps: &[CoverageMap]) -> Result<Self, EvalError> {
+        let n = maps.len();
+        let names: Vec<String> = maps.iter().map(|m| m.detector().to_owned()).collect();
+        let detections: Vec<usize> = maps.iter().map(CoverageMap::detection_count).collect();
+        let mut gains = vec![0usize; n * n];
+        let mut jaccards = vec![1.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                gains[i * n + j] = maps[i].gain_from(&maps[j])?;
+                jaccards[i * n + j] = maps[i].jaccard(&maps[j])?;
+            }
+        }
+        Ok(DiversityMatrix {
+            names,
+            detections,
+            gains,
+            jaccards,
+        })
+    }
+
+    /// Number of detectors in the matrix.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the matrix holds no detectors.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Detector names, in input order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Detection-cell count of detector `i`.
+    pub fn detections(&self, i: usize) -> Option<usize> {
+        self.detections.get(i).copied()
+    }
+
+    /// Cells detector `j` detects that detector `i` misses.
+    pub fn gain(&self, i: usize, j: usize) -> Option<usize> {
+        let n = self.len();
+        if i >= n || j >= n {
+            return None;
+        }
+        Some(self.gains[i * n + j])
+    }
+
+    /// Jaccard overlap of detectors `i` and `j`'s detection regions.
+    pub fn jaccard(&self, i: usize, j: usize) -> Option<f64> {
+        let n = self.len();
+        if i >= n || j >= n {
+            return None;
+        }
+        Some(self.jaccards[i * n + j])
+    }
+
+    /// Unordered pairs `(i, j)` whose union detects no more than the
+    /// stronger member alone — deploying both affords no coverage gain.
+    /// This is the paper's Stide + L&B situation (§8), and also holds
+    /// for any subset pair such as Stide + Markov, where the value of
+    /// the combination lies in false-alarm suppression rather than
+    /// coverage.
+    pub fn no_coverage_gain_pairs(&self) -> Vec<(usize, usize)> {
+        let n = self.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.gains[i * n + j] == 0 || self.gains[j * n + i] == 0 {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Unordered pairs `(i, j)` that are genuinely complementary: each
+    /// detects cells the other misses, so the union strictly beats both.
+    pub fn complementary_pairs(&self) -> Vec<(usize, usize)> {
+        let n = self.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.gains[i * n + j] > 0 && self.gains[j * n + i] > 0 {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Ordered pairs `(i, j)` where `i`'s detection region is a subset
+    /// of `j`'s (adding `j` to `i` helps, adding `i` to `j` does not).
+    pub fn subset_pairs(&self) -> Vec<(usize, usize)> {
+        let n = self.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && self.gains[j * n + i] == 0 && self.gains[i * n + j] > 0 {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the gain matrix as a fixed-width table (rows: base
+    /// detector; columns: added detector; cells: added detections).
+    pub fn render(&self) -> String {
+        let n = self.len();
+        let width = self
+            .names
+            .iter()
+            .map(|s| s.len())
+            .max()
+            .unwrap_or(4)
+            .max(5);
+        let mut out = String::new();
+        out.push_str(&format!("{:<w$}  cells", "gain of adding ->", w = width + 2));
+        for name in &self.names {
+            out.push_str(&format!(" {name:>w$}", w = width));
+        }
+        out.push('\n');
+        for i in 0..n {
+            out.push_str(&format!(
+                "{:<w$}  {:>5}",
+                self.names[i],
+                self.detections[i],
+                w = width + 2
+            ));
+            for j in 0..n {
+                if i == j {
+                    out.push_str(&format!(" {:>w$}", "-", w = width));
+                } else {
+                    out.push_str(&format!(" {:>w$}", self.gains[i * n + j], w = width));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for DiversityMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::CellStatus;
+
+    fn map(name: &str, detect: &[(usize, usize)]) -> CoverageMap {
+        let mut m = CoverageMap::new(name, 2..=4, 2..=4);
+        for a in 2..=4 {
+            for w in 2..=4 {
+                m.set(a, w, CellStatus::Blind).unwrap();
+            }
+        }
+        for &(a, w) in detect {
+            m.set(a, w, CellStatus::Detect).unwrap();
+        }
+        m
+    }
+
+    fn fixture() -> DiversityMatrix {
+        // markov: everything; stide: diagonal-ish subset; lb: nothing.
+        let markov = map(
+            "markov",
+            &[(2, 2), (2, 3), (2, 4), (3, 3), (3, 4), (4, 4), (3, 2), (4, 2), (4, 3)],
+        );
+        let stide = map("stide", &[(2, 2), (2, 3), (2, 4), (3, 3), (3, 4), (4, 4)]);
+        let lb = map("lb", &[]);
+        DiversityMatrix::from_maps(&[stide.clone(), markov.clone(), lb.clone()]).unwrap()
+    }
+
+    #[test]
+    fn gains_and_jaccards() {
+        let m = fixture();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.gain(0, 1).unwrap(), 3); // markov adds 3 to stide
+        assert_eq!(m.gain(1, 0).unwrap(), 0); // stide adds nothing to markov
+        assert_eq!(m.gain(0, 2).unwrap(), 0); // lb adds nothing
+        assert_eq!(m.detections(1).unwrap(), 9);
+        assert!((m.jaccard(0, 1).unwrap() - 6.0 / 9.0).abs() < 1e-12);
+        assert_eq!(m.jaccard(0, 3), None);
+        assert_eq!(m.gain(5, 0), None);
+    }
+
+    #[test]
+    fn relation_extraction() {
+        let m = fixture();
+        // Every pair here is a subset pair, so no combination adds
+        // coverage beyond its stronger member.
+        assert_eq!(m.no_coverage_gain_pairs(), vec![(0, 1), (0, 2), (1, 2)]);
+        assert!(m.complementary_pairs().is_empty());
+        // stide subset-of markov; lb subset-of stide and markov.
+        let subsets = m.subset_pairs();
+        assert!(subsets.contains(&(0, 1)));
+        assert!(subsets.contains(&(2, 0)));
+        assert!(subsets.contains(&(2, 1)));
+        assert!(!subsets.contains(&(1, 0)));
+    }
+
+    #[test]
+    fn complementary_detectors_are_recognised() {
+        let left = map("left", &[(2, 2), (2, 3)]);
+        let right = map("right", &[(4, 4), (4, 3)]);
+        let m = DiversityMatrix::from_maps(&[left, right]).unwrap();
+        assert_eq!(m.complementary_pairs(), vec![(0, 1)]);
+        assert!(m.no_coverage_gain_pairs().is_empty());
+        assert_eq!(m.jaccard(0, 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_ok() {
+        let m = DiversityMatrix::from_maps(&[]).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn grid_mismatch_rejected() {
+        let a = CoverageMap::new("a", 2..=3, 2..=3);
+        let b = CoverageMap::new("b", 2..=4, 2..=3);
+        assert!(matches!(
+            DiversityMatrix::from_maps(&[a, b]),
+            Err(EvalError::GridMismatch)
+        ));
+    }
+
+    #[test]
+    fn render_lists_all_names() {
+        let m = fixture();
+        let r = m.render();
+        for name in m.names() {
+            assert!(r.contains(name.as_str()), "{r}");
+        }
+        assert_eq!(m.to_string(), r);
+    }
+}

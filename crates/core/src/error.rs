@@ -1,0 +1,100 @@
+//! Error types for the evaluation framework.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising from evaluation-framework operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// The test stream is shorter than the detector window, so no window
+    /// fits and no response can be produced.
+    StreamShorterThanWindow {
+        /// Test-stream length.
+        stream: usize,
+        /// Detector window length.
+        window: usize,
+    },
+    /// The labelled anomaly extends past the end of the test stream.
+    AnomalyOutOfBounds {
+        /// Injection position (index of the anomaly's first element).
+        position: usize,
+        /// Anomaly length.
+        anomaly_len: usize,
+        /// Test-stream length.
+        stream: usize,
+    },
+    /// A labelled anomaly of length zero was supplied.
+    EmptyAnomaly,
+    /// Two coverage maps with different grids were combined.
+    GridMismatch,
+    /// A grid coordinate was outside the map.
+    CellOutOfGrid {
+        /// Anomaly size requested.
+        anomaly_size: usize,
+        /// Detector window requested.
+        window: usize,
+    },
+    /// A detector produced a response vector of unexpected length.
+    ScoreLengthMismatch {
+        /// Expected number of window positions.
+        expected: usize,
+        /// Number of scores produced.
+        found: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::StreamShorterThanWindow { stream, window } => write!(
+                f,
+                "test stream of length {stream} is shorter than detector window {window}"
+            ),
+            EvalError::AnomalyOutOfBounds {
+                position,
+                anomaly_len,
+                stream,
+            } => write!(
+                f,
+                "anomaly of length {anomaly_len} at position {position} exceeds stream of length {stream}"
+            ),
+            EvalError::EmptyAnomaly => write!(f, "anomaly length must be positive"),
+            EvalError::GridMismatch => {
+                write!(f, "coverage maps span different (anomaly size, window) grids")
+            }
+            EvalError::CellOutOfGrid {
+                anomaly_size,
+                window,
+            } => write!(
+                f,
+                "cell (anomaly size {anomaly_size}, window {window}) outside the map's grid"
+            ),
+            EvalError::ScoreLengthMismatch { expected, found } => write!(
+                f,
+                "detector produced {found} responses, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EvalError::StreamShorterThanWindow { stream: 3, window: 5 };
+        assert!(e.to_string().contains("shorter"));
+        let e = EvalError::GridMismatch;
+        assert!(e.to_string().contains("grids"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<EvalError>();
+    }
+}

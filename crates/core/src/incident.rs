@@ -1,0 +1,241 @@
+//! Incident spans: the window positions influenced by an injected anomaly.
+//!
+//! "When a detector window slides over an anomaly and encounters a
+//! boundary sequence, the interaction between the elements of the
+//! anomalous sequence and the background data will prompt the detector to
+//! produce a response that is influenced by the elements of the injected
+//! anomaly. ... The incident span comprises all [DW]-element sequences
+//! that contain at least one element of the anomaly." (§5.4.2/§5.5,
+//! Figure 2.)
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::EvalError;
+
+/// The inclusive range of window-start positions whose windows contain at
+/// least one element of an injected anomaly.
+///
+/// # Examples
+///
+/// Figure 2 of the paper: detector window 5, foreign sequence of size 8.
+/// With the anomaly injected at position 10 of a length-30 stream, the
+/// span runs from window-start 6 (the last window containing only the
+/// anomaly's first element) through 17 (the window starting at the
+/// anomaly's last element):
+///
+/// ```
+/// use detdiv_core::IncidentSpan;
+///
+/// let span = IncidentSpan::compute(30, 5, 10, 8).unwrap();
+/// assert_eq!(span.first(), 6);
+/// assert_eq!(span.last(), 17);
+/// assert_eq!(span.len(), 12); // DW - 1 + AS = 4 + 8
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IncidentSpan {
+    first: usize,
+    last: usize,
+}
+
+impl IncidentSpan {
+    /// Computes the incident span for an anomaly of `anomaly_len`
+    /// elements whose first element sits at `position` in a test stream
+    /// of `stream_len` elements, scanned with windows of length `window`.
+    ///
+    /// # Errors
+    ///
+    /// * [`EvalError::EmptyAnomaly`] if `anomaly_len` is zero;
+    /// * [`EvalError::StreamShorterThanWindow`] if no window fits;
+    /// * [`EvalError::AnomalyOutOfBounds`] if the anomaly does not lie
+    ///   within the stream.
+    pub fn compute(
+        stream_len: usize,
+        window: usize,
+        position: usize,
+        anomaly_len: usize,
+    ) -> Result<Self, EvalError> {
+        if anomaly_len == 0 {
+            return Err(EvalError::EmptyAnomaly);
+        }
+        if window == 0 || stream_len < window {
+            return Err(EvalError::StreamShorterThanWindow {
+                stream: stream_len,
+                window,
+            });
+        }
+        if position + anomaly_len > stream_len {
+            return Err(EvalError::AnomalyOutOfBounds {
+                position,
+                anomaly_len,
+                stream: stream_len,
+            });
+        }
+        let last_window_start = stream_len - window;
+        let first = position.saturating_sub(window - 1);
+        let last = (position + anomaly_len - 1).min(last_window_start);
+        Ok(IncidentSpan { first, last })
+    }
+
+    /// Constructs a span directly from its inclusive bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first > last`.
+    pub fn from_bounds(first: usize, last: usize) -> Self {
+        assert!(first <= last, "span bounds out of order: {first} > {last}");
+        IncidentSpan { first, last }
+    }
+
+    /// First window-start position of the span (inclusive).
+    #[inline]
+    pub const fn first(&self) -> usize {
+        self.first
+    }
+
+    /// Last window-start position of the span (inclusive).
+    #[inline]
+    pub const fn last(&self) -> usize {
+        self.last
+    }
+
+    /// Number of window positions in the span.
+    #[inline]
+    pub const fn len(&self) -> usize {
+        self.last - self.first + 1
+    }
+
+    /// Spans are never empty by construction.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether window-start `pos` lies inside the span.
+    #[inline]
+    pub const fn contains(&self, pos: usize) -> bool {
+        pos >= self.first && pos <= self.last
+    }
+
+    /// Iterates over the window-start positions of the span.
+    pub fn positions(&self) -> impl Iterator<Item = usize> {
+        self.first..=self.last
+    }
+
+    /// The slice of a per-window response vector covered by this span.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::ScoreLengthMismatch`] if the span extends
+    /// past `scores` (the vector came from a stream of a different
+    /// length).
+    pub fn slice<'a>(&self, scores: &'a [f64]) -> Result<&'a [f64], EvalError> {
+        if self.last >= scores.len() {
+            return Err(EvalError::ScoreLengthMismatch {
+                expected: self.last + 1,
+                found: scores.len(),
+            });
+        }
+        Ok(&scores[self.first..=self.last])
+    }
+}
+
+impl std::fmt::Display for IncidentSpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "incident-span[{}..={}]", self.first, self.last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_2_example() {
+        // DW = 5, AS = 8: span length is DW - 1 + AS = 12 when not clipped.
+        let span = IncidentSpan::compute(100, 5, 20, 8).unwrap();
+        assert_eq!(span.first(), 16);
+        assert_eq!(span.last(), 27);
+        assert_eq!(span.len(), 12);
+    }
+
+    #[test]
+    fn clipping_at_stream_start() {
+        // Anomaly at position 1 with window 5: span clips to 0.
+        let span = IncidentSpan::compute(50, 5, 1, 3).unwrap();
+        assert_eq!(span.first(), 0);
+        assert_eq!(span.last(), 3);
+    }
+
+    #[test]
+    fn clipping_at_stream_end() {
+        // Anomaly ends at the last element: last window start is n - dw.
+        let span = IncidentSpan::compute(20, 4, 15, 5).unwrap();
+        assert_eq!(span.last(), 16);
+        assert_eq!(span.first(), 12);
+    }
+
+    #[test]
+    fn window_equal_to_stream() {
+        let span = IncidentSpan::compute(6, 6, 2, 2).unwrap();
+        assert_eq!(span.first(), 0);
+        assert_eq!(span.last(), 0);
+        assert_eq!(span.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_detected() {
+        assert!(matches!(
+            IncidentSpan::compute(10, 3, 2, 0),
+            Err(EvalError::EmptyAnomaly)
+        ));
+        assert!(matches!(
+            IncidentSpan::compute(2, 3, 0, 1),
+            Err(EvalError::StreamShorterThanWindow { .. })
+        ));
+        assert!(matches!(
+            IncidentSpan::compute(10, 3, 9, 2),
+            Err(EvalError::AnomalyOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn contains_and_positions_agree() {
+        let span = IncidentSpan::from_bounds(3, 6);
+        let members: Vec<usize> = span.positions().collect();
+        assert_eq!(members, vec![3, 4, 5, 6]);
+        for p in 0..10 {
+            assert_eq!(span.contains(p), members.contains(&p));
+        }
+    }
+
+    #[test]
+    fn slice_extracts_span_scores() {
+        let span = IncidentSpan::from_bounds(1, 3);
+        let scores = [0.0, 0.1, 0.2, 0.3, 0.4];
+        assert_eq!(span.slice(&scores).unwrap(), &[0.1, 0.2, 0.3]);
+        let short = [0.0, 0.1];
+        assert!(span.slice(&short).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "span bounds out of order")]
+    fn from_bounds_validates() {
+        let _ = IncidentSpan::from_bounds(5, 4);
+    }
+
+    #[test]
+    fn every_window_in_span_overlaps_anomaly_and_vice_versa() {
+        // Exhaustive cross-check of the span definition on a small grid.
+        let (stream_len, window, pos, alen) = (30usize, 4usize, 12usize, 5usize);
+        let span = IncidentSpan::compute(stream_len, window, pos, alen).unwrap();
+        for start in 0..=(stream_len - window) {
+            let overlaps = start < pos + alen && start + window > pos;
+            assert_eq!(span.contains(start), overlaps, "window start {start}");
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(IncidentSpan::from_bounds(0, 1).to_string(), "incident-span[0..=1]");
+    }
+}

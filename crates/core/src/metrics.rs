@@ -1,0 +1,207 @@
+//! Hit / false-alarm accounting and threshold sweeps.
+//!
+//! The coverage experiments need only the blind/weak/capable verdict, but
+//! the paper's combination analysis (§7) reasons about *false alarms*:
+//! "if the Markov-based detector is deployed ... it can only be expected
+//! to produce greater numbers of false alarms than Stide". This module
+//! provides the accounting: alarms inside the incident span are hits;
+//! alarms outside it are false alarms.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::EvalError;
+use crate::incident::IncidentSpan;
+
+/// Hit/false-alarm statistics of one alarm vector against one labelled
+/// anomaly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlarmAnalysis {
+    /// Whether any alarm fell inside the incident span.
+    pub hit: bool,
+    /// Number of alarms inside the incident span.
+    pub span_alarms: usize,
+    /// Number of alarms outside the incident span (false alarms).
+    pub false_alarms: usize,
+    /// Total number of window positions scored.
+    pub positions: usize,
+    /// Number of positions outside the span (the false-alarm
+    /// denominator).
+    pub negatives: usize,
+}
+
+impl AlarmAnalysis {
+    /// False alarms as a fraction of out-of-span positions (0.0 when
+    /// there are no out-of-span positions).
+    pub fn false_alarm_rate(&self) -> f64 {
+        if self.negatives == 0 {
+            0.0
+        } else {
+            self.false_alarms as f64 / self.negatives as f64
+        }
+    }
+}
+
+/// Scores an alarm vector against the incident span of a labelled
+/// anomaly.
+///
+/// # Errors
+///
+/// Returns [`EvalError::ScoreLengthMismatch`] if the span extends past
+/// the alarm vector.
+///
+/// # Examples
+///
+/// ```
+/// use detdiv_core::{analyze_alarms, IncidentSpan};
+///
+/// let span = IncidentSpan::from_bounds(2, 3);
+/// let alarms = [true, false, true, false, false, true];
+/// let a = analyze_alarms(&alarms, span).unwrap();
+/// assert!(a.hit);
+/// assert_eq!(a.false_alarms, 2); // positions 0 and 5
+/// assert_eq!(a.negatives, 4);
+/// assert!((a.false_alarm_rate() - 0.5).abs() < 1e-12);
+/// ```
+pub fn analyze_alarms(alarms: &[bool], span: IncidentSpan) -> Result<AlarmAnalysis, EvalError> {
+    if span.last() >= alarms.len() {
+        return Err(EvalError::ScoreLengthMismatch {
+            expected: span.last() + 1,
+            found: alarms.len(),
+        });
+    }
+    let mut span_alarms = 0usize;
+    let mut false_alarms = 0usize;
+    for (i, &a) in alarms.iter().enumerate() {
+        if a {
+            if span.contains(i) {
+                span_alarms += 1;
+            } else {
+                false_alarms += 1;
+            }
+        }
+    }
+    Ok(AlarmAnalysis {
+        hit: span_alarms > 0,
+        span_alarms,
+        false_alarms,
+        positions: alarms.len(),
+        negatives: alarms.len() - span.len(),
+    })
+}
+
+/// One point of a threshold sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// The detection threshold applied to the responses.
+    pub threshold: f64,
+    /// Whether the anomaly was hit at this threshold.
+    pub hit: bool,
+    /// False-alarm rate at this threshold.
+    pub false_alarm_rate: f64,
+}
+
+/// Sweeps detection thresholds over a response vector, producing one
+/// [`RocPoint`] per threshold.
+///
+/// The paper's footnote 1 observes that "the maximum anomalous response
+/// will always register as an alarm regardless of where the detection
+/// threshold is set"; sweeping makes that explicit: at any threshold at
+/// or below the in-span maximum, the anomaly is hit.
+///
+/// # Errors
+///
+/// Returns [`EvalError::ScoreLengthMismatch`] if the span extends past
+/// `scores`.
+pub fn threshold_sweep(
+    scores: &[f64],
+    span: IncidentSpan,
+    thresholds: &[f64],
+) -> Result<Vec<RocPoint>, EvalError> {
+    if span.last() >= scores.len() {
+        return Err(EvalError::ScoreLengthMismatch {
+            expected: span.last() + 1,
+            found: scores.len(),
+        });
+    }
+    let mut points = Vec::with_capacity(thresholds.len());
+    for &t in thresholds {
+        let alarms: Vec<bool> = scores.iter().map(|&s| s >= t).collect();
+        let a = analyze_alarms(&alarms, span)?;
+        points.push(RocPoint {
+            threshold: t,
+            hit: a.hit,
+            false_alarm_rate: a.false_alarm_rate(),
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accounting() {
+        let span = IncidentSpan::from_bounds(1, 2);
+        let a = analyze_alarms(&[false, true, false, true], span).unwrap();
+        assert!(a.hit);
+        assert_eq!(a.span_alarms, 1);
+        assert_eq!(a.false_alarms, 1);
+        assert_eq!(a.positions, 4);
+        assert_eq!(a.negatives, 2);
+        assert!((a.false_alarm_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_with_no_alarms() {
+        let span = IncidentSpan::from_bounds(0, 1);
+        let a = analyze_alarms(&[false, false, false], span).unwrap();
+        assert!(!a.hit);
+        assert_eq!(a.false_alarms, 0);
+        assert_eq!(a.false_alarm_rate(), 0.0);
+    }
+
+    #[test]
+    fn all_positions_in_span_gives_zero_negatives() {
+        let span = IncidentSpan::from_bounds(0, 2);
+        let a = analyze_alarms(&[true, true, true], span).unwrap();
+        assert_eq!(a.negatives, 0);
+        assert_eq!(a.false_alarm_rate(), 0.0);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let span = IncidentSpan::from_bounds(0, 5);
+        assert!(matches!(
+            analyze_alarms(&[true, false], span),
+            Err(EvalError::ScoreLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sweep_monotonicity() {
+        // Raising the threshold can only reduce false alarms.
+        let span = IncidentSpan::from_bounds(2, 3);
+        let scores = [0.2, 0.9, 1.0, 0.4, 0.6, 0.95];
+        let thresholds = [0.1, 0.5, 0.95, 1.0];
+        let pts = threshold_sweep(&scores, span, &thresholds).unwrap();
+        for pair in pts.windows(2) {
+            assert!(pair[1].false_alarm_rate <= pair[0].false_alarm_rate);
+        }
+        // Footnote 1: in-span max is 1.0, so the anomaly is hit at every
+        // threshold.
+        assert!(pts.iter().all(|p| p.hit));
+    }
+
+    #[test]
+    fn sweep_loses_hit_above_inspan_max() {
+        let span = IncidentSpan::from_bounds(0, 1);
+        let scores = [0.4, 0.5, 0.9];
+        let pts = threshold_sweep(&scores, span, &[0.5, 0.6]).unwrap();
+        assert!(pts[0].hit);
+        assert!(!pts[1].hit);
+        // The 0.9 outside the span becomes a false alarm at both.
+        assert_eq!(pts[0].false_alarm_rate, 1.0);
+        assert_eq!(pts[1].false_alarm_rate, 1.0);
+    }
+}

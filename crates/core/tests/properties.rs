@@ -1,0 +1,150 @@
+//! Property tests for the evaluation framework's algebra.
+
+use detdiv_core::{
+    alarms_at, analyze_alarms, classify_scores, threshold_sweep, CellStatus, Classification,
+    CoverageMap, DiversityMatrix, IncidentSpan,
+};
+use proptest::prelude::*;
+
+fn arb_status() -> impl Strategy<Value = CellStatus> {
+    prop_oneof![
+        Just(CellStatus::Detect),
+        Just(CellStatus::Weak),
+        Just(CellStatus::Blind),
+        Just(CellStatus::Undefined),
+    ]
+}
+
+fn arb_map(name: &'static str) -> impl Strategy<Value = CoverageMap> {
+    prop::collection::vec(arb_status(), 9).prop_map(move |cells| {
+        let mut m = CoverageMap::new(name, 2..=4, 2..=4);
+        let mut it = cells.into_iter();
+        for a in 2..=4 {
+            for w in 2..=4 {
+                m.set(a, w, it.next().expect("9 cells")).unwrap();
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    /// Union and intersection are commutative in detections, and bound
+    /// the individual maps: |a ∩ b| <= |a| <= |a ∪ b|.
+    #[test]
+    fn map_algebra_bounds(a in arb_map("a"), b in arb_map("b")) {
+        let union = a.union(&b).unwrap();
+        let inter = a.intersection(&b).unwrap();
+        prop_assert_eq!(union.detection_count(), b.union(&a).unwrap().detection_count());
+        prop_assert_eq!(inter.detection_count(), b.intersection(&a).unwrap().detection_count());
+        prop_assert!(inter.detection_count() <= a.detection_count());
+        prop_assert!(a.detection_count() <= union.detection_count());
+        // Inclusion-exclusion on detection regions.
+        prop_assert_eq!(
+            union.detection_count() + inter.detection_count(),
+            a.detection_count() + b.detection_count()
+        );
+    }
+
+    /// Subset is reflexive and consistent with gain: a ⊆ b iff b gains
+    /// nothing from a.
+    #[test]
+    fn subset_gain_consistency(a in arb_map("a"), b in arb_map("b")) {
+        prop_assert!(a.is_subset_of(&a).unwrap());
+        prop_assert_eq!(a.is_subset_of(&b).unwrap(), b.gain_from(&a).unwrap() == 0);
+        // Union with a subset changes nothing.
+        if a.is_subset_of(&b).unwrap() {
+            prop_assert_eq!(a.union(&b).unwrap().detection_count(), b.detection_count());
+        }
+    }
+
+    /// Jaccard is symmetric, in [0, 1], and 1 exactly when the detection
+    /// regions coincide.
+    #[test]
+    fn jaccard_properties(a in arb_map("a"), b in arb_map("b")) {
+        let j = a.jaccard(&b).unwrap();
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(j, b.jaccard(&a).unwrap());
+        let same_region = a.is_subset_of(&b).unwrap() && b.is_subset_of(&a).unwrap();
+        prop_assert_eq!(j == 1.0, same_region);
+    }
+
+    /// The diversity matrix agrees with the pairwise map operations.
+    #[test]
+    fn diversity_matrix_agrees_with_maps(a in arb_map("a"), b in arb_map("b"), c in arb_map("c")) {
+        let maps = [a, b, c];
+        let m = DiversityMatrix::from_maps(&maps).unwrap();
+        for i in 0..3 {
+            prop_assert_eq!(m.detections(i).unwrap(), maps[i].detection_count());
+            for j in 0..3 {
+                if i != j {
+                    prop_assert_eq!(m.gain(i, j).unwrap(), maps[i].gain_from(&maps[j]).unwrap());
+                    prop_assert!((m.jaccard(i, j).unwrap() - maps[i].jaccard(&maps[j]).unwrap()).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Classification matches the definition for arbitrary responses.
+    #[test]
+    fn classification_matches_definition(
+        scores in prop::collection::vec(0.0f64..=1.0, 5..30),
+        first in 0usize..5,
+        len in 1usize..5,
+        floor in 0.5f64..=1.0,
+    ) {
+        let last = (first + len - 1).min(scores.len() - 1);
+        let first = first.min(last);
+        let span = IncidentSpan::from_bounds(first, last);
+        let outcome = classify_scores(&scores, span, floor).unwrap();
+        let in_span = &scores[first..=last];
+        let max = in_span.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let expected = if max >= floor {
+            Classification::Capable
+        } else if max > 0.0 {
+            Classification::Weak
+        } else {
+            Classification::Blind
+        };
+        prop_assert_eq!(outcome.classification(), expected);
+        prop_assert_eq!(outcome.max_response(), max);
+        prop_assert!(span.contains(outcome.max_position()));
+    }
+
+    /// Alarm accounting: hits + false alarms equals total alarms, and
+    /// the false-alarm rate is within [0, 1].
+    #[test]
+    fn alarm_accounting_balances(
+        scores in prop::collection::vec(0.0f64..=1.0, 6..40),
+        threshold in 0.0f64..=1.0,
+        first in 0usize..3,
+        len in 1usize..4,
+    ) {
+        let last = (first + len - 1).min(scores.len() - 1);
+        let first = first.min(last);
+        let span = IncidentSpan::from_bounds(first, last);
+        let alarms = alarms_at(&scores, threshold);
+        let total_alarms = alarms.iter().filter(|&&a| a).count();
+        let a = analyze_alarms(&alarms, span).unwrap();
+        prop_assert_eq!(a.span_alarms + a.false_alarms, total_alarms);
+        prop_assert_eq!(a.hit, a.span_alarms > 0);
+        prop_assert!((0.0..=1.0).contains(&a.false_alarm_rate()));
+        prop_assert_eq!(a.negatives, scores.len() - span.len());
+    }
+
+    /// Threshold sweeps are monotone: false-alarm rates never increase
+    /// with the threshold, and once the hit is lost it stays lost.
+    #[test]
+    fn sweeps_are_monotone(
+        scores in prop::collection::vec(0.0f64..=1.0, 6..40),
+        first in 0usize..3,
+    ) {
+        let span = IncidentSpan::from_bounds(first, first + 2);
+        let thresholds: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+        let pts = threshold_sweep(&scores, span, &thresholds).unwrap();
+        for pair in pts.windows(2) {
+            prop_assert!(pair[1].false_alarm_rate <= pair[0].false_alarm_rate + 1e-12);
+            prop_assert!(!pair[1].hit || pair[0].hit);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Coverage-map experiments: Figures 3–6.
+//!
+//! For each detector window DW of the corpus, a fresh detector is
+//! trained once on the training stream and evaluated on every anomaly
+//! size AS; the blind/weak/capable verdict fills the (AS, DW) cell. The
+//! x-axis additionally carries the paper's *undefined* column at AS = 1
+//! (a size-1 sequence cannot be simultaneously foreign and rare, §6).
+
+use detdiv_core::{evaluate_case, CellStatus, CoverageMap};
+use detdiv_synth::Corpus;
+
+use crate::error::HarnessError;
+use crate::kinds::DetectorKind;
+
+/// Computes the detection-coverage map of one detector family over the
+/// corpus's full (AS, DW) grid.
+///
+/// # Errors
+///
+/// Propagates synthesis lookups and evaluation-geometry failures as
+/// [`HarnessError`].
+///
+/// # Examples
+///
+/// ```
+/// use detdiv_eval::{coverage_map, DetectorKind};
+/// use detdiv_synth::{Corpus, SynthesisConfig};
+///
+/// let config = SynthesisConfig::builder()
+///     .training_len(30_000)
+///     .anomaly_sizes(2..=3)
+///     .windows(2..=4)
+///     .background_len(512)
+///     .build()
+///     .unwrap();
+/// let corpus = Corpus::synthesize(&config).unwrap();
+/// let map = coverage_map(&corpus, &DetectorKind::Stide).unwrap();
+/// // Stide detects exactly when DW >= AS.
+/// assert!(map.detects(2, 2).unwrap());
+/// assert!(map.detects(3, 4).unwrap());
+/// assert!(!map.detects(3, 2).unwrap());
+/// ```
+pub fn coverage_map(corpus: &Corpus, kind: &DetectorKind) -> Result<CoverageMap, HarnessError> {
+    let config = corpus.config();
+    let mut map = CoverageMap::new(
+        kind.name(),
+        1..=config.max_anomaly(),
+        *config.windows().start()..=config.max_window(),
+    );
+    for window in config.windows() {
+        let mut detector = kind.build(window);
+        detector.train(corpus.training());
+        for anomaly_size in config.anomaly_sizes() {
+            let case = corpus.case(anomaly_size, window)?;
+            let outcome = evaluate_case(detector.as_ref(), &case)?;
+            map.set(
+                anomaly_size,
+                window,
+                CellStatus::from(outcome.classification()),
+            )?;
+        }
+        // AS = 1 stays Undefined: a one-element sequence cannot be both
+        // foreign and rare (§6).
+    }
+    Ok(map)
+}
+
+/// Convenience: the four maps of the paper's Figures 3–6, in figure
+/// order (L&B, Markov, Stide, neural network).
+///
+/// # Errors
+///
+/// Propagates the first failing map computation.
+pub fn paper_coverage_maps(corpus: &Corpus) -> Result<Vec<CoverageMap>, HarnessError> {
+    DetectorKind::paper_four()
+        .iter()
+        .map(|kind| coverage_map(corpus, kind))
+        .collect()
+}
+
+/// The analytically expected Stide map: detect iff `DW >= AS`
+/// (§7: "this foreign sequence is only visible if the length of the
+/// detector window is at least as large as the length of the foreign
+/// sequence"). Used by tests and by EXPERIMENTS.md's paper-vs-measured
+/// comparison.
+pub fn expected_stide_map(corpus: &Corpus) -> CoverageMap {
+    let config = corpus.config();
+    let mut map = CoverageMap::new(
+        "stide (expected)",
+        1..=config.max_anomaly(),
+        *config.windows().start()..=config.max_window(),
+    );
+    for window in config.windows() {
+        for anomaly_size in config.anomaly_sizes() {
+            let status = if window >= anomaly_size {
+                CellStatus::Detect
+            } else {
+                CellStatus::Blind
+            };
+            map.set(anomaly_size, window, status)
+                .expect("cell within grid by construction");
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detdiv_synth::SynthesisConfig;
+
+    fn corpus() -> Corpus {
+        let config = SynthesisConfig::builder()
+            .training_len(40_000)
+            .anomaly_sizes(2..=4)
+            .windows(2..=6)
+            .background_len(512)
+            .plant_repeats(4)
+            .seed(77)
+            .build()
+            .unwrap();
+        Corpus::synthesize(&config).unwrap()
+    }
+
+    #[test]
+    fn stide_map_matches_theory() {
+        let corpus = corpus();
+        let measured = coverage_map(&corpus, &DetectorKind::Stide).unwrap();
+        let expected = expected_stide_map(&corpus);
+        for (a, w, cell) in expected.iter() {
+            if cell.is_defined() {
+                assert_eq!(
+                    measured.detects(a, w).unwrap(),
+                    cell.is_detection(),
+                    "cell (AS {a}, DW {w})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn markov_map_covers_everything() {
+        let corpus = corpus();
+        let map = coverage_map(&corpus, &DetectorKind::Markov).unwrap();
+        for a in 2..=4 {
+            for w in 2..=6 {
+                assert!(map.detects(a, w).unwrap(), "cell (AS {a}, DW {w})");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_brodley_never_detects() {
+        let corpus = corpus();
+        let map = coverage_map(&corpus, &DetectorKind::LaneBrodley).unwrap();
+        assert_eq!(map.detection_count(), 0);
+    }
+
+    #[test]
+    fn neural_map_mimics_markov() {
+        let corpus = corpus();
+        let nn = coverage_map(&corpus, &DetectorKind::neural_default()).unwrap();
+        let markov = coverage_map(&corpus, &DetectorKind::Markov).unwrap();
+        for a in 2..=4 {
+            for w in 2..=6 {
+                assert_eq!(
+                    nn.detects(a, w).unwrap(),
+                    markov.detects(a, w).unwrap(),
+                    "cell (AS {a}, DW {w})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn undefined_column_at_anomaly_size_one() {
+        let corpus = corpus();
+        let map = coverage_map(&corpus, &DetectorKind::Stide).unwrap();
+        for w in 2..=6 {
+            assert_eq!(map.get(1, w).unwrap(), CellStatus::Undefined);
+        }
+    }
+}

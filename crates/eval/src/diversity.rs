@@ -1,0 +1,116 @@
+//! DIV1: the pairwise diversity matrix over every detector family.
+//!
+//! The paper's stated purpose: "how can one make an informed choice
+//! amongst a set of anomaly detectors in a way that promotes improved
+//! detector performance?" (§1). The diversity matrix is that choice
+//! aid, condensed: per-pair coverage gains, overlap coefficients, and
+//! the extracted subset / no-gain / complementary relations.
+
+use detdiv_core::DiversityMatrix;
+use detdiv_synth::Corpus;
+use serde::{Deserialize, Serialize};
+
+use crate::coverage::coverage_map;
+use crate::error::HarnessError;
+use crate::kinds::DetectorKind;
+
+/// Result of the DIV1 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiversityResult {
+    /// The pairwise matrix over all families.
+    pub matrix: DiversityMatrix,
+    /// Pairs affording no coverage gain, by name.
+    pub no_gain_pairs: Vec<(String, String)>,
+    /// Subset relations `(smaller, larger)`, by name.
+    pub subset_pairs: Vec<(String, String)>,
+    /// Genuinely complementary pairs, by name.
+    pub complementary_pairs: Vec<(String, String)>,
+}
+
+/// The detector families entering the matrix, in a stable order.
+fn families() -> Vec<DetectorKind> {
+    vec![
+        DetectorKind::Stide,
+        DetectorKind::TStide,
+        DetectorKind::Markov,
+        DetectorKind::neural_default(),
+        DetectorKind::LaneBrodley,
+        DetectorKind::hmm_default(),
+        DetectorKind::ripper_default(),
+    ]
+}
+
+/// Runs DIV1 on `corpus`: computes every family's coverage map and the
+/// pairwise diversity relations between them.
+///
+/// # Errors
+///
+/// Propagates coverage-map computation failures.
+pub fn div1_diversity_matrix(corpus: &Corpus) -> Result<DiversityResult, HarnessError> {
+    let maps = families()
+        .iter()
+        .map(|k| coverage_map(corpus, k))
+        .collect::<Result<Vec<_>, _>>()?;
+    let matrix = DiversityMatrix::from_maps(&maps)?;
+    let name = |i: usize| matrix.names()[i].clone();
+    let no_gain_pairs = matrix
+        .no_coverage_gain_pairs()
+        .into_iter()
+        .map(|(i, j)| (name(i), name(j)))
+        .collect();
+    let subset_pairs = matrix
+        .subset_pairs()
+        .into_iter()
+        .map(|(i, j)| (name(i), name(j)))
+        .collect();
+    let complementary_pairs = matrix
+        .complementary_pairs()
+        .into_iter()
+        .map(|(i, j)| (name(i), name(j)))
+        .collect();
+    Ok(DiversityResult {
+        matrix,
+        no_gain_pairs,
+        subset_pairs,
+        complementary_pairs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detdiv_synth::SynthesisConfig;
+
+    #[test]
+    fn matrix_reflects_the_papers_relations() {
+        let config = SynthesisConfig::builder()
+            .training_len(60_000)
+            .anomaly_sizes(2..=4)
+            .windows(2..=5)
+            .background_len(512)
+            .plant_repeats(4)
+            .seed(5)
+            .build()
+            .unwrap();
+        let corpus = Corpus::synthesize(&config).unwrap();
+        let r = div1_diversity_matrix(&corpus).unwrap();
+
+        assert_eq!(r.matrix.len(), 7);
+        // Stide + L&B affords no coverage gain.
+        assert!(r
+            .no_gain_pairs
+            .iter()
+            .any(|(a, b)| a == "stide" && b == "lane-brodley"));
+        // Stide is a strict subset of the Markov detector.
+        assert!(r
+            .subset_pairs
+            .iter()
+            .any(|(small, large)| small == "stide" && large == "markov"));
+        // L&B is a subset of everything that detects anything; it never
+        // appears as the larger side.
+        assert!(!r.subset_pairs.iter().any(|(_, large)| large == "lane-brodley"));
+        // On this corpus the full-coverage detectors tie, so no pair is
+        // genuinely complementary.
+        assert!(r.complementary_pairs.is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for the experiment harness.
+
+use std::error::Error;
+use std::fmt;
+
+use detdiv_core::EvalError;
+use detdiv_synth::SynthesisError;
+use detdiv_trace::TraceError;
+
+/// Errors arising while driving an experiment.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HarnessError {
+    /// Corpus synthesis failed.
+    Synthesis(SynthesisError),
+    /// The evaluation framework rejected an operation.
+    Eval(EvalError),
+    /// Trace generation or parsing failed.
+    Trace(TraceError),
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Synthesis(e) => write!(f, "synthesis: {e}"),
+            HarnessError::Eval(e) => write!(f, "evaluation: {e}"),
+            HarnessError::Trace(e) => write!(f, "trace: {e}"),
+        }
+    }
+}
+
+impl Error for HarnessError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HarnessError::Synthesis(e) => Some(e),
+            HarnessError::Eval(e) => Some(e),
+            HarnessError::Trace(e) => Some(e),
+        }
+    }
+}
+
+impl From<SynthesisError> for HarnessError {
+    fn from(e: SynthesisError) -> Self {
+        HarnessError::Synthesis(e)
+    }
+}
+
+impl From<EvalError> for HarnessError {
+    fn from(e: EvalError) -> Self {
+        HarnessError::Eval(e)
+    }
+}
+
+impl From<TraceError> for HarnessError {
+    fn from(e: TraceError) -> Self {
+        HarnessError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_and_displays_sources() {
+        let e = HarnessError::from(SynthesisError::AnomalySearchFailed { attempts: 3 });
+        assert!(e.to_string().contains("synthesis"));
+        assert!(e.source().is_some());
+        let e = HarnessError::from(EvalError::GridMismatch);
+        assert!(e.to_string().contains("evaluation"));
+        let e = HarnessError::from(TraceError::Empty);
+        assert!(e.to_string().contains("trace"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<HarnessError>();
+    }
+}

@@ -1,0 +1,97 @@
+//! EXT1: additional detector families beyond the paper's four.
+//!
+//! The paper's diversity argument generalises: any detector that can
+//! respond to *rare* sequences should cover the MFS space the way the
+//! Markov detector does, and any detector restricted to exact matching
+//! should share Stide's triangle. This experiment checks that prediction
+//! for the two extension families taken from Warrender et al. (1999):
+//! **t-stide** (frequency-thresholded matching), the **HMM** data model
+//! and the **RIPPER**-style rule learner.
+
+use detdiv_core::CoverageMap;
+use detdiv_synth::Corpus;
+use serde::{Deserialize, Serialize};
+
+use crate::coverage::coverage_map;
+use crate::error::HarnessError;
+use crate::kinds::DetectorKind;
+
+/// Result of the EXT1 extension-coverage experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtensionResult {
+    /// The t-stide coverage map.
+    pub tstide_map: CoverageMap,
+    /// The HMM coverage map.
+    pub hmm_map: CoverageMap,
+    /// The rule-based detector's coverage map.
+    pub ripper_map: CoverageMap,
+    /// Whether t-stide's detection region contains Stide's (it responds
+    /// to everything Stide responds to, plus rare sequences).
+    pub tstide_contains_stide: bool,
+    /// Whether t-stide's detection region equals the Markov detector's
+    /// (both respond to foreign and rare sequences).
+    pub tstide_equals_markov: bool,
+    /// Whether the HMM's detection region equals the Markov detector's
+    /// (a latent-state model of the same conditionals).
+    pub hmm_equals_markov: bool,
+    /// Whether the rule learner's detection region equals the Markov
+    /// detector's (confident rules are violated by the same rare/foreign
+    /// material).
+    pub ripper_equals_markov: bool,
+}
+
+/// Runs EXT1 on `corpus`.
+///
+/// # Errors
+///
+/// Propagates coverage-map computation failures.
+pub fn ext1_extended_families(corpus: &Corpus) -> Result<ExtensionResult, HarnessError> {
+    let stide_map = coverage_map(corpus, &DetectorKind::Stide)?;
+    let markov_map = coverage_map(corpus, &DetectorKind::Markov)?;
+    let tstide_map = coverage_map(corpus, &DetectorKind::TStide)?;
+    let hmm_map = coverage_map(corpus, &DetectorKind::hmm_default())?;
+    let ripper_map = coverage_map(corpus, &DetectorKind::ripper_default())?;
+    let tstide_contains_stide = stide_map.is_subset_of(&tstide_map)?;
+    let tstide_equals_markov =
+        tstide_map.is_subset_of(&markov_map)? && markov_map.is_subset_of(&tstide_map)?;
+    let hmm_equals_markov =
+        hmm_map.is_subset_of(&markov_map)? && markov_map.is_subset_of(&hmm_map)?;
+    let ripper_equals_markov =
+        ripper_map.is_subset_of(&markov_map)? && markov_map.is_subset_of(&ripper_map)?;
+    Ok(ExtensionResult {
+        tstide_map,
+        hmm_map,
+        ripper_map,
+        tstide_contains_stide,
+        tstide_equals_markov,
+        hmm_equals_markov,
+        ripper_equals_markov,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detdiv_synth::SynthesisConfig;
+
+    #[test]
+    fn extensions_cover_like_their_class_predicts() {
+        let config = SynthesisConfig::builder()
+            .training_len(60_000)
+            .anomaly_sizes(2..=4)
+            .windows(2..=5)
+            .background_len(512)
+            .plant_repeats(4)
+            .seed(8)
+            .build()
+            .unwrap();
+        let corpus = Corpus::synthesize(&config).unwrap();
+        let r = ext1_extended_families(&corpus).unwrap();
+        assert!(r.tstide_contains_stide);
+        assert!(r.tstide_equals_markov, "t-stide should cover the full grid");
+        assert!(r.hmm_equals_markov, "the HMM should cover the full grid");
+        assert!(r.ripper_equals_markov, "the rule learner should cover the full grid");
+        assert_eq!(r.hmm_map.detection_count(), 3 * 4);
+        assert_eq!(r.ripper_map.detection_count(), 3 * 4);
+    }
+}

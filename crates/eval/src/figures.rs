@@ -1,0 +1,131 @@
+//! Worked-example figures: the incident span (Figure 2) and the Lane &
+//! Brodley similarity computation (Figure 7).
+
+use detdiv_core::IncidentSpan;
+use detdiv_detectors::{lane_brodley_sim_max, lane_brodley_similarity};
+use detdiv_sequence::SymbolTable;
+use serde::{Deserialize, Serialize};
+
+use crate::error::HarnessError;
+
+/// Reproduction of Figure 2: boundary sequences and the incident span
+/// for a detector window of 5 and a foreign sequence of size 8.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fig2Result {
+    /// Detector window (paper: 5).
+    pub window: usize,
+    /// Anomaly size (paper: 8).
+    pub anomaly_size: usize,
+    /// Number of boundary sequences on each side (DW − 1).
+    pub boundary_sequences_per_side: usize,
+    /// Incident-span length (DW − 1 + AS).
+    pub span_len: usize,
+    /// Text rendering of the data stream with the span marked.
+    pub rendering: String,
+}
+
+/// Computes Figure 2's worked example.
+///
+/// # Errors
+///
+/// Never fails for the paper's parameters; the error covers degenerate
+/// custom geometries.
+pub fn fig2_incident_span(window: usize, anomaly_size: usize) -> Result<Fig2Result, HarnessError> {
+    // A stream long enough to show full context either side.
+    let margin = 2 * window;
+    let stream_len = 2 * margin + anomaly_size;
+    let position = margin;
+    let span = IncidentSpan::compute(stream_len, window, position, anomaly_size)?;
+
+    let mut stream_line = String::from("stream: ");
+    for i in 0..stream_len {
+        let ch = if (position..position + anomaly_size).contains(&i) {
+            " F"
+        } else {
+            " +"
+        };
+        stream_line.push_str(ch);
+    }
+    let mut span_line = String::from("span:   ");
+    for i in 0..stream_len {
+        span_line.push_str(if span.contains(i) { " ^" } else { "  " });
+    }
+    let rendering = format!(
+        "{stream_line}\n{span_line}\n(F: injected foreign sequence; +: background; ^: window starts of the incident span)"
+    );
+    Ok(Fig2Result {
+        window,
+        anomaly_size,
+        boundary_sequences_per_side: window - 1,
+        span_len: span.len(),
+        rendering,
+    })
+}
+
+/// Reproduction of Figure 7: the similarity calculation between two
+/// size-5 command sequences.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Result {
+    /// Window length (paper: 5).
+    pub window: usize,
+    /// `Sim_max = DW(DW+1)/2` (paper: 15).
+    pub sim_max: u64,
+    /// Similarity of the two identical sequences (paper: 15).
+    pub sim_identical: u64,
+    /// Similarity when only the final element differs (paper: 10).
+    pub sim_final_mismatch: u64,
+    /// The anomaly response corresponding to the mismatch case
+    /// (1 − 10/15 = 1/3) — "close to normal".
+    pub response_final_mismatch: f64,
+}
+
+/// Computes Figure 7's worked example with the paper's literal command
+/// sequences (`cd <1> ls laf tar` vs `cd <1> ls laf cd`).
+pub fn fig7_similarity() -> Fig7Result {
+    let mut table = SymbolTable::new();
+    let normal = table.intern_all(&["cd", "<1>", "ls", "laf", "tar"]);
+    let foreign = table.intern_all(&["cd", "<1>", "ls", "laf", "cd"]);
+    let window = normal.len();
+    let sim_max = lane_brodley_sim_max(window);
+    let sim_identical = lane_brodley_similarity(&normal, &normal);
+    let sim_final_mismatch = lane_brodley_similarity(&normal, &foreign);
+    Fig7Result {
+        window,
+        sim_max,
+        sim_identical,
+        sim_final_mismatch,
+        response_final_mismatch: 1.0 - sim_final_mismatch as f64 / sim_max as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_matches_paper_geometry() {
+        let r = fig2_incident_span(5, 8).unwrap();
+        assert_eq!(r.boundary_sequences_per_side, 4);
+        assert_eq!(r.span_len, 12); // DW - 1 + AS
+        assert!(r.rendering.contains("F F F F F F F F"));
+        assert!(r.rendering.contains('^'));
+    }
+
+    #[test]
+    fn fig2_span_marks_correct_positions() {
+        let r = fig2_incident_span(3, 2).unwrap();
+        assert_eq!(r.span_len, 4);
+        let span_line = r.rendering.lines().nth(1).unwrap();
+        assert_eq!(span_line.matches('^').count(), 4);
+    }
+
+    #[test]
+    fn fig7_matches_paper_values() {
+        let r = fig7_similarity();
+        assert_eq!(r.window, 5);
+        assert_eq!(r.sim_max, 15);
+        assert_eq!(r.sim_identical, 15);
+        assert_eq!(r.sim_final_mismatch, 10);
+        assert!((r.response_final_mismatch - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,179 @@
+//! Detector factory: one place that knows how to instantiate every
+//! detector family at a given window.
+
+use detdiv_core::SequenceAnomalyDetector;
+use detdiv_detectors::{
+    HmmConfig, HmmDetector, LaneBrodley, MarkovDetector, NeuralConfig, NeuralDetector,
+    RipperConfig, RipperDetector, Stide, StideLfc, TStide,
+};
+
+/// A detector family that can be instantiated at any detector window.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DetectorKind {
+    /// Stide (exact sequence matching).
+    Stide,
+    /// Stide with a locality frame count of the given length.
+    StideLfc {
+        /// Locality frame length.
+        frame: usize,
+    },
+    /// t-stide (sequence matching with a frequency threshold).
+    TStide,
+    /// The Markov-based detector under the paper's maximal-response
+    /// rule (responses at or above `1 − 0.005` count as maximal).
+    Markov,
+    /// The Markov-based detector under strict semantics (only exact
+    /// zero-probability transitions count) — ablation ABL1.
+    MarkovStrict,
+    /// The neural-network-based detector.
+    NeuralNetwork {
+        /// Hyperparameters (see [`NeuralConfig`]).
+        config: NeuralConfig,
+    },
+    /// The Lane & Brodley detector.
+    LaneBrodley,
+    /// The HMM-based detector (Warrender et al. 1999's fourth data
+    /// model) — extension experiment EXT1.
+    Hmm {
+        /// Hyperparameters (see [`HmmConfig`]).
+        config: HmmConfig,
+    },
+    /// The RIPPER-style rule-based detector (Warrender et al. 1999's
+    /// rule-induction data model) — extension experiment EXT1.
+    Ripper {
+        /// Hyperparameters (see [`RipperConfig`]).
+        config: RipperConfig,
+    },
+}
+
+impl DetectorKind {
+    /// The HMM detector with its default hyperparameters (one state per
+    /// observed symbol, moment-matching initialisation).
+    pub fn hmm_default() -> Self {
+        DetectorKind::Hmm {
+            config: HmmConfig::default(),
+        }
+    }
+
+    /// The rule-based detector with its default hyperparameters.
+    pub fn ripper_default() -> Self {
+        DetectorKind::Ripper {
+            config: RipperConfig::default(),
+        }
+    }
+
+    /// The neural detector with hyperparameters tuned for corpus-scale
+    /// training: noise contexts observed only once are dropped
+    /// (`min_count = 2`), which keeps the weighted training set small on
+    /// million-element streams without affecting what the network can
+    /// learn reliably.
+    pub fn neural_default() -> Self {
+        DetectorKind::NeuralNetwork {
+            config: NeuralConfig {
+                min_count: 2,
+                ..NeuralConfig::default()
+            },
+        }
+    }
+
+    /// Stable display name of the family.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DetectorKind::Stide => "stide",
+            DetectorKind::StideLfc { .. } => "stide-lfc",
+            DetectorKind::TStide => "t-stide",
+            DetectorKind::Markov => "markov",
+            DetectorKind::MarkovStrict => "markov-strict",
+            DetectorKind::NeuralNetwork { .. } => "neural-network",
+            DetectorKind::LaneBrodley => "lane-brodley",
+            DetectorKind::Hmm { .. } => "hmm",
+            DetectorKind::Ripper { .. } => "ripper",
+        }
+    }
+
+    /// Instantiates an untrained detector of this family at `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is below the family's minimum (2).
+    pub fn build(&self, window: usize) -> Box<dyn SequenceAnomalyDetector> {
+        match self {
+            DetectorKind::Stide => Box::new(Stide::new(window)),
+            DetectorKind::StideLfc { frame } => Box::new(StideLfc::new(window, *frame)),
+            DetectorKind::TStide => Box::new(TStide::new(window)),
+            DetectorKind::Markov => Box::new(MarkovDetector::new(window)),
+            DetectorKind::MarkovStrict => Box::new(MarkovDetector::strict(window)),
+            DetectorKind::NeuralNetwork { config } => {
+                Box::new(NeuralDetector::with_config(window, config.clone()))
+            }
+            DetectorKind::LaneBrodley => Box::new(LaneBrodley::new(window)),
+            DetectorKind::Hmm { config } => {
+                Box::new(HmmDetector::with_config(window, config.clone()))
+            }
+            DetectorKind::Ripper { config } => {
+                Box::new(RipperDetector::with_config(window, config.clone()))
+            }
+        }
+    }
+
+    /// The four families of the paper's study, in figure order
+    /// (L&B = Fig. 3, Markov = Fig. 4, Stide = Fig. 5, NN = Fig. 6).
+    pub fn paper_four() -> Vec<DetectorKind> {
+        vec![
+            DetectorKind::LaneBrodley,
+            DetectorKind::Markov,
+            DetectorKind::Stide,
+            DetectorKind::neural_default(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_every_family() {
+        for kind in [
+            DetectorKind::Stide,
+            DetectorKind::StideLfc { frame: 10 },
+            DetectorKind::TStide,
+            DetectorKind::Markov,
+            DetectorKind::MarkovStrict,
+            DetectorKind::neural_default(),
+            DetectorKind::LaneBrodley,
+            DetectorKind::hmm_default(),
+            DetectorKind::ripper_default(),
+        ] {
+            let det = kind.build(3);
+            assert_eq!(det.window(), 3);
+            assert!(!det.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(DetectorKind::Stide.name(), "stide");
+        assert_eq!(DetectorKind::MarkovStrict.name(), "markov-strict");
+        assert_eq!(DetectorKind::neural_default().name(), "neural-network");
+    }
+
+    #[test]
+    fn strict_markov_has_floor_one() {
+        let det = DetectorKind::MarkovStrict.build(2);
+        assert_eq!(det.maximal_response_floor(), 1.0);
+        let det = DetectorKind::Markov.build(2);
+        assert!(det.maximal_response_floor() < 1.0);
+    }
+
+    #[test]
+    fn paper_four_order_matches_figures() {
+        let kinds = DetectorKind::paper_four();
+        let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec!["lane-brodley", "markov", "stide", "neural-network"]
+        );
+    }
+}

@@ -1,0 +1,319 @@
+//! The full experiment report: every figure and analysis of the paper,
+//! regenerated in one pass.
+
+use std::fmt::Write as _;
+
+use detdiv_core::CoverageMap;
+use detdiv_synth::{Corpus, SynthesisConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::ablation::{
+    abl1_maximal_response_semantics, abl2_locality_frame_count, abl3_nn_sensitivity, LfcRow,
+    NnSensitivityRow, SemanticsAblation,
+};
+use crate::analysis::{ana1_response_map, fn1_threshold_sweeps, ResponseMap, SweepResult};
+use crate::census::{nat1_census, CensusResult};
+use crate::combination::{
+    comb1_stide_markov_subset, comb2_stide_lb_union, comb3_suppression, render_suppression_table,
+    SubsetResult, SuppressionConfig, SuppressionRow, UnionGainResult,
+};
+use crate::coverage::coverage_map;
+use crate::diversity::{div1_diversity_matrix, DiversityResult};
+use crate::error::HarnessError;
+use crate::extension::{ext1_extended_families, ExtensionResult};
+use crate::figures::{fig2_incident_span, fig7_similarity, Fig2Result, Fig7Result};
+use crate::kinds::DetectorKind;
+use crate::masquerade::{masq1_lane_brodley_masquerade, MasqueradeResult};
+
+/// Everything the paper's evaluation section reports, regenerated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FullReport {
+    /// The synthesis configuration the corpus was built from.
+    pub config: SynthesisConfig,
+    /// The synthesized anomalies, `(size, rendering)`.
+    pub anomalies: Vec<(usize, String)>,
+    /// Figure 2: incident-span worked example.
+    pub fig2: Fig2Result,
+    /// Figure 3: Lane & Brodley coverage map.
+    pub fig3: CoverageMap,
+    /// Figure 4: Markov coverage map.
+    pub fig4: CoverageMap,
+    /// Figure 5: Stide coverage map.
+    pub fig5: CoverageMap,
+    /// Figure 6: neural-network coverage map.
+    pub fig6: CoverageMap,
+    /// Figure 7: L&B similarity worked example.
+    pub fig7: Fig7Result,
+    /// COMB1: Stide ⊆ Markov.
+    pub comb1: SubsetResult,
+    /// COMB2: Stide ∪ L&B affords no gain.
+    pub comb2: UnionGainResult,
+    /// COMB3: suppression table.
+    pub comb3: Vec<SuppressionRow>,
+    /// ABL1: maximal-response semantics.
+    pub abl1: SemanticsAblation,
+    /// ABL2: locality frame count.
+    pub abl2: Vec<LfcRow>,
+    /// ABL3: neural-network parameter sensitivity.
+    pub abl3: Vec<NnSensitivityRow>,
+    /// NAT1: MFS census over synthetic traces.
+    pub nat1: CensusResult,
+    /// EXT1: extension families (t-stide, HMM).
+    pub ext1: ExtensionResult,
+    /// DIV1: the pairwise diversity matrix over all families.
+    pub div1: DiversityResult,
+    /// MASQ1: Lane & Brodley on its home turf (masquerade detection).
+    pub masq1: MasqueradeResult,
+    /// FN1: footnote-1 threshold sweeps.
+    pub fn1: Vec<SweepResult>,
+    /// ANA1: the Lane & Brodley maximum-response map (the analogue
+    /// signal under Figure 3).
+    pub ana1_lb: ResponseMap,
+}
+
+impl FullReport {
+    /// Synthesizes a corpus for `config` and runs every experiment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing synthesis or experiment.
+    pub fn generate(config: &SynthesisConfig) -> Result<FullReport, HarnessError> {
+        let corpus = Corpus::synthesize(config)?;
+        Self::generate_on(&corpus)
+    }
+
+    /// Runs every experiment on an existing corpus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing experiment.
+    pub fn generate_on(corpus: &Corpus) -> Result<FullReport, HarnessError> {
+        let config = corpus.config().clone();
+        let mid_anomaly = (config.min_anomaly() + config.max_anomaly()) / 2;
+        let mid_window = mid_anomaly.max(config.min_window() + 1).min(config.max_window());
+        let suppression = SuppressionConfig {
+            windows: vec![config.min_window(), mid_window],
+            anomaly_sizes: vec![config.min_anomaly(), mid_anomaly],
+            ..SuppressionConfig::default()
+        };
+        Ok(FullReport {
+            anomalies: corpus
+                .anomalies()
+                .map(|a| (a.len(), a.to_string()))
+                .collect(),
+            fig2: fig2_incident_span(5, 8)?,
+            fig3: coverage_map(corpus, &DetectorKind::LaneBrodley)?,
+            fig4: coverage_map(corpus, &DetectorKind::Markov)?,
+            fig5: coverage_map(corpus, &DetectorKind::Stide)?,
+            fig6: coverage_map(corpus, &DetectorKind::neural_default())?,
+            fig7: fig7_similarity(),
+            comb1: comb1_stide_markov_subset(corpus)?,
+            comb2: comb2_stide_lb_union(corpus)?,
+            comb3: comb3_suppression(corpus, &suppression)?,
+            abl1: abl1_maximal_response_semantics(corpus)?,
+            abl2: abl2_locality_frame_count(corpus, mid_window, mid_anomaly, 4096, 3)?,
+            abl3: abl3_nn_sensitivity(corpus, mid_window, mid_anomaly)?,
+            nat1: nat1_census(100, 200, config.max_anomaly().min(8))?,
+            ext1: ext1_extended_families(corpus)?,
+            div1: div1_diversity_matrix(corpus)?,
+            masq1: masq1_lane_brodley_masquerade(5, 11)?,
+            fn1: fn1_threshold_sweeps(corpus, mid_anomaly, mid_window)?,
+            ana1_lb: ana1_response_map(corpus, &DetectorKind::LaneBrodley)?,
+            config,
+        })
+    }
+
+    /// Renders the whole report as the text the `regenerate` binary
+    /// prints and `EXPERIMENTS.md` quotes.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+
+        let _ = writeln!(out, "\n=== Corpus ===");
+        let _ = writeln!(
+            out,
+            "training: ~{} elements, alphabet {}, noise {:.3}, rare threshold {:.4}",
+            self.config.training_len(),
+            self.config.alphabet_size(),
+            self.config.noise(),
+            self.config.rare_threshold()
+        );
+        for (size, a) in &self.anomalies {
+            let _ = writeln!(out, "  MFS size {size}: {a}");
+        }
+
+        let _ = writeln!(out, "\n=== FIG2 — boundary sequences and the incident span (DW 5, AS 8) ===");
+        let _ = writeln!(
+            out,
+            "{}\nboundary sequences per side: {}; span length: {}",
+            self.fig2.rendering, self.fig2.boundary_sequences_per_side, self.fig2.span_len
+        );
+
+        let _ = writeln!(out, "\n=== FIG3 — detection coverage, Lane & Brodley (paper: blind everywhere) ===");
+        let _ = writeln!(out, "{}", self.fig3.render());
+        let _ = writeln!(out, "\n=== FIG4 — detection coverage, Markov (paper: detects everywhere) ===");
+        let _ = writeln!(out, "{}", self.fig4.render());
+        let _ = writeln!(out, "\n=== FIG5 — detection coverage, Stide (paper: detects iff DW >= AS) ===");
+        let _ = writeln!(out, "{}", self.fig5.render());
+        let _ = writeln!(out, "\n=== FIG6 — detection coverage, neural network (paper: mimics Markov) ===");
+        let _ = writeln!(out, "{}", self.fig6.render());
+
+        let _ = writeln!(out, "\n=== FIG7 — L&B similarity worked example ===");
+        let _ = writeln!(
+            out,
+            "identical size-5 sequences:     Sim = {} (max {})\nfinal-element mismatch:         Sim = {} -> response {:.3} (\"close to normal\")",
+            self.fig7.sim_identical, self.fig7.sim_max, self.fig7.sim_final_mismatch,
+            self.fig7.response_final_mismatch
+        );
+
+        let _ = writeln!(out, "\n=== COMB1 — Stide coverage is a subset of Markov coverage ===");
+        let _ = writeln!(
+            out,
+            "subset holds: {}; detections stide={} markov={}; jaccard {:.3}",
+            self.comb1.stide_subset_of_markov,
+            self.comb1.stide_detections,
+            self.comb1.markov_detections,
+            self.comb1.jaccard
+        );
+
+        let _ = writeln!(out, "\n=== COMB2 — Stide ∪ L&B affords no detection gain ===");
+        let _ = writeln!(
+            out,
+            "L&B detections: {}; gain over Stide: {}; union equals Stide: {}",
+            self.comb2.lb_detections, self.comb2.lb_gain_over_stide, self.comb2.union_equals_stide
+        );
+
+        let _ = writeln!(out, "\n=== COMB3 — Markov detects, Stide suppresses false alarms ===");
+        let _ = writeln!(out, "{}", render_suppression_table(&self.comb3));
+
+        let _ = writeln!(out, "\n=== ABL1 — maximal-response semantics (DESIGN.md §2.3) ===");
+        let _ = writeln!(
+            out,
+            "tolerant detections: {}; strict detections: {}; strict region equals Stide's: {}",
+            self.abl1.detections.0, self.abl1.detections.1, self.abl1.strict_equals_stide
+        );
+
+        let _ = writeln!(out, "\n=== ABL2 — Stide's locality frame count (suppressed by the paper's §5.5) ===");
+        let _ = writeln!(out, "{:>6} {:>10} {:>5} {:>13}", "frame", "threshold", "hit", "false alarms");
+        for r in &self.abl2 {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>10.2} {:>5} {:>13}",
+                r.frame,
+                r.threshold,
+                if r.hit { "yes" } else { "no" },
+                r.false_alarms
+            );
+        }
+
+        let _ = writeln!(out, "\n=== ABL3 — neural-network parameter sensitivity (§7 caveat) ===");
+        let _ = writeln!(
+            out,
+            "{:>7} {:>6} {:>9} {:>7} {:>13} {:>8}",
+            "hidden", "lr", "momentum", "epochs", "max response", "capable"
+        );
+        for r in &self.abl3 {
+            let _ = writeln!(
+                out,
+                "{:>7} {:>6.3} {:>9.2} {:>7} {:>13.4} {:>8}",
+                r.hidden,
+                r.learning_rate,
+                r.momentum,
+                r.epochs,
+                r.max_response,
+                if r.capable { "yes" } else { "no" }
+            );
+        }
+
+        let _ = writeln!(out, "\n=== NAT1 — minimal foreign sequences in natural(-looking) traces (§4.1) ===");
+        let _ = writeln!(
+            out,
+            "training events: {}\n{}",
+            self.nat1.training_events, self.nat1.report
+        );
+
+        let _ = writeln!(out, "\n=== EXT1 — extension families: t-stide and the HMM (Warrender et al. 1999) ===");
+        let _ = writeln!(out, "{}", self.ext1.tstide_map.render());
+        let _ = writeln!(out, "{}", self.ext1.hmm_map.render());
+        let _ = writeln!(out, "{}", self.ext1.ripper_map.render());
+        let _ = writeln!(
+            out,
+            "t-stide contains Stide: {}; t-stide equals Markov: {}; HMM equals Markov: {}; RIPPER equals Markov: {}",
+            self.ext1.tstide_contains_stide,
+            self.ext1.tstide_equals_markov,
+            self.ext1.hmm_equals_markov,
+            self.ext1.ripper_equals_markov
+        );
+
+        let _ = writeln!(out, "\n=== DIV1 — pairwise diversity matrix over all families ===");
+        let _ = writeln!(out, "{}", self.div1.matrix.render());
+        let _ = writeln!(out, "no-coverage-gain pairs: {:?}", self.div1.no_gain_pairs);
+        let _ = writeln!(out, "subset pairs (smaller ⊂ larger): {:?}", self.div1.subset_pairs);
+        let _ = writeln!(out, "complementary pairs: {:?}", self.div1.complementary_pairs);
+
+        let _ = writeln!(out, "\n=== MASQ1 — Lane & Brodley on its home turf (masquerade detection) ===");
+        let _ = writeln!(
+            out,
+            "mean profile similarity at DW {}: self {:.3}, masquerader {:.3} (margin {:.3}); segment-separable: {}",
+            self.masq1.window,
+            self.masq1.self_similarity,
+            self.masq1.masquerader_similarity,
+            self.masq1.margin,
+            self.masq1.separable
+        );
+
+        let _ = writeln!(out, "\n=== FN1 — footnote 1: the maximum response always registers ===");
+        for sweep in &self.fn1 {
+            let _ = writeln!(
+                out,
+                "{:<16} in-span max {:.4}; hit survives every threshold <= max: {}",
+                sweep.detector, sweep.in_span_max, sweep.hit_never_lost_below_max
+            );
+        }
+
+        let _ = writeln!(out, "\n=== ANA1 — max in-span responses under Figure 3 (Lane & Brodley) ===");
+        let _ = writeln!(out, "{}", self.ana1_lb.render());
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One end-to-end smoke test of the full report on a reduced grid.
+    /// (The paper-scale run lives in the `regenerate` binary.)
+    #[test]
+    fn full_report_generates_and_renders() {
+        let config = SynthesisConfig::builder()
+            .training_len(60_000)
+            .anomaly_sizes(2..=4)
+            .windows(2..=5)
+            .background_len(512)
+            .plant_repeats(4)
+            .seed(3)
+            .build()
+            .unwrap();
+        let report = FullReport::generate(&config).unwrap();
+
+        // Headline shapes.
+        assert_eq!(report.fig3.detection_count(), 0);
+        assert_eq!(report.fig4.detection_count(), 3 * 4);
+        assert!(report.comb1.stide_subset_of_markov);
+        assert_eq!(report.comb2.lb_gain_over_stide, 0);
+        assert!(report.abl1.strict_equals_stide);
+
+        let text = report.render_text();
+        for needle in [
+            "FIG3", "FIG4", "FIG5", "FIG6", "FIG7", "COMB1", "COMB2", "COMB3", "ABL1", "ABL2",
+            "ABL3", "NAT1", "EXT1", "DIV1", "MASQ1", "FN1", "ANA1",
+        ] {
+            assert!(text.contains(needle), "missing section {needle}");
+        }
+
+        // JSON round-trip.
+        let json = serde_json::to_string(&report).unwrap();
+        let back: FullReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.fig7.sim_final_mismatch, 10);
+    }
+}

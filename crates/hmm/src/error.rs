@@ -1,0 +1,78 @@
+//! Error types for the HMM substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising from HMM construction or training.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HmmError {
+    /// A model dimension was zero.
+    EmptyDimension {
+        /// Which dimension ("states" or "symbols").
+        which: &'static str,
+    },
+    /// A probability vector did not sum to 1 (within tolerance) or held
+    /// a negative entry.
+    NotStochastic {
+        /// Which table ("initial", "transition", "emission").
+        table: &'static str,
+        /// Row index within the table.
+        row: usize,
+        /// The row's actual sum.
+        sum: f64,
+    },
+    /// An observation fell outside the model's symbol range.
+    SymbolOutOfRange {
+        /// The offending symbol identifier.
+        symbol: u32,
+        /// Number of symbols the model emits.
+        symbols: usize,
+    },
+    /// A training set was empty or held an empty sequence.
+    EmptyTraining,
+}
+
+impl fmt::Display for HmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HmmError::EmptyDimension { which } => {
+                write!(f, "HMM needs at least one {which}")
+            }
+            HmmError::NotStochastic { table, row, sum } => {
+                write!(f, "{table} row {row} sums to {sum}, expected 1")
+            }
+            HmmError::SymbolOutOfRange { symbol, symbols } => {
+                write!(f, "symbol {symbol} outside the model's {symbols} symbols")
+            }
+            HmmError::EmptyTraining => write!(f, "training requires at least one non-empty sequence"),
+        }
+    }
+}
+
+impl Error for HmmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(HmmError::EmptyDimension { which: "states" }
+            .to_string()
+            .contains("states"));
+        assert!(HmmError::NotStochastic {
+            table: "emission",
+            row: 1,
+            sum: 0.9
+        }
+        .to_string()
+        .contains("emission"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<HmmError>();
+    }
+}

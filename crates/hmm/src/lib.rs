@@ -1,0 +1,42 @@
+//! Hidden-Markov-model substrate for the `detdiv` workspace.
+//!
+//! Warrender, Forrest & Pearlmutter (1999) — the paper's reference \[20\],
+//! source of both Stide and the 0.5 % rare-sequence definition — compared
+//! four "data models" for system-call streams: stide, t-stide, RIPPER
+//! and a **hidden Markov model**. This crate supplies that fourth model
+//! as an extension baseline for the diversity study:
+//!
+//! * [`Hmm`] — a discrete-observation HMM with the scaled forward
+//!   algorithm ([`Hmm::filter`], [`Hmm::log_likelihood`]) and one-step
+//!   predictive queries ([`Hmm::predict_next`]);
+//! * [`baum_welch`] — scaled forward–backward EM training over one or
+//!   more observation sequences.
+//!
+//! ```
+//! use detdiv_hmm::{baum_welch, TrainConfig};
+//! use detdiv_sequence::{symbols, Symbol};
+//!
+//! let mut data = Vec::new();
+//! for _ in 0..60 { data.extend(symbols(&[0, 1, 2])); }
+//! let (hmm, _ll) = baum_welch(&[&data], &TrainConfig {
+//!     states: 3,
+//!     max_iters: 50,
+//!     tol: 1e-6,
+//!     seed: 1,
+//!     init: detdiv_hmm::InitStrategy::FirstOrder,
+//! }).unwrap();
+//! let p = hmm.predict_next(&symbols(&[0, 1]), Symbol::new(2)).unwrap();
+//! assert!(p > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod model;
+mod train;
+
+pub use error::HmmError;
+pub use model::{Filtered, Hmm};
+pub use train::{baum_welch, InitStrategy, TrainConfig};

@@ -1,0 +1,456 @@
+//! Discrete-observation hidden Markov models.
+//!
+//! Warrender, Forrest & Pearlmutter (1999) — the paper's reference [20]
+//! and the source of both Stide and the rare-sequence definition — also
+//! evaluated a hidden Markov model as a fourth "data model" for
+//! system-call streams. This substrate provides that model: a discrete
+//! HMM with the scaled forward algorithm for filtering/likelihood and
+//! (in [`crate::train`]) Baum–Welch estimation.
+
+use detdiv_sequence::Symbol;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::HmmError;
+
+const ROW_SUM_TOLERANCE: f64 = 1e-9;
+
+fn check_row(table: &'static str, row_idx: usize, row: &[f64]) -> Result<(), HmmError> {
+    let sum: f64 = row.iter().sum();
+    if row.iter().any(|&p| p < 0.0) || (sum - 1.0).abs() > ROW_SUM_TOLERANCE {
+        return Err(HmmError::NotStochastic {
+            table,
+            row: row_idx,
+            sum,
+        });
+    }
+    Ok(())
+}
+
+/// A discrete hidden Markov model with `n` hidden states and `m`
+/// observation symbols.
+///
+/// # Examples
+///
+/// ```
+/// use detdiv_hmm::Hmm;
+/// use detdiv_sequence::symbols;
+///
+/// // A 2-state model that deterministically alternates states and
+/// // emits the state's index.
+/// let hmm = Hmm::from_parts(
+///     vec![1.0, 0.0],
+///     vec![vec![0.0, 1.0], vec![1.0, 0.0]],
+///     vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+/// )
+/// .unwrap();
+/// let ll = hmm.log_likelihood(&symbols(&[0, 1, 0, 1])).unwrap();
+/// assert!(ll.abs() < 1e-9); // probability 1
+/// let impossible = hmm.log_likelihood(&symbols(&[0, 0])).unwrap();
+/// assert_eq!(impossible, f64::NEG_INFINITY);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hmm {
+    states: usize,
+    symbols: usize,
+    /// Initial state distribution, length `states`.
+    pi: Vec<f64>,
+    /// Transition matrix, row-major `states x states`.
+    a: Vec<f64>,
+    /// Emission matrix, row-major `states x symbols`.
+    b: Vec<f64>,
+}
+
+/// The result of filtering a prefix: the scaled forward state
+/// distribution and the accumulated log-likelihood.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Filtered {
+    /// `P(state | observations so far)`, length `states`; sums to 1
+    /// unless the prefix was impossible.
+    pub state_dist: Vec<f64>,
+    /// Log-likelihood of the prefix (`-inf` if impossible).
+    pub log_likelihood: f64,
+}
+
+impl Hmm {
+    /// Builds a model from explicit parameter tables.
+    ///
+    /// # Errors
+    ///
+    /// * [`HmmError::EmptyDimension`] on zero states/symbols;
+    /// * [`HmmError::NotStochastic`] if `pi` or any row of `a`/`b` is
+    ///   not a probability distribution.
+    pub fn from_parts(
+        pi: Vec<f64>,
+        a: Vec<Vec<f64>>,
+        b: Vec<Vec<f64>>,
+    ) -> Result<Self, HmmError> {
+        let states = pi.len();
+        if states == 0 {
+            return Err(HmmError::EmptyDimension { which: "states" });
+        }
+        let symbols = b.first().map(Vec::len).unwrap_or(0);
+        if symbols == 0 || b.len() != states || a.len() != states {
+            return Err(HmmError::EmptyDimension { which: "symbols" });
+        }
+        check_row("initial", 0, &pi)?;
+        let mut flat_a = Vec::with_capacity(states * states);
+        for (i, row) in a.iter().enumerate() {
+            if row.len() != states {
+                return Err(HmmError::EmptyDimension { which: "states" });
+            }
+            check_row("transition", i, row)?;
+            flat_a.extend_from_slice(row);
+        }
+        let mut flat_b = Vec::with_capacity(states * symbols);
+        for (i, row) in b.iter().enumerate() {
+            if row.len() != symbols {
+                return Err(HmmError::EmptyDimension { which: "symbols" });
+            }
+            check_row("emission", i, row)?;
+            flat_b.extend_from_slice(row);
+        }
+        Ok(Hmm {
+            states,
+            symbols,
+            pi,
+            a: flat_a,
+            b: flat_b,
+        })
+    }
+
+    /// A randomly initialised model (rows drawn from a jittered uniform,
+    /// then normalised) — the standard Baum–Welch starting point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` or `symbols` is zero.
+    pub fn random(states: usize, symbols: usize, seed: u64) -> Self {
+        assert!(states > 0 && symbols > 0, "dimensions must be positive");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut draw_row = |len: usize| -> Vec<f64> {
+            let raw: Vec<f64> = (0..len).map(|_| 1.0 + rng.gen::<f64>() * 0.5).collect();
+            let sum: f64 = raw.iter().sum();
+            raw.into_iter().map(|x| x / sum).collect()
+        };
+        let pi = draw_row(states);
+        let mut a = Vec::with_capacity(states * states);
+        for _ in 0..states {
+            a.extend(draw_row(states));
+        }
+        let mut b = Vec::with_capacity(states * symbols);
+        for _ in 0..states {
+            b.extend(draw_row(symbols));
+        }
+        Hmm {
+            states,
+            symbols,
+            pi,
+            a,
+            b,
+        }
+    }
+
+    /// Number of hidden states.
+    #[inline]
+    pub const fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Number of observation symbols.
+    #[inline]
+    pub const fn symbols(&self) -> usize {
+        self.symbols
+    }
+
+    #[inline]
+    pub(crate) fn a(&self, from: usize, to: usize) -> f64 {
+        self.a[from * self.states + to]
+    }
+
+    #[inline]
+    pub(crate) fn b(&self, state: usize, symbol: usize) -> f64 {
+        self.b[state * self.symbols + symbol]
+    }
+
+    #[inline]
+    pub(crate) fn pi(&self, state: usize) -> f64 {
+        self.pi[state]
+    }
+
+    pub(crate) fn set_params(&mut self, pi: Vec<f64>, a: Vec<f64>, b: Vec<f64>) {
+        self.pi = pi;
+        self.a = a;
+        self.b = b;
+    }
+
+    fn check_observations(&self, obs: &[Symbol]) -> Result<(), HmmError> {
+        for &s in obs {
+            if s.index() >= self.symbols {
+                return Err(HmmError::SymbolOutOfRange {
+                    symbol: s.id(),
+                    symbols: self.symbols,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Filters an observation prefix: scaled forward recursion.
+    ///
+    /// Returns the posterior state distribution after consuming `obs`
+    /// and the accumulated log-likelihood. An empty prefix yields the
+    /// initial distribution with log-likelihood 0. An impossible prefix
+    /// yields a uniform state distribution with `-inf` likelihood.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HmmError::SymbolOutOfRange`] if any observation is
+    /// outside the model's symbol range.
+    pub fn filter(&self, obs: &[Symbol]) -> Result<Filtered, HmmError> {
+        self.check_observations(obs)?;
+        let n = self.states;
+        let mut dist = self.pi.clone();
+        let mut log_likelihood = 0.0f64;
+        let mut next = vec![0.0; n];
+        for (t, &o) in obs.iter().enumerate() {
+            let sym = o.index();
+            if t == 0 {
+                for (i, x) in next.iter_mut().enumerate() {
+                    *x = dist[i] * self.b(i, sym);
+                }
+            } else {
+                for (j, x) in next.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for (i, &d) in dist.iter().enumerate() {
+                        acc += d * self.a(i, j);
+                    }
+                    *x = acc * self.b(j, sym);
+                }
+            }
+            let scale: f64 = next.iter().sum();
+            if scale <= 0.0 {
+                return Ok(Filtered {
+                    state_dist: vec![1.0 / n as f64; n],
+                    log_likelihood: f64::NEG_INFINITY,
+                });
+            }
+            for x in next.iter_mut() {
+                *x /= scale;
+            }
+            log_likelihood += scale.ln();
+            std::mem::swap(&mut dist, &mut next);
+        }
+        Ok(Filtered {
+            state_dist: dist,
+            log_likelihood,
+        })
+    }
+
+    /// Log-likelihood of a complete observation sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HmmError::SymbolOutOfRange`] on out-of-range
+    /// observations.
+    pub fn log_likelihood(&self, obs: &[Symbol]) -> Result<f64, HmmError> {
+        Ok(self.filter(obs)?.log_likelihood)
+    }
+
+    /// The one-step predictive distribution over the next symbol, given
+    /// a filtered state distribution.
+    ///
+    /// `P(x | dist) = Σ_j (Σ_i dist_i A_ij) B_j(x)`; with an empty
+    /// history pass the initial distribution and `fresh = true` to skip
+    /// the transition step, matching [`Hmm::filter`]'s timing.
+    pub fn predictive(&self, state_dist: &[f64], fresh: bool) -> Vec<f64> {
+        let n = self.states;
+        debug_assert_eq!(state_dist.len(), n);
+        let mut after: Vec<f64> = if fresh {
+            state_dist.to_vec()
+        } else {
+            let mut after = vec![0.0; n];
+            for (j, x) in after.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (i, &d) in state_dist.iter().enumerate() {
+                    acc += d * self.a(i, j);
+                }
+                *x = acc;
+            }
+            after
+        };
+        // Normalise defensively (filter output sums to 1 already).
+        let total: f64 = after.iter().sum();
+        if total > 0.0 {
+            for x in after.iter_mut() {
+                *x /= total;
+            }
+        }
+        let mut out = vec![0.0; self.symbols];
+        for (x, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, &aj) in after.iter().enumerate() {
+                acc += aj * self.b(j, x);
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Predictive probability of `next` after consuming `context`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HmmError::SymbolOutOfRange`] if any symbol is outside
+    /// the model's range.
+    pub fn predict_next(&self, context: &[Symbol], next: Symbol) -> Result<f64, HmmError> {
+        if next.index() >= self.symbols {
+            return Err(HmmError::SymbolOutOfRange {
+                symbol: next.id(),
+                symbols: self.symbols,
+            });
+        }
+        let filtered = self.filter(context)?;
+        if filtered.log_likelihood == f64::NEG_INFINITY {
+            // Impossible context: any continuation is maximally
+            // surprising.
+            return Ok(0.0);
+        }
+        let predictive = self.predictive(&filtered.state_dist, context.is_empty());
+        Ok(predictive[next.index()])
+    }
+}
+
+impl std::fmt::Display for Hmm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "hmm(states={}, symbols={})", self.states, self.symbols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detdiv_sequence::symbols;
+
+    fn cycle_hmm() -> Hmm {
+        // 3 states in a deterministic cycle, each emitting its index.
+        Hmm::from_parts(
+            vec![1.0, 0.0, 0.0],
+            vec![
+                vec![0.0, 1.0, 0.0],
+                vec![0.0, 0.0, 1.0],
+                vec![1.0, 0.0, 0.0],
+            ],
+            vec![
+                vec![1.0, 0.0, 0.0],
+                vec![0.0, 1.0, 0.0],
+                vec![0.0, 0.0, 1.0],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(
+            Hmm::from_parts(vec![], vec![], vec![]),
+            Err(HmmError::EmptyDimension { .. })
+        ));
+        assert!(matches!(
+            Hmm::from_parts(vec![0.5, 0.4], vec![vec![1.0, 0.0]; 2], vec![vec![1.0]; 2]),
+            Err(HmmError::NotStochastic { table: "initial", .. })
+        ));
+        assert!(matches!(
+            Hmm::from_parts(vec![1.0], vec![vec![0.8]], vec![vec![1.0]]),
+            Err(HmmError::NotStochastic { table: "transition", .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_cycle_likelihoods() {
+        let hmm = cycle_hmm();
+        assert!(hmm.log_likelihood(&symbols(&[0, 1, 2, 0, 1])).unwrap().abs() < 1e-9);
+        assert_eq!(
+            hmm.log_likelihood(&symbols(&[0, 2])).unwrap(),
+            f64::NEG_INFINITY
+        );
+        assert_eq!(
+            hmm.log_likelihood(&symbols(&[1])).unwrap(),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn filter_tracks_state() {
+        let hmm = cycle_hmm();
+        let f = hmm.filter(&symbols(&[0, 1])).unwrap();
+        assert!((f.state_dist[1] - 1.0).abs() < 1e-12);
+        // Empty prefix: the initial distribution.
+        let f0 = hmm.filter(&[]).unwrap();
+        assert_eq!(f0.state_dist, vec![1.0, 0.0, 0.0]);
+        assert_eq!(f0.log_likelihood, 0.0);
+    }
+
+    #[test]
+    fn predictive_follows_dynamics() {
+        let hmm = cycle_hmm();
+        // After observing (0, 1), the next symbol is certainly 2.
+        assert!((hmm.predict_next(&symbols(&[0, 1]), Symbol::new(2)).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(hmm.predict_next(&symbols(&[0, 1]), Symbol::new(0)).unwrap(), 0.0);
+        // With no history, the first symbol is certainly 0.
+        assert!((hmm.predict_next(&[], Symbol::new(0)).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn impossible_context_predicts_zero() {
+        let hmm = cycle_hmm();
+        assert_eq!(hmm.predict_next(&symbols(&[0, 0]), Symbol::new(1)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_symbols_rejected() {
+        let hmm = cycle_hmm();
+        assert!(matches!(
+            hmm.log_likelihood(&symbols(&[0, 9])),
+            Err(HmmError::SymbolOutOfRange { symbol: 9, .. })
+        ));
+        assert!(matches!(
+            hmm.predict_next(&symbols(&[0]), Symbol::new(9)),
+            Err(HmmError::SymbolOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn random_model_rows_are_stochastic() {
+        let hmm = Hmm::random(4, 6, 11);
+        let pi_sum: f64 = (0..4).map(|i| hmm.pi(i)).sum();
+        assert!((pi_sum - 1.0).abs() < 1e-9);
+        for i in 0..4 {
+            let a_sum: f64 = (0..4).map(|j| hmm.a(i, j)).sum();
+            let b_sum: f64 = (0..6).map(|x| hmm.b(i, x)).sum();
+            assert!((a_sum - 1.0).abs() < 1e-9);
+            assert!((b_sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        assert_eq!(Hmm::random(3, 3, 5), Hmm::random(3, 3, 5));
+        assert_ne!(Hmm::random(3, 3, 5), Hmm::random(3, 3, 6));
+    }
+
+    #[test]
+    fn predictive_distribution_normalises() {
+        let hmm = Hmm::random(4, 5, 3);
+        let f = hmm.filter(&symbols(&[0, 1, 2])).unwrap();
+        let p = hmm.predictive(&f.state_dist, false);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(cycle_hmm().to_string(), "hmm(states=3, symbols=3)");
+    }
+}

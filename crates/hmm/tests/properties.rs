@@ -1,0 +1,92 @@
+//! Property tests for the HMM substrate.
+
+use detdiv_hmm::{baum_welch, Hmm, InitStrategy, TrainConfig};
+use detdiv_sequence::Symbol;
+use proptest::prelude::*;
+
+fn stream(max_sym: u32, min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<Symbol>> {
+    prop::collection::vec((0..max_sym).prop_map(Symbol::new), min_len..=max_len)
+}
+
+proptest! {
+    /// Random models are valid: filtering any in-range sequence yields a
+    /// state distribution summing to 1 and a finite log-likelihood.
+    #[test]
+    fn filtering_random_models(
+        states in 1usize..6,
+        seed in 0u64..1000,
+        obs in stream(4, 1, 60),
+    ) {
+        let hmm = Hmm::random(states, 4, seed);
+        let f = hmm.filter(&obs).unwrap();
+        let sum: f64 = f.state_dist.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(f.log_likelihood.is_finite());
+        prop_assert!(f.log_likelihood <= 0.0);
+    }
+
+    /// The predictive distribution sums to one for any filtered state.
+    #[test]
+    fn predictive_normalises(seed in 0u64..1000, obs in stream(5, 0, 40)) {
+        let hmm = Hmm::random(3, 5, seed);
+        let f = hmm.filter(&obs).unwrap();
+        let p = hmm.predictive(&f.state_dist, obs.is_empty());
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        // predict_next agrees with the predictive vector.
+        for next in 0..5u32 {
+            let q = hmm.predict_next(&obs, Symbol::new(next)).unwrap();
+            prop_assert!((q - p[next as usize]).abs() < 1e-9);
+        }
+    }
+
+    /// Chain rule: the sequence log-likelihood decomposes into the sum
+    /// of log predictive probabilities.
+    #[test]
+    fn likelihood_decomposes_into_predictions(seed in 0u64..500, obs in stream(3, 1, 25)) {
+        let hmm = Hmm::random(3, 3, seed);
+        let ll = hmm.log_likelihood(&obs).unwrap();
+        let mut acc = 0.0;
+        for t in 0..obs.len() {
+            let p = hmm.predict_next(&obs[..t], obs[t]).unwrap();
+            acc += p.ln();
+        }
+        prop_assert!((ll - acc).abs() < 1e-6, "{ll} vs {acc}");
+    }
+
+    /// Baum–Welch never decreases the training log-likelihood
+    /// (monotonicity of EM), regardless of data or seed.
+    #[test]
+    fn em_is_monotone(seed in 0u64..100, obs in stream(3, 10, 80)) {
+        let short = baum_welch(
+            &[&obs],
+            &TrainConfig { states: 3, max_iters: 2, tol: 0.0, seed, init: InitStrategy::Random },
+        )
+        .unwrap();
+        let long = baum_welch(
+            &[&obs],
+            &TrainConfig { states: 3, max_iters: 12, tol: 0.0, seed, init: InitStrategy::Random },
+        )
+        .unwrap();
+        prop_assert!(long.1 >= short.1 - 1e-9, "{} -> {}", short.1, long.1);
+    }
+
+    /// A trained model assigns higher likelihood to its training data
+    /// than a random model does (per observation).
+    #[test]
+    fn training_helps(seed in 0u64..100) {
+        let mut obs = Vec::new();
+        for _ in 0..40 {
+            obs.extend([0u32, 1, 2].map(Symbol::new));
+        }
+        let random = Hmm::random(3, 3, seed);
+        let (trained, _) = baum_welch(
+            &[&obs],
+            &TrainConfig { states: 3, max_iters: 25, tol: 1e-9, seed, init: InitStrategy::FirstOrder },
+        )
+        .unwrap();
+        let lr = random.log_likelihood(&obs).unwrap();
+        let lt = trained.log_likelihood(&obs).unwrap();
+        prop_assert!(lt > lr, "trained {lt} vs random {lr}");
+    }
+}

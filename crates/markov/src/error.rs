@@ -1,0 +1,84 @@
+//! Error types for the Markov substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising from Markov-model construction or use.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MarkovError {
+    /// A transition-matrix row did not sum to 1 (within tolerance) or
+    /// contained a negative entry.
+    NotStochastic {
+        /// Index of the offending row.
+        row: usize,
+        /// The row's actual sum.
+        sum: f64,
+    },
+    /// The matrix dimensions did not match the alphabet.
+    DimensionMismatch {
+        /// Expected number of rows/columns.
+        expected: usize,
+        /// Number found.
+        found: usize,
+    },
+    /// A stream was too short to estimate a model of the requested order.
+    StreamTooShort {
+        /// Actual stream length.
+        len: usize,
+        /// Minimum length required.
+        needed: usize,
+    },
+    /// A symbol fell outside the declared alphabet.
+    SymbolOutOfAlphabet {
+        /// The offending symbol identifier.
+        symbol: u32,
+        /// The alphabet size it violated.
+        alphabet: u32,
+    },
+    /// A context length of zero was requested for a conditional model.
+    ZeroContext,
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::NotStochastic { row, sum } => {
+                write!(f, "transition row {row} sums to {sum}, expected 1")
+            }
+            MarkovError::DimensionMismatch { expected, found } => {
+                write!(f, "expected {expected} transition rows, found {found}")
+            }
+            MarkovError::StreamTooShort { len, needed } => {
+                write!(f, "stream of length {len} is shorter than required {needed}")
+            }
+            MarkovError::SymbolOutOfAlphabet { symbol, alphabet } => {
+                write!(f, "symbol {symbol} outside alphabet of size {alphabet}")
+            }
+            MarkovError::ZeroContext => {
+                write!(f, "conditional models require a context of at least one element")
+            }
+        }
+    }
+}
+
+impl Error for MarkovError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MarkovError::NotStochastic { row: 2, sum: 0.5 };
+        assert!(e.to_string().contains("row 2"));
+        let e = MarkovError::ZeroContext;
+        assert!(e.to_string().contains("context"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<MarkovError>();
+    }
+}

@@ -1,0 +1,39 @@
+//! Markov-chain substrate for the `detdiv` workspace.
+//!
+//! Two roles, matching the two places the paper uses Markov machinery:
+//!
+//! 1. **Data generation** (§5.3): the evaluation corpus is produced from a
+//!    Markov-model transition matrix — a deterministic cycle over the
+//!    alphabet perturbed with a small amount of nondeterminism.
+//!    [`TransitionMatrix`] provides construction ([`TransitionMatrix::cycle`],
+//!    [`TransitionMatrix::noisy_cycle`]), validation, estimation,
+//!    stationary analysis and stream generation.
+//! 2. **Detection** (§5.2): the Markov-based detector conditions on the
+//!    preceding DW − 1 elements and scores the probability of the next.
+//!    [`ConditionalModel`] is that order-k conditional model, with
+//!    explicit [`Prediction::UnseenContext`] semantics.
+//!
+//! ```
+//! use detdiv_markov::TransitionMatrix;
+//! use detdiv_sequence::{Alphabet, Symbol};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! // The paper's generation matrix: 98 % cycle, 2 % nondeterminism.
+//! let m = TransitionMatrix::noisy_cycle(Alphabet::new(8), 0.02);
+//! let mut rng = SmallRng::seed_from_u64(2005);
+//! let stream = m.generate(Symbol::new(0), 10_000, &mut rng);
+//! assert_eq!(stream.len(), 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod conditional;
+mod error;
+mod matrix;
+
+pub use conditional::{ConditionalModel, Prediction};
+pub use error::MarkovError;
+pub use matrix::TransitionMatrix;

@@ -1,0 +1,472 @@
+//! First-order transition matrices.
+//!
+//! The paper's training data is "constructed using a Markov-model
+//! transition matrix" (§5.3): a mostly deterministic cycle over the
+//! 8-symbol alphabet with "a small amount of nondeterminism in the
+//! probabilities of the data generation matrix" supplying the 2 % of rare
+//! material. [`TransitionMatrix`] is that generator object; the synthesis
+//! crate builds the paper's specific matrix on top of it.
+
+use std::fmt;
+
+use detdiv_sequence::{Alphabet, Symbol};
+use rand::Rng;
+
+use crate::error::MarkovError;
+
+/// Tolerance used when validating that each row sums to one.
+const ROW_SUM_TOLERANCE: f64 = 1e-9;
+
+/// A row-stochastic first-order transition matrix over an [`Alphabet`].
+///
+/// # Examples
+///
+/// ```
+/// use detdiv_markov::TransitionMatrix;
+/// use detdiv_sequence::{Alphabet, Symbol};
+///
+/// // A deterministic 3-cycle: 0 -> 1 -> 2 -> 0.
+/// let m = TransitionMatrix::cycle(Alphabet::new(3));
+/// assert_eq!(m.probability(Symbol::new(0), Symbol::new(1)), 1.0);
+/// assert_eq!(m.probability(Symbol::new(0), Symbol::new(2)), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionMatrix {
+    alphabet: Alphabet,
+    /// Row-major `n x n` probabilities; `rows[from * n + to]`.
+    rows: Vec<f64>,
+}
+
+impl TransitionMatrix {
+    /// Builds a matrix from explicit per-row probability vectors.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::DimensionMismatch`] if the number of rows or any
+    ///   row's length differs from the alphabet size;
+    /// * [`MarkovError::NotStochastic`] if any row has a negative entry
+    ///   or does not sum to 1 within `1e-9`.
+    pub fn from_rows(alphabet: Alphabet, rows: &[Vec<f64>]) -> Result<Self, MarkovError> {
+        let n = alphabet.len();
+        if rows.len() != n {
+            return Err(MarkovError::DimensionMismatch {
+                expected: n,
+                found: rows.len(),
+            });
+        }
+        let mut flat = Vec::with_capacity(n * n);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != n {
+                return Err(MarkovError::DimensionMismatch {
+                    expected: n,
+                    found: row.len(),
+                });
+            }
+            let sum: f64 = row.iter().sum();
+            if row.iter().any(|&p| p < 0.0) || (sum - 1.0).abs() > ROW_SUM_TOLERANCE {
+                return Err(MarkovError::NotStochastic { row: i, sum });
+            }
+            flat.extend_from_slice(row);
+        }
+        Ok(TransitionMatrix {
+            alphabet,
+            rows: flat,
+        })
+    }
+
+    /// The uniform matrix: every transition equally likely.
+    pub fn uniform(alphabet: Alphabet) -> Self {
+        let n = alphabet.len();
+        TransitionMatrix {
+            alphabet,
+            rows: vec![1.0 / n as f64; n * n],
+        }
+    }
+
+    /// The deterministic cycle `0 -> 1 -> ... -> n-1 -> 0`.
+    ///
+    /// This is the noiseless backbone of the paper's training data: with
+    /// an alphabet of 8, repeating the cycle yields the
+    /// `1 2 3 4 5 6 7 8` pattern that makes up 98 % of the stream.
+    pub fn cycle(alphabet: Alphabet) -> Self {
+        let n = alphabet.len();
+        let mut rows = vec![0.0; n * n];
+        for from in 0..n {
+            rows[from * n + (from + 1) % n] = 1.0;
+        }
+        TransitionMatrix { alphabet, rows }
+    }
+
+    /// The cycle matrix perturbed with `noise` total escape probability
+    /// per state, spread uniformly over all non-successor symbols.
+    ///
+    /// With `noise = 0.02` this realises the paper's "98 % cycle, 2 %
+    /// nondeterminism" generation matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` is not within `[0, 1]` or the alphabet has fewer
+    /// than two symbols (no non-successor exists to escape to).
+    pub fn noisy_cycle(alphabet: Alphabet, noise: f64) -> Self {
+        assert!((0.0..=1.0).contains(&noise), "noise must be in [0, 1]");
+        assert!(alphabet.len() >= 2, "noisy cycle needs at least two symbols");
+        let n = alphabet.len();
+        let mut rows = vec![0.0; n * n];
+        let escape = noise / (n - 1) as f64;
+        for from in 0..n {
+            for to in 0..n {
+                rows[from * n + to] = if to == (from + 1) % n {
+                    1.0 - noise
+                } else {
+                    escape
+                };
+            }
+        }
+        TransitionMatrix { alphabet, rows }
+    }
+
+    /// Maximum-likelihood estimate of the transition matrix of `stream`,
+    /// with additive (Laplace) smoothing `smoothing` per cell.
+    ///
+    /// With `smoothing = 0.0`, never-observed transitions get probability
+    /// zero and never-observed states fall back to a uniform row.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::StreamTooShort`] if `stream` has fewer than two
+    ///   elements;
+    /// * [`MarkovError::SymbolOutOfAlphabet`] if any element is outside
+    ///   `alphabet`.
+    pub fn estimate(
+        stream: &[Symbol],
+        alphabet: Alphabet,
+        smoothing: f64,
+    ) -> Result<Self, MarkovError> {
+        if stream.len() < 2 {
+            return Err(MarkovError::StreamTooShort {
+                len: stream.len(),
+                needed: 2,
+            });
+        }
+        let n = alphabet.len();
+        for &s in stream {
+            if !alphabet.contains(s) {
+                return Err(MarkovError::SymbolOutOfAlphabet {
+                    symbol: s.id(),
+                    alphabet: alphabet.size(),
+                });
+            }
+        }
+        let mut counts = vec![0.0f64; n * n];
+        for w in stream.windows(2) {
+            counts[w[0].index() * n + w[1].index()] += 1.0;
+        }
+        let mut rows = vec![0.0; n * n];
+        for from in 0..n {
+            let row = &counts[from * n..(from + 1) * n];
+            let total: f64 = row.iter().sum::<f64>() + smoothing * n as f64;
+            if total == 0.0 {
+                // Unobserved state: uniform fallback keeps the matrix
+                // stochastic.
+                for to in 0..n {
+                    rows[from * n + to] = 1.0 / n as f64;
+                }
+            } else {
+                for to in 0..n {
+                    rows[from * n + to] = (row[to] + smoothing) / total;
+                }
+            }
+        }
+        Ok(TransitionMatrix { alphabet, rows })
+    }
+
+    /// The alphabet this matrix is defined over.
+    #[inline]
+    pub const fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    /// `P(to | from)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either symbol is outside the alphabet.
+    #[inline]
+    pub fn probability(&self, from: Symbol, to: Symbol) -> f64 {
+        let n = self.alphabet.len();
+        assert!(
+            self.alphabet.contains(from) && self.alphabet.contains(to),
+            "symbols must belong to the matrix's alphabet"
+        );
+        self.rows[from.index() * n + to.index()]
+    }
+
+    /// The full outgoing distribution of `from` as a slice of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is outside the alphabet.
+    pub fn row(&self, from: Symbol) -> &[f64] {
+        let n = self.alphabet.len();
+        assert!(self.alphabet.contains(from));
+        &self.rows[from.index() * n..(from.index() + 1) * n]
+    }
+
+    /// Samples a successor of `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is outside the alphabet.
+    pub fn sample_next<R: Rng + ?Sized>(&self, from: Symbol, rng: &mut R) -> Symbol {
+        let row = self.row(from);
+        let mut u: f64 = rng.gen();
+        for (to, &p) in row.iter().enumerate() {
+            if u < p {
+                return Symbol::new(to as u32);
+            }
+            u -= p;
+        }
+        // Floating-point slack: fall back to the last symbol with
+        // positive probability.
+        let last = row
+            .iter()
+            .rposition(|&p| p > 0.0)
+            .expect("stochastic row has a positive entry");
+        Symbol::new(last as u32)
+    }
+
+    /// The stationary distribution, computed by power iteration.
+    ///
+    /// Iterates until the L1 change falls below `tol` or `max_iters` is
+    /// reached, starting from the uniform distribution. For periodic
+    /// chains (e.g. the pure cycle) this converges to the Cesàro limit in
+    /// practice only when damped, so a small uniform damping (0.5 % ) is
+    /// applied internally; the result for the paper's noisy cycle is the
+    /// uniform distribution over the alphabet, as expected by symmetry.
+    pub fn stationary(&self, max_iters: usize, tol: f64) -> Vec<f64> {
+        let n = self.alphabet.len();
+        let damping = 0.005;
+        let mut dist = vec![1.0 / n as f64; n];
+        let mut next = vec![0.0; n];
+        for _ in 0..max_iters {
+            for x in next.iter_mut() {
+                *x = 0.0;
+            }
+            for (from, &p_from) in dist.iter().enumerate() {
+                if p_from == 0.0 {
+                    continue;
+                }
+                for (to, x) in next.iter_mut().enumerate() {
+                    *x += p_from * self.rows[from * n + to];
+                }
+            }
+            // Damp toward uniform to break periodicity.
+            let mut delta = 0.0;
+            for to in 0..n {
+                next[to] = (1.0 - damping) * next[to] + damping / n as f64;
+                delta += (next[to] - dist[to]).abs();
+            }
+            std::mem::swap(&mut dist, &mut next);
+            if delta < tol {
+                break;
+            }
+        }
+        dist
+    }
+
+    /// Generates a stream of `len` symbols starting from `start`.
+    ///
+    /// The returned stream begins with `start` itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is outside the alphabet.
+    pub fn generate<R: Rng + ?Sized>(&self, start: Symbol, len: usize, rng: &mut R) -> Vec<Symbol> {
+        assert!(self.alphabet.contains(start));
+        let mut out = Vec::with_capacity(len);
+        if len == 0 {
+            return out;
+        }
+        out.push(start);
+        let mut state = start;
+        for _ in 1..len {
+            state = self.sample_next(state, rng);
+            out.push(state);
+        }
+        out
+    }
+}
+
+impl fmt::Display for TransitionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transition-matrix(n={})", self.alphabet.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sym(i: u32) -> Symbol {
+        Symbol::new(i)
+    }
+
+    #[test]
+    fn from_rows_validates_stochasticity() {
+        let a = Alphabet::new(2);
+        assert!(TransitionMatrix::from_rows(a, &[vec![0.5, 0.5], vec![1.0, 0.0]]).is_ok());
+        assert!(matches!(
+            TransitionMatrix::from_rows(a, &[vec![0.5, 0.6], vec![1.0, 0.0]]),
+            Err(MarkovError::NotStochastic { row: 0, .. })
+        ));
+        assert!(matches!(
+            TransitionMatrix::from_rows(a, &[vec![-0.5, 1.5], vec![1.0, 0.0]]),
+            Err(MarkovError::NotStochastic { .. })
+        ));
+        assert!(matches!(
+            TransitionMatrix::from_rows(a, &[vec![1.0, 0.0]]),
+            Err(MarkovError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_is_deterministic() {
+        let m = TransitionMatrix::cycle(Alphabet::new(4));
+        assert_eq!(m.probability(sym(0), sym(1)), 1.0);
+        assert_eq!(m.probability(sym(3), sym(0)), 1.0);
+        assert_eq!(m.probability(sym(1), sym(3)), 0.0);
+    }
+
+    #[test]
+    fn noisy_cycle_rows_are_stochastic() {
+        let m = TransitionMatrix::noisy_cycle(Alphabet::new(8), 0.02);
+        for from in 0..8 {
+            let sum: f64 = m.row(sym(from)).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "row {from} sums to {sum}");
+        }
+        assert!((m.probability(sym(0), sym(1)) - 0.98).abs() < 1e-12);
+        assert!((m.probability(sym(0), sym(5)) - 0.02 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise must be in [0, 1]")]
+    fn noisy_cycle_rejects_bad_noise() {
+        let _ = TransitionMatrix::noisy_cycle(Alphabet::new(4), 1.5);
+    }
+
+    #[test]
+    fn estimation_recovers_cycle() {
+        let a = Alphabet::new(3);
+        let truth = TransitionMatrix::cycle(a);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let stream = truth.generate(sym(0), 3_000, &mut rng);
+        let est = TransitionMatrix::estimate(&stream, a, 0.0).unwrap();
+        assert!((est.probability(sym(0), sym(1)) - 1.0).abs() < 1e-12);
+        assert_eq!(est.probability(sym(0), sym(2)), 0.0);
+    }
+
+    #[test]
+    fn estimation_approximates_noisy_cycle() {
+        let a = Alphabet::new(4);
+        let truth = TransitionMatrix::noisy_cycle(a, 0.1);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let stream = truth.generate(sym(0), 200_000, &mut rng);
+        let est = TransitionMatrix::estimate(&stream, a, 0.0).unwrap();
+        for from in 0..4 {
+            for to in 0..4 {
+                let diff = (est.probability(sym(from), sym(to))
+                    - truth.probability(sym(from), sym(to)))
+                .abs();
+                assert!(diff < 0.01, "({from},{to}) off by {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn estimation_rejects_foreign_symbols_and_short_streams() {
+        let a = Alphabet::new(2);
+        assert!(matches!(
+            TransitionMatrix::estimate(&[sym(0)], a, 0.0),
+            Err(MarkovError::StreamTooShort { .. })
+        ));
+        assert!(matches!(
+            TransitionMatrix::estimate(&[sym(0), sym(5)], a, 0.0),
+            Err(MarkovError::SymbolOutOfAlphabet { symbol: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn smoothing_fills_zero_cells() {
+        let a = Alphabet::new(2);
+        let stream = [sym(0), sym(1), sym(0), sym(1)];
+        let est = TransitionMatrix::estimate(&stream, a, 1.0).unwrap();
+        assert!(est.probability(sym(0), sym(0)) > 0.0);
+        let sum: f64 = est.row(sym(0)).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unobserved_state_gets_uniform_row() {
+        let a = Alphabet::new(3);
+        // Symbol 2 never appears.
+        let stream = [sym(0), sym(1), sym(0), sym(1)];
+        let est = TransitionMatrix::estimate(&stream, a, 0.0).unwrap();
+        for to in 0..3 {
+            assert!((est.probability(sym(2), sym(to)) - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_respects_support() {
+        let m = TransitionMatrix::cycle(Alphabet::new(5));
+        let mut rng = SmallRng::seed_from_u64(7);
+        for from in 0..5u32 {
+            for _ in 0..20 {
+                let next = m.sample_next(sym(from), &mut rng);
+                assert_eq!(next.id(), (from + 1) % 5);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_frequency_tracks_probability() {
+        let a = Alphabet::new(2);
+        let m = TransitionMatrix::from_rows(a, &[vec![0.25, 0.75], vec![0.5, 0.5]]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 100_000;
+        let stays = (0..n)
+            .filter(|_| m.sample_next(sym(0), &mut rng) == sym(0))
+            .count();
+        let freq = stays as f64 / n as f64;
+        assert!((freq - 0.25).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn stationary_of_noisy_cycle_is_uniform() {
+        let m = TransitionMatrix::noisy_cycle(Alphabet::new(8), 0.02);
+        let pi = m.stationary(10_000, 1e-12);
+        for &p in &pi {
+            assert!((p - 0.125).abs() < 1e-6, "stationary entry {p}");
+        }
+    }
+
+    #[test]
+    fn generate_starts_at_start_and_has_len() {
+        let m = TransitionMatrix::cycle(Alphabet::new(3));
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = m.generate(sym(2), 7, &mut rng);
+        assert_eq!(s.len(), 7);
+        assert_eq!(s[0], sym(2));
+        assert_eq!(s[1], sym(0));
+        assert!(m.generate(sym(0), 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!TransitionMatrix::uniform(Alphabet::new(2))
+            .to_string()
+            .is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for the neural-network substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising from network construction or training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Fewer than two layer sizes were supplied (input and output are
+    /// mandatory).
+    TooFewLayers {
+        /// Number of layer sizes supplied.
+        found: usize,
+    },
+    /// A layer was declared with zero units.
+    EmptyLayer {
+        /// Index of the offending layer.
+        layer: usize,
+    },
+    /// An input vector's length did not match the input layer.
+    InputSizeMismatch {
+        /// Expected input width.
+        expected: usize,
+        /// Width found.
+        found: usize,
+    },
+    /// A target class index was outside the output layer.
+    TargetOutOfRange {
+        /// The offending class index.
+        target: usize,
+        /// Number of output units.
+        outputs: usize,
+    },
+    /// A hyperparameter was outside its valid range.
+    InvalidHyperparameter {
+        /// Name of the offending hyperparameter.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::TooFewLayers { found } => {
+                write!(f, "need at least input and output layers, found {found}")
+            }
+            NnError::EmptyLayer { layer } => write!(f, "layer {layer} has zero units"),
+            NnError::InputSizeMismatch { expected, found } => {
+                write!(f, "input of width {found} does not match input layer of width {expected}")
+            }
+            NnError::TargetOutOfRange { target, outputs } => {
+                write!(f, "target class {target} outside output layer of width {outputs}")
+            }
+            NnError::InvalidHyperparameter { name } => {
+                write!(f, "invalid hyperparameter: {name}")
+            }
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(NnError::TooFewLayers { found: 1 }.to_string().contains("at least"));
+        assert!(NnError::EmptyLayer { layer: 2 }.to_string().contains("layer 2"));
+        assert!(NnError::InvalidHyperparameter { name: "learning_rate" }
+            .to_string()
+            .contains("learning_rate"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<NnError>();
+    }
+}

@@ -1,0 +1,42 @@
+//! Feed-forward neural-network substrate for the `detdiv` workspace.
+//!
+//! The paper's fourth detector is "a Neural Network component for an
+//! intrusion detection system" in the style of Debar, Becker & Siboni
+//! (1992): a multilayer feed-forward network that learns to predict the
+//! next categorical element from the current window, whose learning
+//! algorithm "can be described as mimicking the effects of employing
+//! probabilistic concepts such as ... conditional probabilities" (§5.2).
+//!
+//! This crate implements that substrate from scratch — no external ML
+//! dependencies: [`Mlp`] (sigmoid hidden layers, softmax output,
+//! cross-entropy loss, SGD with momentum), one-hot [`encode_context`]
+//! helpers, and an [`MlpConfig`] exposing exactly the hyperparameters the
+//! paper flags as the detector's operational caveat: the learning
+//! constant, the number of hidden nodes and the momentum constant (§7).
+//!
+//! ```
+//! use detdiv_nn::{encode_context, Mlp, MlpConfig};
+//!
+//! // Predict "next symbol" (3 classes) from a 2-symbol context.
+//! let mut net = Mlp::new(MlpConfig::new(vec![6, 10, 3]).with_seed(1)).unwrap();
+//! let examples = [
+//!     (encode_context(&[0, 1], 3), 2usize, 5.0), // (0,1) -> 2, seen 5x
+//!     (encode_context(&[1, 2], 3), 0, 5.0),      // (1,2) -> 0, seen 5x
+//! ];
+//! for _ in 0..300 {
+//!     net.train_epoch(&examples).unwrap();
+//! }
+//! assert_eq!(net.predict_class(&encode_context(&[0, 1], 3)).unwrap(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod activation;
+mod error;
+mod mlp;
+
+pub use activation::{sigmoid, sigmoid_prime_from_output, softmax_in_place};
+pub use error::NnError;
+pub use mlp::{encode_context, one_hot_into, Mlp, MlpConfig};

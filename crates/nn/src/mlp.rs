@@ -1,0 +1,581 @@
+//! A multilayer feed-forward network trained by backpropagation.
+//!
+//! This is the substrate for the paper's neural-network-based detector
+//! (Debar et al. 1992): a classic MLP with sigmoid hidden units, a
+//! softmax output layer over the alphabet, cross-entropy loss, and
+//! stochastic gradient descent with momentum — the parameterisation
+//! (learning constant, number of hidden nodes, momentum constant) whose
+//! balance the paper singles out as the detector's operational caveat
+//! (§7, citing Zurada).
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::activation::{sigmoid, sigmoid_prime_from_output, softmax_in_place};
+use crate::error::NnError;
+
+/// Hyperparameters of an [`Mlp`].
+///
+/// # Examples
+///
+/// ```
+/// use detdiv_nn::MlpConfig;
+///
+/// let cfg = MlpConfig::new(vec![16, 12, 8])
+///     .with_learning_rate(0.3)
+///     .with_momentum(0.9)
+///     .with_seed(7);
+/// assert_eq!(cfg.layers(), &[16, 12, 8]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    layers: Vec<usize>,
+    learning_rate: f64,
+    momentum: f64,
+    seed: u64,
+}
+
+impl MlpConfig {
+    /// Creates a configuration with the given layer widths (input first,
+    /// output last), learning rate 0.5, momentum 0.5 and seed 0.
+    pub fn new(layers: Vec<usize>) -> Self {
+        MlpConfig {
+            layers,
+            learning_rate: 0.5,
+            momentum: 0.5,
+            seed: 0,
+        }
+    }
+
+    /// Sets the learning constant.
+    #[must_use]
+    pub fn with_learning_rate(mut self, lr: f64) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Sets the momentum constant.
+    #[must_use]
+    pub fn with_momentum(mut self, momentum: f64) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets the weight-initialisation seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The layer widths, input first.
+    pub fn layers(&self) -> &[usize] {
+        &self.layers
+    }
+
+    /// The learning constant.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// The momentum constant.
+    pub fn momentum(&self) -> f64 {
+        self.momentum
+    }
+
+    fn validate(&self) -> Result<(), NnError> {
+        if self.layers.len() < 2 {
+            return Err(NnError::TooFewLayers {
+                found: self.layers.len(),
+            });
+        }
+        if let Some(i) = self.layers.iter().position(|&w| w == 0) {
+            return Err(NnError::EmptyLayer { layer: i });
+        }
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return Err(NnError::InvalidHyperparameter {
+                name: "learning_rate",
+            });
+        }
+        if !(self.momentum.is_finite() && (0.0..1.0).contains(&self.momentum)) {
+            return Err(NnError::InvalidHyperparameter { name: "momentum" });
+        }
+        Ok(())
+    }
+}
+
+/// One dense layer's parameters and momentum state.
+#[derive(Debug, Clone)]
+struct Layer {
+    inputs: usize,
+    outputs: usize,
+    /// Row-major `outputs x inputs`.
+    weights: Vec<f64>,
+    biases: Vec<f64>,
+    weight_velocity: Vec<f64>,
+    bias_velocity: Vec<f64>,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, rng: &mut SmallRng) -> Self {
+        // Small symmetric uniform initialisation scaled by fan-in.
+        let scale = 1.0 / (inputs as f64).sqrt();
+        let weights = (0..inputs * outputs)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
+        Layer {
+            inputs,
+            outputs,
+            weights,
+            biases: vec![0.0; outputs],
+            weight_velocity: vec![0.0; inputs * outputs],
+            bias_velocity: vec![0.0; outputs],
+        }
+    }
+
+    /// `z = W x + b` into `out`.
+    fn affine(&self, x: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.inputs);
+        debug_assert_eq!(out.len(), self.outputs);
+        for (o, row) in out.iter_mut().zip(self.weights.chunks_exact(self.inputs)) {
+            let mut acc = 0.0;
+            for (w, xi) in row.iter().zip(x) {
+                acc += w * xi;
+            }
+            *o = acc;
+        }
+        for (o, b) in out.iter_mut().zip(&self.biases) {
+            *o += b;
+        }
+    }
+}
+
+/// A multilayer feed-forward network with sigmoid hidden units and a
+/// softmax output layer, trained by SGD with momentum on cross-entropy.
+///
+/// # Examples
+///
+/// Learning a deterministic mapping:
+///
+/// ```
+/// use detdiv_nn::{Mlp, MlpConfig};
+///
+/// let mut net = Mlp::new(MlpConfig::new(vec![2, 8, 2]).with_seed(1)).unwrap();
+/// let data = [
+///     (vec![0.0, 1.0], 0, 1.0),
+///     (vec![1.0, 0.0], 1, 1.0),
+/// ];
+/// for _ in 0..200 {
+///     net.train_epoch(&data).unwrap();
+/// }
+/// let p = net.forward(&[0.0, 1.0]).unwrap();
+/// assert!(p[0] > 0.9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    config: MlpConfig,
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Builds a network with randomly initialised weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`NnError`] if the configuration is invalid (fewer than
+    /// two layers, an empty layer, or out-of-range hyperparameters).
+    pub fn new(config: MlpConfig) -> Result<Self, NnError> {
+        config.validate()?;
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let layers = config
+            .layers
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+        Ok(Mlp { config, layers })
+    }
+
+    /// The configuration this network was built with.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// Width of the input layer.
+    pub fn input_width(&self) -> usize {
+        self.config.layers[0]
+    }
+
+    /// Width of the (softmax) output layer.
+    pub fn output_width(&self) -> usize {
+        *self.config.layers.last().expect("validated: >= 2 layers")
+    }
+
+    /// Runs the network forward, returning the softmax class
+    /// distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputSizeMismatch`] if `input` does not match
+    /// the input layer's width.
+    pub fn forward(&self, input: &[f64]) -> Result<Vec<f64>, NnError> {
+        Ok(self.forward_trace(input)?.pop().expect("nonempty trace"))
+    }
+
+    /// Forward pass retaining every layer's activation (used by
+    /// backpropagation). The first entry is the input itself; the last is
+    /// the softmax output.
+    fn forward_trace(&self, input: &[f64]) -> Result<Vec<Vec<f64>>, NnError> {
+        if input.len() != self.input_width() {
+            return Err(NnError::InputSizeMismatch {
+                expected: self.input_width(),
+                found: input.len(),
+            });
+        }
+        let mut acts: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(input.to_vec());
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut z = vec![0.0; layer.outputs];
+            layer.affine(acts.last().expect("nonempty"), &mut z);
+            if i == last {
+                softmax_in_place(&mut z);
+            } else {
+                for v in z.iter_mut() {
+                    *v = sigmoid(*v);
+                }
+            }
+            acts.push(z);
+        }
+        Ok(acts)
+    }
+
+    /// Trains on a single `(input, target_class)` example with gradient
+    /// scale `weight`, returning the example's cross-entropy loss.
+    ///
+    /// `weight` lets callers train on *weighted empirical distributions*
+    /// — e.g. distinct `(context, next)` pairs weighted by their training
+    /// counts — instead of on raw streams, which is equivalent in
+    /// expectation and far cheaper on highly repetitive data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputSizeMismatch`] or
+    /// [`NnError::TargetOutOfRange`] on malformed examples.
+    pub fn train_example(
+        &mut self,
+        input: &[f64],
+        target: usize,
+        weight: f64,
+    ) -> Result<f64, NnError> {
+        if target >= self.output_width() {
+            return Err(NnError::TargetOutOfRange {
+                target,
+                outputs: self.output_width(),
+            });
+        }
+        let acts = self.forward_trace(input)?;
+        let output = acts.last().expect("nonempty");
+        let loss = -(output[target].max(1e-300)).ln();
+
+        // Softmax + cross-entropy: delta at the output is simply p - y.
+        let mut delta: Vec<f64> = output.clone();
+        delta[target] -= 1.0;
+
+        let lr = self.config.learning_rate;
+        let mu = self.config.momentum;
+
+        // Walk layers backwards, updating with momentum.
+        for li in (0..self.layers.len()).rev() {
+            let input_act_owned;
+            let input_act: &[f64] = {
+                input_act_owned = acts[li].clone();
+                &input_act_owned
+            };
+
+            // Delta to propagate to the previous layer (before its
+            // activation derivative), computed against pre-update weights.
+            let prev_delta: Option<Vec<f64>> = if li > 0 {
+                let layer = &self.layers[li];
+                let mut pd = vec![0.0; layer.inputs];
+                for (o, d) in delta.iter().enumerate() {
+                    let row = &layer.weights[o * layer.inputs..(o + 1) * layer.inputs];
+                    for (p, w) in pd.iter_mut().zip(row) {
+                        *p += w * d;
+                    }
+                }
+                // Apply the sigmoid derivative of the previous layer's
+                // output.
+                for (p, y) in pd.iter_mut().zip(&acts[li]) {
+                    *p *= sigmoid_prime_from_output(*y);
+                }
+                Some(pd)
+            } else {
+                None
+            };
+
+            let layer = &mut self.layers[li];
+            for (o, d) in delta.iter().enumerate() {
+                let g_scale = lr * weight * d;
+                let row =
+                    &mut layer.weights[o * layer.inputs..(o + 1) * layer.inputs];
+                let vrow = &mut layer.weight_velocity
+                    [o * layer.inputs..(o + 1) * layer.inputs];
+                for ((w, v), x) in row.iter_mut().zip(vrow.iter_mut()).zip(input_act) {
+                    *v = mu * *v - g_scale * x;
+                    *w += *v;
+                }
+                let v = &mut layer.bias_velocity[o];
+                *v = mu * *v - g_scale;
+                layer.biases[o] += *v;
+            }
+
+            if let Some(pd) = prev_delta {
+                delta = pd;
+            }
+        }
+        Ok(loss * weight)
+    }
+
+    /// Trains one pass over `dataset` (`(input, target, weight)` triples),
+    /// returning the mean weighted loss.
+    ///
+    /// Weights are normalised so the epoch's effective step size is
+    /// independent of the absolute scale of the weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first malformed-example error encountered.
+    pub fn train_epoch(&mut self, dataset: &[(Vec<f64>, usize, f64)]) -> Result<f64, NnError> {
+        if dataset.is_empty() {
+            return Ok(0.0);
+        }
+        let total_weight: f64 = dataset.iter().map(|(_, _, w)| w).sum();
+        if total_weight <= 0.0 {
+            return Ok(0.0);
+        }
+        let scale = dataset.len() as f64 / total_weight;
+        let mut loss = 0.0;
+        for (input, target, weight) in dataset {
+            loss += self.train_example(input, *target, weight * scale)?;
+        }
+        Ok(loss / dataset.len() as f64)
+    }
+
+    /// The most probable class for `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputSizeMismatch`] on malformed input.
+    pub fn predict_class(&self, input: &[f64]) -> Result<usize, NnError> {
+        let out = self.forward(input)?;
+        Ok(out
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("softmax is finite"))
+            .map(|(i, _)| i)
+            .expect("nonempty output"))
+    }
+}
+
+impl fmt::Display for Mlp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mlp{:?}", self.config.layers)
+    }
+}
+
+/// Writes the one-hot encoding of `class` (of `width` classes) into
+/// `out[offset..offset + width]`.
+///
+/// # Panics
+///
+/// Panics if the target range is out of bounds or `class >= width`.
+pub fn one_hot_into(out: &mut [f64], offset: usize, width: usize, class: usize) {
+    assert!(class < width, "class {class} out of one-hot width {width}");
+    let slot = &mut out[offset..offset + width];
+    for v in slot.iter_mut() {
+        *v = 0.0;
+    }
+    slot[class] = 1.0;
+}
+
+/// One-hot encodes a categorical context of `context` class indices, each
+/// of `width` classes, as a flat vector of length `context.len() * width`.
+///
+/// # Panics
+///
+/// Panics if any class index is `>= width`.
+///
+/// # Examples
+///
+/// ```
+/// use detdiv_nn::encode_context;
+///
+/// let v = encode_context(&[2, 0], 3);
+/// assert_eq!(v, vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+/// ```
+pub fn encode_context(context: &[usize], width: usize) -> Vec<f64> {
+    let mut out = vec![0.0; context.len() * width];
+    for (i, &c) in context.iter().enumerate() {
+        one_hot_into(&mut out, i * width, width, c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(matches!(
+            Mlp::new(MlpConfig::new(vec![4])),
+            Err(NnError::TooFewLayers { found: 1 })
+        ));
+        assert!(matches!(
+            Mlp::new(MlpConfig::new(vec![4, 0, 2])),
+            Err(NnError::EmptyLayer { layer: 1 })
+        ));
+        assert!(matches!(
+            Mlp::new(MlpConfig::new(vec![4, 2]).with_learning_rate(0.0)),
+            Err(NnError::InvalidHyperparameter { name: "learning_rate" })
+        ));
+        assert!(matches!(
+            Mlp::new(MlpConfig::new(vec![4, 2]).with_momentum(1.0)),
+            Err(NnError::InvalidHyperparameter { name: "momentum" })
+        ));
+    }
+
+    #[test]
+    fn forward_output_is_distribution() {
+        let net = Mlp::new(MlpConfig::new(vec![3, 5, 4]).with_seed(9)).unwrap();
+        let out = net.forward(&[0.1, 0.2, 0.3]).unwrap();
+        assert_eq!(out.len(), 4);
+        let sum: f64 = out.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(out.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn forward_rejects_wrong_width() {
+        let net = Mlp::new(MlpConfig::new(vec![3, 2]).with_seed(1)).unwrap();
+        assert!(matches!(
+            net.forward(&[1.0]),
+            Err(NnError::InputSizeMismatch { expected: 3, found: 1 })
+        ));
+    }
+
+    #[test]
+    fn train_rejects_bad_target() {
+        let mut net = Mlp::new(MlpConfig::new(vec![2, 2]).with_seed(1)).unwrap();
+        assert!(matches!(
+            net.train_example(&[0.0, 1.0], 5, 1.0),
+            Err(NnError::TargetOutOfRange { target: 5, outputs: 2 })
+        ));
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut net = Mlp::new(
+            MlpConfig::new(vec![2, 8, 2])
+                .with_seed(3)
+                .with_learning_rate(0.5)
+                .with_momentum(0.9),
+        )
+        .unwrap();
+        let data = [
+            (vec![0.0, 0.0], 0usize, 1.0),
+            (vec![0.0, 1.0], 1, 1.0),
+            (vec![1.0, 0.0], 1, 1.0),
+            (vec![1.0, 1.0], 0, 1.0),
+        ];
+        let mut final_loss = f64::INFINITY;
+        for _ in 0..2000 {
+            final_loss = net.train_epoch(&data).unwrap();
+        }
+        assert!(final_loss < 0.05, "failed to learn XOR, loss {final_loss}");
+        for (x, y, _) in &data {
+            assert_eq!(net.predict_class(x).unwrap(), *y);
+        }
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let mut net = Mlp::new(MlpConfig::new(vec![4, 6, 3]).with_seed(5)).unwrap();
+        let data = [
+            (vec![1.0, 0.0, 0.0, 0.0], 0usize, 1.0),
+            (vec![0.0, 1.0, 0.0, 0.0], 1, 1.0),
+            (vec![0.0, 0.0, 1.0, 0.0], 2, 1.0),
+        ];
+        let first = net.train_epoch(&data).unwrap();
+        let mut last = first;
+        for _ in 0..100 {
+            last = net.train_epoch(&data).unwrap();
+        }
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn weighted_training_approximates_conditional_distribution() {
+        // One context, two outcomes with 80/20 empirical weights: the
+        // softmax should converge near (0.8, 0.2).
+        let mut net = Mlp::new(
+            MlpConfig::new(vec![2, 6, 2])
+                .with_seed(11)
+                .with_learning_rate(0.2)
+                .with_momentum(0.5),
+        )
+        .unwrap();
+        let data = [
+            (vec![1.0, 0.0], 0usize, 8.0),
+            (vec![1.0, 0.0], 1, 2.0),
+        ];
+        for _ in 0..3000 {
+            net.train_epoch(&data).unwrap();
+        }
+        let p = net.forward(&[1.0, 0.0]).unwrap();
+        assert!((p[0] - 0.8).abs() < 0.05, "p0 = {}", p[0]);
+        assert!((p[1] - 0.2).abs() < 0.05, "p1 = {}", p[1]);
+    }
+
+    #[test]
+    fn empty_epoch_is_noop() {
+        let mut net = Mlp::new(MlpConfig::new(vec![2, 2]).with_seed(1)).unwrap();
+        assert_eq!(net.train_epoch(&[]).unwrap(), 0.0);
+        assert_eq!(net.train_epoch(&[(vec![0.0, 0.0], 0, 0.0)]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Mlp::new(MlpConfig::new(vec![3, 4, 2]).with_seed(42)).unwrap();
+        let b = Mlp::new(MlpConfig::new(vec![3, 4, 2]).with_seed(42)).unwrap();
+        assert_eq!(
+            a.forward(&[0.3, 0.6, 0.9]).unwrap(),
+            b.forward(&[0.3, 0.6, 0.9]).unwrap()
+        );
+    }
+
+    #[test]
+    fn one_hot_encoding() {
+        let v = encode_context(&[1, 0, 2], 3);
+        assert_eq!(v.len(), 9);
+        assert_eq!(v[1], 1.0);
+        assert_eq!(v[3], 1.0);
+        assert_eq!(v[8], 1.0);
+        assert_eq!(v.iter().sum::<f64>(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of one-hot width")]
+    fn one_hot_rejects_bad_class() {
+        let mut out = vec![0.0; 3];
+        one_hot_into(&mut out, 0, 3, 3);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let net = Mlp::new(MlpConfig::new(vec![2, 2]).with_seed(1)).unwrap();
+        assert!(!net.to_string().is_empty());
+    }
+}

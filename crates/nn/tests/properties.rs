@@ -1,0 +1,112 @@
+//! Property tests for the neural-network substrate.
+
+use detdiv_nn::{encode_context, sigmoid, softmax_in_place, Mlp, MlpConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// The forward pass always emits a probability distribution, for any
+    /// architecture and input.
+    #[test]
+    fn forward_is_a_distribution(
+        hidden in 1usize..12,
+        outputs in 1usize..8,
+        seed in 0u64..1000,
+        input in prop::collection::vec(-3.0f64..3.0, 4),
+    ) {
+        let net = Mlp::new(MlpConfig::new(vec![4, hidden, outputs]).with_seed(seed)).unwrap();
+        let out = net.forward(&input).unwrap();
+        prop_assert_eq!(out.len(), outputs);
+        let sum: f64 = out.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(out.iter().all(|&p| p > 0.0 && p.is_finite()));
+    }
+
+    /// Softmax output is invariant under constant shifts of the logits.
+    #[test]
+    fn softmax_shift_invariance(
+        logits in prop::collection::vec(-20.0f64..20.0, 1..8),
+        shift in -100.0f64..100.0,
+    ) {
+        let mut a = logits.clone();
+        let mut b: Vec<f64> = logits.iter().map(|x| x + shift).collect();
+        softmax_in_place(&mut a);
+        softmax_in_place(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Sigmoid stays in (0, 1) and is monotone.
+    #[test]
+    fn sigmoid_bounds_and_monotonicity(x in -1e6f64..1e6, dx in 0.0f64..10.0) {
+        let y = sigmoid(x);
+        prop_assert!((0.0..=1.0).contains(&y));
+        prop_assert!(sigmoid(x + dx) >= y);
+    }
+
+    /// Training on a single deterministic example drives its loss down.
+    #[test]
+    fn training_reduces_loss(seed in 0u64..200, target in 0usize..3) {
+        let mut net = Mlp::new(
+            MlpConfig::new(vec![3, 6, 3])
+                .with_seed(seed)
+                .with_learning_rate(0.3)
+                .with_momentum(0.5),
+        )
+        .unwrap();
+        let input = encode_context(&[target], 3);
+        let data = [(input.clone(), target, 1.0)];
+        let first = net.train_epoch(&data).unwrap();
+        for _ in 0..60 {
+            net.train_epoch(&data).unwrap();
+        }
+        let last = net.train_epoch(&data).unwrap();
+        prop_assert!(last < first, "loss {first} -> {last}");
+        prop_assert_eq!(net.predict_class(&input).unwrap(), target);
+    }
+
+    /// Weight scaling of the dataset leaves the learned predictions
+    /// unchanged (the epoch normalises total weight).
+    #[test]
+    fn weight_scale_invariance(scale in 0.5f64..100.0) {
+        let build = || {
+            Mlp::new(
+                MlpConfig::new(vec![2, 5, 2])
+                    .with_seed(9)
+                    .with_learning_rate(0.2),
+            )
+            .unwrap()
+        };
+        let base = [
+            (vec![1.0, 0.0], 0usize, 3.0),
+            (vec![0.0, 1.0], 1, 1.0),
+        ];
+        let scaled: Vec<(Vec<f64>, usize, f64)> = base
+            .iter()
+            .map(|(x, t, w)| (x.clone(), *t, w * scale))
+            .collect();
+        let mut a = build();
+        let mut b = build();
+        for _ in 0..30 {
+            a.train_epoch(&base).unwrap();
+            b.train_epoch(&scaled).unwrap();
+        }
+        let pa = a.forward(&[1.0, 0.0]).unwrap();
+        let pb = b.forward(&[1.0, 0.0]).unwrap();
+        for (x, y) in pa.iter().zip(&pb) {
+            prop_assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    /// One-hot context encoding has exactly one 1 per position block.
+    #[test]
+    fn one_hot_blocks(context in prop::collection::vec(0usize..5, 1..6)) {
+        let v = encode_context(&context, 5);
+        prop_assert_eq!(v.len(), context.len() * 5);
+        for (i, &c) in context.iter().enumerate() {
+            let block = &v[i * 5..(i + 1) * 5];
+            prop_assert_eq!(block.iter().sum::<f64>(), 1.0);
+            prop_assert_eq!(block[c], 1.0);
+        }
+    }
+}

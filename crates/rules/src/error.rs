@@ -1,0 +1,60 @@
+//! Error types for the rule-induction substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising from rule learning.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuleError {
+    /// The training set was empty.
+    EmptyTraining,
+    /// Examples disagreed on the context width.
+    InconsistentWidth {
+        /// Width of the first example.
+        expected: usize,
+        /// Width found later.
+        found: usize,
+    },
+    /// A learning parameter was out of range.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::EmptyTraining => write!(f, "rule learning requires at least one example"),
+            RuleError::InconsistentWidth { expected, found } => {
+                write!(f, "example width {found} differs from the first example's {expected}")
+            }
+            RuleError::InvalidParameter { name } => write!(f, "invalid parameter: {name}"),
+        }
+    }
+}
+
+impl Error for RuleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(RuleError::EmptyTraining.to_string().contains("example"));
+        assert!(RuleError::InconsistentWidth { expected: 3, found: 2 }
+            .to_string()
+            .contains("width 2"));
+        assert!(RuleError::InvalidParameter { name: "min_coverage" }
+            .to_string()
+            .contains("min_coverage"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<RuleError>();
+    }
+}

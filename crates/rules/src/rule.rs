@@ -1,0 +1,231 @@
+//! Rules and rule sets.
+
+use detdiv_sequence::Symbol;
+use serde::{Deserialize, Serialize};
+
+/// One positional equality test: `context[position] == symbol`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Condition {
+    /// Index into the context window.
+    pub position: usize,
+    /// Required symbol at that index.
+    pub symbol: Symbol,
+}
+
+/// A conjunctive classification rule: if every condition holds for a
+/// context, predict `class`.
+///
+/// `correct` / `covered` are the (weighted) training statistics the rule
+/// was accepted with; [`Rule::confidence`] is their ratio — the
+/// Laplace-smoothed precision RIPPER-style learners rank rules by.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// The conjunction of positional tests.
+    pub conditions: Vec<Condition>,
+    /// The predicted next symbol.
+    pub class: Symbol,
+    /// Weighted count of covered examples with the predicted class.
+    pub correct: f64,
+    /// Weighted count of all covered examples.
+    pub covered: f64,
+}
+
+impl Rule {
+    /// Whether this rule's conditions all hold for `context`.
+    ///
+    /// Contexts shorter than a condition's position never match.
+    pub fn matches(&self, context: &[Symbol]) -> bool {
+        self.conditions
+            .iter()
+            .all(|c| context.get(c.position) == Some(&c.symbol))
+    }
+
+    /// Laplace-smoothed precision `(correct + 1) / (covered + 2)`.
+    pub fn confidence(&self) -> f64 {
+        (self.correct + 1.0) / (self.covered + 2.0)
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.conditions.is_empty() {
+            write!(f, "true")?;
+        } else {
+            for (i, c) in self.conditions.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " & ")?;
+                }
+                write!(f, "ctx[{}]={}", c.position, c.symbol)?;
+            }
+        }
+        write!(f, " => next={} ({:.3})", self.class, self.confidence())
+    }
+}
+
+/// An ordered rule list with a default class, produced by
+/// [`crate::learn_rules`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleSet {
+    pub(crate) width: usize,
+    pub(crate) rules: Vec<Rule>,
+    pub(crate) default_class: Symbol,
+    pub(crate) default_confidence: f64,
+}
+
+/// The outcome of consulting a rule set for one context.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RulePrediction {
+    /// The predicted next symbol.
+    pub class: Symbol,
+    /// Confidence of the deciding rule (or the default class's prior).
+    pub confidence: f64,
+    /// Index of the deciding rule in [`RuleSet::rules`], or `None` for
+    /// the default class.
+    pub rule: Option<usize>,
+}
+
+impl RuleSet {
+    /// The context width the rules were learned over.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The learned rules, highest-confidence first.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The fallback class for contexts no rule matches.
+    pub fn default_class(&self) -> Symbol {
+        self.default_class
+    }
+
+    /// Predicts the next symbol for `context`: the first (i.e.
+    /// highest-confidence) matching rule wins; otherwise the default
+    /// class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `context.len() != self.width()`.
+    pub fn predict(&self, context: &[Symbol]) -> RulePrediction {
+        assert_eq!(context.len(), self.width, "context width mismatch");
+        for (i, rule) in self.rules.iter().enumerate() {
+            if rule.matches(context) {
+                return RulePrediction {
+                    class: rule.class,
+                    confidence: rule.confidence(),
+                    rule: Some(i),
+                };
+            }
+        }
+        RulePrediction {
+            class: self.default_class,
+            confidence: self.default_confidence,
+            rule: None,
+        }
+    }
+}
+
+impl std::fmt::Display for RuleSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "rule-set(width={}, rules={})", self.width, self.rules.len())?;
+        for r in &self.rules {
+            writeln!(f, "  {r}")?;
+        }
+        write!(
+            f,
+            "  default => next={} ({:.3})",
+            self.default_class, self.default_confidence
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(i: u32) -> Symbol {
+        Symbol::new(i)
+    }
+
+    fn rule(conds: &[(usize, u32)], class: u32, correct: f64, covered: f64) -> Rule {
+        Rule {
+            conditions: conds
+                .iter()
+                .map(|&(position, s)| Condition {
+                    position,
+                    symbol: sym(s),
+                })
+                .collect(),
+            class: sym(class),
+            correct,
+            covered,
+        }
+    }
+
+    #[test]
+    fn matching_and_confidence() {
+        let r = rule(&[(0, 1), (2, 3)], 4, 98.0, 100.0);
+        assert!(r.matches(&[sym(1), sym(9), sym(3)]));
+        assert!(!r.matches(&[sym(1), sym(9), sym(4)]));
+        assert!(!r.matches(&[sym(1)])); // too short
+        assert!((r.confidence() - 99.0 / 102.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_conditions_match_everything() {
+        let r = rule(&[], 2, 5.0, 10.0);
+        assert!(r.matches(&[sym(0), sym(1)]));
+        assert!(r.matches(&[]));
+    }
+
+    #[test]
+    fn rule_set_prediction_order_and_default() {
+        let set = RuleSet {
+            width: 2,
+            rules: vec![rule(&[(1, 5)], 7, 99.0, 100.0), rule(&[(0, 1)], 2, 50.0, 100.0)],
+            default_class: sym(0),
+            default_confidence: 0.4,
+        };
+        // First rule wins when both match.
+        let p = set.predict(&[sym(1), sym(5)]);
+        assert_eq!(p.class, sym(7));
+        assert_eq!(p.rule, Some(0));
+        // Second rule catches what the first misses.
+        let p = set.predict(&[sym(1), sym(6)]);
+        assert_eq!(p.class, sym(2));
+        assert_eq!(p.rule, Some(1));
+        // Default otherwise.
+        let p = set.predict(&[sym(3), sym(3)]);
+        assert_eq!(p.class, sym(0));
+        assert_eq!(p.rule, None);
+        assert_eq!(p.confidence, 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "context width mismatch")]
+    fn predict_checks_width() {
+        let set = RuleSet {
+            width: 2,
+            rules: vec![],
+            default_class: sym(0),
+            default_confidence: 0.5,
+        };
+        let _ = set.predict(&[sym(1)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = rule(&[(0, 1)], 2, 9.0, 10.0);
+        let text = r.to_string();
+        assert!(text.contains("ctx[0]=1"));
+        assert!(text.contains("next=2"));
+        let set = RuleSet {
+            width: 1,
+            rules: vec![r],
+            default_class: sym(0),
+            default_confidence: 0.5,
+        };
+        assert!(set.to_string().contains("rules=1"));
+    }
+}

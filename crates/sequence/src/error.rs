@@ -1,0 +1,78 @@
+//! Error types for the sequence substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising from sequence analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SequenceError {
+    /// A window or gram length was outside the usable range.
+    InvalidWindow {
+        /// The offending length.
+        window: usize,
+    },
+    /// A stream was too short for the requested analysis.
+    StreamTooShort {
+        /// Actual stream length.
+        len: usize,
+        /// Minimum length required.
+        needed: usize,
+    },
+    /// A symbol fell outside the declared alphabet.
+    SymbolOutOfAlphabet {
+        /// The offending symbol identifier.
+        symbol: u32,
+        /// The alphabet size it violated.
+        alphabet: u32,
+    },
+}
+
+impl fmt::Display for SequenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SequenceError::InvalidWindow { window } => {
+                write!(f, "invalid window length {window}")
+            }
+            SequenceError::StreamTooShort { len, needed } => {
+                write!(f, "stream of length {len} is shorter than required {needed}")
+            }
+            SequenceError::SymbolOutOfAlphabet { symbol, alphabet } => {
+                write!(f, "symbol {symbol} outside alphabet of size {alphabet}")
+            }
+        }
+    }
+}
+
+impl Error for SequenceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SequenceError::InvalidWindow { window: 0 }.to_string(),
+            "invalid window length 0"
+        );
+        assert_eq!(
+            SequenceError::StreamTooShort { len: 1, needed: 5 }.to_string(),
+            "stream of length 1 is shorter than required 5"
+        );
+        assert_eq!(
+            SequenceError::SymbolOutOfAlphabet {
+                symbol: 9,
+                alphabet: 8
+            }
+            .to_string(),
+            "symbol 9 outside alphabet of size 8"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<SequenceError>();
+    }
+}

@@ -1,0 +1,352 @@
+//! Categorical symbols and alphabets.
+//!
+//! All detectors in this workspace operate on streams of *categorical*
+//! elements — system-call numbers, audit-event codes, user-command tokens.
+//! [`Symbol`] is a dense integer identifier for one such element and
+//! [`Alphabet`] describes the closed set `0..size` of identifiers a stream
+//! may draw from. Free-form token streams (e.g. command names) are interned
+//! through a [`SymbolTable`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A single categorical element of a data stream.
+///
+/// Symbols are plain dense identifiers; their numeric value carries no
+/// ordering semantics for any detector (sequence detectors care only about
+/// equality and position). The identifier is 32 bits, which comfortably
+/// covers system-call tables, audit-event vocabularies and command
+/// histories.
+///
+/// # Examples
+///
+/// ```
+/// use detdiv_sequence::Symbol;
+///
+/// let s = Symbol::new(3);
+/// assert_eq!(s.id(), 3);
+/// assert_eq!(format!("{s}"), "3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Creates a symbol with the given dense identifier.
+    #[inline]
+    pub const fn new(id: u32) -> Self {
+        Symbol(id)
+    }
+
+    /// Returns the dense identifier of this symbol.
+    #[inline]
+    pub const fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the identifier as a `usize`, convenient for indexing
+    /// per-symbol tables such as one-hot encodings or transition-matrix
+    /// rows.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Symbol {
+    #[inline]
+    fn from(id: u32) -> Self {
+        Symbol(id)
+    }
+}
+
+impl From<Symbol> for u32 {
+    #[inline]
+    fn from(sym: Symbol) -> Self {
+        sym.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Converts a slice of raw identifiers into a symbol vector.
+///
+/// This is a convenience for constructing test fixtures and for adapting
+/// externally parsed integer streams.
+///
+/// # Examples
+///
+/// ```
+/// use detdiv_sequence::{symbols, Symbol};
+///
+/// assert_eq!(symbols(&[1, 2, 1]), vec![Symbol::new(1), Symbol::new(2), Symbol::new(1)]);
+/// ```
+pub fn symbols(ids: &[u32]) -> Vec<Symbol> {
+    ids.iter().copied().map(Symbol::new).collect()
+}
+
+/// A closed set of symbols `0..size` that a stream may draw from.
+///
+/// The evaluation data of Tan & Maxion (DSN 2005) uses an alphabet of
+/// size 8 (§5.3). The alphabet size bounds one-hot encodings, transition
+/// matrices and the per-position branching factor of sequence synthesis;
+/// it does not otherwise affect the detectability of foreign sequences
+/// (as the paper notes).
+///
+/// # Examples
+///
+/// ```
+/// use detdiv_sequence::{Alphabet, Symbol};
+///
+/// let a = Alphabet::new(8);
+/// assert_eq!(a.size(), 8);
+/// assert!(a.contains(Symbol::new(7)));
+/// assert!(!a.contains(Symbol::new(8)));
+/// assert_eq!(a.symbols().count(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Alphabet {
+    size: u32,
+}
+
+impl Alphabet {
+    /// Creates an alphabet over the identifiers `0..size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero; an empty alphabet admits no streams.
+    pub fn new(size: u32) -> Self {
+        assert!(size > 0, "alphabet size must be positive");
+        Alphabet { size }
+    }
+
+    /// Number of distinct symbols in the alphabet.
+    #[inline]
+    pub const fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Number of distinct symbols as a `usize`, for sizing tables.
+    #[inline]
+    pub const fn len(&self) -> usize {
+        self.size as usize
+    }
+
+    /// Always `false`: alphabets are non-empty by construction.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `symbol` is a member of this alphabet.
+    #[inline]
+    pub const fn contains(&self, symbol: Symbol) -> bool {
+        symbol.id() < self.size
+    }
+
+    /// Whether every element of `stream` is a member of this alphabet.
+    pub fn contains_all(&self, stream: &[Symbol]) -> bool {
+        stream.iter().all(|&s| self.contains(s))
+    }
+
+    /// Iterates over every symbol of the alphabet in identifier order.
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        (0..self.size).map(Symbol::new)
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "alphabet(0..{})", self.size)
+    }
+}
+
+/// An interning table mapping free-form tokens (command names, system-call
+/// mnemonics) to dense [`Symbol`] identifiers and back.
+///
+/// Used by the trace substrate to turn textual audit records into the
+/// categorical streams the detectors consume, and by examples that mirror
+/// the paper's Figure 7 (`cd <1> ls laf tar` command sequences).
+///
+/// # Examples
+///
+/// ```
+/// use detdiv_sequence::SymbolTable;
+///
+/// let mut table = SymbolTable::new();
+/// let cd = table.intern("cd");
+/// let ls = table.intern("ls");
+/// assert_ne!(cd, ls);
+/// assert_eq!(table.intern("cd"), cd); // stable
+/// assert_eq!(table.name(cd), Some("cd"));
+/// assert_eq!(table.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Returns the symbol for `name`, interning it if unseen.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.index.get(name) {
+            return sym;
+        }
+        let sym = Symbol::new(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Interns every token of `names` in order and returns the stream.
+    pub fn intern_all(&mut self, names: &[&str]) -> Vec<Symbol> {
+        names.iter().map(|n| self.intern(n)).collect()
+    }
+
+    /// Returns the symbol previously interned for `name`, if any.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the token that was interned as `symbol`, if any.
+    pub fn name(&self, symbol: Symbol) -> Option<&str> {
+        self.names.get(symbol.index()).map(String::as_str)
+    }
+
+    /// Number of distinct interned tokens.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no token has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The alphabet spanned by the interned tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty (an empty alphabet is not
+    /// representable).
+    pub fn alphabet(&self) -> Alphabet {
+        Alphabet::new(self.names.len() as u32)
+    }
+
+    /// Rebuilds the reverse index after deserialization.
+    ///
+    /// `serde` skips the reverse map; call this once on a deserialized
+    /// table before using [`SymbolTable::intern`] or
+    /// [`SymbolTable::lookup`].
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), Symbol::new(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_roundtrip() {
+        let s = Symbol::new(42);
+        assert_eq!(u32::from(s), 42);
+        assert_eq!(Symbol::from(42u32), s);
+        assert_eq!(s.index(), 42usize);
+    }
+
+    #[test]
+    fn symbol_ordering_and_hash_are_by_id() {
+        assert!(Symbol::new(1) < Symbol::new(2));
+        assert_eq!(Symbol::new(5), Symbol::new(5));
+    }
+
+    #[test]
+    fn symbols_helper_builds_streams() {
+        let s = symbols(&[0, 1, 2]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[2], Symbol::new(2));
+    }
+
+    #[test]
+    fn alphabet_membership() {
+        let a = Alphabet::new(3);
+        assert!(a.contains(Symbol::new(0)));
+        assert!(a.contains(Symbol::new(2)));
+        assert!(!a.contains(Symbol::new(3)));
+        assert!(a.contains_all(&symbols(&[0, 1, 2, 1])));
+        assert!(!a.contains_all(&symbols(&[0, 3])));
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet size must be positive")]
+    fn alphabet_rejects_zero() {
+        let _ = Alphabet::new(0);
+    }
+
+    #[test]
+    fn alphabet_symbol_iteration_is_dense() {
+        let a = Alphabet::new(4);
+        let ids: Vec<u32> = a.symbols().map(Symbol::id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn symbol_table_interns_stably() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("open");
+        let b = t.intern("read");
+        let c = t.intern("open");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(t.name(b), Some("read"));
+        assert_eq!(t.lookup("read"), Some(b));
+        assert_eq!(t.lookup("write"), None);
+        assert_eq!(t.alphabet().size(), 2);
+    }
+
+    #[test]
+    fn symbol_table_intern_all_preserves_order() {
+        let mut t = SymbolTable::new();
+        let stream = t.intern_all(&["cd", "ls", "cd", "tar"]);
+        assert_eq!(stream[0], stream[2]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn symbol_table_rebuild_index() {
+        let mut t = SymbolTable::new();
+        t.intern("a");
+        t.intern("b");
+        let mut clone = SymbolTable {
+            names: t.names.clone(),
+            index: HashMap::new(),
+        };
+        clone.rebuild_index();
+        assert_eq!(clone.lookup("b"), t.lookup("b"));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Alphabet::new(8).to_string(), "alphabet(0..8)");
+        assert_eq!(Symbol::new(7).to_string(), "7");
+    }
+}

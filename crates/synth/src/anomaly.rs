@@ -1,0 +1,241 @@
+//! Minimal-foreign-sequence construction (§5.4.2).
+//!
+//! "Sequences composed by concatenating short, rare sequences from the
+//! training trace are likely to be foreign ... It is easy to generate
+//! such sequences, and to verify their foreign-ness and minimality
+//! characteristics."
+//!
+//! The generator reserves *step classes* over the cyclic alphabet
+//! `0..n`:
+//!
+//! * step `+1` — the deterministic cycle (98 % of the training data);
+//! * steps `+2`, `+3` — the natural escapes supplying the 2 % of rare
+//!   material ("a small amount of nondeterminism in the probabilities of
+//!   the data generation matrix", §5.3);
+//! * steps `+4 .. +(n−1)` — **anomaly-exclusive**: transitions the
+//!   generation matrix can never produce. Every anomaly is a walk using
+//!   only anomaly-exclusive steps, so its content enters the training
+//!   data exclusively through deliberate, counted *plants* of its proper
+//!   prefix and suffix — which yields foreignness of the whole,
+//!   minimality, and rare-composition by construction (each is still
+//!   verified after assembly).
+//!
+//! Anomalies avoid the symbol `n−1` and never start at `n−2` (the
+//! injection context), which — combined with the all-anomaly-exclusive
+//! step constraint — confines cross-anomaly contamination to literal
+//! substring collisions between anomalies, checked during the search.
+
+use detdiv_sequence::Symbol;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::config::SynthesisConfig;
+use crate::error::SynthesisError;
+
+/// A synthesized minimal foreign sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Anomaly {
+    symbols: Vec<Symbol>,
+}
+
+impl Anomaly {
+    pub(crate) fn new(symbols: Vec<Symbol>) -> Self {
+        debug_assert!(symbols.len() >= 2);
+        Anomaly { symbols }
+    }
+
+    /// The anomaly's elements.
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.symbols
+    }
+
+    /// The anomaly size AS.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Anomalies are at least two elements long by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The proper prefix `a_1 .. a_{AS-1}` planted via the P1 context
+    /// block.
+    pub fn prefix(&self) -> &[Symbol] {
+        &self.symbols[..self.symbols.len() - 1]
+    }
+
+    /// The proper suffix `a_2 .. a_AS` planted via the P2 context block.
+    pub fn suffix(&self) -> &[Symbol] {
+        &self.symbols[1..]
+    }
+}
+
+impl std::fmt::Display for Anomaly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let parts: Vec<String> = self.symbols.iter().map(|s| s.to_string()).collect();
+        write!(f, "[{}]", parts.join(" "))
+    }
+}
+
+/// Whether `needle` occurs as a contiguous substring of `haystack`.
+fn is_substring(needle: &[Symbol], haystack: &[Symbol]) -> bool {
+    haystack.len() >= needle.len() && haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+/// Draws one candidate anomaly of length `size`.
+fn draw_candidate(size: usize, n: u32, rng: &mut SmallRng) -> Vec<Symbol> {
+    let inject_after = n - 2;
+    let excluded = n - 1;
+    let mut out = Vec::with_capacity(size);
+    // First element: an anomaly-exclusive step away from the injection
+    // context `n-2`, avoiding `n-1`.
+    let first = loop {
+        let delta = rng.gen_range(4..n);
+        let candidate = (inject_after + delta) % n;
+        if candidate != excluded {
+            break candidate;
+        }
+    };
+    out.push(Symbol::new(first));
+    while out.len() < size {
+        let prev = out.last().expect("nonempty").id();
+        let next = loop {
+            let delta = rng.gen_range(4..n);
+            let candidate = (prev + delta) % n;
+            if candidate != excluded {
+                break candidate;
+            }
+        };
+        out.push(Symbol::new(next));
+    }
+    out
+}
+
+/// Searches for a mutually consistent set of anomalies, one per size in
+/// the configuration's range.
+///
+/// Consistency: no anomaly is a contiguous substring of another (which,
+/// given the step-class reservation, is the only way one anomaly's
+/// planted material could make another non-foreign).
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::AnomalySearchFailed`] if no consistent set
+/// is found within the retry budget (practically impossible for sane
+/// configurations; the branching factor per element is at least 3).
+pub(crate) fn search_anomaly_set(
+    config: &SynthesisConfig,
+    seed: u64,
+) -> Result<Vec<Anomaly>, SynthesisError> {
+    const MAX_ATTEMPTS: usize = 64;
+    let n = config.alphabet_size();
+    let sizes: Vec<usize> = config.anomaly_sizes().collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    'attempt: for _ in 0..MAX_ATTEMPTS {
+        let candidates: Vec<Vec<Symbol>> = sizes
+            .iter()
+            .map(|&size| draw_candidate(size, n, &mut rng))
+            .collect();
+        // Reject sets where any anomaly is contained in another.
+        for (i, a) in candidates.iter().enumerate() {
+            for (j, b) in candidates.iter().enumerate() {
+                if i != j && is_substring(a, b) {
+                    continue 'attempt;
+                }
+            }
+        }
+        return Ok(candidates.into_iter().map(Anomaly::new).collect());
+    }
+    Err(SynthesisError::AnomalySearchFailed {
+        attempts: MAX_ATTEMPTS,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SynthesisConfig {
+        SynthesisConfig::builder()
+            .training_len(100_000)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn anomalies_cover_requested_sizes() {
+        let set = search_anomaly_set(&config(), 1).unwrap();
+        let sizes: Vec<usize> = set.iter().map(Anomaly::len).collect();
+        assert_eq!(sizes, (2..=9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn steps_are_anomaly_exclusive() {
+        let set = search_anomaly_set(&config(), 2).unwrap();
+        for a in &set {
+            let syms = a.symbols();
+            // First element reachable from 6 only by a reserved step.
+            let entry = (syms[0].id() + 8 - 6) % 8;
+            assert!(entry >= 4, "entry step {entry} in {a}");
+            for w in syms.windows(2) {
+                let delta = (w[1].id() + 8 - w[0].id()) % 8;
+                assert!(delta >= 4, "step {delta} in {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn anomalies_avoid_reserved_symbols() {
+        let set = search_anomaly_set(&config(), 3).unwrap();
+        for a in &set {
+            assert!(a.symbols().iter().all(|s| s.id() != 7), "{a}");
+            assert_ne!(a.symbols()[0].id(), 6, "{a}");
+        }
+    }
+
+    #[test]
+    fn no_anomaly_contains_another() {
+        let set = search_anomaly_set(&config(), 4).unwrap();
+        for (i, a) in set.iter().enumerate() {
+            for (j, b) in set.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !is_substring(a.symbols(), b.symbols()),
+                        "{a} inside {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic_per_seed() {
+        let a = search_anomaly_set(&config(), 7).unwrap();
+        let b = search_anomaly_set(&config(), 7).unwrap();
+        let c = search_anomaly_set(&config(), 8).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn prefix_suffix_views() {
+        let a = Anomaly::new(vec![Symbol::new(2), Symbol::new(6), Symbol::new(2)]);
+        assert_eq!(a.prefix(), &[Symbol::new(2), Symbol::new(6)]);
+        assert_eq!(a.suffix(), &[Symbol::new(6), Symbol::new(2)]);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert_eq!(a.to_string(), "[2 6 2]");
+    }
+
+    #[test]
+    fn substring_detection() {
+        let a = [Symbol::new(1), Symbol::new(2)];
+        let b = [Symbol::new(0), Symbol::new(1), Symbol::new(2), Symbol::new(3)];
+        assert!(is_substring(&a, &b));
+        assert!(!is_substring(&b, &a));
+        let c = [Symbol::new(2), Symbol::new(1)];
+        assert!(!is_substring(&c, &b));
+    }
+}

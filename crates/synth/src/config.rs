@@ -1,0 +1,382 @@
+//! Synthesis configuration.
+//!
+//! Defaults mirror §5.3 of the paper: a training stream of 1,000,000
+//! elements over an alphabet of 8, 98 % of which repeats the cycle
+//! `1 2 3 4 5 6 7 8` with 2 % rare material from nondeterminism in the
+//! generation matrix; minimal foreign sequences of sizes 2–9; detector
+//! windows 2–15; and the 0.5 % rare-sequence definition.
+
+use std::ops::RangeInclusive;
+
+use detdiv_sequence::DEFAULT_RARE_THRESHOLD;
+use serde::{Deserialize, Serialize};
+
+use crate::error::SynthesisError;
+
+/// Parameters of a synthesized evaluation corpus.
+///
+/// Construct through [`SynthesisConfig::builder`]; the builder validates
+/// cross-parameter consistency.
+///
+/// # Examples
+///
+/// ```
+/// use detdiv_synth::SynthesisConfig;
+///
+/// let config = SynthesisConfig::builder()
+///     .training_len(50_000)
+///     .anomaly_sizes(2..=5)
+///     .windows(2..=8)
+///     .seed(42)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.alphabet_size(), 8);
+/// assert_eq!(config.max_window(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisConfig {
+    alphabet_size: u32,
+    training_len: usize,
+    noise: f64,
+    anomaly_min: usize,
+    anomaly_max: usize,
+    window_min: usize,
+    window_max: usize,
+    rare_threshold: f64,
+    background_len: usize,
+    plant_repeats: usize,
+    seed: u64,
+}
+
+impl SynthesisConfig {
+    /// Starts a builder pre-loaded with the paper's parameters.
+    pub fn builder() -> SynthesisConfigBuilder {
+        SynthesisConfigBuilder::default()
+    }
+
+    /// The paper's exact configuration: 1 M training elements, alphabet
+    /// 8, anomaly sizes 2–9, windows 2–15.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; the default configuration is valid by construction.
+    pub fn paper() -> Self {
+        SynthesisConfig::builder()
+            .build()
+            .expect("paper defaults are valid")
+    }
+
+    /// Alphabet size (paper: 8).
+    pub fn alphabet_size(&self) -> u32 {
+        self.alphabet_size
+    }
+
+    /// Approximate training-stream length (paper: 1,000,000). The
+    /// assembled stream may exceed this by a fraction of a cycle.
+    pub fn training_len(&self) -> usize {
+        self.training_len
+    }
+
+    /// Total escape probability per state in the generation matrix
+    /// (paper: 2 % nondeterminism).
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// The anomaly sizes (AS) to synthesize, ascending.
+    pub fn anomaly_sizes(&self) -> RangeInclusive<usize> {
+        self.anomaly_min..=self.anomaly_max
+    }
+
+    /// Smallest anomaly size.
+    pub fn min_anomaly(&self) -> usize {
+        self.anomaly_min
+    }
+
+    /// Largest anomaly size.
+    pub fn max_anomaly(&self) -> usize {
+        self.anomaly_max
+    }
+
+    /// The detector windows (DW) the corpus must support, ascending.
+    pub fn windows(&self) -> RangeInclusive<usize> {
+        self.window_min..=self.window_max
+    }
+
+    /// Smallest supported detector window.
+    pub fn min_window(&self) -> usize {
+        self.window_min
+    }
+
+    /// Largest supported detector window.
+    pub fn max_window(&self) -> usize {
+        self.window_max
+    }
+
+    /// The rare-sequence definition (paper: relative frequency below
+    /// 0.5 %).
+    pub fn rare_threshold(&self) -> f64 {
+        self.rare_threshold
+    }
+
+    /// Length of the clean background test stream before injection.
+    pub fn background_len(&self) -> usize {
+        self.background_len
+    }
+
+    /// How many times each anomaly's prefix/suffix context is planted
+    /// into the training stream's rare portion.
+    pub fn plant_repeats(&self) -> usize {
+        self.plant_repeats
+    }
+
+    /// Root RNG seed; the corpus is a pure function of the
+    /// configuration.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig::paper()
+    }
+}
+
+/// Builder for [`SynthesisConfig`].
+#[derive(Debug, Clone)]
+pub struct SynthesisConfigBuilder {
+    alphabet_size: u32,
+    training_len: usize,
+    noise: f64,
+    anomaly_sizes: RangeInclusive<usize>,
+    windows: RangeInclusive<usize>,
+    rare_threshold: f64,
+    background_len: usize,
+    plant_repeats: usize,
+    seed: u64,
+}
+
+impl Default for SynthesisConfigBuilder {
+    fn default() -> Self {
+        SynthesisConfigBuilder {
+            alphabet_size: 8,
+            training_len: 1_000_000,
+            noise: 0.02,
+            anomaly_sizes: 2..=9,
+            windows: 2..=15,
+            rare_threshold: DEFAULT_RARE_THRESHOLD,
+            background_len: 4096,
+            plant_repeats: 6,
+            seed: 2005_0628,
+        }
+    }
+}
+
+impl SynthesisConfigBuilder {
+    /// Sets the alphabet size (minimum 6: the synthesis reserves step
+    /// classes for the cycle, the natural escapes and the
+    /// anomaly-exclusive transitions).
+    #[must_use]
+    pub fn alphabet_size(mut self, size: u32) -> Self {
+        self.alphabet_size = size;
+        self
+    }
+
+    /// Sets the approximate training-stream length.
+    #[must_use]
+    pub fn training_len(mut self, len: usize) -> Self {
+        self.training_len = len;
+        self
+    }
+
+    /// Sets the generation matrix's total escape probability per state.
+    #[must_use]
+    pub fn noise(mut self, noise: f64) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Sets the anomaly sizes to synthesize.
+    #[must_use]
+    pub fn anomaly_sizes(mut self, sizes: RangeInclusive<usize>) -> Self {
+        self.anomaly_sizes = sizes;
+        self
+    }
+
+    /// Sets the detector windows the corpus must support.
+    #[must_use]
+    pub fn windows(mut self, windows: RangeInclusive<usize>) -> Self {
+        self.windows = windows;
+        self
+    }
+
+    /// Sets the rare-sequence threshold.
+    #[must_use]
+    pub fn rare_threshold(mut self, threshold: f64) -> Self {
+        self.rare_threshold = threshold;
+        self
+    }
+
+    /// Sets the background test-stream length.
+    #[must_use]
+    pub fn background_len(mut self, len: usize) -> Self {
+        self.background_len = len;
+        self
+    }
+
+    /// Sets the plant multiplicity.
+    #[must_use]
+    pub fn plant_repeats(mut self, repeats: usize) -> Self {
+        self.plant_repeats = repeats;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::InvalidConfig`] when parameters are out
+    /// of range or mutually inconsistent (see the individual messages).
+    pub fn build(self) -> Result<SynthesisConfig, SynthesisError> {
+        let err = |reason: &str| {
+            Err(SynthesisError::InvalidConfig {
+                reason: reason.to_owned(),
+            })
+        };
+        if self.alphabet_size < 6 {
+            return err("alphabet size must be at least 6");
+        }
+        if !(self.noise > 0.0 && self.noise < 0.5) {
+            return err("noise must be in (0, 0.5)");
+        }
+        if !(self.rare_threshold > 0.0 && self.rare_threshold < 1.0) {
+            return err("rare threshold must be in (0, 1)");
+        }
+        let (a_min, a_max) = (*self.anomaly_sizes.start(), *self.anomaly_sizes.end());
+        if a_min < 2 || a_min > a_max {
+            return err("anomaly sizes must be a non-empty range starting at 2 or above");
+        }
+        let (w_min, w_max) = (*self.windows.start(), *self.windows.end());
+        if w_min < 2 || w_min > w_max {
+            return err("windows must be a non-empty range starting at 2 or above");
+        }
+        if self.plant_repeats < 2 {
+            return err("plant repeats must be at least 2");
+        }
+        let n = self.alphabet_size as usize;
+        let plant_block = 4 * (w_max + n) + a_max;
+        let plants_total =
+            (a_max - a_min + 1) * self.plant_repeats * 2 * plant_block;
+        if self.training_len < plants_total * 2 {
+            return err("training length too small for the requested plants; increase training_len or reduce plant_repeats/windows");
+        }
+        if self.background_len < 8 * (w_max + a_max) {
+            return err("background length must be at least 8x (max window + max anomaly)");
+        }
+        // Planted flanks must remain rare under the configured threshold.
+        if (2 * self.plant_repeats + 2) as f64 / self.training_len as f64
+            >= self.rare_threshold
+        {
+            return err("plant repeats too large relative to training length: planted material would not be rare");
+        }
+        Ok(SynthesisConfig {
+            alphabet_size: self.alphabet_size,
+            training_len: self.training_len,
+            noise: self.noise,
+            anomaly_min: a_min,
+            anomaly_max: a_max,
+            window_min: w_min,
+            window_max: w_max,
+            rare_threshold: self.rare_threshold,
+            background_len: self.background_len,
+            plant_repeats: self.plant_repeats,
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = SynthesisConfig::paper();
+        assert_eq!(c.alphabet_size(), 8);
+        assert_eq!(c.training_len(), 1_000_000);
+        assert_eq!(c.anomaly_sizes(), 2..=9);
+        assert_eq!(c.windows(), 2..=15);
+        assert!((c.noise() - 0.02).abs() < 1e-12);
+        assert!((c.rare_threshold() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = SynthesisConfig::builder()
+            .alphabet_size(10)
+            .training_len(60_000)
+            .anomaly_sizes(2..=4)
+            .windows(2..=6)
+            .background_len(1024)
+            .plant_repeats(3)
+            .noise(0.05)
+            .rare_threshold(0.01)
+            .seed(9)
+            .build()
+            .unwrap();
+        assert_eq!(c.alphabet_size(), 10);
+        assert_eq!(c.training_len(), 60_000);
+        assert_eq!(c.max_anomaly(), 4);
+        assert_eq!(c.min_window(), 2);
+        assert_eq!(c.plant_repeats(), 3);
+        assert_eq!(c.seed(), 9);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(SynthesisConfig::builder().alphabet_size(4).build().is_err());
+        assert!(SynthesisConfig::builder().noise(0.0).build().is_err());
+        assert!(SynthesisConfig::builder().noise(0.7).build().is_err());
+        assert!(SynthesisConfig::builder().rare_threshold(0.0).build().is_err());
+        assert!(SynthesisConfig::builder().anomaly_sizes(1..=4).build().is_err());
+        #[allow(clippy::reversed_empty_ranges)]
+        {
+            assert!(SynthesisConfig::builder().anomaly_sizes(5..=4).build().is_err());
+        }
+        assert!(SynthesisConfig::builder().windows(1..=5).build().is_err());
+        assert!(SynthesisConfig::builder().plant_repeats(1).build().is_err());
+        assert!(SynthesisConfig::builder()
+            .training_len(1000)
+            .build()
+            .is_err());
+        assert!(SynthesisConfig::builder()
+            .background_len(10)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn plants_must_stay_rare() {
+        // 2 * 200 + 2 occurrences over 50k windows is 0.8 % > 0.5 %.
+        let result = SynthesisConfig::builder()
+            .training_len(50_000)
+            .anomaly_sizes(2..=3)
+            .windows(2..=4)
+            .plant_repeats(200)
+            .build();
+        assert!(matches!(result, Err(SynthesisError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn config_is_default_constructible() {
+        assert_eq!(SynthesisConfig::default(), SynthesisConfig::paper());
+    }
+}

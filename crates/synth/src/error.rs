@@ -1,0 +1,84 @@
+//! Error types for the synthesis substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising from corpus synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthesisError {
+    /// A configuration parameter was out of range or inconsistent.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// No consistent set of minimal foreign sequences could be found
+    /// within the retry budget.
+    AnomalySearchFailed {
+        /// Number of full attempts made.
+        attempts: usize,
+    },
+    /// A post-synthesis invariant check failed (this indicates a bug in
+    /// the generator, not bad luck).
+    VerificationFailed {
+        /// Which invariant failed.
+        check: String,
+    },
+    /// A case was requested outside the synthesized grid.
+    UnknownCase {
+        /// The requested anomaly size.
+        anomaly_size: usize,
+        /// The requested detector window.
+        window: usize,
+    },
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::InvalidConfig { reason } => {
+                write!(f, "invalid synthesis configuration: {reason}")
+            }
+            SynthesisError::AnomalySearchFailed { attempts } => write!(
+                f,
+                "no consistent minimal-foreign-sequence set found after {attempts} attempts"
+            ),
+            SynthesisError::VerificationFailed { check } => {
+                write!(f, "corpus verification failed: {check}")
+            }
+            SynthesisError::UnknownCase {
+                anomaly_size,
+                window,
+            } => write!(
+                f,
+                "no synthesized case for anomaly size {anomaly_size}, window {window}"
+            ),
+        }
+    }
+}
+
+impl Error for SynthesisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SynthesisError::InvalidConfig {
+            reason: "alphabet too small".into(),
+        };
+        assert!(e.to_string().contains("alphabet too small"));
+        let e = SynthesisError::UnknownCase {
+            anomaly_size: 9,
+            window: 2,
+        };
+        assert!(e.to_string().contains("anomaly size 9"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<SynthesisError>();
+    }
+}

@@ -1,0 +1,301 @@
+//! Corpus persistence: the evaluation suite as on-disk files.
+//!
+//! The paper's final evaluation suite is a set of files — "one stream of
+//! training data and 8 streams of test data ... replicated for each
+//! detector-window length" (§5.4.2). This module writes and reads that
+//! suite: one symbol per line per stream (the same shape as the UNM
+//! trace format's call column), plus a JSON manifest recording the
+//! configuration, anomalies and injection positions. Replication per
+//! window is unnecessary on disk (the contents are identical); the
+//! manifest's window range stands in for it.
+//!
+//! Loading re-runs the full invariant verification, so a tampered or
+//! truncated suite is rejected rather than silently mis-evaluated.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use detdiv_sequence::Symbol;
+use serde::{Deserialize, Serialize};
+
+use crate::anomaly::Anomaly;
+use crate::config::SynthesisConfig;
+use crate::corpus::Corpus;
+use crate::error::SynthesisError;
+
+/// Errors arising while persisting or loading a corpus.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CorpusIoError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// A stream or manifest file was malformed.
+    Malformed {
+        /// Which file.
+        file: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The loaded suite failed invariant verification.
+    Verification(SynthesisError),
+}
+
+impl fmt::Display for CorpusIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusIoError::Io(e) => write!(f, "corpus io: {e}"),
+            CorpusIoError::Malformed { file, reason } => {
+                write!(f, "malformed corpus file {file}: {reason}")
+            }
+            CorpusIoError::Verification(e) => write!(f, "loaded corpus failed verification: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusIoError::Io(e) => Some(e),
+            CorpusIoError::Malformed { .. } => None,
+            CorpusIoError::Verification(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for CorpusIoError {
+    fn from(e: io::Error) -> Self {
+        CorpusIoError::Io(e)
+    }
+}
+
+/// The manifest stored next to the streams.
+#[derive(Debug, Serialize, Deserialize)]
+struct Manifest {
+    format_version: u32,
+    config: SynthesisConfig,
+    anomalies: Vec<ManifestAnomaly>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ManifestAnomaly {
+    size: usize,
+    symbols: Vec<u32>,
+    injection_position: usize,
+}
+
+const FORMAT_VERSION: u32 = 1;
+const MANIFEST_FILE: &str = "manifest.json";
+const TRAINING_FILE: &str = "training.txt";
+
+fn test_file(anomaly_size: usize) -> String {
+    format!("test_as{anomaly_size}.txt")
+}
+
+fn write_stream(path: &Path, stream: &[Symbol]) -> Result<(), CorpusIoError> {
+    let mut w = BufWriter::new(fs::File::create(path)?);
+    for s in stream {
+        writeln!(w, "{}", s.id())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+fn read_stream(path: &Path) -> Result<Vec<Symbol>, CorpusIoError> {
+    let file = fs::File::open(path)?;
+    let reader = BufReader::new(file);
+    let name = path.display().to_string();
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let id: u32 = trimmed.parse().map_err(|_| CorpusIoError::Malformed {
+            file: name.clone(),
+            reason: format!("line {}: not a symbol id: {trimmed:?}", i + 1),
+        })?;
+        out.push(Symbol::new(id));
+    }
+    Ok(out)
+}
+
+/// Writes `corpus` into `dir` (created if needed): `training.txt`, one
+/// `test_as{N}.txt` per anomaly size, and `manifest.json`.
+///
+/// # Errors
+///
+/// Returns [`CorpusIoError::Io`] on filesystem failures.
+pub fn save_corpus(corpus: &Corpus, dir: &Path) -> Result<(), CorpusIoError> {
+    fs::create_dir_all(dir)?;
+    write_stream(&dir.join(TRAINING_FILE), corpus.training())?;
+    let mut anomalies = Vec::new();
+    for anomaly in corpus.anomalies() {
+        let size = anomaly.len();
+        let test = corpus
+            .test_stream(size)
+            .expect("anomaly sizes and test streams are built together");
+        write_stream(&dir.join(test_file(size)), &test.stream)?;
+        anomalies.push(ManifestAnomaly {
+            size,
+            symbols: anomaly.symbols().iter().map(|s| s.id()).collect(),
+            injection_position: test.injection_position,
+        });
+    }
+    let manifest = Manifest {
+        format_version: FORMAT_VERSION,
+        config: corpus.config().clone(),
+        anomalies,
+    };
+    let json = serde_json::to_string_pretty(&manifest).expect("manifest serialises");
+    fs::write(dir.join(MANIFEST_FILE), json)?;
+    Ok(())
+}
+
+/// Loads a corpus previously written by [`save_corpus`], re-running the
+/// full invariant verification.
+///
+/// # Errors
+///
+/// * [`CorpusIoError::Io`] on filesystem failures;
+/// * [`CorpusIoError::Malformed`] on unparsable files or a
+///   format-version mismatch;
+/// * [`CorpusIoError::Verification`] if the loaded suite violates the
+///   corpus invariants (tampering, truncation, manifest drift).
+pub fn load_corpus(dir: &Path) -> Result<Corpus, CorpusIoError> {
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let json = fs::read_to_string(&manifest_path)?;
+    let manifest: Manifest =
+        serde_json::from_str(&json).map_err(|e| CorpusIoError::Malformed {
+            file: manifest_path.display().to_string(),
+            reason: e.to_string(),
+        })?;
+    if manifest.format_version != FORMAT_VERSION {
+        return Err(CorpusIoError::Malformed {
+            file: manifest_path.display().to_string(),
+            reason: format!(
+                "format version {} unsupported (expected {FORMAT_VERSION})",
+                manifest.format_version
+            ),
+        });
+    }
+    let training = read_stream(&dir.join(TRAINING_FILE))?;
+    let mut parts = Vec::new();
+    for a in &manifest.anomalies {
+        let stream = read_stream(&dir.join(test_file(a.size)))?;
+        let anomaly = Anomaly::new(a.symbols.iter().map(|&id| Symbol::new(id)).collect());
+        if anomaly.len() != a.size {
+            return Err(CorpusIoError::Malformed {
+                file: MANIFEST_FILE.to_owned(),
+                reason: format!(
+                    "anomaly of declared size {} has {} symbols",
+                    a.size,
+                    anomaly.len()
+                ),
+            });
+        }
+        parts.push((anomaly, stream, a.injection_position));
+    }
+    Corpus::from_parts(manifest.config, training, parts).map_err(CorpusIoError::Verification)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SynthesisConfig;
+
+    fn small_corpus() -> Corpus {
+        let config = SynthesisConfig::builder()
+            .training_len(30_000)
+            .anomaly_sizes(2..=3)
+            .windows(2..=4)
+            .background_len(512)
+            .plant_repeats(3)
+            .seed(44)
+            .build()
+            .unwrap();
+        Corpus::synthesize(&config).unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("detdiv-io-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let corpus = small_corpus();
+        let dir = temp_dir("roundtrip");
+        save_corpus(&corpus, &dir).unwrap();
+        let loaded = load_corpus(&dir).unwrap();
+        assert_eq!(loaded.training(), corpus.training());
+        assert_eq!(
+            loaded.anomaly(3).unwrap().symbols(),
+            corpus.anomaly(3).unwrap().symbols()
+        );
+        let a = corpus.case(2, 3).unwrap();
+        let b = loaded.case(2, 3).unwrap();
+        use detdiv_core::LabeledCase;
+        assert_eq!(a.test_stream(), b.test_stream());
+        assert_eq!(a.injection_position(), b.injection_position());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_training_is_rejected() {
+        let corpus = small_corpus();
+        let dir = temp_dir("tamper");
+        save_corpus(&corpus, &dir).unwrap();
+        // Append the full size-3 anomaly to the training stream: the
+        // anomaly is no longer foreign, so verification must fail.
+        let mut text = fs::read_to_string(dir.join(TRAINING_FILE)).unwrap();
+        for s in corpus.anomaly(3).unwrap().symbols() {
+            text.push_str(&format!("{}\n", s.id()));
+        }
+        fs::write(dir.join(TRAINING_FILE), text).unwrap();
+        assert!(matches!(
+            load_corpus(&dir),
+            Err(CorpusIoError::Verification(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_stream_is_rejected() {
+        let corpus = small_corpus();
+        let dir = temp_dir("malformed");
+        save_corpus(&corpus, &dir).unwrap();
+        fs::write(dir.join(test_file(2)), "1\nnot-a-symbol\n2\n").unwrap();
+        assert!(matches!(
+            load_corpus(&dir),
+            Err(CorpusIoError::Malformed { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_io_error() {
+        assert!(matches!(
+            load_corpus(Path::new("/nonexistent/detdiv")),
+            Err(CorpusIoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_format_version_is_rejected() {
+        let corpus = small_corpus();
+        let dir = temp_dir("version");
+        save_corpus(&corpus, &dir).unwrap();
+        let manifest = fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+        let bumped = manifest.replace("\"format_version\": 1", "\"format_version\": 99");
+        fs::write(dir.join(MANIFEST_FILE), bumped).unwrap();
+        assert!(matches!(
+            load_corpus(&dir),
+            Err(CorpusIoError::Malformed { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,150 @@
+//! Post-synthesis invariant verification (DESIGN.md §2.2).
+//!
+//! The paper's injection procedure is generate-and-verify: "It is easy to
+//! generate such sequences, and to verify their foreign-ness and
+//! minimality characteristics. ... It must be ensured that no background
+//! data sequences or boundary sequences register as foreign or rare. If
+//! this is not possible for some location in the trace, a new anomaly
+//! must be produced as a replacement, and the process repeated." (§5.4.2)
+//!
+//! This module is the verifier half of that loop. It checks, against the
+//! assembled training stream:
+//!
+//! 1. every anomaly is a **minimal foreign sequence composed of rare
+//!    subsequences** (foreign as a whole; both proper flanks present and
+//!    rare);
+//! 2. for every (anomaly size, detector window) case, every test-stream
+//!    window **containing the whole anomaly is foreign**, every other
+//!    in-span (boundary or interior) window **exists** in the training
+//!    data, and every out-of-span background window is **common**.
+
+use detdiv_sequence::SubstringIndex;
+
+use crate::corpus::Corpus;
+use crate::error::SynthesisError;
+
+fn fail(check: impl Into<String>) -> SynthesisError {
+    SynthesisError::VerificationFailed {
+        check: check.into(),
+    }
+}
+
+/// Runs the full invariant suite against `corpus`.
+pub(crate) fn verify_corpus(corpus: &Corpus) -> Result<(), SynthesisError> {
+    let config = corpus.config();
+    let training = corpus.training();
+    let alphabet = corpus.alphabet();
+
+    if !alphabet.contains_all(training) {
+        return Err(fail("training stream leaves the alphabet"));
+    }
+
+    if training.len() < config.max_window().max(config.max_anomaly()) {
+        return Err(fail("training stream shorter than the largest window"));
+    }
+    // One suffix-automaton pass answers every presence/frequency question
+    // below, for any pattern length.
+    let index = SubstringIndex::build(training);
+
+    // Invariant 1: each anomaly is an MFS composed of rare subsequences.
+    for anomaly_size in config.anomaly_sizes() {
+        let anomaly = corpus
+            .anomaly(anomaly_size)
+            .ok_or_else(|| fail(format!("missing anomaly of size {anomaly_size}")))?;
+        let gram = anomaly.symbols();
+        if !index.is_foreign(gram) {
+            return Err(fail(format!("anomaly {anomaly} occurs in the training data")));
+        }
+        if !index.is_minimal_foreign(gram) {
+            return Err(fail(format!("anomaly {anomaly} is not minimal")));
+        }
+        // Composed of rare subsequences: both proper flanks are rare
+        // (for size 2 the flanks are single symbols; minimality already
+        // guarantees their presence).
+        if gram.len() > 2
+            && !(index.is_rare(&gram[..gram.len() - 1], config.rare_threshold())
+                && index.is_rare(&gram[1..], config.rare_threshold()))
+        {
+            return Err(fail(format!(
+                "anomaly {anomaly} is not composed of rare subsequences"
+            )));
+        }
+    }
+
+    // Invariant 2: per-case window taxonomy.
+    for anomaly_size in config.anomaly_sizes() {
+        let test = corpus
+            .test_stream(anomaly_size)
+            .ok_or_else(|| fail(format!("missing test stream for size {anomaly_size}")))?;
+        let stream = &test.stream;
+        let p = test.injection_position;
+        if p + anomaly_size > stream.len() {
+            return Err(fail("injection position out of bounds"));
+        }
+        for window in config.windows() {
+            for (start, w) in stream.windows(window).enumerate() {
+                let contains_anomaly = start <= p && start + window >= p + anomaly_size;
+                let in_span = start + window > p && start < p + anomaly_size;
+                if contains_anomaly {
+                    if !index.is_foreign(w) {
+                        return Err(fail(format!(
+                            "size-{anomaly_size} anomaly: window at {start} (DW {window}) contains the whole anomaly but is not foreign"
+                        )));
+                    }
+                } else if in_span {
+                    if !index.contains(w) {
+                        return Err(fail(format!(
+                            "size-{anomaly_size} anomaly: boundary window at {start} (DW {window}) is foreign"
+                        )));
+                    }
+                } else if index.relative_frequency(w) < config.rare_threshold() {
+                    return Err(fail(format!(
+                        "size-{anomaly_size} anomaly: background window at {start} (DW {window}) is not common"
+                    )));
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SynthesisConfig;
+    use crate::corpus::Corpus;
+
+    /// Full-grid verification at the paper's anomaly/window ranges on a
+    /// reduced training length. (The default 1 M stream is exercised by
+    /// the benchmark harness.)
+    #[test]
+    fn paper_grid_verifies_on_reduced_corpus() {
+        let config = SynthesisConfig::builder()
+            .training_len(120_000)
+            .background_len(1024)
+            .seed(2005)
+            .build()
+            .unwrap();
+        let corpus = Corpus::synthesize(&config).unwrap();
+        corpus.verify().unwrap();
+    }
+
+    /// Several seeds in a row must all verify: the constructive planting
+    /// is not luck-dependent.
+    #[test]
+    fn many_seeds_verify() {
+        for seed in 0..5 {
+            let config = SynthesisConfig::builder()
+                .training_len(40_000)
+                .anomaly_sizes(2..=5)
+                .windows(2..=8)
+                .background_len(640)
+                .plant_repeats(3)
+                .seed(seed)
+                .build()
+                .unwrap();
+            let corpus = Corpus::synthesize(&config).unwrap();
+            corpus.verify().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the synthesis invariants — the paper's §5.4
+//! requirements, asserted for arbitrary seeds and grid shapes.
+
+use detdiv_core::LabeledCase;
+use detdiv_sequence::StreamProfile;
+use detdiv_synth::{Corpus, SynthesisConfig};
+use proptest::prelude::*;
+
+fn build(seed: u64, a_max: usize, w_max: usize) -> Corpus {
+    let config = SynthesisConfig::builder()
+        .training_len(40_000)
+        .anomaly_sizes(2..=a_max)
+        .windows(2..=w_max)
+        .background_len(768)
+        .plant_repeats(3)
+        .seed(seed)
+        .build()
+        .expect("valid config");
+    Corpus::synthesize(&config).expect("synthesis succeeds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Every anomaly of every corpus is a minimal foreign sequence
+    /// composed of rare subsequences — the paper's §5.1 definition, for
+    /// arbitrary seeds and grid shapes.
+    #[test]
+    fn anomalies_are_rare_composed_mfs(seed in 0u64..10_000, a_max in 3usize..6, w_max in 4usize..8) {
+        let corpus = build(seed, a_max, w_max);
+        let profile = StreamProfile::build(
+            corpus.training(),
+            corpus.config().max_window().max(corpus.config().max_anomaly()),
+        )
+        .unwrap();
+        for anomaly in corpus.anomalies() {
+            prop_assert!(profile.is_minimal_foreign(anomaly.symbols()), "{anomaly}");
+            prop_assert!(
+                profile.is_rare_composed_mfs(anomaly.symbols(), corpus.config().rare_threshold()),
+                "{anomaly}"
+            );
+        }
+    }
+
+    /// The §5.4.2 injection requirement: every test-stream window that
+    /// does not contain the whole anomaly exists in the training data;
+    /// every window that does is foreign.
+    #[test]
+    fn window_taxonomy_holds(seed in 0u64..10_000) {
+        let corpus = build(seed, 4, 6);
+        let profile = StreamProfile::build(corpus.training(), 6).unwrap();
+        for case in corpus.cases() {
+            let (dw, asize) = (case.window(), case.anomaly_size());
+            let p = case.injection_position();
+            for (start, w) in case.test_stream().windows(dw).enumerate() {
+                let contains = start <= p && start + dw >= p + asize;
+                prop_assert_eq!(
+                    profile.is_foreign(w),
+                    contains,
+                    "AS {} DW {} window {}",
+                    asize,
+                    dw,
+                    start
+                );
+            }
+        }
+    }
+
+    /// The training stream has the paper's gross composition: cycle
+    /// transitions overwhelmingly dominate (≈98 % plus plant overhead).
+    #[test]
+    fn training_is_mostly_cycle(seed in 0u64..10_000) {
+        let corpus = build(seed, 4, 6);
+        let n = corpus.alphabet().size();
+        let train = corpus.training();
+        let cycle_steps = train
+            .windows(2)
+            .filter(|w| (w[0].id() + 1) % n == w[1].id())
+            .count();
+        let frac = cycle_steps as f64 / (train.len() - 1) as f64;
+        prop_assert!(frac > 0.93, "cycle fraction {frac}");
+        prop_assert!(frac < 0.999, "nondeterminism missing: {frac}");
+    }
+
+    /// Test backgrounds are clean: outside the anomaly, the stream is
+    /// the pure cycle.
+    #[test]
+    fn backgrounds_are_clean(seed in 0u64..10_000) {
+        let corpus = build(seed, 3, 5);
+        for case in corpus.cases() {
+            let stream = case.test_stream();
+            let n = corpus.alphabet().size();
+            let p = case.injection_position();
+            let asize = case.anomaly_size();
+            for (i, w) in stream.windows(2).enumerate() {
+                // Steps wholly before or after the anomaly follow the cycle.
+                if i + 1 < p || i >= p + asize {
+                    prop_assert_eq!((w[0].id() + 1) % n, w[1].id(), "step at {}", i);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types for the trace substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising from trace parsing or generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A line of the trace file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The trace contained no events.
+    Empty,
+    /// A generation parameter was out of range.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Parse { line, reason } => {
+                write!(f, "trace parse error at line {line}: {reason}")
+            }
+            TraceError::Empty => write!(f, "trace contains no events"),
+            TraceError::InvalidConfig { reason } => {
+                write!(f, "invalid trace-generation configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TraceError::Parse {
+            line: 3,
+            reason: "expected two fields".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(TraceError::Empty.to_string().contains("no events"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<TraceError>();
+    }
+}

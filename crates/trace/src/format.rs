@@ -1,0 +1,242 @@
+//! UNM-style system-call trace format.
+//!
+//! The University of New Mexico intrusion-detection datasets (Forrest et
+//! al.; used by Warrender et al. [20] and by Tan & Maxion's companion
+//! studies [17]) store one event per line as two whitespace-separated
+//! integers: a process identifier and a system-call number. A trace file
+//! interleaves the events of many processes; analysis is per-process.
+//!
+//! ```text
+//! # sendmail, normal run
+//! 554 5
+//! 554 4
+//! 555 5
+//! 554 3
+//! ```
+//!
+//! [`TraceSet::parse`] reads that format (with `#` comments and blank
+//! lines tolerated) into per-process [`Symbol`] streams;
+//! [`TraceSet::to_unm_string`] writes it back.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use detdiv_sequence::{Alphabet, Symbol};
+
+use crate::error::TraceError;
+
+/// A collection of per-process system-call streams.
+///
+/// # Examples
+///
+/// ```
+/// use detdiv_trace::TraceSet;
+///
+/// let text = "# comment\n100 5\n100 3\n200 5\n100 6\n";
+/// let traces = TraceSet::parse(text).unwrap();
+/// assert_eq!(traces.process_count(), 2);
+/// assert_eq!(traces.process(100).unwrap().len(), 3);
+/// assert_eq!(traces.total_events(), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSet {
+    processes: BTreeMap<u32, Vec<Symbol>>,
+}
+
+impl TraceSet {
+    /// Creates an empty trace set.
+    pub fn new() -> Self {
+        TraceSet::default()
+    }
+
+    /// Parses UNM-format text: one `pid syscall` pair per line, `#`
+    /// comments and blank lines ignored.
+    ///
+    /// # Errors
+    ///
+    /// * [`TraceError::Parse`] on a malformed line (wrong field count or
+    ///   non-integer fields);
+    /// * [`TraceError::Empty`] if no events were found.
+    pub fn parse(text: &str) -> Result<Self, TraceError> {
+        let mut set = TraceSet::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let (pid, call) = match (fields.next(), fields.next(), fields.next()) {
+                (Some(pid), Some(call), None) => (pid, call),
+                _ => {
+                    return Err(TraceError::Parse {
+                        line: i + 1,
+                        reason: format!("expected two fields, got {line:?}"),
+                    })
+                }
+            };
+            let pid: u32 = pid.parse().map_err(|_| TraceError::Parse {
+                line: i + 1,
+                reason: format!("invalid process id {pid:?}"),
+            })?;
+            let call: u32 = call.parse().map_err(|_| TraceError::Parse {
+                line: i + 1,
+                reason: format!("invalid system-call number {call:?}"),
+            })?;
+            set.push(pid, Symbol::new(call));
+        }
+        if set.processes.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        Ok(set)
+    }
+
+    /// Appends one event to a process stream.
+    pub fn push(&mut self, pid: u32, call: Symbol) {
+        self.processes.entry(pid).or_default().push(call);
+    }
+
+    /// The stream of one process, if present.
+    pub fn process(&self, pid: u32) -> Option<&[Symbol]> {
+        self.processes.get(&pid).map(Vec::as_slice)
+    }
+
+    /// Iterates `(pid, stream)` in ascending pid order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[Symbol])> {
+        self.processes.iter().map(|(&pid, s)| (pid, s.as_slice()))
+    }
+
+    /// Number of distinct processes.
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Total number of events across all processes.
+    pub fn total_events(&self) -> usize {
+        self.processes.values().map(Vec::len).sum()
+    }
+
+    /// Whether the set holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// The longest single process stream, if any — the usual choice of
+    /// training material in per-process analyses.
+    pub fn longest(&self) -> Option<(u32, &[Symbol])> {
+        self.iter().max_by_key(|(_, s)| s.len())
+    }
+
+    /// Concatenation of all process streams in pid order. Useful when a
+    /// single training stream is wanted and per-process boundaries are
+    /// acceptable junction noise.
+    pub fn concatenated(&self) -> Vec<Symbol> {
+        let mut out = Vec::with_capacity(self.total_events());
+        for s in self.processes.values() {
+            out.extend_from_slice(s);
+        }
+        out
+    }
+
+    /// The smallest alphabet containing every observed system call.
+    ///
+    /// Returns `None` for an empty set.
+    pub fn alphabet(&self) -> Option<Alphabet> {
+        self.processes
+            .values()
+            .flatten()
+            .map(|s| s.id() + 1)
+            .max()
+            .map(Alphabet::new)
+    }
+
+    /// Serialises back to UNM text (events in pid order).
+    pub fn to_unm_string(&self) -> String {
+        let mut out = String::new();
+        for (pid, stream) in self.iter() {
+            for s in stream {
+                writeln!(out, "{pid} {}", s.id()).expect("writing to String cannot fail");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_interleaved_processes() {
+        let text = "10 1\n20 2\n10 3\n20 4\n10 5\n";
+        let t = TraceSet::parse(text).unwrap();
+        assert_eq!(t.process_count(), 2);
+        assert_eq!(
+            t.process(10).unwrap(),
+            &[Symbol::new(1), Symbol::new(3), Symbol::new(5)]
+        );
+        assert_eq!(t.process(20).unwrap().len(), 2);
+        assert!(t.process(30).is_none());
+    }
+
+    #[test]
+    fn tolerates_comments_and_blanks() {
+        let text = "# header\n\n  \n5 1\n# middle\n5 2\n";
+        let t = TraceSet::parse(text).unwrap();
+        assert_eq!(t.total_events(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(matches!(
+            TraceSet::parse("1 2 3\n"),
+            Err(TraceError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            TraceSet::parse("abc 2\n"),
+            Err(TraceError::Parse { .. })
+        ));
+        assert!(matches!(
+            TraceSet::parse("1 xyz\n"),
+            Err(TraceError::Parse { .. })
+        ));
+        assert!(matches!(
+            TraceSet::parse("1\n"),
+            Err(TraceError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        assert!(matches!(TraceSet::parse("# nothing\n"), Err(TraceError::Empty)));
+        assert!(matches!(TraceSet::parse(""), Err(TraceError::Empty)));
+    }
+
+    #[test]
+    fn roundtrip_through_unm_text() {
+        let text = "10 1\n10 3\n20 2\n";
+        let t = TraceSet::parse(text).unwrap();
+        let back = TraceSet::parse(&t.to_unm_string()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn alphabet_and_longest() {
+        let text = "1 0\n1 9\n1 4\n2 1\n";
+        let t = TraceSet::parse(text).unwrap();
+        assert_eq!(t.alphabet().unwrap().size(), 10);
+        let (pid, stream) = t.longest().unwrap();
+        assert_eq!(pid, 1);
+        assert_eq!(stream.len(), 3);
+        assert!(TraceSet::new().alphabet().is_none());
+    }
+
+    #[test]
+    fn concatenated_preserves_pid_order() {
+        let text = "2 20\n1 10\n2 21\n";
+        let t = TraceSet::parse(text).unwrap();
+        assert_eq!(
+            t.concatenated(),
+            vec![Symbol::new(10), Symbol::new(20), Symbol::new(21)]
+        );
+    }
+}

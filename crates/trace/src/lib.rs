@@ -1,0 +1,42 @@
+//! System-call trace substrate for the `detdiv` workspace.
+//!
+//! The paper grounds its synthetic methodology in real-world data: §4.1
+//! notes that natural traces are "replete with minimal foreign sequences
+//! of varying lengths". This crate provides the machinery to make that
+//! measurement and to run the detectors on trace-shaped data:
+//!
+//! * [`TraceSet`] — parser/serialiser for the UNM `pid syscall` trace
+//!   format used by the sendmail/lpr intrusion-detection corpora;
+//! * [`generate_sendmail_like`] — a motif-based synthetic trace
+//!   generator standing in for the (non-redistributable) UNM datasets
+//!   (substitution documented in DESIGN.md §2.1);
+//! * [`mfs_census`] — counts minimal foreign sequences per length in one
+//!   trace relative to another (experiment NAT1);
+//! * [`generate_command_stream`] / [`UserProfile`] — synthetic user
+//!   command histories for the masquerade experiment (MASQ1).
+//!
+//! ```
+//! use detdiv_trace::{generate_sendmail_like, mfs_census, TraceGenConfig};
+//!
+//! let normal = generate_sendmail_like(&TraceGenConfig::default()).unwrap();
+//! let other = generate_sendmail_like(&TraceGenConfig { seed: 42, ..TraceGenConfig::default() }).unwrap();
+//! let report = mfs_census(&normal.concatenated(), &other.concatenated(), 6).unwrap();
+//! // Natural-looking data contains MFSs of varying lengths.
+//! assert!(report.total() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod census;
+mod commands;
+mod error;
+mod format;
+mod synthetic;
+
+pub use census::{mfs_census, CensusReport};
+pub use commands::{generate_command_stream, UserProfile};
+pub use error::TraceError;
+pub use format::TraceSet;
+pub use synthetic::{generate_sendmail_like, TraceGenConfig};

@@ -1,0 +1,91 @@
+//! Property tests for the trace substrate.
+
+use detdiv_trace::{generate_sendmail_like, mfs_census, TraceGenConfig, TraceSet};
+use proptest::prelude::*;
+
+proptest! {
+    /// UNM serialisation round-trips for any generated trace set.
+    #[test]
+    fn unm_roundtrip(processes in 1usize..5, events in 50usize..400, seed in 0u64..1000) {
+        let t = generate_sendmail_like(&TraceGenConfig {
+            processes,
+            events_per_process: events,
+            seed,
+        })
+        .unwrap();
+        let back = TraceSet::parse(&t.to_unm_string()).unwrap();
+        prop_assert_eq!(&back, &t);
+        prop_assert_eq!(back.total_events(), t.total_events());
+    }
+
+    /// Hand-built trace sets round-trip too (pids and calls arbitrary).
+    #[test]
+    fn arbitrary_sets_roundtrip(
+        events in prop::collection::vec((0u32..50, 0u32..200), 1..200),
+    ) {
+        let mut t = TraceSet::new();
+        for (pid, call) in &events {
+            t.push(*pid, detdiv_sequence::Symbol::new(*call));
+        }
+        let back = TraceSet::parse(&t.to_unm_string()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// The census against a training stream that *is* the test stream
+    /// finds nothing: no window of a stream is foreign to itself.
+    #[test]
+    fn self_census_is_empty(processes in 1usize..4, seed in 0u64..500) {
+        let t = generate_sendmail_like(&TraceGenConfig {
+            processes,
+            events_per_process: 400,
+            seed,
+        })
+        .unwrap();
+        let s = t.concatenated();
+        let report = mfs_census(&s, &s, 5).unwrap();
+        prop_assert_eq!(report.total(), 0);
+    }
+
+    /// Census totals are consistent: the per-length counts sum to the
+    /// total, and every counted length is within the requested range.
+    #[test]
+    fn census_totals_consistent(seed_a in 0u64..300, seed_b in 301u64..600, max_len in 2usize..7) {
+        let a = generate_sendmail_like(&TraceGenConfig {
+            processes: 2,
+            events_per_process: 800,
+            seed: seed_a,
+        })
+        .unwrap()
+        .concatenated();
+        let b = generate_sendmail_like(&TraceGenConfig {
+            processes: 2,
+            events_per_process: 500,
+            seed: seed_b,
+        })
+        .unwrap()
+        .concatenated();
+        let report = mfs_census(&a, &b, max_len).unwrap();
+        let sum: usize = report.counts.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(sum, report.total());
+        for &(len, _) in &report.counts {
+            prop_assert!((2..=max_len).contains(&len));
+        }
+        prop_assert_eq!(report.scanned_events, b.len());
+    }
+
+    /// Generated traces share a bounded vocabulary: every call number is
+    /// one of the motif repertoire's, for any seed.
+    #[test]
+    fn vocabulary_is_bounded(seed in 0u64..1000) {
+        let t = generate_sendmail_like(&TraceGenConfig {
+            processes: 1,
+            events_per_process: 300,
+            seed,
+        })
+        .unwrap();
+        let alphabet = t.alphabet().unwrap();
+        prop_assert!(alphabet.size() <= 116, "alphabet {alphabet}");
+        let (_, stream) = t.longest().unwrap();
+        prop_assert!(stream.iter().all(|s| alphabet.contains(*s)));
+    }
+}

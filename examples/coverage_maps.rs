@@ -1,0 +1,57 @@
+//! Regenerates the paper's Figures 3-6 — the detection-coverage maps of
+//! the four diverse detectors — plus the §7 coverage relations.
+//!
+//! ```text
+//! cargo run --release --example coverage_maps [training_len]
+//! ```
+//!
+//! `training_len` defaults to 120,000; pass 1000000 for the paper's full
+//! scale.
+
+use detdiv::eval::{comb1_stide_markov_subset, comb2_stide_lb_union, coverage_map};
+use detdiv::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let training_len: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(120_000);
+
+    let config = SynthesisConfig::builder().training_len(training_len).build()?;
+    eprintln!(
+        "synthesizing the paper's corpus at {} elements (AS 2-9, DW 2-15)...",
+        config.training_len()
+    );
+    let corpus = Corpus::synthesize(&config)?;
+
+    // Figures 3-6, in the paper's order.
+    for (figure, kind, expectation) in [
+        ("Figure 3", DetectorKind::LaneBrodley, "blind across the entire space"),
+        ("Figure 4", DetectorKind::Markov, "detects across the entire space"),
+        ("Figure 5", DetectorKind::Stide, "detects exactly when DW >= AS"),
+        ("Figure 6", DetectorKind::neural_default(), "mimics the Markov detector"),
+    ] {
+        eprintln!("computing {figure} ({})...", kind.name());
+        let map = coverage_map(&corpus, &kind)?;
+        println!("--- {figure}: paper expectation: {expectation} ---");
+        println!("{}", map.render());
+    }
+
+    // The §7 coverage relations.
+    let subset = comb1_stide_markov_subset(&corpus)?;
+    println!(
+        "Stide detection region is a subset of Markov's: {} ({} vs {} cells, Jaccard {:.3})",
+        subset.stide_subset_of_markov,
+        subset.stide_detections,
+        subset.markov_detections,
+        subset.jaccard
+    );
+    let union = comb2_stide_lb_union(&corpus)?;
+    println!(
+        "Adding L&B to Stide gains {} cells (L&B detects {} cells on its own)",
+        union.lb_gain_over_stide, union.lb_detections
+    );
+
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Full paper-grid integration test: AS 2–9 × DW 2–15 at a reduced
+//! training length, asserting the exact shape of Figures 3–5 cell by
+//! cell. (Figure 6 — the neural network — is covered on a reduced grid
+//! in the unit tests and at full scale by the `regenerate` binary; its
+//! 14 per-window trainings are too slow for the default test profile.)
+
+use detdiv::eval::{coverage_map, expected_stide_map};
+use detdiv::prelude::*;
+
+#[test]
+fn figures_3_4_5_exact_shapes_on_the_paper_grid() {
+    let config = SynthesisConfig::builder()
+        .training_len(120_000)
+        .background_len(2048)
+        .seed(20050628)
+        .build()
+        .expect("paper grid config");
+    assert_eq!(config.anomaly_sizes(), 2..=9);
+    assert_eq!(config.windows(), 2..=15);
+    let corpus = Corpus::synthesize(&config).expect("corpus");
+
+    // Figure 5: Stide detects exactly when DW >= AS.
+    let stide = coverage_map(&corpus, &DetectorKind::Stide).expect("stide map");
+    let expected = expected_stide_map(&corpus);
+    for (a, w, cell) in expected.iter() {
+        if cell.is_defined() {
+            assert_eq!(
+                stide.detects(a, w).expect("cell"),
+                cell.is_detection(),
+                "Stide cell (AS {a}, DW {w})"
+            );
+        }
+    }
+    assert_eq!(stide.detection_count(), 84); // sum over AS=2..9 of (15 - max(AS,2) + 1)
+
+    // Figure 4: the Markov detector covers the whole defined grid.
+    let markov = coverage_map(&corpus, &DetectorKind::Markov).expect("markov map");
+    assert_eq!(markov.detection_count(), 8 * 14);
+
+    // Figure 3: Lane & Brodley never detects.
+    let lb = coverage_map(&corpus, &DetectorKind::LaneBrodley).expect("lb map");
+    assert_eq!(lb.detection_count(), 0);
+
+    // §7 relations on the full grid.
+    assert!(stide.is_subset_of(&markov).expect("same grid"));
+    assert_eq!(stide.gain_from(&lb).expect("same grid"), 0);
+}
