@@ -39,5 +39,10 @@ fn bench_fig7_kernel(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_coverage_maps, bench_fig2_kernel, bench_fig7_kernel);
+criterion_group!(
+    benches,
+    bench_coverage_maps,
+    bench_fig2_kernel,
+    bench_fig7_kernel
+);
 criterion_main!(benches);

@@ -14,6 +14,7 @@
 
 use std::process::ExitCode;
 
+use detdiv_obs as obs;
 use detdiv_trace::{generate_sendmail_like, mfs_census, TraceGenConfig, TraceSet};
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,7 +29,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     let (training_set, monitor_set, max_len) = if args[0] == "--demo" {
         let max_len: usize = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(8);
-        eprintln!("generating synthetic sendmail-like corpora (seeds 100 / 200)...");
+        obs::info!(
+            "generating synthetic sendmail-like corpora",
+            seeds = "100/200"
+        );
         let training = generate_sendmail_like(&TraceGenConfig {
             processes: 8,
             events_per_process: 4000,
@@ -61,11 +65,18 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut pooled: Vec<(usize, usize)> = (2..=max_len).map(|l| (l, 0)).collect();
     for (pid, stream) in monitor_set.iter() {
         if stream.len() < max_len {
-            println!("pid {pid}: skipped ({} events, shorter than max_len)", stream.len());
+            println!(
+                "pid {pid}: skipped ({} events, shorter than max_len)",
+                stream.len()
+            );
             continue;
         }
         let report = mfs_census(&training, stream, max_len)?;
-        println!("pid {pid}: {} MFS occurrences in {} events", report.total(), stream.len());
+        println!(
+            "pid {pid}: {} MFS occurrences in {} events",
+            report.total(),
+            stream.len()
+        );
         for (slot, &(len, count)) in pooled.iter_mut().zip(&report.counts) {
             debug_assert_eq!(slot.0, len);
             slot.1 += count;
@@ -83,10 +94,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn main() -> ExitCode {
+    if std::env::var_os("DETDIV_LOG").is_none() {
+        obs::set_max_level(obs::Level::Info);
+    }
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            obs::error!("run failed", detail = e);
             ExitCode::FAILURE
         }
     }

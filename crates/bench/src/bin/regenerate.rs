@@ -11,18 +11,23 @@
 //! * `--paper` — shorthand for `--training-len 1000000`;
 //! * `--seed` — synthesis seed (default: the paper configuration's);
 //! * `--json` — additionally write the full report as JSON (only with
-//!   `all`).
+//!   `all`); run telemetry is written as `paper_telemetry.json` next
+//!   to the report;
+//! * `--log` — diagnostic verbosity (`off error warn info debug
+//!   trace`); overrides the `DETDIV_LOG` environment variable. The
+//!   binary defaults to `info` so progress is visible; `off` also
+//!   disables telemetry collection.
 
 use std::process::ExitCode;
 
+use detdiv_obs as obs;
+
 use detdiv_eval::{
-    abl1_maximal_response_semantics, ana1_response_map, fn1_threshold_sweeps, abl2_locality_frame_count, abl3_nn_sensitivity,
-    abl4_training_length,
-    comb1_stide_markov_subset, comb2_stide_lb_union, comb3_suppression, coverage_map,
-    div1_diversity_matrix, ext1_extended_families,
-    fig2_incident_span, fig7_similarity, masq1_lane_brodley_masquerade, nat1_census,
-    render_suppression_table, DetectorKind,
-    FullReport, SuppressionConfig,
+    abl1_maximal_response_semantics, abl2_locality_frame_count, abl3_nn_sensitivity,
+    abl4_training_length, ana1_response_map, comb1_stide_markov_subset, comb2_stide_lb_union,
+    comb3_suppression, coverage_map, div1_diversity_matrix, ext1_extended_families,
+    fig2_incident_span, fig7_similarity, fn1_threshold_sweeps, masq1_lane_brodley_masquerade,
+    nat1_census, render_suppression_table, DetectorKind, FullReport, SuppressionConfig,
 };
 use detdiv_synth::{Corpus, SynthesisConfig};
 
@@ -31,6 +36,7 @@ struct Args {
     training_len: usize,
     seed: Option<u64>,
     json: Option<String>,
+    log: Option<obs::Level>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
         training_len: 200_000,
         seed: None,
         json: None,
+        log: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -65,10 +72,18 @@ fn parse_args() -> Result<Args, String> {
             "--json" => {
                 args.json = Some(it.next().ok_or("--json needs a path")?);
             }
+            "--log" => {
+                let value = it.next().ok_or("--log needs a level")?;
+                args.log = Some(
+                    obs::Level::parse(&value)
+                        .ok_or_else(|| format!("--log: unknown level {value}"))?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: regenerate [--experiment ID] [--training-len N] [--paper] [--seed N] [--json PATH]\n\
-                     experiments: fig2 fig3 fig4 fig5 fig6 fig7 comb1 comb2 comb3 abl1 abl2 abl3 abl4 nat1 ext1 div1 masq1 fn1 ana1 all"
+                    "usage: regenerate [--experiment ID] [--training-len N] [--paper] [--seed N] [--json PATH] [--log LEVEL]\n\
+                     experiments: fig2 fig3 fig4 fig5 fig6 fig7 comb1 comb2 comb3 abl1 abl2 abl3 abl4 nat1 ext1 div1 masq1 fn1 ana1 all\n\
+                     log levels:  off error warn info debug trace (default info; DETDIV_LOG also honoured)"
                 );
                 std::process::exit(0);
             }
@@ -84,11 +99,11 @@ fn build_corpus(args: &Args) -> Result<Corpus, Box<dyn std::error::Error>> {
         builder = builder.seed(seed);
     }
     let config = builder.build()?;
-    eprintln!(
-        "synthesizing corpus: {} training elements, AS {:?}, DW {:?} ...",
-        config.training_len(),
-        config.anomaly_sizes(),
-        config.windows()
+    obs::info!(
+        "synthesizing corpus",
+        training_elements = config.training_len(),
+        anomaly_sizes = format!("{:?}", config.anomaly_sizes()),
+        windows = format!("{:?}", config.windows()),
     );
     Ok(Corpus::synthesize(&config)?)
 }
@@ -159,7 +174,10 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "abl2" => {
             let corpus = build_corpus(args)?;
             let rows = abl2_locality_frame_count(&corpus, 6, 4, 8192, 3)?;
-            println!("{:>6} {:>10} {:>5} {:>13}", "frame", "threshold", "hit", "false alarms");
+            println!(
+                "{:>6} {:>10} {:>5} {:>13}",
+                "frame", "threshold", "hit", "false alarms"
+            );
             for r in rows {
                 println!(
                     "{:>6} {:>10.2} {:>5} {:>13}",
@@ -240,8 +258,14 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
         "ana1" => {
             let corpus = build_corpus(args)?;
-            println!("{}", ana1_response_map(&corpus, &DetectorKind::LaneBrodley)?.render());
-            println!("{}", ana1_response_map(&corpus, &DetectorKind::Markov)?.render());
+            println!(
+                "{}",
+                ana1_response_map(&corpus, &DetectorKind::LaneBrodley)?.render()
+            );
+            println!(
+                "{}",
+                ana1_response_map(&corpus, &DetectorKind::Markov)?.render()
+            );
         }
         "masq1" => {
             let r = masq1_lane_brodley_masquerade(5, 11)?;
@@ -259,9 +283,20 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             let corpus = build_corpus(args)?;
             let report = FullReport::generate_on(&corpus)?;
             println!("{}", report.render_text());
+            obs::info!("run telemetry summary follows");
+            obs::raw(obs::Level::Info, &report.telemetry.render_text());
             if let Some(path) = &args.json {
                 std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
-                eprintln!("wrote JSON report to {path}");
+                obs::info!("wrote JSON report", path = path);
+                let telemetry_path = std::path::Path::new(path)
+                    .parent()
+                    .map(|dir| dir.join("paper_telemetry.json"))
+                    .unwrap_or_else(|| std::path::PathBuf::from("paper_telemetry.json"));
+                std::fs::write(
+                    &telemetry_path,
+                    serde_json::to_string_pretty(&report.telemetry)?,
+                )?;
+                obs::info!("wrote telemetry", path = telemetry_path.display());
             }
         }
         other => return Err(format!("unknown experiment {other}").into()),
@@ -270,17 +305,27 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn main() -> ExitCode {
+    // The runner defaults to info-level progress; an explicit --log or
+    // DETDIV_LOG (including `off`, which also disables telemetry) wins.
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}");
+            obs::error!("argument error", detail = e);
             return ExitCode::FAILURE;
         }
     };
+    match args.log {
+        Some(level) => obs::set_max_level(level),
+        None => {
+            if std::env::var_os("DETDIV_LOG").is_none() {
+                obs::set_max_level(obs::Level::Info);
+            }
+        }
+    }
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            obs::error!("run failed", detail = e);
             ExitCode::FAILURE
         }
     }

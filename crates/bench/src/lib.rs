@@ -5,6 +5,9 @@
 //! construction so bench targets agree on what "small" and "paper
 //! scale" mean.
 
+#![forbid(unsafe_code)]
+#![warn(clippy::print_stdout, clippy::print_stderr)]
+
 use detdiv_synth::{Corpus, SynthesisConfig};
 
 /// A reduced corpus for microbenchmarks: 60 k training elements, AS

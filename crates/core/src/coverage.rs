@@ -130,14 +130,14 @@ impl CoverageMap {
                 anomaly_size,
                 window,
             })?;
-        let wi = self
-            .windows
-            .iter()
-            .position(|&w| w == window)
-            .ok_or(EvalError::CellOutOfGrid {
-                anomaly_size,
-                window,
-            })?;
+        let wi =
+            self.windows
+                .iter()
+                .position(|&w| w == window)
+                .ok_or(EvalError::CellOutOfGrid {
+                    anomaly_size,
+                    window,
+                })?;
         Ok(wi * self.anomaly_sizes.len() + ai)
     }
 
@@ -395,7 +395,10 @@ mod tests {
         assert_eq!(m.get(2, 3).unwrap(), CellStatus::Weak);
         assert!(matches!(
             m.get(9, 2),
-            Err(EvalError::CellOutOfGrid { anomaly_size: 9, .. })
+            Err(EvalError::CellOutOfGrid {
+                anomaly_size: 9,
+                ..
+            })
         ));
         assert!(m.set(2, 9, CellStatus::Blind).is_err());
     }
@@ -406,10 +409,7 @@ mod tests {
         assert_eq!(m.detection_count(), 2);
         assert_eq!(m.defined_count(), 9);
         assert_eq!(m.iter().count(), 9);
-        assert_eq!(
-            m.iter().filter(|(_, _, c)| c.is_detection()).count(),
-            2
-        );
+        assert_eq!(m.iter().filter(|(_, _, c)| c.is_detection()).count(), 2);
     }
 
     #[test]

@@ -167,15 +167,13 @@ impl DiversityMatrix {
     /// detector; columns: added detector; cells: added detections).
     pub fn render(&self) -> String {
         let n = self.len();
-        let width = self
-            .names
-            .iter()
-            .map(|s| s.len())
-            .max()
-            .unwrap_or(4)
-            .max(5);
+        let width = self.names.iter().map(|s| s.len()).max().unwrap_or(4).max(5);
         let mut out = String::new();
-        out.push_str(&format!("{:<w$}  cells", "gain of adding ->", w = width + 2));
+        out.push_str(&format!(
+            "{:<w$}  cells",
+            "gain of adding ->",
+            w = width + 2
+        ));
         for name in &self.names {
             out.push_str(&format!(" {name:>w$}", w = width));
         }
@@ -228,7 +226,17 @@ mod tests {
         // markov: everything; stide: diagonal-ish subset; lb: nothing.
         let markov = map(
             "markov",
-            &[(2, 2), (2, 3), (2, 4), (3, 3), (3, 4), (4, 4), (3, 2), (4, 2), (4, 3)],
+            &[
+                (2, 2),
+                (2, 3),
+                (2, 4),
+                (3, 3),
+                (3, 4),
+                (4, 4),
+                (3, 2),
+                (4, 2),
+                (4, 3),
+            ],
         );
         let stide = map("stide", &[(2, 2), (2, 3), (2, 4), (3, 3), (3, 4), (4, 4)]);
         let lb = map("lb", &[]);

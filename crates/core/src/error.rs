@@ -86,7 +86,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = EvalError::StreamShorterThanWindow { stream: 3, window: 5 };
+        let e = EvalError::StreamShorterThanWindow {
+            stream: 3,
+            window: 5,
+        };
         assert!(e.to_string().contains("shorter"));
         let e = EvalError::GridMismatch;
         assert!(e.to_string().contains("grids"));

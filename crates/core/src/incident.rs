@@ -236,6 +236,9 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        assert_eq!(IncidentSpan::from_bounds(0, 1).to_string(), "incident-span[0..=1]");
+        assert_eq!(
+            IncidentSpan::from_bounds(0, 1).to_string(),
+            "incident-span[0..=1]"
+        );
     }
 }

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 
 mod coverage;
 mod detector;
@@ -31,6 +32,7 @@ mod diversity;
 mod ensemble;
 mod error;
 mod incident;
+mod instrument;
 mod metrics;
 mod outcome;
 
@@ -40,6 +42,7 @@ pub use diversity::DiversityMatrix;
 pub use ensemble::{alarm_union, suppress_alarms, AlarmEnsemble, CombinationRule};
 pub use error::EvalError;
 pub use incident::IncidentSpan;
+pub use instrument::InstrumentedDetector;
 pub use metrics::{analyze_alarms, threshold_sweep, AlarmAnalysis, RocPoint};
 pub use outcome::{
     classify_scores, evaluate_case, Classification, DetectionOutcome, LabeledCase, OwnedCase,

@@ -233,7 +233,17 @@ where
             found: scores.len(),
         });
     }
-    classify_scores(&scores, span, detector.maximal_response_floor())
+    let outcome = classify_scores(&scores, span, detector.maximal_response_floor());
+    if detdiv_obs::telemetry_enabled() {
+        detdiv_obs::incr_counter("eval/cases", 1);
+        match &outcome {
+            Ok(o) => {
+                detdiv_obs::incr_counter(&format!("eval/classified/{}", o.classification()), 1);
+            }
+            Err(_) => detdiv_obs::incr_counter("eval/errors", 1),
+        }
+    }
+    outcome
 }
 
 #[cfg(test)]

@@ -95,7 +95,10 @@ impl HmmDetector {
     /// zero, or `detection_floor` is outside `(0, 1]`.
     pub fn with_config(window: usize, config: HmmConfig) -> Self {
         assert!(window >= 2, "the HMM detector needs a window of at least 2");
-        assert!(config.max_iters > 0, "training needs at least one iteration");
+        assert!(
+            config.max_iters > 0,
+            "training needs at least one iteration"
+        );
         assert!(config.max_training_events > 0, "training needs events");
         assert!(
             config.detection_floor > 0.0 && config.detection_floor <= 1.0,
@@ -288,7 +291,10 @@ mod tests {
     fn deterministic_given_seed() {
         let a = trained(2);
         let b = trained(2);
-        assert_eq!(a.scores(&symbols(&[0, 1, 2])), b.scores(&symbols(&[0, 1, 2])));
+        assert_eq!(
+            a.scores(&symbols(&[0, 1, 2])),
+            b.scores(&symbols(&[0, 1, 2]))
+        );
     }
 
     #[test]

@@ -45,7 +45,11 @@ use detdiv_sequence::{NgramSet, Symbol};
 /// assert_eq!(lane_brodley_similarity(&normal, &foreign), 10);
 /// ```
 pub fn lane_brodley_similarity(a: &[Symbol], b: &[Symbol]) -> u64 {
-    assert_eq!(a.len(), b.len(), "similarity requires same-length sequences");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "similarity requires same-length sequences"
+    );
     let mut run = 0u64;
     let mut total = 0u64;
     for (x, y) in a.iter().zip(b) {
@@ -233,7 +237,7 @@ mod tests {
     fn response_uses_most_similar_normal() {
         let mut det = LaneBrodley::new(3);
         det.train(&symbols(&[0, 1, 2, 0, 1, 2])); // normals: 012, 120, 201
-        // (0,1,9): best match 012 with sim 1+2+0 = 3 of 6 -> response 0.5.
+                                                  // (0,1,9): best match 012 with sim 1+2+0 = 3 of 6 -> response 0.5.
         assert!((det.response(&symbols(&[0, 1, 9])) - 0.5).abs() < 1e-12);
         // Identical to a normal: response 0.
         assert_eq!(det.response(&symbols(&[1, 2, 0])), 0.0);

@@ -68,7 +68,10 @@ impl MarkovDetector {
     ///
     /// Panics if `window < 2` or `r` is not within `[0, 1)`.
     pub fn with_rare_threshold(window: usize, rare_threshold: f64) -> Self {
-        assert!(window >= 2, "the Markov detector needs a window of at least 2");
+        assert!(
+            window >= 2,
+            "the Markov detector needs a window of at least 2"
+        );
         assert!(
             (0.0..1.0).contains(&rare_threshold),
             "rare threshold must be in [0, 1)"

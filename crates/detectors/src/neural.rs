@@ -119,7 +119,10 @@ impl NeuralDetector {
     /// Panics if `window < 2`, `hidden` or `epochs` is zero, or
     /// `detection_floor` is not within `(0, 1]`.
     pub fn with_config(window: usize, config: NeuralConfig) -> Self {
-        assert!(window >= 2, "the neural detector needs a window of at least 2");
+        assert!(
+            window >= 2,
+            "the neural detector needs a window of at least 2"
+        );
         assert!(config.hidden > 0, "hidden layer must be non-empty");
         assert!(config.epochs > 0, "training needs at least one epoch");
         assert!(
@@ -176,11 +179,7 @@ impl SequenceAnomalyDetector for NeuralDetector {
             self.state = None;
             return;
         };
-        let alphabet_size = training
-            .iter()
-            .map(|s| s.index() + 1)
-            .max()
-            .unwrap_or(0);
+        let alphabet_size = training.iter().map(|s| s.index() + 1).max().unwrap_or(0);
         if alphabet_size == 0 {
             self.state = None;
             return;
@@ -345,7 +344,10 @@ mod tests {
     fn deterministic_given_seed() {
         let a = trained(2);
         let b = trained(2);
-        assert_eq!(a.scores(&symbols(&[0, 1, 2])), b.scores(&symbols(&[0, 1, 2])));
+        assert_eq!(
+            a.scores(&symbols(&[0, 1, 2])),
+            b.scores(&symbols(&[0, 1, 2]))
+        );
     }
 
     #[test]

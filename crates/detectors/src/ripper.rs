@@ -90,7 +90,10 @@ impl RipperDetector {
     ///
     /// Panics if `window < 2` or `detection_floor` is outside `(0, 1]`.
     pub fn with_config(window: usize, config: RipperConfig) -> Self {
-        assert!(window >= 2, "the rule detector needs a window of at least 2");
+        assert!(
+            window >= 2,
+            "the rule detector needs a window of at least 2"
+        );
         assert!(
             config.detection_floor > 0.0 && config.detection_floor <= 1.0,
             "detection floor must be in (0, 1]"

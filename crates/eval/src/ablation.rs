@@ -41,14 +41,12 @@ pub struct SemanticsAblation {
 /// # Errors
 ///
 /// Propagates coverage-map computation failures.
-pub fn abl1_maximal_response_semantics(
-    corpus: &Corpus,
-) -> Result<SemanticsAblation, HarnessError> {
+pub fn abl1_maximal_response_semantics(corpus: &Corpus) -> Result<SemanticsAblation, HarnessError> {
     let tolerant_map = coverage_map(corpus, &DetectorKind::Markov)?;
     let strict_map = coverage_map(corpus, &DetectorKind::MarkovStrict)?;
     let stide_map = coverage_map(corpus, &DetectorKind::Stide)?;
-    let strict_equals_stide = strict_map.is_subset_of(&stide_map)?
-        && stide_map.is_subset_of(&strict_map)?;
+    let strict_equals_stide =
+        strict_map.is_subset_of(&stide_map)? && stide_map.is_subset_of(&strict_map)?;
     Ok(SemanticsAblation {
         detections: (tolerant_map.detection_count(), strict_map.detection_count()),
         strict_equals_stide,
@@ -225,7 +223,10 @@ pub fn abl4_training_length(
         let expected = expected_stide_map(&corpus);
         let stide_shape_holds = expected.iter().all(|(a, w, cell)| {
             !cell.is_defined()
-                || stide.detects(a, w).map(|d| d == cell.is_detection()).unwrap_or(false)
+                || stide
+                    .detects(a, w)
+                    .map(|d| d == cell.is_detection())
+                    .unwrap_or(false)
         });
         rows.push(TrainingLenRow {
             training_len,
@@ -328,7 +329,9 @@ mod tests {
         assert_eq!(rows.len(), 16);
         let best = rows
             .iter()
-            .find(|r| r.hidden == 16 && r.learning_rate == 0.4 && r.momentum == 0.7 && r.epochs == 300)
+            .find(|r| {
+                r.hidden == 16 && r.learning_rate == 0.4 && r.momentum == 0.7 && r.epochs == 300
+            })
             .unwrap();
         assert!(best.capable, "well-tuned NN should be capable: {best:?}");
         // At least one starved configuration weakens the signal below

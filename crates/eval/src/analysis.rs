@@ -1,7 +1,9 @@
 //! Quantitative side-analyses: FN1 (the paper's footnote 1) and ANA1
 //! (maximum-response maps underneath the binary coverage maps).
 
-use detdiv_core::{evaluate_case, IncidentSpan, LabeledCase, SequenceAnomalyDetector, threshold_sweep, RocPoint};
+use detdiv_core::{
+    evaluate_case, threshold_sweep, IncidentSpan, LabeledCase, RocPoint, SequenceAnomalyDetector,
+};
 use detdiv_synth::Corpus;
 use serde::{Deserialize, Serialize};
 

@@ -41,6 +41,7 @@ use crate::kinds::DetectorKind;
 /// assert!(!map.detects(3, 2).unwrap());
 /// ```
 pub fn coverage_map(corpus: &Corpus, kind: &DetectorKind) -> Result<CoverageMap, HarnessError> {
+    let _span = detdiv_obs::span!("coverage", detector = kind.name());
     let config = corpus.config();
     let mut map = CoverageMap::new(
         kind.name(),
@@ -49,10 +50,15 @@ pub fn coverage_map(corpus: &Corpus, kind: &DetectorKind) -> Result<CoverageMap,
     );
     for window in config.windows() {
         let mut detector = kind.build(window);
-        detector.train(corpus.training());
+        {
+            let _train = detdiv_obs::span!("train", detector = kind.name(), window = window);
+            detector.train(corpus.training());
+        }
         for anomaly_size in config.anomaly_sizes() {
+            let cell_started = std::time::Instant::now();
             let case = corpus.case(anomaly_size, window)?;
             let outcome = evaluate_case(detector.as_ref(), &case)?;
+            detdiv_obs::record_cell(kind.name(), window, anomaly_size, cell_started.elapsed());
             map.set(
                 anomaly_size,
                 window,
@@ -61,6 +67,11 @@ pub fn coverage_map(corpus: &Corpus, kind: &DetectorKind) -> Result<CoverageMap,
         }
         // AS = 1 stays Undefined: a one-element sequence cannot be both
         // foreign and rare (§6).
+        detdiv_obs::debug!(
+            "coverage row complete",
+            detector = kind.name(),
+            window = window,
+        );
     }
     Ok(map)
 }

@@ -108,7 +108,10 @@ mod tests {
             .any(|(small, large)| small == "stide" && large == "markov"));
         // L&B is a subset of everything that detects anything; it never
         // appears as the larger side.
-        assert!(!r.subset_pairs.iter().any(|(_, large)| large == "lane-brodley"));
+        assert!(!r
+            .subset_pairs
+            .iter()
+            .any(|(_, large)| large == "lane-brodley"));
         // On this corpus the full-coverage detectors tie, so no pair is
         // genuinely complementary.
         assert!(r.complementary_pairs.is_empty());

@@ -90,7 +90,10 @@ mod tests {
         assert!(r.tstide_contains_stide);
         assert!(r.tstide_equals_markov, "t-stide should cover the full grid");
         assert!(r.hmm_equals_markov, "the HMM should cover the full grid");
-        assert!(r.ripper_equals_markov, "the rule learner should cover the full grid");
+        assert!(
+            r.ripper_equals_markov,
+            "the rule learner should cover the full grid"
+        );
         assert_eq!(r.hmm_map.detection_count(), 3 * 4);
         assert_eq!(r.ripper_map.detection_count(), 3 * 4);
     }

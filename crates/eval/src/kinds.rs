@@ -1,11 +1,21 @@
 //! Detector factory: one place that knows how to instantiate every
 //! detector family at a given window.
 
-use detdiv_core::SequenceAnomalyDetector;
+use detdiv_core::{InstrumentedDetector, SequenceAnomalyDetector};
 use detdiv_detectors::{
     HmmConfig, HmmDetector, LaneBrodley, MarkovDetector, NeuralConfig, NeuralDetector,
     RipperConfig, RipperDetector, Stide, StideLfc, TStide,
 };
+
+/// Boxes `detector` behind the telemetry-recording wrapper, so every
+/// detector the factory hands out feeds the `detector/<name>/*` series
+/// (a no-op under `DETDIV_LOG=off`).
+fn instrumented<D>(detector: D) -> Box<dyn SequenceAnomalyDetector>
+where
+    D: SequenceAnomalyDetector + 'static,
+{
+    Box::new(InstrumentedDetector::new(detector))
+}
 
 /// A detector family that can be instantiated at any detector window.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,20 +109,20 @@ impl DetectorKind {
     /// Panics if `window` is below the family's minimum (2).
     pub fn build(&self, window: usize) -> Box<dyn SequenceAnomalyDetector> {
         match self {
-            DetectorKind::Stide => Box::new(Stide::new(window)),
-            DetectorKind::StideLfc { frame } => Box::new(StideLfc::new(window, *frame)),
-            DetectorKind::TStide => Box::new(TStide::new(window)),
-            DetectorKind::Markov => Box::new(MarkovDetector::new(window)),
-            DetectorKind::MarkovStrict => Box::new(MarkovDetector::strict(window)),
+            DetectorKind::Stide => instrumented(Stide::new(window)),
+            DetectorKind::StideLfc { frame } => instrumented(StideLfc::new(window, *frame)),
+            DetectorKind::TStide => instrumented(TStide::new(window)),
+            DetectorKind::Markov => instrumented(MarkovDetector::new(window)),
+            DetectorKind::MarkovStrict => instrumented(MarkovDetector::strict(window)),
             DetectorKind::NeuralNetwork { config } => {
-                Box::new(NeuralDetector::with_config(window, config.clone()))
+                instrumented(NeuralDetector::with_config(window, config.clone()))
             }
-            DetectorKind::LaneBrodley => Box::new(LaneBrodley::new(window)),
+            DetectorKind::LaneBrodley => instrumented(LaneBrodley::new(window)),
             DetectorKind::Hmm { config } => {
-                Box::new(HmmDetector::with_config(window, config.clone()))
+                instrumented(HmmDetector::with_config(window, config.clone()))
             }
             DetectorKind::Ripper { config } => {
-                Box::new(RipperDetector::with_config(window, config.clone()))
+                instrumented(RipperDetector::with_config(window, config.clone()))
             }
         }
     }

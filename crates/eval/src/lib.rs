@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 
 mod ablation;
 mod analysis;
@@ -68,8 +69,8 @@ pub use ablation::{
 pub use analysis::{ana1_response_map, fn1_threshold_sweeps, ResponseMap, SweepResult};
 pub use census::{nat1_census, CensusResult};
 pub use combination::{
-    comb1_stide_markov_subset, comb2_stide_lb_union, comb3_suppression,
-    render_suppression_table, SubsetResult, SuppressionConfig, SuppressionRow, UnionGainResult,
+    comb1_stide_markov_subset, comb2_stide_lb_union, comb3_suppression, render_suppression_table,
+    SubsetResult, SuppressionConfig, SuppressionRow, UnionGainResult,
 };
 pub use coverage::{coverage_map, expected_stide_map, paper_coverage_maps};
 pub use diversity::{div1_diversity_matrix, DiversityResult};

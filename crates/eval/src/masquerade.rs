@@ -78,10 +78,7 @@ pub fn masq1_lane_brodley_masquerade(
     let masquerader_similarity = mean_similarity(&masquerade_session);
     let self_segments = segment_means(&self_session);
     let masq_segments = segment_means(&masquerade_session);
-    let min_self = self_segments
-        .iter()
-        .cloned()
-        .fold(f64::INFINITY, f64::min);
+    let min_self = self_segments.iter().cloned().fold(f64::INFINITY, f64::min);
     let max_masq = masq_segments
         .iter()
         .cloned()

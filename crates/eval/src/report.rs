@@ -4,6 +4,7 @@
 use std::fmt::Write as _;
 
 use detdiv_core::CoverageMap;
+use detdiv_obs::TelemetrySnapshot;
 use detdiv_synth::{Corpus, SynthesisConfig};
 use serde::{Deserialize, Serialize};
 
@@ -69,6 +70,29 @@ pub struct FullReport {
     /// ANA1: the Lane & Brodley maximum-response map (the analogue
     /// signal under Figure 3).
     pub ana1_lb: ResponseMap,
+    /// Run telemetry: per-detector timing histograms, counters, and
+    /// per-(AS × DW) cell wall times recorded while this report was
+    /// generated. Empty when telemetry is disabled (`DETDIV_LOG=off`)
+    /// or when deserializing reports written before this field existed.
+    #[serde(default)]
+    pub telemetry: TelemetrySnapshot,
+}
+
+/// Runs one named experiment under a telemetry span and logs its
+/// completion at info level.
+fn step<T>(
+    name: &'static str,
+    f: impl FnOnce() -> Result<T, HarnessError>,
+) -> Result<T, HarnessError> {
+    let span = detdiv_obs::span!(name);
+    let result = f();
+    detdiv_obs::info!(
+        "experiment finished",
+        experiment = name,
+        elapsed_ms = span.elapsed().as_millis(),
+        ok = result.is_ok(),
+    );
+    result
 }
 
 impl FullReport {
@@ -78,49 +102,93 @@ impl FullReport {
     ///
     /// Propagates the first failing synthesis or experiment.
     pub fn generate(config: &SynthesisConfig) -> Result<FullReport, HarnessError> {
-        let corpus = Corpus::synthesize(config)?;
-        Self::generate_on(&corpus)
+        detdiv_obs::reset();
+        let corpus = {
+            let _span = detdiv_obs::span!("synthesize");
+            Corpus::synthesize(config)?
+        };
+        Self::experiments(&corpus)
     }
 
     /// Runs every experiment on an existing corpus.
+    ///
+    /// Telemetry is reset on entry, so the attached
+    /// [`FullReport::telemetry`] snapshot covers exactly this run (it
+    /// excludes corpus synthesis, which the caller performed; use
+    /// [`FullReport::generate`] to include it).
     ///
     /// # Errors
     ///
     /// Propagates the first failing experiment.
     pub fn generate_on(corpus: &Corpus) -> Result<FullReport, HarnessError> {
+        detdiv_obs::reset();
+        Self::experiments(corpus)
+    }
+
+    /// Runs every experiment without resetting telemetry, then attaches
+    /// the accumulated snapshot.
+    fn experiments(corpus: &Corpus) -> Result<FullReport, HarnessError> {
         let config = corpus.config().clone();
         let mid_anomaly = (config.min_anomaly() + config.max_anomaly()) / 2;
-        let mid_window = mid_anomaly.max(config.min_window() + 1).min(config.max_window());
+        let mid_window = mid_anomaly
+            .max(config.min_window() + 1)
+            .min(config.max_window());
         let suppression = SuppressionConfig {
             windows: vec![config.min_window(), mid_window],
             anomaly_sizes: vec![config.min_anomaly(), mid_anomaly],
             ..SuppressionConfig::default()
         };
-        Ok(FullReport {
-            anomalies: corpus
-                .anomalies()
-                .map(|a| (a.len(), a.to_string()))
-                .collect(),
-            fig2: fig2_incident_span(5, 8)?,
-            fig3: coverage_map(corpus, &DetectorKind::LaneBrodley)?,
-            fig4: coverage_map(corpus, &DetectorKind::Markov)?,
-            fig5: coverage_map(corpus, &DetectorKind::Stide)?,
-            fig6: coverage_map(corpus, &DetectorKind::neural_default())?,
-            fig7: fig7_similarity(),
-            comb1: comb1_stide_markov_subset(corpus)?,
-            comb2: comb2_stide_lb_union(corpus)?,
-            comb3: comb3_suppression(corpus, &suppression)?,
-            abl1: abl1_maximal_response_semantics(corpus)?,
-            abl2: abl2_locality_frame_count(corpus, mid_window, mid_anomaly, 4096, 3)?,
-            abl3: abl3_nn_sensitivity(corpus, mid_window, mid_anomaly)?,
-            nat1: nat1_census(100, 200, config.max_anomaly().min(8))?,
-            ext1: ext1_extended_families(corpus)?,
-            div1: div1_diversity_matrix(corpus)?,
-            masq1: masq1_lane_brodley_masquerade(5, 11)?,
-            fn1: fn1_threshold_sweeps(corpus, mid_anomaly, mid_window)?,
-            ana1_lb: ana1_response_map(corpus, &DetectorKind::LaneBrodley)?,
-            config,
-        })
+        let mut report = {
+            let _report_span = detdiv_obs::span!("report");
+            FullReport {
+                anomalies: corpus
+                    .anomalies()
+                    .map(|a| (a.len(), a.to_string()))
+                    .collect(),
+                fig2: step("fig2_incident_span", || fig2_incident_span(5, 8))?,
+                fig3: step("fig3_lane_brodley", || {
+                    coverage_map(corpus, &DetectorKind::LaneBrodley)
+                })?,
+                fig4: step("fig4_markov", || {
+                    coverage_map(corpus, &DetectorKind::Markov)
+                })?,
+                fig5: step("fig5_stide", || coverage_map(corpus, &DetectorKind::Stide))?,
+                fig6: step("fig6_neural", || {
+                    coverage_map(corpus, &DetectorKind::neural_default())
+                })?,
+                fig7: step("fig7_similarity", || Ok(fig7_similarity()))?,
+                comb1: step("comb1_subset", || comb1_stide_markov_subset(corpus))?,
+                comb2: step("comb2_union", || comb2_stide_lb_union(corpus))?,
+                comb3: step("comb3_suppression", || {
+                    comb3_suppression(corpus, &suppression)
+                })?,
+                abl1: step("abl1_semantics", || abl1_maximal_response_semantics(corpus))?,
+                abl2: step("abl2_lfc", || {
+                    abl2_locality_frame_count(corpus, mid_window, mid_anomaly, 4096, 3)
+                })?,
+                abl3: step("abl3_nn_sensitivity", || {
+                    abl3_nn_sensitivity(corpus, mid_window, mid_anomaly)
+                })?,
+                nat1: step("nat1_census", || {
+                    nat1_census(100, 200, config.max_anomaly().min(8))
+                })?,
+                ext1: step("ext1_extensions", || ext1_extended_families(corpus))?,
+                div1: step("div1_diversity", || div1_diversity_matrix(corpus))?,
+                masq1: step("masq1_masquerade", || masq1_lane_brodley_masquerade(5, 11))?,
+                fn1: step("fn1_sweeps", || {
+                    fn1_threshold_sweeps(corpus, mid_anomaly, mid_window)
+                })?,
+                ana1_lb: step("ana1_response_map", || {
+                    ana1_response_map(corpus, &DetectorKind::LaneBrodley)
+                })?,
+                telemetry: TelemetrySnapshot::default(),
+                config,
+            }
+        };
+        // Snapshot after the report span closes, so `span/report`
+        // itself is part of the attached telemetry.
+        report.telemetry = detdiv_obs::snapshot();
+        Ok(report)
     }
 
     /// Renders the whole report as the text the `regenerate` binary
@@ -141,20 +209,35 @@ impl FullReport {
             let _ = writeln!(out, "  MFS size {size}: {a}");
         }
 
-        let _ = writeln!(out, "\n=== FIG2 — boundary sequences and the incident span (DW 5, AS 8) ===");
+        let _ = writeln!(
+            out,
+            "\n=== FIG2 — boundary sequences and the incident span (DW 5, AS 8) ==="
+        );
         let _ = writeln!(
             out,
             "{}\nboundary sequences per side: {}; span length: {}",
             self.fig2.rendering, self.fig2.boundary_sequences_per_side, self.fig2.span_len
         );
 
-        let _ = writeln!(out, "\n=== FIG3 — detection coverage, Lane & Brodley (paper: blind everywhere) ===");
+        let _ = writeln!(
+            out,
+            "\n=== FIG3 — detection coverage, Lane & Brodley (paper: blind everywhere) ==="
+        );
         let _ = writeln!(out, "{}", self.fig3.render());
-        let _ = writeln!(out, "\n=== FIG4 — detection coverage, Markov (paper: detects everywhere) ===");
+        let _ = writeln!(
+            out,
+            "\n=== FIG4 — detection coverage, Markov (paper: detects everywhere) ==="
+        );
         let _ = writeln!(out, "{}", self.fig4.render());
-        let _ = writeln!(out, "\n=== FIG5 — detection coverage, Stide (paper: detects iff DW >= AS) ===");
+        let _ = writeln!(
+            out,
+            "\n=== FIG5 — detection coverage, Stide (paper: detects iff DW >= AS) ==="
+        );
         let _ = writeln!(out, "{}", self.fig5.render());
-        let _ = writeln!(out, "\n=== FIG6 — detection coverage, neural network (paper: mimics Markov) ===");
+        let _ = writeln!(
+            out,
+            "\n=== FIG6 — detection coverage, neural network (paper: mimics Markov) ==="
+        );
         let _ = writeln!(out, "{}", self.fig6.render());
 
         let _ = writeln!(out, "\n=== FIG7 — L&B similarity worked example ===");
@@ -165,7 +248,10 @@ impl FullReport {
             self.fig7.response_final_mismatch
         );
 
-        let _ = writeln!(out, "\n=== COMB1 — Stide coverage is a subset of Markov coverage ===");
+        let _ = writeln!(
+            out,
+            "\n=== COMB1 — Stide coverage is a subset of Markov coverage ==="
+        );
         let _ = writeln!(
             out,
             "subset holds: {}; detections stide={} markov={}; jaccard {:.3}",
@@ -175,25 +261,41 @@ impl FullReport {
             self.comb1.jaccard
         );
 
-        let _ = writeln!(out, "\n=== COMB2 — Stide ∪ L&B affords no detection gain ===");
+        let _ = writeln!(
+            out,
+            "\n=== COMB2 — Stide ∪ L&B affords no detection gain ==="
+        );
         let _ = writeln!(
             out,
             "L&B detections: {}; gain over Stide: {}; union equals Stide: {}",
             self.comb2.lb_detections, self.comb2.lb_gain_over_stide, self.comb2.union_equals_stide
         );
 
-        let _ = writeln!(out, "\n=== COMB3 — Markov detects, Stide suppresses false alarms ===");
+        let _ = writeln!(
+            out,
+            "\n=== COMB3 — Markov detects, Stide suppresses false alarms ==="
+        );
         let _ = writeln!(out, "{}", render_suppression_table(&self.comb3));
 
-        let _ = writeln!(out, "\n=== ABL1 — maximal-response semantics (DESIGN.md §2.3) ===");
+        let _ = writeln!(
+            out,
+            "\n=== ABL1 — maximal-response semantics (DESIGN.md §2.3) ==="
+        );
         let _ = writeln!(
             out,
             "tolerant detections: {}; strict detections: {}; strict region equals Stide's: {}",
             self.abl1.detections.0, self.abl1.detections.1, self.abl1.strict_equals_stide
         );
 
-        let _ = writeln!(out, "\n=== ABL2 — Stide's locality frame count (suppressed by the paper's §5.5) ===");
-        let _ = writeln!(out, "{:>6} {:>10} {:>5} {:>13}", "frame", "threshold", "hit", "false alarms");
+        let _ = writeln!(
+            out,
+            "\n=== ABL2 — Stide's locality frame count (suppressed by the paper's §5.5) ==="
+        );
+        let _ = writeln!(
+            out,
+            "{:>6} {:>10} {:>5} {:>13}",
+            "frame", "threshold", "hit", "false alarms"
+        );
         for r in &self.abl2 {
             let _ = writeln!(
                 out,
@@ -205,7 +307,10 @@ impl FullReport {
             );
         }
 
-        let _ = writeln!(out, "\n=== ABL3 — neural-network parameter sensitivity (§7 caveat) ===");
+        let _ = writeln!(
+            out,
+            "\n=== ABL3 — neural-network parameter sensitivity (§7 caveat) ==="
+        );
         let _ = writeln!(
             out,
             "{:>7} {:>6} {:>9} {:>7} {:>13} {:>8}",
@@ -224,14 +329,20 @@ impl FullReport {
             );
         }
 
-        let _ = writeln!(out, "\n=== NAT1 — minimal foreign sequences in natural(-looking) traces (§4.1) ===");
+        let _ = writeln!(
+            out,
+            "\n=== NAT1 — minimal foreign sequences in natural(-looking) traces (§4.1) ==="
+        );
         let _ = writeln!(
             out,
             "training events: {}\n{}",
             self.nat1.training_events, self.nat1.report
         );
 
-        let _ = writeln!(out, "\n=== EXT1 — extension families: t-stide and the HMM (Warrender et al. 1999) ===");
+        let _ = writeln!(
+            out,
+            "\n=== EXT1 — extension families: t-stide and the HMM (Warrender et al. 1999) ==="
+        );
         let _ = writeln!(out, "{}", self.ext1.tstide_map.render());
         let _ = writeln!(out, "{}", self.ext1.hmm_map.render());
         let _ = writeln!(out, "{}", self.ext1.ripper_map.render());
@@ -244,13 +355,27 @@ impl FullReport {
             self.ext1.ripper_equals_markov
         );
 
-        let _ = writeln!(out, "\n=== DIV1 — pairwise diversity matrix over all families ===");
+        let _ = writeln!(
+            out,
+            "\n=== DIV1 — pairwise diversity matrix over all families ==="
+        );
         let _ = writeln!(out, "{}", self.div1.matrix.render());
         let _ = writeln!(out, "no-coverage-gain pairs: {:?}", self.div1.no_gain_pairs);
-        let _ = writeln!(out, "subset pairs (smaller ⊂ larger): {:?}", self.div1.subset_pairs);
-        let _ = writeln!(out, "complementary pairs: {:?}", self.div1.complementary_pairs);
+        let _ = writeln!(
+            out,
+            "subset pairs (smaller ⊂ larger): {:?}",
+            self.div1.subset_pairs
+        );
+        let _ = writeln!(
+            out,
+            "complementary pairs: {:?}",
+            self.div1.complementary_pairs
+        );
 
-        let _ = writeln!(out, "\n=== MASQ1 — Lane & Brodley on its home turf (masquerade detection) ===");
+        let _ = writeln!(
+            out,
+            "\n=== MASQ1 — Lane & Brodley on its home turf (masquerade detection) ==="
+        );
         let _ = writeln!(
             out,
             "mean profile similarity at DW {}: self {:.3}, masquerader {:.3} (margin {:.3}); segment-separable: {}",
@@ -261,7 +386,10 @@ impl FullReport {
             self.masq1.separable
         );
 
-        let _ = writeln!(out, "\n=== FN1 — footnote 1: the maximum response always registers ===");
+        let _ = writeln!(
+            out,
+            "\n=== FN1 — footnote 1: the maximum response always registers ==="
+        );
         for sweep in &self.fn1 {
             let _ = writeln!(
                 out,
@@ -270,7 +398,10 @@ impl FullReport {
             );
         }
 
-        let _ = writeln!(out, "\n=== ANA1 — max in-span responses under Figure 3 (Lane & Brodley) ===");
+        let _ = writeln!(
+            out,
+            "\n=== ANA1 — max in-span responses under Figure 3 (Lane & Brodley) ==="
+        );
         let _ = writeln!(out, "{}", self.ana1_lb.render());
 
         out

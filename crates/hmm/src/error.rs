@@ -45,7 +45,9 @@ impl fmt::Display for HmmError {
             HmmError::SymbolOutOfRange { symbol, symbols } => {
                 write!(f, "symbol {symbol} outside the model's {symbols} symbols")
             }
-            HmmError::EmptyTraining => write!(f, "training requires at least one non-empty sequence"),
+            HmmError::EmptyTraining => {
+                write!(f, "training requires at least one non-empty sequence")
+            }
         }
     }
 }

@@ -81,11 +81,7 @@ impl Hmm {
     /// * [`HmmError::EmptyDimension`] on zero states/symbols;
     /// * [`HmmError::NotStochastic`] if `pi` or any row of `a`/`b` is
     ///   not a probability distribution.
-    pub fn from_parts(
-        pi: Vec<f64>,
-        a: Vec<Vec<f64>>,
-        b: Vec<Vec<f64>>,
-    ) -> Result<Self, HmmError> {
+    pub fn from_parts(pi: Vec<f64>, a: Vec<Vec<f64>>, b: Vec<Vec<f64>>) -> Result<Self, HmmError> {
         let states = pi.len();
         if states == 0 {
             return Err(HmmError::EmptyDimension { which: "states" });
@@ -359,18 +355,29 @@ mod tests {
         ));
         assert!(matches!(
             Hmm::from_parts(vec![0.5, 0.4], vec![vec![1.0, 0.0]; 2], vec![vec![1.0]; 2]),
-            Err(HmmError::NotStochastic { table: "initial", .. })
+            Err(HmmError::NotStochastic {
+                table: "initial",
+                ..
+            })
         ));
         assert!(matches!(
             Hmm::from_parts(vec![1.0], vec![vec![0.8]], vec![vec![1.0]]),
-            Err(HmmError::NotStochastic { table: "transition", .. })
+            Err(HmmError::NotStochastic {
+                table: "transition",
+                ..
+            })
         ));
     }
 
     #[test]
     fn deterministic_cycle_likelihoods() {
         let hmm = cycle_hmm();
-        assert!(hmm.log_likelihood(&symbols(&[0, 1, 2, 0, 1])).unwrap().abs() < 1e-9);
+        assert!(
+            hmm.log_likelihood(&symbols(&[0, 1, 2, 0, 1]))
+                .unwrap()
+                .abs()
+                < 1e-9
+        );
         assert_eq!(
             hmm.log_likelihood(&symbols(&[0, 2])).unwrap(),
             f64::NEG_INFINITY
@@ -397,7 +404,10 @@ mod tests {
         let hmm = cycle_hmm();
         // After observing (0, 1), the next symbol is certainly 2.
         assert!((hmm.predict_next(&symbols(&[0, 1]), Symbol::new(2)).unwrap() - 1.0).abs() < 1e-12);
-        assert_eq!(hmm.predict_next(&symbols(&[0, 1]), Symbol::new(0)).unwrap(), 0.0);
+        assert_eq!(
+            hmm.predict_next(&symbols(&[0, 1]), Symbol::new(0)).unwrap(),
+            0.0
+        );
         // With no history, the first symbol is certainly 0.
         assert!((hmm.predict_next(&[], Symbol::new(0)).unwrap() - 1.0).abs() < 1e-12);
     }
@@ -405,7 +415,10 @@ mod tests {
     #[test]
     fn impossible_context_predicts_zero() {
         let hmm = cycle_hmm();
-        assert_eq!(hmm.predict_next(&symbols(&[0, 0]), Symbol::new(1)).unwrap(), 0.0);
+        assert_eq!(
+            hmm.predict_next(&symbols(&[0, 0]), Symbol::new(1)).unwrap(),
+            0.0
+        );
     }
 
     #[test]

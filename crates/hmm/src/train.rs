@@ -84,7 +84,11 @@ fn first_order_init(sequences: &[&[Symbol]], states: usize, symbols: usize) -> H
             // states; surplus states get a small floor.
             let row_total: f64 = (0..symbols).map(|x| bi[i * symbols + x]).sum();
             let surplus = n - symbols;
-            let floor = if surplus > 0 { 0.01 / surplus as f64 } else { 0.0 };
+            let floor = if surplus > 0 {
+                0.01 / surplus as f64
+            } else {
+                0.0
+            };
             let scale = if surplus > 0 { 0.99 } else { 1.0 };
             for j in 0..n {
                 a[i * n + j] = if j < symbols {
@@ -190,7 +194,11 @@ fn backward(hmm: &Hmm, obs: &[Symbol], scales: &[f64]) -> Vec<Vec<f64>> {
 /// * [`HmmError::SymbolOutOfRange`] is impossible here — the symbol
 ///   range is inferred from the data.
 pub fn baum_welch(sequences: &[&[Symbol]], config: &TrainConfig) -> Result<(Hmm, f64), HmmError> {
-    let sequences: Vec<&[Symbol]> = sequences.iter().copied().filter(|s| !s.is_empty()).collect();
+    let sequences: Vec<&[Symbol]> = sequences
+        .iter()
+        .copied()
+        .filter(|s| !s.is_empty())
+        .collect();
     if sequences.is_empty() {
         return Err(HmmError::EmptyTraining);
     }
@@ -335,8 +343,12 @@ mod tests {
         assert!(ll.is_finite());
         // Prediction of the learnt model: after (0,1,2) comes 3 with
         // high probability, and 1 with low probability.
-        let p_next = hmm.predict_next(&symbols(&[0, 1, 2]), Symbol::new(3)).unwrap();
-        let p_wrong = hmm.predict_next(&symbols(&[0, 1, 2]), Symbol::new(1)).unwrap();
+        let p_next = hmm
+            .predict_next(&symbols(&[0, 1, 2]), Symbol::new(3))
+            .unwrap();
+        let p_wrong = hmm
+            .predict_next(&symbols(&[0, 1, 2]), Symbol::new(1))
+            .unwrap();
         assert!(p_next > 0.9, "p(3 | 0,1,2) = {p_next}");
         assert!(p_wrong < 0.1, "p(1 | 0,1,2) = {p_wrong}");
     }
@@ -366,7 +378,12 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(long.1 >= short.1, "EM must not decrease likelihood: {} -> {}", short.1, long.1);
+        assert!(
+            long.1 >= short.1,
+            "EM must not decrease likelihood: {} -> {}",
+            short.1,
+            long.1
+        );
     }
 
     #[test]

@@ -202,7 +202,10 @@ mod tests {
         // (2): followed by 1 twice, by 3 once.
         let train = symbols(&[1, 2, 1, 2, 3, 1, 2, 1]);
         let m = ConditionalModel::estimate(&train, 1).unwrap();
-        assert_eq!(m.predict(&symbols(&[1]), symbols(&[2])[0]), Prediction::Known(1.0));
+        assert_eq!(
+            m.predict(&symbols(&[1]), symbols(&[2])[0]),
+            Prediction::Known(1.0)
+        );
         assert_eq!(
             m.predict(&symbols(&[2]), symbols(&[1])[0]),
             Prediction::Known(2.0 / 3.0)
@@ -212,7 +215,10 @@ mod tests {
             Prediction::Known(1.0 / 3.0)
         );
         // Seen context, unseen continuation: Known(0).
-        assert_eq!(m.predict(&symbols(&[2]), symbols(&[2])[0]), Prediction::Known(0.0));
+        assert_eq!(
+            m.predict(&symbols(&[2]), symbols(&[2])[0]),
+            Prediction::Known(0.0)
+        );
         // Symbol 4 never occurs, so context (4) is unseen.
         assert_eq!(
             m.predict(&symbols(&[4]), symbols(&[1])[0]),
@@ -246,7 +252,9 @@ mod tests {
         // Sum of P(next | 1) over observed successors must be 1.
         let mut sum = 0.0;
         for next in 0..4u32 {
-            sum += m.predict(&symbols(&[1]), Symbol::new(next)).probability_or_zero();
+            sum += m
+                .predict(&symbols(&[1]), Symbol::new(next))
+                .probability_or_zero();
         }
         assert!((sum - 1.0).abs() < 1e-12);
     }

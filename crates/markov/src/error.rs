@@ -50,13 +50,19 @@ impl fmt::Display for MarkovError {
                 write!(f, "expected {expected} transition rows, found {found}")
             }
             MarkovError::StreamTooShort { len, needed } => {
-                write!(f, "stream of length {len} is shorter than required {needed}")
+                write!(
+                    f,
+                    "stream of length {len} is shorter than required {needed}"
+                )
             }
             MarkovError::SymbolOutOfAlphabet { symbol, alphabet } => {
                 write!(f, "symbol {symbol} outside alphabet of size {alphabet}")
             }
             MarkovError::ZeroContext => {
-                write!(f, "conditional models require a context of at least one element")
+                write!(
+                    f,
+                    "conditional models require a context of at least one element"
+                )
             }
         }
     }

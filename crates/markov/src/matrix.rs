@@ -109,7 +109,10 @@ impl TransitionMatrix {
     /// than two symbols (no non-successor exists to escape to).
     pub fn noisy_cycle(alphabet: Alphabet, noise: f64) -> Self {
         assert!((0.0..=1.0).contains(&noise), "noise must be in [0, 1]");
-        assert!(alphabet.len() >= 2, "noisy cycle needs at least two symbols");
+        assert!(
+            alphabet.len() >= 2,
+            "noisy cycle needs at least two symbols"
+        );
         let n = alphabet.len();
         let mut rows = vec![0.0; n * n];
         let escape = noise / (n - 1) as f64;

@@ -47,10 +47,16 @@ impl fmt::Display for NnError {
             }
             NnError::EmptyLayer { layer } => write!(f, "layer {layer} has zero units"),
             NnError::InputSizeMismatch { expected, found } => {
-                write!(f, "input of width {found} does not match input layer of width {expected}")
+                write!(
+                    f,
+                    "input of width {found} does not match input layer of width {expected}"
+                )
             }
             NnError::TargetOutOfRange { target, outputs } => {
-                write!(f, "target class {target} outside output layer of width {outputs}")
+                write!(
+                    f,
+                    "target class {target} outside output layer of width {outputs}"
+                )
             }
             NnError::InvalidHyperparameter { name } => {
                 write!(f, "invalid hyperparameter: {name}")
@@ -67,11 +73,17 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(NnError::TooFewLayers { found: 1 }.to_string().contains("at least"));
-        assert!(NnError::EmptyLayer { layer: 2 }.to_string().contains("layer 2"));
-        assert!(NnError::InvalidHyperparameter { name: "learning_rate" }
+        assert!(NnError::TooFewLayers { found: 1 }
             .to_string()
-            .contains("learning_rate"));
+            .contains("at least"));
+        assert!(NnError::EmptyLayer { layer: 2 }
+            .to_string()
+            .contains("layer 2"));
+        assert!(NnError::InvalidHyperparameter {
+            name: "learning_rate"
+        }
+        .to_string()
+        .contains("learning_rate"));
     }
 
     #[test]

@@ -318,10 +318,8 @@ impl Mlp {
             let layer = &mut self.layers[li];
             for (o, d) in delta.iter().enumerate() {
                 let g_scale = lr * weight * d;
-                let row =
-                    &mut layer.weights[o * layer.inputs..(o + 1) * layer.inputs];
-                let vrow = &mut layer.weight_velocity
-                    [o * layer.inputs..(o + 1) * layer.inputs];
+                let row = &mut layer.weights[o * layer.inputs..(o + 1) * layer.inputs];
+                let vrow = &mut layer.weight_velocity[o * layer.inputs..(o + 1) * layer.inputs];
                 for ((w, v), x) in row.iter_mut().zip(vrow.iter_mut()).zip(input_act) {
                     *v = mu * *v - g_scale * x;
                     *w += *v;
@@ -439,7 +437,9 @@ mod tests {
         ));
         assert!(matches!(
             Mlp::new(MlpConfig::new(vec![4, 2]).with_learning_rate(0.0)),
-            Err(NnError::InvalidHyperparameter { name: "learning_rate" })
+            Err(NnError::InvalidHyperparameter {
+                name: "learning_rate"
+            })
         ));
         assert!(matches!(
             Mlp::new(MlpConfig::new(vec![4, 2]).with_momentum(1.0)),
@@ -462,7 +462,10 @@ mod tests {
         let net = Mlp::new(MlpConfig::new(vec![3, 2]).with_seed(1)).unwrap();
         assert!(matches!(
             net.forward(&[1.0]),
-            Err(NnError::InputSizeMismatch { expected: 3, found: 1 })
+            Err(NnError::InputSizeMismatch {
+                expected: 3,
+                found: 1
+            })
         ));
     }
 
@@ -471,7 +474,10 @@ mod tests {
         let mut net = Mlp::new(MlpConfig::new(vec![2, 2]).with_seed(1)).unwrap();
         assert!(matches!(
             net.train_example(&[0.0, 1.0], 5, 1.0),
-            Err(NnError::TargetOutOfRange { target: 5, outputs: 2 })
+            Err(NnError::TargetOutOfRange {
+                target: 5,
+                outputs: 2
+            })
         ));
     }
 
@@ -527,10 +533,7 @@ mod tests {
                 .with_momentum(0.5),
         )
         .unwrap();
-        let data = [
-            (vec![1.0, 0.0], 0usize, 8.0),
-            (vec![1.0, 0.0], 1, 2.0),
-        ];
+        let data = [(vec![1.0, 0.0], 0usize, 8.0), (vec![1.0, 0.0], 1, 2.0)];
         for _ in 0..3000 {
             net.train_epoch(&data).unwrap();
         }

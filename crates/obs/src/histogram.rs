@@ -1,0 +1,242 @@
+//! Lock-free streaming histograms with log2 buckets.
+//!
+//! A [`Histogram`] holds 64 atomic buckets where bucket `i` counts
+//! recorded values `v` with `floor(log2(v)) == i` (zero lands in
+//! bucket 0). Alongside the buckets it tracks exact count, sum, min
+//! and max, all via relaxed atomics, so recording is wait-free and
+//! safe under arbitrary thread contention.
+//!
+//! Quantiles are estimated by walking the cumulative bucket counts and
+//! interpolating linearly inside the target bucket; the estimate is
+//! therefore always within the bucket's `[2^i, 2^(i+1))` bounds, i.e.
+//! within a factor of two of the true order statistic, which is ample
+//! for wall-clock timing summaries.
+
+use crate::snapshot::HistogramSummary;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets; covers the full `u64` range.
+pub const BUCKETS: usize = 64;
+
+/// A thread-safe streaming histogram over `u64` samples (nanoseconds,
+/// by convention, for the timing histograms in this workspace).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the log2 bucket for `value`.
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        value.ilog2() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+fn bucket_low(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// Exclusive upper bound of bucket `i`.
+fn bucket_high(i: usize) -> u64 {
+    if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << (i + 1)
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) of the recorded
+    /// samples; 0 when the histogram is empty.
+    ///
+    /// The estimate interpolates linearly within the log2 bucket that
+    /// contains the target rank, clamped to the observed min/max, so
+    /// it is exact for single-bucket distributions and within a factor
+    /// of two otherwise.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the desired order statistic.
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                let low = bucket_low(i);
+                let high = bucket_high(i);
+                let within = (target - seen) as f64 / n as f64;
+                let est = low as f64 + within * (high.saturating_sub(low)) as f64;
+                let min = self.min.load(Ordering::Relaxed);
+                let max = self.max.load(Ordering::Relaxed);
+                return (est as u64).clamp(min, max);
+            }
+            seen += n;
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Produces a serializable point-in-time summary.
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count();
+        let sum = self.sum();
+        let (min, max) = if count == 0 {
+            (0, 0)
+        } else {
+            (
+                self.min.load(Ordering::Relaxed),
+                self.max.load(Ordering::Relaxed),
+            )
+        };
+        HistogramSummary {
+            count,
+            sum_ns: sum,
+            min_ns: min,
+            max_ns: max,
+            mean_ns: sum.checked_div(count).unwrap_or(0),
+            p50_ns: self.quantile(0.50),
+            p90_ns: self.quantile(0.90),
+            p99_ns: self.quantile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert!(bucket_low(5) <= 40 && 40 < bucket_high(5));
+    }
+
+    #[test]
+    fn empty_histogram_summarises_to_zeros() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min_ns, 0);
+        assert_eq!(s.max_ns, 0);
+        assert_eq!(s.p99_ns, 0);
+    }
+
+    #[test]
+    fn quantiles_stay_within_log2_bucket_bounds() {
+        let h = Histogram::new();
+        // 1000 samples uniform over 0..8192 (deterministic stride).
+        for i in 0..1000u64 {
+            h.record(i * 8);
+        }
+        let true_p50 = 500 * 8;
+        let true_p90 = 900 * 8;
+        let p50 = h.quantile(0.5);
+        let p90 = h.quantile(0.9);
+        // Log2 buckets guarantee a factor-of-two envelope.
+        assert!(
+            p50 >= true_p50 / 2 && p50 <= true_p50 * 2,
+            "p50 estimate {p50} vs true {true_p50}"
+        );
+        assert!(
+            p90 >= true_p90 / 2 && p90 <= true_p90 * 2,
+            "p90 estimate {p90} vs true {true_p90}"
+        );
+        assert!(h.quantile(0.0) <= h.quantile(0.5));
+        assert_eq!(h.quantile(1.0), h.summary().max_ns);
+    }
+
+    #[test]
+    fn single_valued_distribution_is_exact() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(42);
+        }
+        let s = h.summary();
+        assert_eq!(s.min_ns, 42);
+        assert_eq!(s.max_ns, 42);
+        assert_eq!(s.p50_ns, 42);
+        assert_eq!(s.p90_ns, 42);
+        assert_eq!(s.p99_ns, 42);
+        assert_eq!(s.mean_ns, 42);
+    }
+
+    #[test]
+    fn record_is_safe_under_contention() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 80_000);
+        let s = h.summary();
+        assert_eq!(s.min_ns, 0);
+        assert_eq!(s.max_ns, 79_999);
+        assert!(s.p50_ns > 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Log levels and the process-wide verbosity gate.
+//!
+//! The effective level is read once from the `DETDIV_LOG` environment
+//! variable (default [`Level::Warn`]) and cached in an atomic; it can
+//! be overridden programmatically with [`set_max_level`], which is how
+//! tests and the `--quiet`/`--verbose` style CLI flags take control
+//! without touching the environment.
+//!
+//! `DETDIV_LOG=off` is the telemetry kill switch: it disables not only
+//! logging but also metrics collection (spans, counters, histograms),
+//! so instrumented hot paths reduce to a single relaxed atomic load.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity levels, ordered from most to least severe.
+///
+/// A record at level `L` is emitted when `L <= max_level()`;
+/// [`Level::Off`] suppresses everything including metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// No logging and no metrics collection.
+    Off = 0,
+    /// Unrecoverable or surprising failures.
+    Error = 1,
+    /// Suspicious conditions worth surfacing by default.
+    Warn = 2,
+    /// High-level progress (per-experiment, per-corpus).
+    Info = 3,
+    /// Per-span timings and per-cell progress.
+    Debug = 4,
+    /// Everything, including span entry events.
+    Trace = 5,
+}
+
+impl Level {
+    /// Short lowercase name used in log lines and `DETDIV_LOG`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a `DETDIV_LOG` value (case-insensitive); `None` when
+    /// unrecognised.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Off,
+            1 => Level::Error,
+            2 => Level::Warn,
+            3 => Level::Info,
+            4 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Sentinel meaning "not yet initialised from the environment".
+const UNINIT: u8 = u8::MAX;
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+
+fn level_from_env() -> Level {
+    std::env::var("DETDIV_LOG")
+        .ok()
+        .as_deref()
+        .and_then(Level::parse)
+        .unwrap_or(Level::Warn)
+}
+
+/// The current effective verbosity level.
+pub fn max_level() -> Level {
+    let raw = MAX_LEVEL.load(Ordering::Relaxed);
+    if raw != UNINIT {
+        return Level::from_u8(raw);
+    }
+    let level = level_from_env();
+    // Racing initialisers all compute the same env-derived value, so a
+    // plain store is fine; an interleaved `set_max_level` wins because
+    // it stored after us or we overwrite with the same env value only
+    // when still uninitialised.
+    let _ = MAX_LEVEL.compare_exchange(UNINIT, level as u8, Ordering::Relaxed, Ordering::Relaxed);
+    Level::from_u8(MAX_LEVEL.load(Ordering::Relaxed))
+}
+
+/// Overrides the effective level for the rest of the process (or until
+/// the next call). Takes precedence over `DETDIV_LOG`.
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether a record at `level` should be emitted.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level != Level::Off && level <= max_level()
+}
+
+/// Whether metrics (spans, counters, histograms, cell timings) are
+/// collected. False only under `DETDIV_LOG=off`.
+#[inline]
+pub fn telemetry_enabled() -> bool {
+    max_level() != Level::Off
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_level_names() {
+        for (name, level) in [
+            ("off", Level::Off),
+            ("ERROR", Level::Error),
+            ("warn", Level::Warn),
+            ("warning", Level::Warn),
+            ("Info", Level::Info),
+            ("debug", Level::Debug),
+            ("trace", Level::Trace),
+        ] {
+            assert_eq!(Level::parse(name), Some(level), "{name}");
+        }
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn level_ordering_matches_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for level in [
+            Level::Off,
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(Level::parse(&level.to_string()), Some(level));
+        }
+    }
+}

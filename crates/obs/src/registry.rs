@@ -1,0 +1,197 @@
+//! The process-global telemetry registry.
+//!
+//! Counters and histograms live behind `Arc`s in mutex-guarded
+//! `BTreeMap`s; the maps are locked only to look up or create an
+//! instrument, after which updates are plain relaxed atomics. A
+//! [`crate::snapshot`] freezes the registry into a serializable
+//! [`TelemetrySnapshot`]; [`crate::reset`] clears it so each
+//! evaluation run reports only its own telemetry.
+
+use crate::histogram::Histogram;
+use crate::level::telemetry_enabled;
+use crate::snapshot::{CellTiming, TelemetrySnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    cells: Mutex<Vec<CellTiming>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Increments the named counter by `by`. No-op when telemetry is
+/// disabled (`DETDIV_LOG=off`).
+pub fn incr_counter(name: &str, by: u64) {
+    if !telemetry_enabled() {
+        return;
+    }
+    let counter = {
+        let mut map = registry()
+            .counters
+            .lock()
+            .expect("counter registry poisoned");
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(AtomicU64::new(0));
+                map.insert(name.to_owned(), Arc::clone(&c));
+                c
+            }
+        }
+    };
+    counter.fetch_add(by, Ordering::Relaxed);
+}
+
+/// Records a raw nanosecond sample into the named histogram. No-op
+/// when telemetry is disabled.
+pub fn record_nanos(name: &str, nanos: u64) {
+    if !telemetry_enabled() {
+        return;
+    }
+    let histogram = {
+        let mut map = registry()
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned");
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::new());
+                map.insert(name.to_owned(), Arc::clone(&h));
+                h
+            }
+        }
+    };
+    histogram.record(nanos);
+}
+
+/// Records a [`Duration`] sample into the named histogram.
+pub fn record_duration(name: &str, duration: Duration) {
+    record_nanos(name, duration.as_nanos().min(u128::from(u64::MAX)) as u64);
+}
+
+/// Records one evaluation-grid cell timing. The `experiment` field is
+/// filled from the calling thread's current span path (see
+/// [`crate::current_path`]). No-op when telemetry is disabled.
+pub fn record_cell(detector: &str, window: usize, anomaly_size: usize, duration: Duration) {
+    if !telemetry_enabled() {
+        return;
+    }
+    let cell = CellTiming {
+        experiment: crate::span::current_path(),
+        detector: detector.to_owned(),
+        window,
+        anomaly_size,
+        nanos: duration.as_nanos().min(u128::from(u64::MAX)) as u64,
+    };
+    registry()
+        .cells
+        .lock()
+        .expect("cell registry poisoned")
+        .push(cell);
+}
+
+/// Freezes the registry into a serializable snapshot.
+pub fn snapshot() -> TelemetrySnapshot {
+    let reg = registry();
+    let counters = reg
+        .counters
+        .lock()
+        .expect("counter registry poisoned")
+        .iter()
+        .map(|(name, c)| (name.clone(), c.load(Ordering::Relaxed)))
+        .collect();
+    let histograms = reg
+        .histograms
+        .lock()
+        .expect("histogram registry poisoned")
+        .iter()
+        .map(|(name, h)| (name.clone(), h.summary()))
+        .collect();
+    let cells = reg.cells.lock().expect("cell registry poisoned").clone();
+    TelemetrySnapshot {
+        counters,
+        histograms,
+        cells,
+    }
+}
+
+/// Clears all counters, histograms, and cell timings, so a subsequent
+/// [`snapshot`] reflects only telemetry recorded after this call.
+pub fn reset() {
+    let reg = registry();
+    reg.counters
+        .lock()
+        .expect("counter registry poisoned")
+        .clear();
+    reg.histograms
+        .lock()
+        .expect("histogram registry poisoned")
+        .clear();
+    reg.cells.lock().expect("cell registry poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_exact_under_thread_contention() {
+        const THREADS: u64 = 8;
+        const INCRS: u64 = 25_000;
+        let name = "test/registry/contended_counter";
+        let before = snapshot().counter(name);
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    for _ in 0..INCRS {
+                        incr_counter(name, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let after = snapshot().counter(name);
+        assert_eq!(after - before, THREADS * INCRS);
+    }
+
+    #[test]
+    fn histograms_accumulate_durations() {
+        let name = "test/registry/duration_histogram";
+        record_duration(name, Duration::from_micros(10));
+        record_duration(name, Duration::from_micros(20));
+        let snap = snapshot();
+        let h = snap.histogram(name).expect("histogram recorded");
+        assert!(h.count >= 2);
+        assert!(h.sum_ns >= 30_000);
+        assert!(h.min_ns >= 1_000);
+    }
+
+    #[test]
+    fn cells_capture_span_context() {
+        {
+            let _outer = crate::SpanGuard::enter("test_registry_cells");
+            record_cell("stide", 6, 3, Duration::from_nanos(500));
+        }
+        let snap = snapshot();
+        let cell = snap
+            .cells
+            .iter()
+            .find(|c| c.experiment.contains("test_registry_cells"))
+            .expect("cell recorded with span context");
+        assert_eq!(cell.detector, "stide");
+        assert_eq!(cell.window, 6);
+        assert_eq!(cell.anomaly_size, 3);
+        assert!(cell.nanos >= 500);
+    }
+}

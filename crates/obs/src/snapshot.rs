@@ -1,0 +1,186 @@
+//! Serializable run-telemetry types.
+//!
+//! A [`TelemetrySnapshot`] is the frozen, JSON-friendly view of the
+//! global registry: counters, histogram summaries, and per-cell wall
+//! times for the (anomaly size × detector window) evaluation grid.
+//! Maps are `BTreeMap`s and `Vec`s preserve recording order, so the
+//! serialized form is deterministic field-for-field, which the test
+//! suite asserts.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Point-in-time summary of one streaming histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples, in nanoseconds.
+    pub sum_ns: u64,
+    /// Smallest sample, in nanoseconds (0 when empty).
+    pub min_ns: u64,
+    /// Largest sample, in nanoseconds (0 when empty).
+    pub max_ns: u64,
+    /// Mean sample, in nanoseconds (integer division; 0 when empty).
+    pub mean_ns: u64,
+    /// Estimated median, in nanoseconds.
+    pub p50_ns: u64,
+    /// Estimated 90th percentile, in nanoseconds.
+    pub p90_ns: u64,
+    /// Estimated 99th percentile, in nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Wall time of one evaluation-grid cell: one detector trained at one
+/// window, scored against one anomaly size.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellTiming {
+    /// Enclosing experiment context (the span path active when the
+    /// cell was recorded, e.g. `report/fig2_stide`).
+    pub experiment: String,
+    /// Detector name (e.g. `stide`).
+    pub detector: String,
+    /// Detector window (DW).
+    pub window: usize,
+    /// Anomaly size (AS).
+    pub anomaly_size: usize,
+    /// Wall time spent training + scoring the cell, in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Frozen view of the telemetry registry for one run.
+///
+/// Attached to `FullReport` output and written as
+/// `paper_telemetry.json` by the regeneration binary.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Monotonic event counters, keyed by counter name.
+    pub counters: BTreeMap<String, u64>,
+    /// Timing histograms, keyed by histogram name (span paths use the
+    /// `span/` prefix, per-detector timers the `detector/` prefix).
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Per-cell wall times for every evaluation-grid cell, in
+    /// recording order.
+    pub cells: Vec<CellTiming>,
+}
+
+impl TelemetrySnapshot {
+    /// Whether nothing was recorded (e.g. telemetry was disabled via
+    /// `DETDIV_LOG=off`).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.cells.is_empty()
+    }
+
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram summary by name, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(name)
+    }
+
+    /// Renders a compact human-readable table of the snapshot, used by
+    /// the telemetry example and the regeneration binary's stderr
+    /// summary.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "telemetry: {} counters", self.counters.len());
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "  {name:<44} {value:>12}");
+        }
+        let _ = writeln!(out, "telemetry: {} histograms", self.histograms.len());
+        let _ = writeln!(
+            out,
+            "  {:<44} {:>8} {:>10} {:>10} {:>10}",
+            "name", "count", "mean_us", "p50_us", "p99_us"
+        );
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>8} {:>10.1} {:>10.1} {:>10.1}",
+                name,
+                h.count,
+                h.mean_ns as f64 / 1e3,
+                h.p50_ns as f64 / 1e3,
+                h.p99_ns as f64 / 1e3,
+            );
+        }
+        let _ = writeln!(out, "telemetry: {} grid cells timed", self.cells.len());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::default();
+        snap.counters.insert("eval/cases".into(), 12);
+        snap.counters.insert("detector/stide/alarms".into(), 3);
+        snap.histograms.insert(
+            "span/report".into(),
+            HistogramSummary {
+                count: 1,
+                sum_ns: 1000,
+                min_ns: 1000,
+                max_ns: 1000,
+                mean_ns: 1000,
+                p50_ns: 1000,
+                p90_ns: 1000,
+                p99_ns: 1000,
+            },
+        );
+        snap.cells.push(CellTiming {
+            experiment: "report/fig2_stide".into(),
+            detector: "stide".into(),
+            window: 6,
+            anomaly_size: 2,
+            nanos: 42,
+        });
+        snap
+    }
+
+    #[test]
+    fn json_round_trip_preserves_snapshot() {
+        let snap = sample();
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn json_field_ordering_is_deterministic() {
+        let a = serde_json::to_string(&sample()).unwrap();
+        let b = serde_json::to_string(&sample()).unwrap();
+        assert_eq!(a, b);
+        // BTreeMap keys serialize sorted: the detector counter sorts
+        // before the eval counter.
+        let det = a.find("detector/stide/alarms").unwrap();
+        let eval = a.find("eval/cases").unwrap();
+        assert!(det < eval, "counter keys must serialize in sorted order");
+    }
+
+    #[test]
+    fn accessors_and_empty_check() {
+        let snap = sample();
+        assert!(!snap.is_empty());
+        assert_eq!(snap.counter("eval/cases"), 12);
+        assert_eq!(snap.counter("absent"), 0);
+        assert!(snap.histogram("span/report").is_some());
+        assert!(TelemetrySnapshot::default().is_empty());
+    }
+
+    #[test]
+    fn render_text_mentions_all_sections() {
+        let text = sample().render_text();
+        assert!(text.contains("counters"));
+        assert!(text.contains("histograms"));
+        assert!(text.contains("grid cells timed"));
+        assert!(text.contains("eval/cases"));
+        assert!(text.contains("span/report"));
+    }
+}

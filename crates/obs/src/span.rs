@@ -1,0 +1,164 @@
+//! Hierarchical timing spans.
+//!
+//! A span is an RAII guard created with [`crate::span!`] (or
+//! [`SpanGuard::enter`]); while alive it sits on a thread-local stack,
+//! so nested spans compose into slash-joined paths like
+//! `report/fig2_stide/train`. On drop, the span's wall time (measured
+//! with [`std::time::Instant`]) is recorded into the global histogram
+//! `span/<path>` and logged at [`Level::Debug`].
+//!
+//! Guards are thread-local by design: a span opened on one thread does
+//! not appear in the path of work on another thread. When telemetry is
+//! disabled (`DETDIV_LOG=off`) entering a span is an atomic load and a
+//! no-op guard.
+
+use crate::level::{enabled, telemetry_enabled, Level};
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The calling thread's current span path (`a/b/c`), or the empty
+/// string outside any span.
+pub fn current_path() -> String {
+    SPAN_STACK.with(|stack| stack.borrow().join("/"))
+}
+
+/// Depth of the calling thread's span stack.
+pub fn current_depth() -> usize {
+    SPAN_STACK.with(|stack| stack.borrow().len())
+}
+
+/// RAII guard for one timing span; see the module docs.
+#[must_use = "a span guard times the scope it is bound to; dropping it immediately records ~0ns"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// Full slash-joined path including this span; `None` when
+    /// telemetry is disabled and the guard is inert.
+    path: Option<String>,
+    started: Instant,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name`, pushing it onto the thread's span
+    /// stack. Returns an inert guard when telemetry is disabled.
+    pub fn enter(name: &str) -> SpanGuard {
+        if !telemetry_enabled() {
+            return SpanGuard {
+                path: None,
+                started: Instant::now(),
+            };
+        }
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name.to_owned());
+            stack.join("/")
+        });
+        SpanGuard {
+            path: Some(path),
+            started: Instant::now(),
+        }
+    }
+
+    /// The span's full path, if active.
+    pub fn path(&self) -> Option<&str> {
+        self.path.as_deref()
+    }
+
+    /// Elapsed wall time since the span was entered.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(path) = self.path.take() else {
+            return;
+        };
+        let elapsed = self.started.elapsed();
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        crate::registry::record_nanos(
+            &format!("span/{path}"),
+            elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+        );
+        if enabled(Level::Debug) {
+            crate::__log(
+                Level::Debug,
+                module_path!(),
+                &"span closed",
+                &[
+                    ("span", &path as &dyn std::fmt::Display),
+                    (
+                        "elapsed_us",
+                        &(elapsed.as_nanos() as f64 / 1e3) as &dyn std::fmt::Display,
+                    ),
+                ],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn spans_nest_into_slash_paths() {
+        assert_eq!(current_path(), "");
+        let outer = SpanGuard::enter("outer_span_test");
+        assert_eq!(outer.path(), Some("outer_span_test"));
+        {
+            let inner = SpanGuard::enter("inner");
+            assert_eq!(inner.path(), Some("outer_span_test/inner"));
+            assert_eq!(current_path(), "outer_span_test/inner");
+            assert_eq!(current_depth(), 2);
+        }
+        assert_eq!(current_path(), "outer_span_test");
+        drop(outer);
+        assert_eq!(current_path(), "");
+        assert_eq!(current_depth(), 0);
+    }
+
+    #[test]
+    fn span_durations_are_monotone_parent_covers_child() {
+        {
+            let _outer = SpanGuard::enter("mono_outer");
+            {
+                let _inner = SpanGuard::enter("mono_inner");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let snap = crate::snapshot();
+        let outer = snap
+            .histogram("span/mono_outer")
+            .expect("outer span recorded");
+        let inner = snap
+            .histogram("span/mono_outer/mono_inner")
+            .expect("inner span recorded")
+            .max_ns;
+        // The parent encloses the child, so its slowest observation
+        // must be at least the child's.
+        assert!(
+            outer.max_ns >= inner,
+            "parent {} < child {}",
+            outer.max_ns,
+            inner
+        );
+        assert!(inner >= 2_000_000, "inner span must cover its sleep");
+    }
+
+    #[test]
+    fn spans_are_thread_local() {
+        let _outer = SpanGuard::enter("thread_local_outer");
+        let other = std::thread::spawn(current_path).join().unwrap();
+        assert_eq!(other, "", "span stack must not leak across threads");
+        assert_eq!(current_path(), "thread_local_outer");
+    }
+}

@@ -28,7 +28,10 @@ impl fmt::Display for RuleError {
         match self {
             RuleError::EmptyTraining => write!(f, "rule learning requires at least one example"),
             RuleError::InconsistentWidth { expected, found } => {
-                write!(f, "example width {found} differs from the first example's {expected}")
+                write!(
+                    f,
+                    "example width {found} differs from the first example's {expected}"
+                )
             }
             RuleError::InvalidParameter { name } => write!(f, "invalid parameter: {name}"),
         }
@@ -44,12 +47,17 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(RuleError::EmptyTraining.to_string().contains("example"));
-        assert!(RuleError::InconsistentWidth { expected: 3, found: 2 }
-            .to_string()
-            .contains("width 2"));
-        assert!(RuleError::InvalidParameter { name: "min_coverage" }
-            .to_string()
-            .contains("min_coverage"));
+        assert!(RuleError::InconsistentWidth {
+            expected: 3,
+            found: 2
+        }
+        .to_string()
+        .contains("width 2"));
+        assert!(RuleError::InvalidParameter {
+            name: "min_coverage"
+        }
+        .to_string()
+        .contains("min_coverage"));
     }
 
     #[test]

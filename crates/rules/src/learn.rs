@@ -67,9 +67,7 @@ pub fn examples_from_stream(stream: &[Symbol], width: usize) -> Vec<Example> {
     }
     let mut counts: HashMap<(Vec<Symbol>, Symbol), f64> = HashMap::new();
     for w in stream.windows(width + 1) {
-        *counts
-            .entry((w[..width].to_vec(), w[width]))
-            .or_insert(0.0) += 1.0;
+        *counts.entry((w[..width].to_vec(), w[width])).or_insert(0.0) += 1.0;
     }
     let mut examples: Vec<Example> = counts
         .into_iter()
@@ -172,7 +170,11 @@ pub fn learn_rules(examples: &[Example], config: &LearnConfig) -> Result<RuleSet
     let mut classes: Vec<(Symbol, f64)> = class_weight.iter().map(|(&c, &w)| (c, w)).collect();
     // RIPPER covers classes rarest-first, leaving the most frequent as
     // the implicit default.
-    classes.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite weights").then(a.0.cmp(&b.0)));
+    classes.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .expect("finite weights")
+            .then(a.0.cmp(&b.0))
+    });
     let (default_class, default_weight) = *classes.last().expect("nonempty");
 
     // The symbol vocabulary for candidate conditions.
@@ -324,9 +326,21 @@ mod tests {
     #[test]
     fn default_class_is_majority() {
         let ex = vec![
-            Example { context: symbols(&[0]), class: Symbol::new(1), weight: 10.0 },
-            Example { context: symbols(&[1]), class: Symbol::new(1), weight: 10.0 },
-            Example { context: symbols(&[2]), class: Symbol::new(5), weight: 1.0 },
+            Example {
+                context: symbols(&[0]),
+                class: Symbol::new(1),
+                weight: 10.0,
+            },
+            Example {
+                context: symbols(&[1]),
+                class: Symbol::new(1),
+                weight: 10.0,
+            },
+            Example {
+                context: symbols(&[2]),
+                class: Symbol::new(5),
+                weight: 1.0,
+            },
         ];
         let rules = learn_rules(&ex, &LearnConfig::default()).unwrap();
         assert_eq!(rules.default_class(), Symbol::new(1));
@@ -343,8 +357,16 @@ mod tests {
             Err(RuleError::EmptyTraining)
         ));
         let ex = vec![
-            Example { context: symbols(&[0]), class: Symbol::new(1), weight: 1.0 },
-            Example { context: symbols(&[0, 1]), class: Symbol::new(1), weight: 1.0 },
+            Example {
+                context: symbols(&[0]),
+                class: Symbol::new(1),
+                weight: 1.0,
+            },
+            Example {
+                context: symbols(&[0, 1]),
+                class: Symbol::new(1),
+                weight: 1.0,
+            },
         ];
         assert!(matches!(
             learn_rules(&ex, &LearnConfig::default()),
@@ -376,10 +398,26 @@ mod tests {
         // Class depends on two positions: next = 1 iff ctx = (0, 0);
         // every single-position test is impure.
         let ex = vec![
-            Example { context: symbols(&[0, 0]), class: Symbol::new(1), weight: 10.0 },
-            Example { context: symbols(&[0, 1]), class: Symbol::new(2), weight: 10.0 },
-            Example { context: symbols(&[1, 0]), class: Symbol::new(2), weight: 10.0 },
-            Example { context: symbols(&[1, 1]), class: Symbol::new(2), weight: 10.0 },
+            Example {
+                context: symbols(&[0, 0]),
+                class: Symbol::new(1),
+                weight: 10.0,
+            },
+            Example {
+                context: symbols(&[0, 1]),
+                class: Symbol::new(2),
+                weight: 10.0,
+            },
+            Example {
+                context: symbols(&[1, 0]),
+                class: Symbol::new(2),
+                weight: 10.0,
+            },
+            Example {
+                context: symbols(&[1, 1]),
+                class: Symbol::new(2),
+                weight: 10.0,
+            },
         ];
         let rules = learn_rules(&ex, &LearnConfig::default()).unwrap();
         let p = rules.predict(&symbols(&[0, 0]));

@@ -128,7 +128,12 @@ impl RuleSet {
 
 impl std::fmt::Display for RuleSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "rule-set(width={}, rules={})", self.width, self.rules.len())?;
+        writeln!(
+            f,
+            "rule-set(width={}, rules={})",
+            self.width,
+            self.rules.len()
+        )?;
         for r in &self.rules {
             writeln!(f, "  {r}")?;
         }
@@ -183,7 +188,10 @@ mod tests {
     fn rule_set_prediction_order_and_default() {
         let set = RuleSet {
             width: 2,
-            rules: vec![rule(&[(1, 5)], 7, 99.0, 100.0), rule(&[(0, 1)], 2, 50.0, 100.0)],
+            rules: vec![
+                rule(&[(1, 5)], 7, 99.0, 100.0),
+                rule(&[(0, 1)], 2, 50.0, 100.0),
+            ],
             default_class: sym(0),
             default_confidence: 0.4,
         };

@@ -35,7 +35,10 @@ impl fmt::Display for SequenceError {
                 write!(f, "invalid window length {window}")
             }
             SequenceError::StreamTooShort { len, needed } => {
-                write!(f, "stream of length {len} is shorter than required {needed}")
+                write!(
+                    f,
+                    "stream of length {len} is shorter than required {needed}"
+                )
             }
             SequenceError::SymbolOutOfAlphabet { symbol, alphabet } => {
                 write!(f, "symbol {symbol} outside alphabet of size {alphabet}")

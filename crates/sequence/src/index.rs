@@ -99,7 +99,9 @@ impl SubstringIndex {
             if p < 0 {
                 states[cur as usize].link = 0;
             } else {
-                let q = states[p as usize].get(c).expect("loop exited on a transition");
+                let q = states[p as usize]
+                    .get(c)
+                    .expect("loop exited on a transition");
                 if states[p as usize].len + 1 == states[q as usize].len {
                     states[cur as usize].link = q as i32;
                 } else {
@@ -180,9 +182,7 @@ impl SubstringIndex {
         if gram.is_empty() {
             return self.stream_len as u64;
         }
-        self.walk(gram)
-            .map(|s| self.states[s].count)
-            .unwrap_or(0)
+        self.walk(gram).map(|s| self.states[s].count).unwrap_or(0)
     }
 
     /// Relative frequency among the stream's windows of `gram.len()`.

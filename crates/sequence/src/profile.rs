@@ -146,9 +146,7 @@ impl StreamProfile {
         if gram.len() < 2 {
             return false;
         }
-        self.is_foreign(gram)
-            && self.contains(&gram[..gram.len() - 1])
-            && self.contains(&gram[1..])
+        self.is_foreign(gram) && self.contains(&gram[..gram.len() - 1]) && self.contains(&gram[1..])
     }
 
     /// Whether `gram` is an MFS *composed of rare subsequences*: minimal

@@ -29,7 +29,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.id(), 3);
 /// assert_eq!(format!("{s}"), "3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Symbol(u32);
 

@@ -1,8 +1,6 @@
 //! Property-based tests for the sequence substrate's core invariants.
 
-use detdiv_sequence::{
-    minimal_foreign_positions, NgramCounter, NgramSet, StreamProfile, Symbol,
-};
+use detdiv_sequence::{minimal_foreign_positions, NgramCounter, NgramSet, StreamProfile, Symbol};
 use proptest::prelude::*;
 
 /// Strategy: a stream of symbols over a small alphabet, long enough for

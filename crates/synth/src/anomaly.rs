@@ -201,10 +201,7 @@ mod tests {
         for (i, a) in set.iter().enumerate() {
             for (j, b) in set.iter().enumerate() {
                 if i != j {
-                    assert!(
-                        !is_substring(a.symbols(), b.symbols()),
-                        "{a} inside {b}"
-                    );
+                    assert!(!is_substring(a.symbols(), b.symbols()), "{a} inside {b}");
                 }
             }
         }
@@ -232,7 +229,12 @@ mod tests {
     #[test]
     fn substring_detection() {
         let a = [Symbol::new(1), Symbol::new(2)];
-        let b = [Symbol::new(0), Symbol::new(1), Symbol::new(2), Symbol::new(3)];
+        let b = [
+            Symbol::new(0),
+            Symbol::new(1),
+            Symbol::new(2),
+            Symbol::new(3),
+        ];
         assert!(is_substring(&a, &b));
         assert!(!is_substring(&b, &a));
         let c = [Symbol::new(2), Symbol::new(1)];

@@ -273,8 +273,7 @@ impl SynthesisConfigBuilder {
         }
         let n = self.alphabet_size as usize;
         let plant_block = 4 * (w_max + n) + a_max;
-        let plants_total =
-            (a_max - a_min + 1) * self.plant_repeats * 2 * plant_block;
+        let plants_total = (a_max - a_min + 1) * self.plant_repeats * 2 * plant_block;
         if self.training_len < plants_total * 2 {
             return err("training length too small for the requested plants; increase training_len or reduce plant_repeats/windows");
         }
@@ -282,9 +281,7 @@ impl SynthesisConfigBuilder {
             return err("background length must be at least 8x (max window + max anomaly)");
         }
         // Planted flanks must remain rare under the configured threshold.
-        if (2 * self.plant_repeats + 2) as f64 / self.training_len as f64
-            >= self.rare_threshold
-        {
+        if (2 * self.plant_repeats + 2) as f64 / self.training_len as f64 >= self.rare_threshold {
             return err("plant repeats too large relative to training length: planted material would not be rare");
         }
         Ok(SynthesisConfig {
@@ -345,11 +342,20 @@ mod tests {
         assert!(SynthesisConfig::builder().alphabet_size(4).build().is_err());
         assert!(SynthesisConfig::builder().noise(0.0).build().is_err());
         assert!(SynthesisConfig::builder().noise(0.7).build().is_err());
-        assert!(SynthesisConfig::builder().rare_threshold(0.0).build().is_err());
-        assert!(SynthesisConfig::builder().anomaly_sizes(1..=4).build().is_err());
+        assert!(SynthesisConfig::builder()
+            .rare_threshold(0.0)
+            .build()
+            .is_err());
+        assert!(SynthesisConfig::builder()
+            .anomaly_sizes(1..=4)
+            .build()
+            .is_err());
         #[allow(clippy::reversed_empty_ranges)]
         {
-            assert!(SynthesisConfig::builder().anomaly_sizes(5..=4).build().is_err());
+            assert!(SynthesisConfig::builder()
+                .anomaly_sizes(5..=4)
+                .build()
+                .is_err());
         }
         assert!(SynthesisConfig::builder().windows(1..=5).build().is_err());
         assert!(SynthesisConfig::builder().plant_repeats(1).build().is_err());

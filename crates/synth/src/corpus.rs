@@ -84,14 +84,50 @@ impl Corpus {
     ///   fails on every attempt (indicates a generator bug).
     pub fn synthesize(config: &SynthesisConfig) -> Result<Self, SynthesisError> {
         const ATTEMPTS: u64 = 8;
+        let _span = detdiv_obs::span!(
+            "corpus_synthesize",
+            training_len = config.training_len(),
+            seed = config.seed(),
+        );
         let mut last_err = SynthesisError::AnomalySearchFailed { attempts: 0 };
         for attempt in 0..ATTEMPTS {
-            let seed = config.seed().wrapping_add(attempt.wrapping_mul(0x9E37_79B9));
-            let anomalies = search_anomaly_set(config, seed)?;
-            let corpus = Self::assemble(config, anomalies, seed);
-            match verify_corpus(&corpus) {
-                Ok(()) => return Ok(corpus),
-                Err(e) => last_err = e,
+            detdiv_obs::incr_counter("synth/attempts", 1);
+            let seed = config
+                .seed()
+                .wrapping_add(attempt.wrapping_mul(0x9E37_79B9));
+            let anomalies = {
+                let _search = detdiv_obs::span!("search_anomaly_set");
+                search_anomaly_set(config, seed)?
+            };
+            detdiv_obs::incr_counter("synth/anomalies_found", anomalies.len() as u64);
+            let corpus = {
+                let _assemble = detdiv_obs::span!("assemble");
+                Self::assemble(config, anomalies, seed)
+            };
+            let verdict = {
+                let _verify = detdiv_obs::span!("verify");
+                verify_corpus(&corpus)
+            };
+            match verdict {
+                Ok(()) => {
+                    detdiv_obs::incr_counter("synth/corpora_built", 1);
+                    detdiv_obs::incr_counter(
+                        "synth/training_elements",
+                        corpus.training.len() as u64,
+                    );
+                    detdiv_obs::debug!(
+                        "corpus synthesized",
+                        attempt = attempt,
+                        training_elements = corpus.training.len(),
+                        anomalies = corpus.anomalies.len(),
+                    );
+                    return Ok(corpus);
+                }
+                Err(e) => {
+                    detdiv_obs::incr_counter("synth/verify_failures", 1);
+                    detdiv_obs::warn!("corpus verification failed; retrying", attempt = attempt);
+                    last_err = e;
+                }
             }
         }
         Err(last_err)
@@ -184,7 +220,11 @@ impl Corpus {
     ///
     /// Returns [`SynthesisError::UnknownCase`] if either coordinate is
     /// outside the synthesized grid.
-    pub fn case(&self, anomaly_size: usize, window: usize) -> Result<InjectedCase<'_>, SynthesisError> {
+    pub fn case(
+        &self,
+        anomaly_size: usize,
+        window: usize,
+    ) -> Result<InjectedCase<'_>, SynthesisError> {
         if !self.tests.contains_key(&anomaly_size) || !self.config.windows().contains(&window) {
             return Err(SynthesisError::UnknownCase {
                 anomaly_size,
@@ -316,8 +356,7 @@ impl Corpus {
         // Find an injection point after the context symbol n-2 whose
         // surrounding `margin` elements are pure cycle.
         let margin = self.config.max_window() + anomaly_size + 1;
-        let is_cycle_step =
-            |i: usize| (background[i].id() + 1) % n == background[i + 1].id();
+        let is_cycle_step = |i: usize| (background[i].id() + 1) % n == background[i + 1].id();
         let mut position = None;
         let mut candidates: Vec<usize> = (margin..len.saturating_sub(margin)).collect();
         // Prefer positions near the middle.
@@ -466,7 +505,9 @@ pub(crate) fn escape_matrix(alphabet: Alphabet, noise: f64) -> TransitionMatrix 
 
 /// A pure cycle stream `0, 1, .., n−1, 0, ..` of length `len`.
 pub(crate) fn cycle_stream(n: u32, len: usize) -> Vec<Symbol> {
-    (0..len).map(|i| Symbol::new((i % n as usize) as u32)).collect()
+    (0..len)
+        .map(|i| Symbol::new((i % n as usize) as u32))
+        .collect()
 }
 
 /// A cycle run starting at `start`, at least `min_len` long, ending at
@@ -571,7 +612,10 @@ mod tests {
             assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
             // Reserved steps +4..+7 are unreachable.
             for delta in 4..8u32 {
-                assert_eq!(m.probability(Symbol::new(from), Symbol::new((from + delta) % 8)), 0.0);
+                assert_eq!(
+                    m.probability(Symbol::new(from), Symbol::new((from + delta) % 8)),
+                    0.0
+                );
             }
         }
     }
@@ -691,25 +735,33 @@ mod noisy_tests {
         let case = corpus.noisy_case(3, 4096, 9).unwrap();
         let p = case.injection_position();
         let stream = case.test_stream();
-        assert_eq!(
-            &stream[p..p + 3],
-            corpus.anomaly(3).unwrap().symbols()
-        );
+        assert_eq!(&stream[p..p + 3], corpus.anomaly(3).unwrap().symbols());
         assert_eq!(stream[p - 1].id(), 6);
         // The surrounding margin is pure cycle.
         let margin = config.max_window() + 3 + 1;
         for i in (p - margin)..(p - 1) {
-            assert_eq!((stream[i].id() + 1) % 8, stream[i + 1].id(), "pre-margin at {i}");
+            assert_eq!(
+                (stream[i].id() + 1) % 8,
+                stream[i + 1].id(),
+                "pre-margin at {i}"
+            );
         }
         for i in (p + 3)..(p + 3 + margin - 2) {
-            assert_eq!((stream[i].id() + 1) % 8, stream[i + 1].id(), "post-margin at {i}");
+            assert_eq!(
+                (stream[i].id() + 1) % 8,
+                stream[i + 1].id(),
+                "post-margin at {i}"
+            );
         }
         // The noisy background genuinely contains escapes somewhere.
         let escapes = stream
             .windows(2)
             .filter(|w| (w[0].id() + 1) % 8 != w[1].id())
             .count();
-        assert!(escapes > 10, "expected noisy background, found {escapes} non-cycle steps");
+        assert!(
+            escapes > 10,
+            "expected noisy background, found {escapes} non-cycle steps"
+        );
     }
 
     #[test]

@@ -167,11 +167,10 @@ pub fn save_corpus(corpus: &Corpus, dir: &Path) -> Result<(), CorpusIoError> {
 pub fn load_corpus(dir: &Path) -> Result<Corpus, CorpusIoError> {
     let manifest_path = dir.join(MANIFEST_FILE);
     let json = fs::read_to_string(&manifest_path)?;
-    let manifest: Manifest =
-        serde_json::from_str(&json).map_err(|e| CorpusIoError::Malformed {
-            file: manifest_path.display().to_string(),
-            reason: e.to_string(),
-        })?;
+    let manifest: Manifest = serde_json::from_str(&json).map_err(|e| CorpusIoError::Malformed {
+        file: manifest_path.display().to_string(),
+        reason: e.to_string(),
+    })?;
     if manifest.format_version != FORMAT_VERSION {
         return Err(CorpusIoError::Malformed {
             file: manifest_path.display().to_string(),

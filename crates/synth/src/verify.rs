@@ -53,7 +53,9 @@ pub(crate) fn verify_corpus(corpus: &Corpus) -> Result<(), SynthesisError> {
             .ok_or_else(|| fail(format!("missing anomaly of size {anomaly_size}")))?;
         let gram = anomaly.symbols();
         if !index.is_foreign(gram) {
-            return Err(fail(format!("anomaly {anomaly} occurs in the training data")));
+            return Err(fail(format!(
+                "anomaly {anomaly} occurs in the training data"
+            )));
         }
         if !index.is_minimal_foreign(gram) {
             return Err(fail(format!("anomaly {anomaly} is not minimal")));
@@ -144,7 +146,9 @@ mod tests {
                 .build()
                 .unwrap();
             let corpus = Corpus::synthesize(&config).unwrap();
-            corpus.verify().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            corpus
+                .verify()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 }

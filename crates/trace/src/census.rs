@@ -81,9 +81,10 @@ pub fn mfs_census(
             reason: "census needs max_len of at least 2".into(),
         });
     }
-    let profile = StreamProfile::build(training, max_len).map_err(|e| TraceError::InvalidConfig {
-        reason: format!("training profile: {e}"),
-    })?;
+    let profile =
+        StreamProfile::build(training, max_len).map_err(|e| TraceError::InvalidConfig {
+            reason: format!("training profile: {e}"),
+        })?;
     let mut counts = Vec::new();
     for len in 2..=max_len {
         let hits = minimal_foreign_positions(&profile, test, len)

@@ -207,7 +207,10 @@ mod tests {
 
     #[test]
     fn empty_trace_is_an_error() {
-        assert!(matches!(TraceSet::parse("# nothing\n"), Err(TraceError::Empty)));
+        assert!(matches!(
+            TraceSet::parse("# nothing\n"),
+            Err(TraceError::Empty)
+        ));
         assert!(matches!(TraceSet::parse(""), Err(TraceError::Empty)));
     }
 

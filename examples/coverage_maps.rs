@@ -9,30 +9,58 @@
 //! scale.
 
 use detdiv::eval::{comb1_stide_markov_subset, comb2_stide_lb_union, coverage_map};
+use detdiv::obs;
 use detdiv::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::var_os("DETDIV_LOG").is_none() {
+        obs::set_max_level(obs::Level::Info);
+    }
     let training_len: usize = std::env::args()
         .nth(1)
         .map(|s| s.parse())
         .transpose()?
         .unwrap_or(120_000);
 
-    let config = SynthesisConfig::builder().training_len(training_len).build()?;
-    eprintln!(
-        "synthesizing the paper's corpus at {} elements (AS 2-9, DW 2-15)...",
-        config.training_len()
+    let config = SynthesisConfig::builder()
+        .training_len(training_len)
+        .build()?;
+    obs::info!(
+        "synthesizing the paper's corpus",
+        training_elements = config.training_len(),
+        anomaly_sizes = "2-9",
+        windows = "2-15",
     );
     let corpus = Corpus::synthesize(&config)?;
 
     // Figures 3-6, in the paper's order.
     for (figure, kind, expectation) in [
-        ("Figure 3", DetectorKind::LaneBrodley, "blind across the entire space"),
-        ("Figure 4", DetectorKind::Markov, "detects across the entire space"),
-        ("Figure 5", DetectorKind::Stide, "detects exactly when DW >= AS"),
-        ("Figure 6", DetectorKind::neural_default(), "mimics the Markov detector"),
+        (
+            "Figure 3",
+            DetectorKind::LaneBrodley,
+            "blind across the entire space",
+        ),
+        (
+            "Figure 4",
+            DetectorKind::Markov,
+            "detects across the entire space",
+        ),
+        (
+            "Figure 5",
+            DetectorKind::Stide,
+            "detects exactly when DW >= AS",
+        ),
+        (
+            "Figure 6",
+            DetectorKind::neural_default(),
+            "mimics the Markov detector",
+        ),
     ] {
-        eprintln!("computing {figure} ({})...", kind.name());
+        obs::info!(
+            "computing coverage map",
+            figure = figure,
+            detector = kind.name()
+        );
         let map = coverage_map(&corpus, &kind)?;
         println!("--- {figure}: paper expectation: {expectation} ---");
         println!("{}", map.render());

@@ -7,9 +7,13 @@
 //! ```
 
 use detdiv::eval::div1_diversity_matrix;
+use detdiv::obs;
 use detdiv::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::var_os("DETDIV_LOG").is_none() {
+        obs::set_max_level(obs::Level::Info);
+    }
     let config = SynthesisConfig::builder()
         .training_len(80_000)
         .anomaly_sizes(2..=5)
@@ -17,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .background_len(1024)
         .seed(2005)
         .build()?;
-    eprintln!("synthesizing corpus and computing six coverage maps...");
+    obs::info!("synthesizing corpus and computing six coverage maps");
     let corpus = Corpus::synthesize(&config)?;
 
     let result = div1_diversity_matrix(&corpus)?;

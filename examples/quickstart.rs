@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     let corpus = Corpus::synthesize(&config)?;
 
-    println!("training stream: {} elements over {}", corpus.training().len(), corpus.alphabet());
+    println!(
+        "training stream: {} elements over {}",
+        corpus.training().len(),
+        corpus.alphabet()
+    );
     for anomaly in corpus.anomalies() {
         println!("  injected MFS of size {}: {}", anomaly.len(), anomaly);
     }

@@ -9,9 +9,7 @@
 //! cargo run --release --example suppression_ensemble
 //! ```
 
-use detdiv::core::{
-    alarms_at, analyze_alarms, suppress_alarms, IncidentSpan, LabeledCase,
-};
+use detdiv::core::{alarms_at, analyze_alarms, suppress_alarms, IncidentSpan, LabeledCase};
 use detdiv::detectors::MarkovDetector;
 use detdiv::prelude::*;
 
@@ -56,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The combination: keep only Markov alarms that Stide confirms.
     let suppressed = suppress_alarms(&markov_alarms, &stide_alarms)?;
 
-    println!("\n{:<28} {:>5} {:>14} {:>10}", "detector", "hit", "false alarms", "FA rate");
+    println!(
+        "\n{:<28} {:>5} {:>14} {:>10}",
+        "detector", "hit", "false alarms", "FA rate"
+    );
     for (name, alarms) in [
         ("markov (floor 0.98)", &markov_alarms),
         ("stide", &stide_alarms),

@@ -1,0 +1,86 @@
+//! Runs a reduced-grid evaluation and prints the run-telemetry summary
+//! the observability layer collected along the way: per-detector
+//! train/score histograms, event counters, and per-(AS × DW) cell wall
+//! times.
+//!
+//! ```text
+//! cargo run --release --example telemetry
+//! ```
+//!
+//! Set `DETDIV_LOG=debug` to also watch per-span timings stream to
+//! stderr while the experiments run, or `DETDIV_LOG=off` to see the
+//! collection disabled end to end (the summary comes back empty).
+
+use detdiv::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SynthesisConfig::builder()
+        .training_len(60_000)
+        .anomaly_sizes(2..=4)
+        .windows(2..=5)
+        .background_len(512)
+        .plant_repeats(4)
+        .seed(3)
+        .build()?;
+
+    // `generate` resets telemetry, synthesizes the corpus under a
+    // `synthesize` span, runs every experiment, and attaches the
+    // snapshot to the report.
+    let report = FullReport::generate(&config)?;
+    let telemetry = &report.telemetry;
+
+    if telemetry.is_empty() {
+        println!("telemetry disabled (DETDIV_LOG=off); nothing to report");
+        return Ok(());
+    }
+
+    println!("{}", telemetry.render_text());
+
+    // The four paper detectors side by side: where does the wall time go?
+    println!("per-detector totals (train + score):");
+    println!(
+        "{:<16} {:>12} {:>12} {:>14} {:>12}",
+        "detector", "train_ms", "score_ms", "windows", "alarms"
+    );
+    for name in ["lane-brodley", "markov", "stide", "neural-network"] {
+        let train_ms = telemetry
+            .histogram(&format!("detector/{name}/train_ns"))
+            .map_or(0.0, |h| h.sum_ns as f64 / 1e6);
+        let score_ms = telemetry
+            .histogram(&format!("detector/{name}/score_ns"))
+            .map_or(0.0, |h| h.sum_ns as f64 / 1e6);
+        let windows = telemetry.counter(&format!("detector/{name}/windows_scored"));
+        let alarms = telemetry.counter(&format!("detector/{name}/alarms_raised"));
+        println!("{name:<16} {train_ms:>12.1} {score_ms:>12.1} {windows:>14} {alarms:>12}");
+    }
+
+    // The slowest grid cells, from the per-cell records.
+    let mut cells = telemetry.cells.clone();
+    cells.sort_by_key(|c| std::cmp::Reverse(c.nanos));
+    println!("\nslowest evaluation-grid cells:");
+    println!(
+        "{:<28} {:<16} {:>4} {:>4} {:>12}",
+        "experiment", "detector", "DW", "AS", "ms"
+    );
+    for cell in cells.iter().take(8) {
+        println!(
+            "{:<28} {:<16} {:>4} {:>4} {:>12.2}",
+            cell.experiment,
+            cell.detector,
+            cell.window,
+            cell.anomaly_size,
+            cell.nanos as f64 / 1e6
+        );
+    }
+
+    // And the coarse phase breakdown from the span hierarchy.
+    println!("\ntop-level spans:");
+    for (name, h) in &telemetry.histograms {
+        let path = name.trim_start_matches("span/");
+        if name.starts_with("span/") && !path.contains('/') {
+            println!("  {path:<28} {:>10.1} ms", h.sum_ns as f64 / 1e6);
+        }
+    }
+
+    Ok(())
+}

@@ -59,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nper-process totals:");
     for (pid, stream) in parsed.iter() {
         let r = mfs_census(&training, stream, 8)?;
-        println!("  pid {pid}: {} MFS occurrences in {} events", r.total(), stream.len());
+        println!(
+            "  pid {pid}: {} MFS occurrences in {} events",
+            r.total(),
+            stream.len()
+        );
     }
 
     Ok(())

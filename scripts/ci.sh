@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Local CI gate for the detdiv workspace.
+#
+# Runs the same checks a hosted pipeline would, in dependency order so
+# the cheapest failures surface first:
+#
+#   1. cargo fmt --check      — formatting is canonical
+#   2. cargo clippy           — lints as errors across the workspace
+#   3. cargo build --release  — the artifacts the paper run uses
+#   4. cargo test -q          — every unit, integration, and doc test
+#
+# Usage: scripts/ci.sh
+# The script is silent on success for each phase beyond a one-line
+# banner, and exits non-zero at the first failure.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+banner() { printf '\n==> %s\n' "$*"; }
+
+banner "cargo fmt --check"
+cargo fmt --all --check
+
+banner "cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+banner "cargo build --release"
+cargo build --release --workspace
+
+banner "cargo test -q"
+cargo test -q --workspace --release
+
+banner "CI green"

@@ -20,7 +20,10 @@
 //!   blind/weak/capable scoring, coverage maps, ensembles;
 //! * [`trace`] — system-call trace parsing and synthesis;
 //! * [`eval`] — experiment drivers reproducing every figure and analysis
-//!   of the paper.
+//!   of the paper;
+//! * [`obs`] — the zero-dependency observability layer (leveled
+//!   logging via `DETDIV_LOG`, hierarchical timing spans, counters and
+//!   histograms, serializable run telemetry).
 //!
 //! # Quickstart
 //!
@@ -56,14 +59,16 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 
 pub use detdiv_core as core;
 pub use detdiv_detectors as detectors;
 pub use detdiv_eval as eval;
 pub use detdiv_hmm as hmm;
 pub use detdiv_markov as markov;
-pub use detdiv_rules as rules;
 pub use detdiv_nn as nn;
+pub use detdiv_obs as obs;
+pub use detdiv_rules as rules;
 pub use detdiv_sequence as sequence;
 pub use detdiv_synth as synth;
 pub use detdiv_trace as trace;

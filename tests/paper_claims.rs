@@ -62,7 +62,10 @@ fn claim2_diversity_changes_coverage() {
     let defined = maps[0].defined_count();
     assert_eq!(counts[0], 0, "L&B");
     assert_eq!(counts[1], defined, "Markov covers all defined cells");
-    assert!(counts[2] > 0 && counts[2] < defined, "Stide is strictly in between");
+    assert!(
+        counts[2] > 0 && counts[2] < defined,
+        "Stide is strictly in between"
+    );
     assert_eq!(counts[3], counts[1], "NN mimics Markov");
 }
 
@@ -98,11 +101,15 @@ fn claim4_parameters_flip_detectability() {
     stide2.train(case_small.training());
 
     assert_eq!(
-        evaluate_case(&stide6, &case_big).expect("outcome").classification(),
+        evaluate_case(&stide6, &case_big)
+            .expect("outcome")
+            .classification(),
         Classification::Capable
     );
     assert_eq!(
-        evaluate_case(&stide2, &case_small).expect("outcome").classification(),
+        evaluate_case(&stide2, &case_small)
+            .expect("outcome")
+            .classification(),
         Classification::Blind
     );
 }

@@ -131,14 +131,18 @@ fn tstide_extends_stide_coverage() {
     let mut stide = Stide::new(3);
     stide.train(case.training());
     assert_eq!(
-        evaluate_case(&stide, &case).expect("outcome").classification(),
+        evaluate_case(&stide, &case)
+            .expect("outcome")
+            .classification(),
         Classification::Blind
     );
 
     let mut tstide = TStide::new(3);
     tstide.train(case.training());
     assert_eq!(
-        evaluate_case(&tstide, &case).expect("outcome").classification(),
+        evaluate_case(&tstide, &case)
+            .expect("outcome")
+            .classification(),
         Classification::Capable,
         "t-stide should flag the rare planted flanks"
     );
@@ -166,7 +170,10 @@ fn lfc_pipeline_smooths_stide() {
         .count();
 
     assert!(plain_alarm_count > 0);
-    assert_eq!(lfc_alarm_count, 0, "a frame of 16 dilutes a short anomaly burst");
+    assert_eq!(
+        lfc_alarm_count, 0,
+        "a frame of 16 dilutes a short anomaly burst"
+    );
 }
 
 /// Detectors trained on trace data (rather than the synthetic corpus)
@@ -225,8 +232,7 @@ fn unm_roundtrip_preserves_census() {
 
     let direct = mfs_census(&run.concatenated(), &other.concatenated(), 5).expect("census");
     let reparsed = TraceSet::parse(&other.to_unm_string()).expect("parse");
-    let roundtrip =
-        mfs_census(&run.concatenated(), &reparsed.concatenated(), 5).expect("census");
+    let roundtrip = mfs_census(&run.concatenated(), &reparsed.concatenated(), 5).expect("census");
     assert_eq!(direct, roundtrip);
 }
 

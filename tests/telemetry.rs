@@ -1,0 +1,165 @@
+//! Integration test for the observability layer: a full report run
+//! must come back with a telemetry snapshot whose timings cover all
+//! four paper detectors and whose counters are consistent with the
+//! evaluation grid, and `DETDIV_LOG=off` must disable collection.
+//!
+//! The telemetry registry and level are process-global, so everything
+//! lives in ONE `#[test]` function: the default parallel test runner
+//! would otherwise interleave level changes across tests.
+
+use detdiv::obs;
+use detdiv::prelude::*;
+
+const PAPER_FOUR: [&str; 4] = ["lane-brodley", "markov", "stide", "neural-network"];
+
+fn grid_config() -> SynthesisConfig {
+    SynthesisConfig::builder()
+        .training_len(60_000)
+        .anomaly_sizes(2..=4)
+        .windows(2..=5)
+        .background_len(512)
+        .plant_repeats(4)
+        .seed(3)
+        .build()
+        .expect("grid config")
+}
+
+#[test]
+fn full_report_telemetry_covers_the_four_detectors_and_the_grid() {
+    obs::set_max_level(obs::Level::Warn);
+    let config = grid_config();
+    let windows = 4; // DW 2..=5
+    let anomaly_sizes = 3; // AS 2..=4
+    let corpus = Corpus::synthesize(&config).expect("corpus");
+    let report = FullReport::generate_on(&corpus).expect("report");
+    let telemetry = &report.telemetry;
+    assert!(
+        !telemetry.is_empty(),
+        "telemetry must be collected by default"
+    );
+
+    // 1. Non-zero train and score timings for all four paper families.
+    for name in PAPER_FOUR {
+        let train = telemetry
+            .histogram(&format!("detector/{name}/train_ns"))
+            .unwrap_or_else(|| panic!("missing train histogram for {name}"));
+        assert!(
+            train.count >= windows as u64,
+            "{name}: expected at least one train call per window, got {}",
+            train.count
+        );
+        assert!(train.sum_ns > 0, "{name}: train time must be non-zero");
+        assert!(train.max_ns >= train.min_ns);
+        let score = telemetry
+            .histogram(&format!("detector/{name}/score_ns"))
+            .unwrap_or_else(|| panic!("missing score histogram for {name}"));
+        assert!(
+            score.count >= (windows * anomaly_sizes) as u64,
+            "{name}: expected at least one score call per grid cell, got {}",
+            score.count
+        );
+        assert!(score.sum_ns > 0, "{name}: score time must be non-zero");
+
+        // Counters agree with the grid: every scored stream yields at
+        // least one window position, so windows_scored >= score calls.
+        let scored = telemetry.counter(&format!("detector/{name}/windows_scored"));
+        assert!(
+            scored >= score.count,
+            "{name}: windows_scored {scored} < score calls {}",
+            score.count
+        );
+        assert_eq!(
+            telemetry.counter(&format!("detector/{name}/score_calls")),
+            score.count,
+            "{name}: score_calls counter disagrees with histogram count"
+        );
+    }
+
+    // 2. Per-cell wall times for each figure cover the grid exactly.
+    for (experiment, detector) in [
+        ("fig3_lane_brodley", "lane-brodley"),
+        ("fig4_markov", "markov"),
+        ("fig5_stide", "stide"),
+        ("fig6_neural", "neural-network"),
+    ] {
+        let cells: Vec<_> = telemetry
+            .cells
+            .iter()
+            .filter(|c| c.experiment.contains(experiment))
+            .collect();
+        assert_eq!(
+            cells.len(),
+            windows * anomaly_sizes,
+            "{experiment}: expected one timed cell per (AS, DW) pair"
+        );
+        for cell in &cells {
+            assert_eq!(
+                cell.detector, detector,
+                "{experiment}: wrong detector label"
+            );
+            assert!((2..=5).contains(&cell.window), "{experiment}: window range");
+            assert!(
+                (2..=4).contains(&cell.anomaly_size),
+                "{experiment}: anomaly-size range"
+            );
+            assert!(
+                cell.experiment.starts_with("report/"),
+                "cell experiment context must carry the report span path, got {}",
+                cell.experiment
+            );
+        }
+        // All (window, AS) pairs distinct => the grid is covered.
+        let mut pairs: Vec<_> = cells.iter().map(|c| (c.window, c.anomaly_size)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), windows * anomaly_sizes);
+    }
+
+    // 3. Aggregate counters are consistent with the per-figure grids:
+    // the four figures alone contribute 4 * grid evaluate_case calls.
+    let cases = telemetry.counter("eval/cases");
+    assert!(
+        cases >= (4 * windows * anomaly_sizes) as u64,
+        "eval/cases {cases} below the four-figure floor"
+    );
+    let classified: u64 = ["blind", "weak", "capable"]
+        .iter()
+        .map(|c| telemetry.counter(&format!("eval/classified/{c}")))
+        .sum();
+    assert_eq!(
+        classified, cases,
+        "every evaluated case must be classified exactly once"
+    );
+
+    // 4. The span hierarchy made it into the snapshot.
+    for span in [
+        "span/report",
+        "span/report/fig5_stide",
+        "span/report/fig5_stide/coverage",
+    ] {
+        assert!(
+            telemetry.histogram(span).is_some(),
+            "missing span histogram {span}"
+        );
+    }
+
+    // 5. The snapshot round-trips through JSON deterministically.
+    let a = serde_json::to_string(telemetry).expect("serialize");
+    let b = serde_json::to_string(&report.telemetry).expect("serialize");
+    assert_eq!(a, b);
+
+    // 6. DETDIV_LOG=off (via the programmatic override) disables
+    // collection entirely: the attached snapshot comes back empty.
+    obs::set_max_level(obs::Level::Off);
+    let off_report = FullReport::generate_on(&corpus).expect("report with telemetry off");
+    obs::set_max_level(obs::Level::Warn);
+    assert!(
+        off_report.telemetry.is_empty(),
+        "telemetry must be empty under DETDIV_LOG=off"
+    );
+    // The evaluation itself is unaffected by the switch.
+    assert_eq!(
+        off_report.fig5.detection_count(),
+        report.fig5.detection_count()
+    );
+}

@@ -1,0 +1,565 @@
+//! Local stand-in for `serde` (the build environment resolves no
+//! registry crates).
+//!
+//! Instead of serde's visitor architecture, this stand-in serializes
+//! through an intermediate [`Value`] tree: [`Serialize`] converts a type
+//! into a `Value`, [`Deserialize`] reconstructs it from one. Object
+//! fields preserve **insertion order**, so derived structs serialize
+//! their fields in declaration order — deterministically.
+//!
+//! The `derive` feature re-exports `#[derive(Serialize, Deserialize)]`
+//! from the companion `serde_derive` stand-in, which supports the
+//! shapes this workspace uses: named-field structs (with
+//! `#[serde(skip)]` / `#[serde(default)]` field attributes), unit-only
+//! enums, and `#[serde(transparent)]` newtype structs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (used when the value exceeds `i64::MAX`).
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; pairs preserve insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this value is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this value is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|pairs| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization failure: what was expected, what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Builds an error from a free-form message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Builds an "expected X while deserializing Y" error.
+    pub fn expected(what: &str, context: &str) -> Self {
+        DeError {
+            message: format!("expected {what} while deserializing {context}"),
+        }
+    }
+
+    /// Builds a "missing field" error.
+    pub fn missing_field(field: &str, context: &str) -> Self {
+        DeError {
+            message: format!("missing field `{field}` while deserializing {context}"),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type convertible into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a serialized value.
+    fn to_value(&self) -> Value;
+}
+
+/// A type reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a serialized value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value's shape does not match.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError::new(format!("integer {i} out of range"))),
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError::new(format!("integer {u} out of range"))),
+                    other => Err(DeError::expected("integer", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 {
+                    Value::Int(v as i64)
+                } else {
+                    Value::UInt(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Int(i) => u64::try_from(*i)
+                        .ok()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| DeError::new(format!("integer {i} out of range"))),
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError::new(format!("integer {u} out of range"))),
+                    other => Err(DeError::expected("integer", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Null => Ok(f64::NAN), // serde_json writes non-finite floats as null
+            other => Err(DeError::expected("number", other.kind())),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other.kind())),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-character string", "char")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other.kind())),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+/// Map keys must render as strings in the JSON data model.
+pub trait SerializeKey {
+    /// The string form of this key.
+    fn to_key(&self) -> String;
+}
+
+/// Map keys must be reconstructible from their string form.
+pub trait DeserializeKey: Sized {
+    /// Parses a key from its string form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the string is not a valid key.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl SerializeKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+}
+
+impl DeserializeKey for String {
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl SerializeKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+        }
+        impl DeserializeKey for $t {
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse()
+                    .map_err(|_| DeError::new(format!("invalid integer key `{key}`")))
+            }
+        }
+    )*};
+}
+
+impl_int_key!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<K: SerializeKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: DeserializeKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other.kind())),
+        }
+    }
+}
+
+impl<K: SerializeKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort for determinism: hash iteration order is unspecified.
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: DeserializeKey + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other.kind())),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| DeError::expected("array", value.kind()))?;
+                if items.len() != LEN {
+                    return Err(DeError::new(format!(
+                        "expected array of length {LEN}, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(DeError::expected("null", other.kind())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1usize, "a".to_string()), (2, "b".to_string())];
+        let back: Vec<(usize, String)> = Vec::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = BTreeMap::new();
+        m.insert("x".to_string(), 9u64);
+        let back: BTreeMap<String, u64> = BTreeMap::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&o.to_value()).unwrap(), None);
+        assert_eq!(
+            Option::<u8>::from_value(&Some(3u8).to_value()).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn object_fields_preserve_insertion_order() {
+        let v = Value::Object(vec![
+            ("z".into(), Value::Int(1)),
+            ("a".into(), Value::Int(2)),
+        ]);
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, vec!["z", "a"]);
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(u32::from_value(&Value::Str("no".into())).is_err());
+        assert!(bool::from_value(&Value::Int(1)).is_err());
+        assert!(Vec::<u8>::from_value(&Value::Null).is_err());
+    }
+}

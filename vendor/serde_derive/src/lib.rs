@@ -1,0 +1,399 @@
+//! Local stand-in for `serde_derive`, built on the raw `proc_macro`
+//! API only (`syn`/`quote` are registry crates and the build
+//! environment resolves none).
+//!
+//! Supported input shapes — exactly what this workspace uses:
+//!
+//! * structs with named fields, honouring the field attributes
+//!   `#[serde(skip)]` (never serialized, `Default`-filled on
+//!   deserialization) and `#[serde(default)]` (`Default`-filled when
+//!   the field is missing);
+//! * `#[serde(transparent)]` single-field tuple structs (newtypes);
+//! * enums whose variants are all unit variants (serialized as the
+//!   variant-name string).
+//!
+//! Anything else (generics, data-carrying enums, tuple structs without
+//! `transparent`) produces a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the workspace `serde` stand-in's `Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the workspace `serde` stand-in's `Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_input(input) {
+        Ok(item) => {
+            let src = match (&item.shape, mode) {
+                (Shape::NamedStruct(fields), Mode::Serialize) => {
+                    named_struct_serialize(&item, fields)
+                }
+                (Shape::NamedStruct(fields), Mode::Deserialize) => {
+                    named_struct_deserialize(&item, fields)
+                }
+                (Shape::TransparentNewtype, Mode::Serialize) => transparent_serialize(&item),
+                (Shape::TransparentNewtype, Mode::Deserialize) => transparent_deserialize(&item),
+                (Shape::UnitEnum(variants), Mode::Serialize) => {
+                    unit_enum_serialize(&item, variants)
+                }
+                (Shape::UnitEnum(variants), Mode::Deserialize) => {
+                    unit_enum_deserialize(&item, variants)
+                }
+            };
+            src.parse().expect("derive stand-in generated invalid Rust")
+        }
+        Err(msg) => format!("::core::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error tokens parse"),
+    }
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    /// `#[serde(transparent)]` single-field tuple struct.
+    TransparentNewtype,
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Scans one attribute group (`#[...]`'s bracketed tokens) for
+/// `serde(...)` arguments, appending any found to `out`.
+fn collect_serde_args(group: &proc_macro::Group, out: &mut Vec<String>) {
+    let mut tokens = group.stream().into_iter();
+    if let Some(TokenTree::Ident(name)) = tokens.next() {
+        if name.to_string() == "serde" {
+            if let Some(TokenTree::Group(args)) = tokens.next() {
+                for tt in args.stream() {
+                    if let TokenTree::Ident(arg) = tt {
+                        out.push(arg.to_string());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parses attributes at the cursor, returning collected serde arguments
+/// and advancing past every `#[...]`.
+fn take_attrs(tokens: &[TokenTree], mut i: usize) -> (Vec<String>, usize) {
+    let mut serde_args = Vec::new();
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                collect_serde_args(g, &mut serde_args);
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (serde_args, i)
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_input(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (type_args, mut i) = take_attrs(&tokens, 0);
+    let transparent = type_args.iter().any(|a| a == "transparent");
+    i = skip_vis(&tokens, i);
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde derive stand-in: generic type `{name}` is not supported"
+            ));
+        }
+    }
+
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item {
+                    name,
+                    shape: Shape::NamedStruct(fields),
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if transparent {
+                    Ok(Item {
+                        name,
+                        shape: Shape::TransparentNewtype,
+                    })
+                } else {
+                    Err(format!(
+                        "serde derive stand-in: tuple struct `{name}` requires #[serde(transparent)]"
+                    ))
+                }
+            }
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_unit_variants(g.stream(), &name)?;
+                Ok(Item {
+                    name,
+                    shape: Shape::UnitEnum(variants),
+                })
+            }
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!(
+            "serde derive stand-in supports structs and enums, found `{other}`"
+        )),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (serde_args, next) = take_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth: i64 = 0;
+        while let Some(tt) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field {
+            name,
+            skip: serde_args.iter().any(|a| a == "skip"),
+            default: serde_args.iter().any(|a| a == "default"),
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(stream: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (_, next) = take_attrs(&tokens, i);
+        i = next;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde derive stand-in: enum `{enum_name}` has data-carrying variant \
+                     `{name}`; only unit variants are supported"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde derive stand-in: enum `{enum_name}` has an explicit discriminant \
+                     on `{name}`; not supported"
+                ));
+            }
+            other => {
+                return Err(format!(
+                    "unexpected token after variant `{name}`: {other:?}"
+                ))
+            }
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation (source text, then re-parsed into tokens)
+// ---------------------------------------------------------------------
+
+fn named_struct_serialize(item: &Item, fields: &[Field]) -> String {
+    let mut pushes = String::new();
+    for f in fields.iter().filter(|f| !f.skip) {
+        pushes.push_str(&format!(
+            "fields.push(({n:?}.to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+            n = f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n\
+         {pushes}\
+         ::serde::Value::Object(fields)\n\
+         }}\n}}\n",
+        name = item.name
+    )
+}
+
+fn named_struct_deserialize(item: &Item, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!(
+                "{n}: ::std::default::Default::default(),\n",
+                n = f.name
+            ));
+        } else if f.default {
+            inits.push_str(&format!(
+                "{n}: match value.get({n:?}) {{\n\
+                 Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                 None => ::std::default::Default::default(),\n\
+                 }},\n",
+                n = f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{n}: ::serde::Deserialize::from_value(value.get({n:?}).ok_or_else(|| \
+                 ::serde::DeError::missing_field({n:?}, {t:?}))?)?,\n",
+                n = f.name,
+                t = item.name
+            ));
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         if value.as_object().is_none() {{\n\
+         return ::std::result::Result::Err(::serde::DeError::expected(\"object\", {name:?}));\n\
+         }}\n\
+         ::std::result::Result::Ok({name} {{\n\
+         {inits}\
+         }})\n\
+         }}\n}}\n",
+        name = item.name
+    )
+}
+
+fn transparent_serialize(item: &Item) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         ::serde::Serialize::to_value(&self.0)\n\
+         }}\n}}\n",
+        name = item.name
+    )
+}
+
+fn transparent_deserialize(item: &Item) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))\n\
+         }}\n}}\n",
+        name = item.name
+    )
+}
+
+fn unit_enum_serialize(item: &Item, variants: &[String]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| format!("{name}::{v} => {v:?},\n", name = item.name))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         ::serde::Value::Str(match self {{\n{arms}}}.to_string())\n\
+         }}\n}}\n",
+        name = item.name
+    )
+}
+
+fn unit_enum_deserialize(item: &Item, variants: &[String]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            format!(
+                "{v:?} => ::std::result::Result::Ok({name}::{v}),\n",
+                name = item.name
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         match value.as_str() {{\n\
+         Some(s) => match s {{\n\
+         {arms}\
+         other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\n\
+         \"unknown variant `{{other}}` for {name}\"))),\n\
+         }},\n\
+         None => ::std::result::Result::Err(::serde::DeError::expected(\"string\", {name:?})),\n\
+         }}\n\
+         }}\n}}\n",
+        name = item.name
+    )
+}
