@@ -1,7 +1,7 @@
 //! Regenerates every figure and analysis of Tan & Maxion (DSN 2005).
 //!
 //! ```text
-//! regenerate [--experiment ID] [--training-len N] [--paper] [--seed N] [--json PATH]
+//! regenerate [--experiment ID] [--training-len N] [--paper] [--seed N] [--json PATH] [--threads N]
 //! ```
 //!
 //! * `--experiment` — one of `fig2 fig3 fig4 fig5 fig6 fig7 comb1 comb2
@@ -12,7 +12,13 @@
 //! * `--seed` — synthesis seed (default: the paper configuration's);
 //! * `--json` — additionally write the full report as JSON (only with
 //!   `all`); run telemetry is written as `paper_telemetry.json` next
-//!   to the report;
+//!   to the report. The output directory is checked for writability
+//!   *before* any computation starts, so a bad path fails in
+//!   milliseconds, not after the full evaluation;
+//! * `--threads` — worker count for the evaluation grid's parallel
+//!   fan-outs; overrides the `DETDIV_THREADS` environment variable
+//!   (default: available parallelism). Results are identical at every
+//!   thread count;
 //! * `--log` — diagnostic verbosity (`off error warn info debug
 //!   trace`); overrides the `DETDIV_LOG` environment variable. The
 //!   binary defaults to `info` so progress is visible; `off` also
@@ -36,6 +42,7 @@ struct Args {
     training_len: usize,
     seed: Option<u64>,
     json: Option<String>,
+    threads: Option<usize>,
     log: Option<obs::Level>,
 }
 
@@ -45,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         training_len: 200_000,
         seed: None,
         json: None,
+        threads: None,
         log: None,
     };
     let mut it = std::env::args().skip(1);
@@ -72,6 +80,17 @@ fn parse_args() -> Result<Args, String> {
             "--json" => {
                 args.json = Some(it.next().ok_or("--json needs a path")?);
             }
+            "--threads" => {
+                let value: usize = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if value == 0 {
+                    return Err("--threads: must be at least 1".to_owned());
+                }
+                args.threads = Some(value);
+            }
             "--log" => {
                 let value = it.next().ok_or("--log needs a level")?;
                 args.log = Some(
@@ -81,8 +100,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: regenerate [--experiment ID] [--training-len N] [--paper] [--seed N] [--json PATH] [--log LEVEL]\n\
+                    "usage: regenerate [--experiment ID] [--training-len N] [--paper] [--seed N] [--json PATH] [--threads N] [--log LEVEL]\n\
                      experiments: fig2 fig3 fig4 fig5 fig6 fig7 comb1 comb2 comb3 abl1 abl2 abl3 abl4 nat1 ext1 div1 masq1 fn1 ana1 all\n\
+                     threads:     parallel fan-out width (default: DETDIV_THREADS, then available parallelism; results are thread-count independent)\n\
                      log levels:  off error warn info debug trace (default info; DETDIV_LOG also honoured)"
                 );
                 std::process::exit(0);
@@ -91,6 +111,34 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Verifies that the `--json` output path can actually be written,
+/// *before* any synthesis or evaluation starts: the target must not be
+/// a directory, its parent directory must exist, and a probe file must
+/// be creatable there (covering read-only mounts and permissions).
+/// A failure here costs milliseconds instead of surfacing after the
+/// full run.
+fn preflight_json_target(path: &str) -> Result<(), String> {
+    let target = std::path::Path::new(path);
+    if target.is_dir() {
+        return Err(format!("{path} is a directory, not a file path"));
+    }
+    let parent = match target.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    if !parent.is_dir() {
+        return Err(format!(
+            "output directory {} does not exist",
+            parent.display()
+        ));
+    }
+    let probe = parent.join(format!(".detdiv_write_probe_{}", std::process::id()));
+    std::fs::write(&probe, b"probe")
+        .map_err(|e| format!("output directory {} is not writable: {e}", parent.display()))?;
+    let _ = std::fs::remove_file(&probe);
+    Ok(())
 }
 
 fn build_corpus(args: &Args) -> Result<Corpus, Box<dyn std::error::Error>> {
@@ -310,7 +358,9 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            obs::error!("argument error", detail = e);
+            // Unconditional: argument errors must be visible even when
+            // DETDIV_LOG=off suppresses the structured logger.
+            eprintln!("regenerate: argument error: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -322,9 +372,23 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(threads) = args.threads {
+        detdiv_par::global().set_threads(Some(threads));
+    }
+    // Fail fast on an unwritable --json destination: milliseconds now
+    // instead of an error after the full evaluation.
+    if let Some(path) = &args.json {
+        if let Err(e) = preflight_json_target(path) {
+            eprintln!("regenerate: cannot write --json output {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
+            // eprintln in addition to the structured logger so the
+            // failure is diagnosable even under --log off.
+            eprintln!("regenerate: {e}");
             obs::error!("run failed", detail = e);
             ExitCode::FAILURE
         }

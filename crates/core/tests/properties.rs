@@ -1,10 +1,49 @@
-//! Property tests for the evaluation framework's algebra.
+//! Property tests for the evaluation framework's algebra and for the
+//! transparency of the telemetry instrumentation layer.
 
 use detdiv_core::{
     alarms_at, analyze_alarms, classify_scores, threshold_sweep, CellStatus, Classification,
-    CoverageMap, DiversityMatrix, IncidentSpan,
+    CoverageMap, DiversityMatrix, IncidentSpan, InstrumentedDetector, SequenceAnomalyDetector,
 };
+use detdiv_sequence::{symbols, Symbol};
 use proptest::prelude::*;
+
+/// A deterministic toy detector for transparency properties: response
+/// is a pure function of the window content (`first id mod 10 / 10`,
+/// maximal when the window starts with a multiple of ten).
+#[derive(Debug, Clone)]
+struct ModTen {
+    name: &'static str,
+    window: usize,
+    trained_events: usize,
+}
+
+impl SequenceAnomalyDetector for ModTen {
+    fn name(&self) -> &str {
+        self.name
+    }
+    fn window(&self) -> usize {
+        self.window
+    }
+    fn train(&mut self, training: &[Symbol]) {
+        self.trained_events += training.len();
+    }
+    fn scores(&self, test: &[Symbol]) -> Vec<f64> {
+        if test.len() < self.window {
+            return Vec::new();
+        }
+        test.windows(self.window)
+            .map(|w| {
+                let m = w[0].id() % 10;
+                if m == 0 {
+                    1.0
+                } else {
+                    f64::from(m) / 10.0
+                }
+            })
+            .collect()
+    }
+}
 
 fn arb_status() -> impl Strategy<Value = CellStatus> {
     prop_oneof![
@@ -146,5 +185,69 @@ proptest! {
             prop_assert!(pair[1].false_alarm_rate <= pair[0].false_alarm_rate + 1e-12);
             prop_assert!(!pair[1].hit || pair[0].hit);
         }
+    }
+
+    /// The telemetry wrapper is score-transparent for arbitrary traces
+    /// and windows: scores, name, window, floor and minimum window all
+    /// pass through bit-for-bit.
+    #[test]
+    fn instrumented_wrapper_is_score_transparent(
+        trace in prop::collection::vec(0u32..50, 0..80),
+        training in prop::collection::vec(0u32..50, 0..40),
+        window in 1usize..=6,
+    ) {
+        let trace = symbols(&trace);
+        let training = symbols(&training);
+        let mut plain = ModTen { name: "prop-transparent", window, trained_events: 0 };
+        let mut wrapped = InstrumentedDetector::new(plain.clone());
+        plain.train(&training);
+        wrapped.train(&training);
+        prop_assert_eq!(wrapped.name(), plain.name());
+        prop_assert_eq!(wrapped.window(), plain.window());
+        prop_assert_eq!(wrapped.min_window(), plain.min_window());
+        prop_assert_eq!(
+            wrapped.maximal_response_floor(),
+            plain.maximal_response_floor()
+        );
+        prop_assert_eq!(wrapped.scores(&trace), plain.scores(&trace));
+        prop_assert_eq!(wrapped.inner().trained_events, plain.trained_events);
+    }
+
+    /// Concurrent callers sharing one wrapped detector all observe the
+    /// serial scores (scoring is `&self`), and the recorded call/window
+    /// counters account for every caller exactly once.
+    #[test]
+    fn instrumented_wrapper_is_consistent_under_concurrent_callers(
+        trace in prop::collection::vec(0u32..50, 6..80),
+        window in 1usize..=4,
+        callers in 2usize..=6,
+    ) {
+        let trace = symbols(&trace);
+        let wrapped = InstrumentedDetector::new(ModTen {
+            name: "prop-concurrent",
+            window,
+            trained_events: 0,
+        });
+        let expected = wrapped.inner().scores(&trace);
+        let before = detdiv_obs::snapshot();
+        let all: Vec<Vec<f64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..callers)
+                .map(|_| scope.spawn(|| wrapped.scores(&trace)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, got) in all.iter().enumerate() {
+            prop_assert_eq!(got, &expected, "caller {}", i);
+        }
+        let after = detdiv_obs::snapshot();
+        let delta = |name: &str| after.counter(name) - before.counter(name);
+        prop_assert_eq!(
+            delta("detector/prop-concurrent/score_calls"),
+            callers as u64
+        );
+        prop_assert_eq!(
+            delta("detector/prop-concurrent/windows_scored"),
+            (callers * expected.len()) as u64
+        );
     }
 }

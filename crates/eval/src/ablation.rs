@@ -10,7 +10,7 @@ use detdiv_detectors::{NeuralConfig, NeuralDetector, Stide, StideLfc};
 use detdiv_synth::Corpus;
 use serde::{Deserialize, Serialize};
 
-use crate::coverage::coverage_map;
+use crate::coverage::{coverage_map, coverage_maps_for};
 use crate::error::HarnessError;
 use crate::kinds::DetectorKind;
 
@@ -42,9 +42,18 @@ pub struct SemanticsAblation {
 ///
 /// Propagates coverage-map computation failures.
 pub fn abl1_maximal_response_semantics(corpus: &Corpus) -> Result<SemanticsAblation, HarnessError> {
-    let tolerant_map = coverage_map(corpus, &DetectorKind::Markov)?;
-    let strict_map = coverage_map(corpus, &DetectorKind::MarkovStrict)?;
-    let stide_map = coverage_map(corpus, &DetectorKind::Stide)?;
+    // One fan-out over all three families' (detector, DW) rows.
+    let mut maps = coverage_maps_for(
+        corpus,
+        &[
+            DetectorKind::Markov,
+            DetectorKind::MarkovStrict,
+            DetectorKind::Stide,
+        ],
+    )?;
+    let stide_map = maps.pop().expect("three maps requested");
+    let strict_map = maps.pop().expect("three maps requested");
+    let tolerant_map = maps.pop().expect("three maps requested");
     let strict_equals_stide =
         strict_map.is_subset_of(&stide_map)? && stide_map.is_subset_of(&strict_map)?;
     Ok(SemanticsAblation {
@@ -94,11 +103,15 @@ pub fn abl2_locality_frame_count(
         case.injection_position(),
         case.anomaly_len(),
     )?;
-    let mut rows = Vec::new();
-    for frame in [1usize, 5, 20] {
+    // Each frame trains its own detector: fan the frames out and
+    // flatten the per-frame threshold rows in job order, so the table
+    // is identical to the serial nested loop.
+    let frames = [1usize, 5, 20];
+    let per_frame = detdiv_par::par_try_map(&frames, |&frame| {
         let mut det = StideLfc::new(window, frame);
         det.train(case.training());
         let scores = det.scores(test);
+        let mut rows = Vec::with_capacity(3);
         for threshold in [0.2, 0.5, 1.0] {
             let alarms = alarms_at(&scores, threshold);
             let a = analyze_alarms(&alarms, span)?;
@@ -109,8 +122,9 @@ pub fn abl2_locality_frame_count(
                 false_alarms: a.false_alarms,
             });
         }
-    }
-    Ok(rows)
+        Ok::<_, HarnessError>(rows)
+    })?;
+    Ok(per_frame.into_iter().flatten().collect())
 }
 
 /// One row of the ABL3 neural-network sensitivity sweep.
@@ -147,35 +161,40 @@ pub fn abl3_nn_sensitivity(
     anomaly_size: usize,
 ) -> Result<Vec<NnSensitivityRow>, HarnessError> {
     let case = corpus.case(anomaly_size, window)?;
-    let mut rows = Vec::new();
+    // Enumerate the 16 configurations in the original nesting order,
+    // then fan the independent train/evaluate jobs out; results come
+    // back pre-indexed, so the table order is scheduling-independent.
+    let mut configs = Vec::with_capacity(16);
     for &hidden in &[2usize, 16] {
         for &learning_rate in &[0.005, 0.4] {
             for &momentum in &[0.0, 0.7] {
                 for &epochs in &[3usize, 300] {
-                    let config = NeuralConfig {
-                        hidden,
-                        learning_rate,
-                        momentum,
-                        epochs,
-                        min_count: 2,
-                        ..NeuralConfig::default()
-                    };
-                    let mut det = NeuralDetector::with_config(window, config);
-                    det.train(case.training());
-                    let outcome = evaluate_case(&det, &case)?;
-                    rows.push(NnSensitivityRow {
-                        hidden,
-                        learning_rate,
-                        momentum,
-                        epochs,
-                        max_response: outcome.max_response(),
-                        capable: outcome.classification().is_detection(),
-                    });
+                    configs.push((hidden, learning_rate, momentum, epochs));
                 }
             }
         }
     }
-    Ok(rows)
+    detdiv_par::par_try_map(&configs, |&(hidden, learning_rate, momentum, epochs)| {
+        let config = NeuralConfig {
+            hidden,
+            learning_rate,
+            momentum,
+            epochs,
+            min_count: 2,
+            ..NeuralConfig::default()
+        };
+        let mut det = NeuralDetector::with_config(window, config);
+        det.train(case.training());
+        let outcome = evaluate_case(&det, &case)?;
+        Ok(NnSensitivityRow {
+            hidden,
+            learning_rate,
+            momentum,
+            epochs,
+            max_response: outcome.max_response(),
+            capable: outcome.classification().is_detection(),
+        })
+    })
 }
 
 /// One row of the ABL4 training-length sweep.
@@ -204,8 +223,11 @@ pub fn abl4_training_length(
     lengths: &[usize],
 ) -> Result<Vec<TrainingLenRow>, HarnessError> {
     use crate::coverage::expected_stide_map;
-    let mut rows = Vec::with_capacity(lengths.len());
-    for &training_len in lengths {
+    // Each length is a self-contained corpus synthesis plus two
+    // coverage maps — the coarsest unit of independent work here, so
+    // fan the lengths out (the inner coverage fan-outs inline inside
+    // pool workers rather than spawning a second tier of threads).
+    detdiv_par::par_try_map(lengths, |&training_len| {
         let config = detdiv_synth::SynthesisConfig::builder()
             .training_len(training_len)
             .anomaly_sizes(base.anomaly_sizes())
@@ -228,14 +250,13 @@ pub fn abl4_training_length(
                     .map(|d| d == cell.is_detection())
                     .unwrap_or(false)
         });
-        rows.push(TrainingLenRow {
+        Ok(TrainingLenRow {
             training_len,
             stide_detections: stide.detection_count(),
             markov_detections: markov.detection_count(),
             stide_shape_holds,
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 /// ABL2 extra: plain Stide on the same noisy case, for reference in the

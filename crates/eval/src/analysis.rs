@@ -50,8 +50,10 @@ pub fn fn1_threshold_sweeps(
         case.injection_position(),
         case.anomaly_len(),
     )?;
-    let mut out = Vec::new();
-    for kind in DetectorKind::paper_four() {
+    // Each paper detector trains and sweeps independently: fan the four
+    // out; results come back in `paper_four()` order.
+    let kinds = DetectorKind::paper_four();
+    detdiv_par::par_try_map(&kinds, |kind| {
         let mut det = kind.build(window);
         det.train(case.training());
         let scores = det.scores(test);
@@ -66,16 +68,15 @@ pub fn fn1_threshold_sweeps(
             .collect();
         let points = threshold_sweep(&scores, span, &thresholds)?;
         let hit_never_lost_below_max = points.iter().all(|p| p.hit);
-        out.push(SweepResult {
+        Ok(SweepResult {
             detector: det.name().to_owned(),
             anomaly_size,
             window,
             in_span_max,
             points,
             hit_never_lost_below_max,
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 /// ANA1 result: the maximum in-span response per grid cell, for one
@@ -142,16 +143,21 @@ pub fn ana1_response_map(
     let config = corpus.config();
     let anomaly_sizes: Vec<usize> = config.anomaly_sizes().collect();
     let windows: Vec<usize> = config.windows().collect();
-    let mut max_responses = Vec::with_capacity(anomaly_sizes.len() * windows.len());
-    for &window in &windows {
+    // One row per window, like the coverage grid: train once, score
+    // every AS, then flatten the rows in window order (the map's
+    // row-major layout).
+    let rows = detdiv_par::par_try_map(&windows, |&window| {
         let mut det = kind.build(window);
         det.train(corpus.training());
+        let mut row = Vec::with_capacity(anomaly_sizes.len());
         for &anomaly_size in &anomaly_sizes {
             let case = corpus.case(anomaly_size, window)?;
             let outcome = evaluate_case(det.as_ref(), &case)?;
-            max_responses.push(outcome.max_response());
+            row.push(outcome.max_response());
         }
-    }
+        Ok::<_, HarnessError>(row)
+    })?;
+    let max_responses = rows.into_iter().flatten().collect();
     Ok(ResponseMap {
         detector: kind.name().to_owned(),
         anomaly_sizes,

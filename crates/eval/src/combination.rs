@@ -153,8 +153,11 @@ pub fn comb3_suppression(
     corpus: &Corpus,
     config: &SuppressionConfig,
 ) -> Result<Vec<SuppressionRow>, HarnessError> {
-    let mut rows = Vec::new();
-    for &anomaly_size in &config.anomaly_sizes {
+    // Each anomaly size owns its noisy case; fan the sizes out and
+    // flatten the per-size window rows in job order, reproducing the
+    // serial nested-loop row order exactly.
+    let per_size = detdiv_par::par_try_map(&config.anomaly_sizes, |&anomaly_size| {
+        let mut rows = Vec::new();
         let case = corpus.noisy_case(anomaly_size, config.background_len, config.seed)?;
         let test = case.test_stream();
         for &window in &config.windows {
@@ -192,8 +195,9 @@ pub fn comb3_suppression(
                 });
             }
         }
-    }
-    Ok(rows)
+        Ok::<_, HarnessError>(rows)
+    })?;
+    Ok(per_size.into_iter().flatten().collect())
 }
 
 /// Renders COMB3 rows as a fixed-width text table.

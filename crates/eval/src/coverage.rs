@@ -5,12 +5,59 @@
 //! size AS; the blind/weak/capable verdict fills the (AS, DW) cell. The
 //! x-axis additionally carries the paper's *undefined* column at AS = 1
 //! (a size-1 sequence cannot be simultaneously foreign and rare, §6).
+//!
+//! # Parallelism
+//!
+//! Grid rows are independent: each (detector, DW) pair trains its own
+//! fresh detector and touches disjoint cells. [`coverage_map`] and
+//! [`coverage_maps_for`] therefore fan the rows out over the
+//! [`detdiv_par`] global pool and merge the finished rows back in grid
+//! order, so the resulting maps are bit-for-bit identical to the serial
+//! computation regardless of `DETDIV_THREADS` (asserted by
+//! `tests/par_determinism.rs`).
 
 use detdiv_core::{evaluate_case, CellStatus, CoverageMap};
 use detdiv_synth::Corpus;
 
 use crate::error::HarnessError;
 use crate::kinds::DetectorKind;
+
+/// One finished grid row: every (AS → cell) verdict for a single
+/// detector window, produced by [`coverage_row`].
+type CoverageRow = Vec<(usize, CellStatus)>;
+
+/// Trains a fresh `kind` detector at `window` and scores it against
+/// every anomaly size of the corpus, returning the row's cells in
+/// ascending AS order. This is the unit of parallel work: rows share
+/// nothing but the read-only corpus.
+fn coverage_row(
+    corpus: &Corpus,
+    kind: &DetectorKind,
+    window: usize,
+) -> Result<CoverageRow, HarnessError> {
+    let config = corpus.config();
+    let mut detector = kind.build(window);
+    {
+        let _train = detdiv_obs::span!("train", detector = kind.name(), window = window);
+        detector.train(corpus.training());
+    }
+    let mut row = Vec::with_capacity(config.anomaly_sizes().count());
+    for anomaly_size in config.anomaly_sizes() {
+        let cell_started = std::time::Instant::now();
+        let case = corpus.case(anomaly_size, window)?;
+        let outcome = evaluate_case(detector.as_ref(), &case)?;
+        detdiv_obs::record_cell(kind.name(), window, anomaly_size, cell_started.elapsed());
+        row.push((anomaly_size, CellStatus::from(outcome.classification())));
+    }
+    // AS = 1 stays Undefined: a one-element sequence cannot be both
+    // foreign and rare (§6).
+    detdiv_obs::debug!(
+        "coverage row complete",
+        detector = kind.name(),
+        window = window,
+    );
+    Ok(row)
+}
 
 /// Computes the detection-coverage map of one detector family over the
 /// corpus's full (AS, DW) grid.
@@ -48,45 +95,74 @@ pub fn coverage_map(corpus: &Corpus, kind: &DetectorKind) -> Result<CoverageMap,
         1..=config.max_anomaly(),
         *config.windows().start()..=config.max_window(),
     );
-    for window in config.windows() {
-        let mut detector = kind.build(window);
-        {
-            let _train = detdiv_obs::span!("train", detector = kind.name(), window = window);
-            detector.train(corpus.training());
+    let windows: Vec<usize> = config.windows().collect();
+    // Re-root worker-thread span stacks under this experiment so their
+    // `train` spans and grid cells carry the right context.
+    let parent = detdiv_obs::current_path();
+    let rows = detdiv_par::par_try_map(&windows, |&window| {
+        let _ctx = detdiv_obs::context(&parent);
+        coverage_row(corpus, kind, window)
+    })?;
+    for (window, row) in windows.into_iter().zip(rows) {
+        for (anomaly_size, status) in row {
+            map.set(anomaly_size, window, status)?;
         }
-        for anomaly_size in config.anomaly_sizes() {
-            let cell_started = std::time::Instant::now();
-            let case = corpus.case(anomaly_size, window)?;
-            let outcome = evaluate_case(detector.as_ref(), &case)?;
-            detdiv_obs::record_cell(kind.name(), window, anomaly_size, cell_started.elapsed());
-            map.set(
-                anomaly_size,
-                window,
-                CellStatus::from(outcome.classification()),
-            )?;
-        }
-        // AS = 1 stays Undefined: a one-element sequence cannot be both
-        // foreign and rare (§6).
-        detdiv_obs::debug!(
-            "coverage row complete",
-            detector = kind.name(),
-            window = window,
-        );
     }
     Ok(map)
 }
 
-/// Convenience: the four maps of the paper's Figures 3–6, in figure
-/// order (L&B, Markov, Stide, neural network).
+/// Computes one coverage map per detector kind, fanning every
+/// (kind, DW) row out over the global pool in a single parallel map so
+/// cross-detector work interleaves freely. Maps are returned in `kinds`
+/// order and are identical to calling [`coverage_map`] per kind.
 ///
 /// # Errors
 ///
-/// Propagates the first failing map computation.
-pub fn paper_coverage_maps(corpus: &Corpus) -> Result<Vec<CoverageMap>, HarnessError> {
-    DetectorKind::paper_four()
+/// Returns the error of the first failing row in (kind, DW) grid order,
+/// independent of worker scheduling.
+pub fn coverage_maps_for(
+    corpus: &Corpus,
+    kinds: &[DetectorKind],
+) -> Result<Vec<CoverageMap>, HarnessError> {
+    let config = corpus.config();
+    let windows: Vec<usize> = config.windows().collect();
+    let jobs: Vec<(usize, usize)> = (0..kinds.len())
+        .flat_map(|kind_index| windows.iter().map(move |&window| (kind_index, window)))
+        .collect();
+    let parent = detdiv_obs::current_path();
+    let rows = detdiv_par::par_try_map(&jobs, |&(kind_index, window)| {
+        let kind = &kinds[kind_index];
+        let _ctx = detdiv_obs::context(&parent);
+        let _span = detdiv_obs::span!("coverage", detector = kind.name());
+        coverage_row(corpus, kind, window)
+    })?;
+    let mut maps: Vec<CoverageMap> = kinds
         .iter()
-        .map(|kind| coverage_map(corpus, kind))
-        .collect()
+        .map(|kind| {
+            CoverageMap::new(
+                kind.name(),
+                1..=config.max_anomaly(),
+                *config.windows().start()..=config.max_window(),
+            )
+        })
+        .collect();
+    for (&(kind_index, window), row) in jobs.iter().zip(rows) {
+        for (anomaly_size, status) in row {
+            maps[kind_index].set(anomaly_size, window, status)?;
+        }
+    }
+    Ok(maps)
+}
+
+/// Convenience: the four maps of the paper's Figures 3–6, in figure
+/// order (L&B, Markov, Stide, neural network), computed with every
+/// (detector, DW) row fanned out in parallel.
+///
+/// # Errors
+///
+/// Propagates the first failing row computation.
+pub fn paper_coverage_maps(corpus: &Corpus) -> Result<Vec<CoverageMap>, HarnessError> {
+    coverage_maps_for(corpus, &DetectorKind::paper_four())
 }
 
 /// The analytically expected Stide map: detect iff `DW >= AS`
@@ -180,6 +256,26 @@ mod tests {
                     "cell (AS {a}, DW {w})"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn coverage_maps_for_matches_per_kind_maps() {
+        let corpus = corpus();
+        let kinds = [
+            DetectorKind::Stide,
+            DetectorKind::Markov,
+            DetectorKind::LaneBrodley,
+        ];
+        let fanned = coverage_maps_for(&corpus, &kinds).unwrap();
+        assert_eq!(fanned.len(), kinds.len());
+        for (kind, map) in kinds.iter().zip(&fanned) {
+            assert_eq!(
+                map,
+                &coverage_map(&corpus, kind).unwrap(),
+                "{}",
+                kind.name()
+            );
         }
     }
 

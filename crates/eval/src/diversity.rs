@@ -10,7 +10,7 @@ use detdiv_core::DiversityMatrix;
 use detdiv_synth::Corpus;
 use serde::{Deserialize, Serialize};
 
-use crate::coverage::coverage_map;
+use crate::coverage::coverage_maps_for;
 use crate::error::HarnessError;
 use crate::kinds::DetectorKind;
 
@@ -47,10 +47,8 @@ fn families() -> Vec<DetectorKind> {
 ///
 /// Propagates coverage-map computation failures.
 pub fn div1_diversity_matrix(corpus: &Corpus) -> Result<DiversityResult, HarnessError> {
-    let maps = families()
-        .iter()
-        .map(|k| coverage_map(corpus, k))
-        .collect::<Result<Vec<_>, _>>()?;
+    // Every (family, DW) row of all seven families in one fan-out.
+    let maps = coverage_maps_for(corpus, &families())?;
     let matrix = DiversityMatrix::from_maps(&maps)?;
     let name = |i: usize| matrix.names()[i].clone();
     let no_gain_pairs = matrix

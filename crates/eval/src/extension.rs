@@ -12,7 +12,7 @@ use detdiv_core::CoverageMap;
 use detdiv_synth::Corpus;
 use serde::{Deserialize, Serialize};
 
-use crate::coverage::coverage_map;
+use crate::coverage::coverage_maps_for;
 use crate::error::HarnessError;
 use crate::kinds::DetectorKind;
 
@@ -46,11 +46,22 @@ pub struct ExtensionResult {
 ///
 /// Propagates coverage-map computation failures.
 pub fn ext1_extended_families(corpus: &Corpus) -> Result<ExtensionResult, HarnessError> {
-    let stide_map = coverage_map(corpus, &DetectorKind::Stide)?;
-    let markov_map = coverage_map(corpus, &DetectorKind::Markov)?;
-    let tstide_map = coverage_map(corpus, &DetectorKind::TStide)?;
-    let hmm_map = coverage_map(corpus, &DetectorKind::hmm_default())?;
-    let ripper_map = coverage_map(corpus, &DetectorKind::ripper_default())?;
+    // All five families' (detector, DW) rows in one parallel fan-out.
+    let mut maps = coverage_maps_for(
+        corpus,
+        &[
+            DetectorKind::Stide,
+            DetectorKind::Markov,
+            DetectorKind::TStide,
+            DetectorKind::hmm_default(),
+            DetectorKind::ripper_default(),
+        ],
+    )?;
+    let ripper_map = maps.pop().expect("five maps requested");
+    let hmm_map = maps.pop().expect("five maps requested");
+    let tstide_map = maps.pop().expect("five maps requested");
+    let markov_map = maps.pop().expect("five maps requested");
+    let stide_map = maps.pop().expect("five maps requested");
     let tstide_contains_stide = stide_map.is_subset_of(&tstide_map)?;
     let tstide_equals_markov =
         tstide_map.is_subset_of(&markov_map)? && markov_map.is_subset_of(&tstide_map)?;

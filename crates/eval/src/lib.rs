@@ -72,7 +72,7 @@ pub use combination::{
     comb1_stide_markov_subset, comb2_stide_lb_union, comb3_suppression, render_suppression_table,
     SubsetResult, SuppressionConfig, SuppressionRow, UnionGainResult,
 };
-pub use coverage::{coverage_map, expected_stide_map, paper_coverage_maps};
+pub use coverage::{coverage_map, coverage_maps_for, expected_stide_map, paper_coverage_maps};
 pub use diversity::{div1_diversity_matrix, DiversityResult};
 pub use error::HarnessError;
 pub use extension::{ext1_extended_families, ExtensionResult};

@@ -18,7 +18,7 @@ use crate::combination::{
     comb1_stide_markov_subset, comb2_stide_lb_union, comb3_suppression, render_suppression_table,
     SubsetResult, SuppressionConfig, SuppressionRow, UnionGainResult,
 };
-use crate::coverage::coverage_map;
+use crate::coverage::paper_coverage_maps;
 use crate::diversity::{div1_diversity_matrix, DiversityResult};
 use crate::error::HarnessError;
 use crate::extension::{ext1_extended_families, ExtensionResult};
@@ -103,6 +103,7 @@ impl FullReport {
     /// Propagates the first failing synthesis or experiment.
     pub fn generate(config: &SynthesisConfig) -> Result<FullReport, HarnessError> {
         detdiv_obs::reset();
+        detdiv_par::global().reset_stats();
         let corpus = {
             let _span = detdiv_obs::span!("synthesize");
             Corpus::synthesize(config)?
@@ -122,6 +123,7 @@ impl FullReport {
     /// Propagates the first failing experiment.
     pub fn generate_on(corpus: &Corpus) -> Result<FullReport, HarnessError> {
         detdiv_obs::reset();
+        detdiv_par::global().reset_stats();
         Self::experiments(corpus)
     }
 
@@ -140,22 +142,25 @@ impl FullReport {
         };
         let mut report = {
             let _report_span = detdiv_obs::span!("report");
+            let fig2 = step("fig2_incident_span", || fig2_incident_span(5, 8))?;
+            // Figures 3–6 share one parallel fan-out over every
+            // (detector, DW) grid row; `paper_four()` order is figure
+            // order (L&B, Markov, Stide, neural network).
+            let mut paper_maps = step("fig3_6_coverage", || paper_coverage_maps(corpus))?;
+            let fig6 = paper_maps.pop().expect("four paper maps");
+            let fig5 = paper_maps.pop().expect("four paper maps");
+            let fig4 = paper_maps.pop().expect("four paper maps");
+            let fig3 = paper_maps.pop().expect("four paper maps");
             FullReport {
                 anomalies: corpus
                     .anomalies()
                     .map(|a| (a.len(), a.to_string()))
                     .collect(),
-                fig2: step("fig2_incident_span", || fig2_incident_span(5, 8))?,
-                fig3: step("fig3_lane_brodley", || {
-                    coverage_map(corpus, &DetectorKind::LaneBrodley)
-                })?,
-                fig4: step("fig4_markov", || {
-                    coverage_map(corpus, &DetectorKind::Markov)
-                })?,
-                fig5: step("fig5_stide", || coverage_map(corpus, &DetectorKind::Stide))?,
-                fig6: step("fig6_neural", || {
-                    coverage_map(corpus, &DetectorKind::neural_default())
-                })?,
+                fig2,
+                fig3,
+                fig4,
+                fig5,
+                fig6,
                 fig7: step("fig7_similarity", || Ok(fig7_similarity()))?,
                 comb1: step("comb1_subset", || comb1_stide_markov_subset(corpus))?,
                 comb2: step("comb2_union", || comb2_stide_lb_union(corpus))?,
@@ -185,6 +190,23 @@ impl FullReport {
                 config,
             }
         };
+        // Mirror the pool's accumulated per-worker counters into the
+        // run telemetry, so the snapshot records how the grid work was
+        // executed (worker count, job distribution, steals, parks) —
+        // not just how long it took.
+        let pool_stats = detdiv_par::global().stats();
+        detdiv_obs::set_counter("par/maps_run", pool_stats.maps_run);
+        detdiv_obs::set_counter("par/jobs_executed", pool_stats.total_jobs());
+        detdiv_obs::set_counter("par/steals", pool_stats.total_steals());
+        detdiv_obs::set_counter("par/idle_parks", pool_stats.total_idle_parks());
+        for (id, worker) in pool_stats.workers.iter().enumerate() {
+            detdiv_obs::set_counter(
+                &format!("par/worker{id}/jobs_executed"),
+                worker.jobs_executed,
+            );
+            detdiv_obs::set_counter(&format!("par/worker{id}/steals"), worker.steals);
+            detdiv_obs::set_counter(&format!("par/worker{id}/idle_parks"), worker.idle_parks);
+        }
         // Snapshot after the report span closes, so `span/report`
         // itself is part of the attached telemetry.
         report.telemetry = detdiv_obs::snapshot();

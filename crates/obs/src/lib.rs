@@ -52,9 +52,11 @@ mod span;
 
 pub use histogram::Histogram;
 pub use level::{enabled, max_level, set_max_level, telemetry_enabled, Level};
-pub use registry::{incr_counter, record_cell, record_duration, record_nanos, reset, snapshot};
+pub use registry::{
+    incr_counter, record_cell, record_duration, record_nanos, reset, set_counter, snapshot,
+};
 pub use snapshot::{CellTiming, HistogramSummary, TelemetrySnapshot};
-pub use span::{current_depth, current_path, SpanGuard};
+pub use span::{context, current_depth, current_path, ContextGuard, SpanGuard};
 
 use std::fmt;
 

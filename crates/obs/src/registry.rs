@@ -50,6 +50,31 @@ pub fn incr_counter(name: &str, by: u64) {
     counter.fetch_add(by, Ordering::Relaxed);
 }
 
+/// Sets the named counter to an absolute value, overwriting any
+/// previous count. Used to mirror externally-accumulated gauges (e.g.
+/// the `detdiv-par` per-worker counters) into the run telemetry. No-op
+/// when telemetry is disabled.
+pub fn set_counter(name: &str, value: u64) {
+    if !telemetry_enabled() {
+        return;
+    }
+    let counter = {
+        let mut map = registry()
+            .counters
+            .lock()
+            .expect("counter registry poisoned");
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(AtomicU64::new(0));
+                map.insert(name.to_owned(), Arc::clone(&c));
+                c
+            }
+        }
+    };
+    counter.store(value, Ordering::Relaxed);
+}
+
 /// Records a raw nanosecond sample into the named histogram. No-op
 /// when telemetry is disabled.
 pub fn record_nanos(name: &str, nanos: u64) {
@@ -85,12 +110,16 @@ pub fn record_cell(detector: &str, window: usize, anomaly_size: usize, duration:
     if !telemetry_enabled() {
         return;
     }
+    let nanos = duration.as_nanos().min(u128::from(u64::MAX)) as u64;
+    // Per-cell wall-time histogram per detector family, alongside the
+    // raw cell rows.
+    record_nanos(&format!("grid/{detector}/cell_ns"), nanos);
     let cell = CellTiming {
         experiment: crate::span::current_path(),
         detector: detector.to_owned(),
         window,
         anomaly_size,
-        nanos: duration.as_nanos().min(u128::from(u64::MAX)) as u64,
+        nanos,
     };
     registry()
         .cells
@@ -116,7 +145,27 @@ pub fn snapshot() -> TelemetrySnapshot {
         .iter()
         .map(|(name, h)| (name.clone(), h.summary()))
         .collect();
-    let cells = reg.cells.lock().expect("cell registry poisoned").clone();
+    let mut cells = reg.cells.lock().expect("cell registry poisoned").clone();
+    // Cells may be recorded from many pool workers whose interleaving
+    // varies run to run; sort on the full grid key so the snapshot's
+    // ordering is a function of *what* was recorded, never of
+    // scheduling.
+    cells.sort_by(|a, b| {
+        (
+            &a.experiment,
+            &a.detector,
+            a.window,
+            a.anomaly_size,
+            a.nanos,
+        )
+            .cmp(&(
+                &b.experiment,
+                &b.detector,
+                b.window,
+                b.anomaly_size,
+                b.nanos,
+            ))
+    });
     TelemetrySnapshot {
         counters,
         histograms,
@@ -175,6 +224,53 @@ mod tests {
         assert!(h.count >= 2);
         assert!(h.sum_ns >= 30_000);
         assert!(h.min_ns >= 1_000);
+    }
+
+    #[test]
+    fn set_counter_stores_absolute_values() {
+        let name = "test/registry/absolute_gauge";
+        set_counter(name, 41);
+        set_counter(name, 7);
+        assert_eq!(snapshot().counter(name), 7);
+        incr_counter(name, 3);
+        assert_eq!(snapshot().counter(name), 10);
+    }
+
+    #[test]
+    fn cells_snapshot_in_grid_key_order() {
+        let _outer = crate::SpanGuard::enter("test_registry_cell_order");
+        record_cell("zeta", 5, 2, Duration::from_nanos(10));
+        record_cell("alpha", 9, 4, Duration::from_nanos(10));
+        record_cell("alpha", 2, 8, Duration::from_nanos(10));
+        record_cell("alpha", 2, 3, Duration::from_nanos(10));
+        let snap = snapshot();
+        let ours: Vec<_> = snap
+            .cells
+            .iter()
+            .filter(|c| c.experiment.contains("test_registry_cell_order"))
+            .map(|c| (c.detector.clone(), c.window, c.anomaly_size))
+            .collect();
+        assert_eq!(
+            ours,
+            vec![
+                ("alpha".to_owned(), 2, 3),
+                ("alpha".to_owned(), 2, 8),
+                ("alpha".to_owned(), 9, 4),
+                ("zeta".to_owned(), 5, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn record_cell_feeds_the_per_detector_histogram() {
+        record_cell("histo-det", 3, 2, Duration::from_micros(5));
+        record_cell("histo-det", 4, 2, Duration::from_micros(6));
+        let snap = snapshot();
+        let h = snap
+            .histogram("grid/histo-det/cell_ns")
+            .expect("cell histogram recorded");
+        assert!(h.count >= 2);
+        assert!(h.sum_ns >= 11_000);
     }
 
     #[test]

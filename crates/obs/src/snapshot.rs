@@ -3,9 +3,11 @@
 //! A [`TelemetrySnapshot`] is the frozen, JSON-friendly view of the
 //! global registry: counters, histogram summaries, and per-cell wall
 //! times for the (anomaly size × detector window) evaluation grid.
-//! Maps are `BTreeMap`s and `Vec`s preserve recording order, so the
-//! serialized form is deterministic field-for-field, which the test
-//! suite asserts.
+//! Maps are `BTreeMap`s and the cell rows are sorted on their grid key
+//! (experiment, detector, window, anomaly size) when the snapshot is
+//! taken, so the serialized form is deterministic field-for-field even
+//! when cells were recorded from many `detdiv-par` workers — which the
+//! test suite asserts.
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -59,8 +61,9 @@ pub struct TelemetrySnapshot {
     /// Timing histograms, keyed by histogram name (span paths use the
     /// `span/` prefix, per-detector timers the `detector/` prefix).
     pub histograms: BTreeMap<String, HistogramSummary>,
-    /// Per-cell wall times for every evaluation-grid cell, in
-    /// recording order.
+    /// Per-cell wall times for every evaluation-grid cell, sorted on
+    /// (experiment, detector, window, anomaly size) so the order never
+    /// depends on worker scheduling.
     pub cells: Vec<CellTiming>,
 }
 

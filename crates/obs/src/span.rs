@@ -73,6 +73,63 @@ impl SpanGuard {
     }
 }
 
+/// RAII guard that adopts a parent span *path* on the current thread
+/// without timing anything; see [`context`].
+#[must_use = "a context guard scopes the adopted span path; dropping it immediately removes it"]
+#[derive(Debug)]
+pub struct ContextGuard {
+    active: bool,
+}
+
+/// Adopts `path` (a pre-joined, slash-separated span path, typically a
+/// [`current_path`] captured on the submitting thread) as the base of
+/// the calling thread's span stack.
+///
+/// Spans are thread-local, so work fanned out to `detdiv-par` workers
+/// would otherwise record rootless paths; a context guard lets each job
+/// re-root itself under the experiment that spawned it. Unlike
+/// [`SpanGuard`], dropping a context guard records **no** histogram
+/// sample — the submitting thread's own span already times the fan-out.
+///
+/// An empty `path` (or disabled telemetry) yields an inert guard. So
+/// does a `path` that is already the calling thread's current span
+/// path: fan-outs that short-circuit to inline execution (one worker,
+/// one job, nested maps) run their jobs on the submitting thread, and
+/// adopting the prefix again there would double it — the guard keeps
+/// span paths identical between inline and worker execution.
+///
+/// # Examples
+///
+/// ```
+/// let parent = {
+///     let _outer = detdiv_obs::span!("ctx_doc_outer");
+///     detdiv_obs::current_path()
+/// };
+/// std::thread::scope(|scope| {
+///     scope.spawn(|| {
+///         let _ctx = detdiv_obs::context(&parent);
+///         assert_eq!(detdiv_obs::current_path(), "ctx_doc_outer");
+///     });
+/// });
+/// ```
+pub fn context(path: &str) -> ContextGuard {
+    if path.is_empty() || !telemetry_enabled() || current_path() == path {
+        return ContextGuard { active: false };
+    }
+    SPAN_STACK.with(|stack| stack.borrow_mut().push(path.to_owned()));
+    ContextGuard { active: true }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if self.active {
+            SPAN_STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
+}
+
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(path) = self.path.take() else {
@@ -152,6 +209,53 @@ mod tests {
             inner
         );
         assert!(inner >= 2_000_000, "inner span must cover its sleep");
+    }
+
+    #[test]
+    fn context_guard_adopts_and_releases_a_path() {
+        let parent = {
+            let _outer = SpanGuard::enter("ctx_outer");
+            let _inner = SpanGuard::enter("ctx_inner");
+            current_path()
+        };
+        assert_eq!(parent, "ctx_outer/ctx_inner");
+        {
+            let _ctx = crate::context(&parent);
+            assert_eq!(current_path(), "ctx_outer/ctx_inner");
+            let _child = SpanGuard::enter("child");
+            assert_eq!(current_path(), "ctx_outer/ctx_inner/child");
+        }
+        assert_eq!(current_path(), "");
+    }
+
+    #[test]
+    fn context_guard_records_no_histogram() {
+        {
+            let _ctx = crate::context("ctx_untimed_parent");
+        }
+        let snap = crate::snapshot();
+        assert!(
+            snap.histogram("span/ctx_untimed_parent").is_none(),
+            "context guards must not time anything"
+        );
+    }
+
+    #[test]
+    fn empty_context_is_inert() {
+        let _ctx = crate::context("");
+        assert_eq!(current_path(), "");
+    }
+
+    #[test]
+    fn context_matching_the_current_path_is_inert() {
+        let _outer = SpanGuard::enter("ctx_inline_outer");
+        {
+            // Inline fan-outs adopt the path they are already under;
+            // the guard must not double the prefix.
+            let _ctx = crate::context("ctx_inline_outer");
+            assert_eq!(current_path(), "ctx_inline_outer");
+        }
+        assert_eq!(current_path(), "ctx_inline_outer");
     }
 
     #[test]

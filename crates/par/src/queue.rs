@@ -1,0 +1,177 @@
+//! The chunked job queue: contiguous per-worker index ranges drained
+//! through atomic cursors, with stealing from the other workers'
+//! ranges once a worker's own range is exhausted.
+//!
+//! The queue hands out *index chunks*, never values: the caller maps an
+//! index back to its input item and writes the result into the slot of
+//! the same index, which is what makes the pool's output order
+//! independent of scheduling (see [`crate::Pool::map`]).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One worker's contiguous index range `[next, end)`.
+#[derive(Debug)]
+struct IndexRange {
+    next: AtomicUsize,
+    end: usize,
+}
+
+/// A contiguous chunk of job indices claimed from the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Claim {
+    /// First job index of the chunk (inclusive).
+    pub start: usize,
+    /// One past the last job index of the chunk.
+    pub end: usize,
+    /// Whether the chunk came from another worker's range.
+    pub stolen: bool,
+}
+
+/// The chunked work queue shared by all workers of one parallel map.
+#[derive(Debug)]
+pub(crate) struct ChunkedQueue {
+    ranges: Vec<IndexRange>,
+    chunk: usize,
+}
+
+impl ChunkedQueue {
+    /// Partitions `0..jobs` into `workers` contiguous, balanced ranges
+    /// and fixes the claim-chunk size.
+    pub fn new(jobs: usize, workers: usize) -> ChunkedQueue {
+        assert!(workers > 0, "queue needs at least one worker range");
+        let base = jobs / workers;
+        let extra = jobs % workers;
+        let mut ranges = Vec::with_capacity(workers);
+        let mut start = 0usize;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            ranges.push(IndexRange {
+                next: AtomicUsize::new(start),
+                end: start + len,
+            });
+            start += len;
+        }
+        debug_assert_eq!(start, jobs);
+        // Small chunks keep stealing effective on skewed workloads while
+        // amortising cursor contention on huge uniform ones.
+        let chunk = (jobs / (workers * 8)).clamp(1, 256);
+        ChunkedQueue { ranges, chunk }
+    }
+
+    /// The claim-chunk size in effect (visible for tests).
+    #[cfg(test)]
+    pub fn chunk_size(&self) -> usize {
+        self.chunk
+    }
+
+    /// Claims the next chunk for `worker`: first from its own range,
+    /// then — marked as a steal — from the other workers' ranges in
+    /// ring order. Returns `None` when every range is drained, which is
+    /// final: no new work ever enters a queue.
+    pub fn claim(&self, worker: usize) -> Option<Claim> {
+        let n = self.ranges.len();
+        for offset in 0..n {
+            let owner = (worker + offset) % n;
+            let range = &self.ranges[owner];
+            // `fetch_add` may overshoot `end`; the cursor only grows, so
+            // every overshoot is observed as "drained" by later claims.
+            let start = range.next.fetch_add(self.chunk, Ordering::Relaxed);
+            if start < range.end {
+                return Some(Claim {
+                    start,
+                    end: (start + self.chunk).min(range.end),
+                    stolen: offset != 0,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn drain_all(queue: &ChunkedQueue, worker: usize) -> Vec<Claim> {
+        let mut claims = Vec::new();
+        while let Some(c) = queue.claim(worker) {
+            claims.push(c);
+        }
+        claims
+    }
+
+    #[test]
+    fn partitions_are_balanced_and_cover_all_indices() {
+        for (jobs, workers) in [(10, 3), (1, 4), (0, 2), (7, 7), (100, 1)] {
+            let queue = ChunkedQueue::new(jobs, workers);
+            let mut seen = BTreeSet::new();
+            for w in 0..workers {
+                for claim in drain_all(&queue, w) {
+                    for i in claim.start..claim.end {
+                        assert!(seen.insert(i), "index {i} claimed twice");
+                    }
+                }
+            }
+            assert_eq!(
+                seen,
+                (0..jobs).collect::<BTreeSet<_>>(),
+                "jobs={jobs} workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn own_range_is_drained_before_stealing() {
+        let queue = ChunkedQueue::new(8, 2);
+        let claims = drain_all(&queue, 0);
+        let first_steal = claims.iter().position(|c| c.stolen).unwrap();
+        assert!(claims[..first_steal].iter().all(|c| !c.stolen));
+        assert!(claims[first_steal..].iter().all(|c| c.stolen));
+        // Worker 0 owns the first half; everything below 4 is its own.
+        assert!(claims[..first_steal].iter().all(|c| c.end <= 4));
+        assert!(claims[first_steal..].iter().all(|c| c.start >= 4));
+    }
+
+    #[test]
+    fn empty_queue_yields_no_claims() {
+        let queue = ChunkedQueue::new(0, 3);
+        for w in 0..3 {
+            assert_eq!(queue.claim(w), None);
+        }
+    }
+
+    #[test]
+    fn chunk_size_scales_with_load_but_stays_bounded() {
+        assert_eq!(ChunkedQueue::new(4, 4).chunk_size(), 1);
+        assert_eq!(ChunkedQueue::new(64, 2).chunk_size(), 4);
+        assert_eq!(ChunkedQueue::new(1_000_000, 2).chunk_size(), 256);
+    }
+
+    #[test]
+    fn concurrent_claims_never_overlap() {
+        let queue = ChunkedQueue::new(10_000, 4);
+        let seen: Vec<BTreeSet<usize>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|w| {
+                    let queue = &queue;
+                    scope.spawn(move || {
+                        let mut mine = BTreeSet::new();
+                        while let Some(c) = queue.claim(w) {
+                            mine.extend(c.start..c.end);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all = BTreeSet::new();
+        for worker_set in seen {
+            for i in worker_set {
+                assert!(all.insert(i), "index {i} executed twice");
+            }
+        }
+        assert_eq!(all.len(), 10_000);
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-worker execution counters for the pool.
+//!
+//! Counters are relaxed atomics updated by the workers and accumulated
+//! across every map a [`crate::Pool`] runs; [`crate::Pool::stats`]
+//! freezes them into the plain-data [`PoolStats`], which the
+//! evaluation pipeline forwards into `detdiv-obs` counters so pool
+//! behaviour shows up in the run telemetry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live per-worker counters (interior, atomic).
+#[derive(Debug, Default)]
+pub(crate) struct WorkerSlot {
+    pub jobs_executed: AtomicU64,
+    pub steals: AtomicU64,
+    pub idle_parks: AtomicU64,
+}
+
+impl WorkerSlot {
+    pub fn snapshot(&self) -> WorkerStats {
+        WorkerStats {
+            jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            idle_parks: self.idle_parks.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.jobs_executed.store(0, Ordering::Relaxed);
+        self.steals.store(0, Ordering::Relaxed);
+        self.idle_parks.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Frozen counters of one worker slot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs this worker executed (across every map of the pool).
+    pub jobs_executed: u64,
+    /// Chunks this worker claimed from another worker's range.
+    pub steals: u64,
+    /// Times this worker found the queue already drained and parked
+    /// without having executed a single job of that map.
+    pub idle_parks: u64,
+}
+
+/// Frozen view of a pool's counters; see [`crate::Pool::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Per-worker counters, indexed by worker id. The vector is as long
+    /// as the widest map the pool has run so far.
+    pub workers: Vec<WorkerStats>,
+    /// Number of parallel maps the pool has executed (inline
+    /// single-thread runs included).
+    pub maps_run: u64,
+}
+
+impl PoolStats {
+    /// Total jobs executed across all workers.
+    pub fn total_jobs(&self) -> u64 {
+        self.workers.iter().map(|w| w.jobs_executed).sum()
+    }
+
+    /// Total chunks stolen across all workers.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Total idle parks across all workers.
+    pub fn total_idle_parks(&self) -> u64 {
+        self.workers.iter().map(|w| w.idle_parks).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_workers() {
+        let stats = PoolStats {
+            workers: vec![
+                WorkerStats {
+                    jobs_executed: 3,
+                    steals: 1,
+                    idle_parks: 0,
+                },
+                WorkerStats {
+                    jobs_executed: 5,
+                    steals: 0,
+                    idle_parks: 2,
+                },
+            ],
+            maps_run: 2,
+        };
+        assert_eq!(stats.total_jobs(), 8);
+        assert_eq!(stats.total_steals(), 1);
+        assert_eq!(stats.total_idle_parks(), 2);
+    }
+
+    #[test]
+    fn slot_snapshot_and_reset_round_trip() {
+        let slot = WorkerSlot::default();
+        slot.jobs_executed.store(7, Ordering::Relaxed);
+        slot.steals.store(2, Ordering::Relaxed);
+        slot.idle_parks.store(1, Ordering::Relaxed);
+        assert_eq!(
+            slot.snapshot(),
+            WorkerStats {
+                jobs_executed: 7,
+                steals: 2,
+                idle_parks: 1
+            }
+        );
+        slot.reset();
+        assert_eq!(slot.snapshot(), WorkerStats::default());
+    }
+}

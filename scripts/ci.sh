@@ -8,6 +8,11 @@
 #   2. cargo clippy           — lints as errors across the workspace
 #   3. cargo build --release  — the artifacts the paper run uses
 #   4. cargo test -q          — every unit, integration, and doc test
+#   5. determinism gate       — the JSON report regenerated at
+#                               DETDIV_THREADS=1 and =4 must be
+#                               byte-identical (DETDIV_LOG=off so the
+#                               telemetry snapshot is empty and carries
+#                               no wall times)
 #
 # Usage: scripts/ci.sh
 # The script is silent on success for each phase beyond a one-line
@@ -29,5 +34,24 @@ cargo build --release --workspace
 
 banner "cargo test -q"
 cargo test -q --workspace --release
+
+banner "determinism gate (DETDIV_THREADS=1 vs 4)"
+# Regenerate the full report twice at different pool widths and demand
+# byte-identical artifacts. DETDIV_LOG=off keeps the telemetry
+# snapshot empty, so no wall-clock field can differ; a reduced
+# training stream keeps the gate fast (ABL4 shows map shapes are
+# length-invariant, and the gate is about scheduling, not scale).
+GATE_DIR="$(mktemp -d)"
+trap 'rm -rf "$GATE_DIR"' EXIT
+mkdir -p "$GATE_DIR/t1" "$GATE_DIR/t4"
+DETDIV_LOG=off DETDIV_THREADS=1 ./target/release/regenerate \
+    --training-len 60000 --json "$GATE_DIR/t1/paper_report.json" \
+    > "$GATE_DIR/t1/stdout.txt"
+DETDIV_LOG=off DETDIV_THREADS=4 ./target/release/regenerate \
+    --training-len 60000 --json "$GATE_DIR/t4/paper_report.json" \
+    > "$GATE_DIR/t4/stdout.txt"
+cmp "$GATE_DIR/t1/paper_report.json" "$GATE_DIR/t4/paper_report.json"
+cmp "$GATE_DIR/t1/stdout.txt" "$GATE_DIR/t4/stdout.txt"
+echo "report and stdout byte-identical at 1 and 4 threads"
 
 banner "CI green"

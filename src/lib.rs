@@ -23,7 +23,10 @@
 //!   of the paper;
 //! * [`obs`] — the zero-dependency observability layer (leveled
 //!   logging via `DETDIV_LOG`, hierarchical timing spans, counters and
-//!   histograms, serializable run telemetry).
+//!   histograms, serializable run telemetry);
+//! * [`par`] — the work-stealing thread pool behind the evaluation
+//!   grid's parallel fan-outs (deterministic results regardless of
+//!   `DETDIV_THREADS`).
 //!
 //! # Quickstart
 //!
@@ -68,6 +71,7 @@ pub use detdiv_hmm as hmm;
 pub use detdiv_markov as markov;
 pub use detdiv_nn as nn;
 pub use detdiv_obs as obs;
+pub use detdiv_par as par;
 pub use detdiv_rules as rules;
 pub use detdiv_sequence as sequence;
 pub use detdiv_synth as synth;

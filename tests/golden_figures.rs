@@ -1,0 +1,114 @@
+//! Golden-master tests for the paper's rendered ASCII figures.
+//!
+//! The expected renderings live under `tests/golden/` and are compared
+//! byte-for-byte — any drift in synthesis, detector behaviour, grid
+//! geometry, or rendering shows up as a diff against the blessed text.
+//! Figures 3–6 are additionally regenerated through the parallel
+//! fan-out at several pool widths, so the golden files also pin down
+//! the executor's determinism.
+//!
+//! To re-bless after an intentional change:
+//! `DETDIV_BLESS=1 cargo test --test golden_figures` (then inspect the
+//! diff under `tests/golden/` before committing).
+
+use std::path::PathBuf;
+
+use detdiv::eval::{fig2_incident_span, fig7_similarity, paper_coverage_maps};
+use detdiv::par;
+use detdiv::prelude::*;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the blessed file, or rewrites the file
+/// when `DETDIV_BLESS` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("DETDIV_BLESS").is_some() {
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("bless {name}: {e}"));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {name} ({e}); run with DETDIV_BLESS=1 to create it")
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden master; if intentional, re-bless with DETDIV_BLESS=1"
+    );
+}
+
+/// The corpus every figure golden is rendered from (the same grid the
+/// coverage unit tests use).
+fn corpus() -> Corpus {
+    let config = SynthesisConfig::builder()
+        .training_len(40_000)
+        .anomaly_sizes(2..=4)
+        .windows(2..=6)
+        .background_len(512)
+        .plant_repeats(4)
+        .seed(77)
+        .build()
+        .expect("valid config");
+    Corpus::synthesize(&config).expect("corpus")
+}
+
+/// Figures 3–6: byte-for-byte against the golden masters, rendered
+/// serially and through the parallel fan-out at widths 2, 4 and 8.
+/// One test, because the global pool override is process-wide.
+#[test]
+fn figures_3_to_6_match_their_golden_masters_serial_and_parallel() {
+    const GOLDEN: [&str; 4] = [
+        "fig3_lane_brodley.txt",
+        "fig4_markov.txt",
+        "fig5_stide.txt",
+        "fig6_neural.txt",
+    ];
+    let corpus = corpus();
+    par::global().set_threads(Some(1));
+    let serial: Vec<String> = paper_coverage_maps(&corpus)
+        .expect("maps")
+        .iter()
+        .map(detdiv::core::CoverageMap::render)
+        .collect();
+    for (name, rendering) in GOLDEN.iter().zip(&serial) {
+        assert_golden(name, rendering);
+    }
+    for threads in [2usize, 4, 8] {
+        par::global().set_threads(Some(threads));
+        let parallel: Vec<String> = paper_coverage_maps(&corpus)
+            .expect("maps")
+            .iter()
+            .map(detdiv::core::CoverageMap::render)
+            .collect();
+        assert_eq!(
+            parallel, serial,
+            "parallel rendering diverged at {threads} threads"
+        );
+    }
+    par::global().set_threads(None);
+}
+
+/// Figure 2: the incident-span worked example is corpus-independent.
+#[test]
+fn figure_2_matches_its_golden_master() {
+    let fig2 = fig2_incident_span(5, 8).expect("fig2");
+    let text = format!(
+        "{}\nboundary sequences per side: {}; span length: {}\n",
+        fig2.rendering, fig2.boundary_sequences_per_side, fig2.span_len
+    );
+    assert_golden("fig2_incident_span.txt", &text);
+}
+
+/// Figure 7: the Lane & Brodley similarity worked example.
+#[test]
+fn figure_7_matches_its_golden_master() {
+    let fig7 = fig7_similarity();
+    let text = format!(
+        "identical size-5 sequences:     Sim = {} (max {})\nfinal-element mismatch:         Sim = {} -> response {:.3}\n",
+        fig7.sim_identical, fig7.sim_max, fig7.sim_final_mismatch, fig7.response_final_mismatch
+    );
+    assert_golden("fig7_similarity.txt", &text);
+}

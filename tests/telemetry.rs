@@ -76,31 +76,24 @@ fn full_report_telemetry_covers_the_four_detectors_and_the_grid() {
     }
 
     // 2. Per-cell wall times for each figure cover the grid exactly.
-    for (experiment, detector) in [
-        ("fig3_lane_brodley", "lane-brodley"),
-        ("fig4_markov", "markov"),
-        ("fig5_stide", "stide"),
-        ("fig6_neural", "neural-network"),
-    ] {
+    // Figures 3–6 share one parallel fan-out (`fig3_6_coverage`), so
+    // cells are told apart by their detector label.
+    for detector in PAPER_FOUR {
         let cells: Vec<_> = telemetry
             .cells
             .iter()
-            .filter(|c| c.experiment.contains(experiment))
+            .filter(|c| c.experiment.contains("fig3_6_coverage") && c.detector == detector)
             .collect();
         assert_eq!(
             cells.len(),
             windows * anomaly_sizes,
-            "{experiment}: expected one timed cell per (AS, DW) pair"
+            "{detector}: expected one timed cell per (AS, DW) pair"
         );
         for cell in &cells {
-            assert_eq!(
-                cell.detector, detector,
-                "{experiment}: wrong detector label"
-            );
-            assert!((2..=5).contains(&cell.window), "{experiment}: window range");
+            assert!((2..=5).contains(&cell.window), "{detector}: window range");
             assert!(
                 (2..=4).contains(&cell.anomaly_size),
-                "{experiment}: anomaly-size range"
+                "{detector}: anomaly-size range"
             );
             assert!(
                 cell.experiment.starts_with("report/"),
@@ -113,6 +106,12 @@ fn full_report_telemetry_covers_the_four_detectors_and_the_grid() {
         pairs.sort_unstable();
         pairs.dedup();
         assert_eq!(pairs.len(), windows * anomaly_sizes);
+
+        // The per-detector cell histogram aggregates the same rows.
+        let cell_histogram = telemetry
+            .histogram(&format!("grid/{detector}/cell_ns"))
+            .unwrap_or_else(|| panic!("missing grid cell histogram for {detector}"));
+        assert!(cell_histogram.count >= (windows * anomaly_sizes) as u64);
     }
 
     // 3. Aggregate counters are consistent with the per-figure grids:
@@ -131,17 +130,39 @@ fn full_report_telemetry_covers_the_four_detectors_and_the_grid() {
         "every evaluated case must be classified exactly once"
     );
 
-    // 4. The span hierarchy made it into the snapshot.
+    // 4. The span hierarchy made it into the snapshot — including the
+    // spans opened inside parallel fan-out jobs, which re-root under
+    // the submitting experiment via `obs::context`.
     for span in [
         "span/report",
-        "span/report/fig5_stide",
-        "span/report/fig5_stide/coverage",
+        "span/report/fig3_6_coverage",
+        "span/report/fig3_6_coverage/coverage",
+        "span/report/fig3_6_coverage/coverage/train",
     ] {
         assert!(
             telemetry.histogram(span).is_some(),
             "missing span histogram {span}"
         );
     }
+
+    // 4b. Pool execution counters are mirrored into the snapshot, and
+    // every parallel map's jobs are accounted for.
+    assert!(
+        telemetry.counter("par/maps_run") > 0,
+        "the report must run at least one parallel map"
+    );
+    let total_jobs = telemetry.counter("par/jobs_executed");
+    assert!(
+        total_jobs >= telemetry.counter("par/maps_run"),
+        "jobs executed must cover every map at least once"
+    );
+    let per_worker_jobs: u64 = (0..64)
+        .map(|id| telemetry.counter(&format!("par/worker{id}/jobs_executed")))
+        .sum();
+    assert_eq!(
+        per_worker_jobs, total_jobs,
+        "per-worker job counters must sum to the total"
+    );
 
     // 5. The snapshot round-trips through JSON deterministically.
     let a = serde_json::to_string(telemetry).expect("serialize");
