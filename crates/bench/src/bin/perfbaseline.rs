@@ -1,0 +1,226 @@
+//! Performance baseline for the PR 3 observability work: runs a pinned
+//! reduced sweep twice — tracing disarmed, then armed — and writes a
+//! machine-readable baseline (`BENCH_pr3.json` by default) recording
+//! wall times, the tracing overhead, the self-profile's top phases by
+//! exclusive time, and worker utilization.
+//!
+//! ```text
+//! perfbaseline [--out PATH] [--training-len N] [--threads N] [--top N]
+//! ```
+//!
+//! The sweep is the benchmark fixture's "small" shape (AS 2–4, DW 2–6,
+//! seed 2005) at `--training-len` elements (default 60,000), run
+//! through the full experiment report so every phase the paper
+//! pipeline executes is represented. Telemetry is forced on (the
+//! self-profile needs it); logging is quieted to warnings unless
+//! `DETDIV_LOG` says otherwise.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use detdiv_eval::FullReport;
+use detdiv_obs as obs;
+use detdiv_synth::{Corpus, SynthesisConfig};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct PhaseRow {
+    path: String,
+    count: u64,
+    inclusive_ms: f64,
+    exclusive_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Baseline {
+    bench: String,
+    training_len: usize,
+    threads: usize,
+    /// Full-report wall time with the trace recorder disarmed, ms.
+    wall_ms_trace_off: f64,
+    /// Full-report wall time with the trace recorder armed, ms.
+    wall_ms_trace_on: f64,
+    /// Armed-over-disarmed overhead, percent (negative = noise).
+    trace_overhead_percent: f64,
+    /// Events the armed run recorded.
+    trace_events: usize,
+    /// Events dropped by the armed run's sink cap.
+    trace_dropped: u64,
+    /// Worker utilization from the disarmed run's self-profile.
+    utilization_percent: Option<f64>,
+    /// Top phases by exclusive time, from the disarmed run.
+    phases: Vec<PhaseRow>,
+}
+
+struct Args {
+    out: String,
+    training_len: usize,
+    threads: Option<usize>,
+    top: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: "BENCH_pr3.json".to_owned(),
+        training_len: 60_000,
+        threads: None,
+        top: 10,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => args.out = it.next().ok_or("--out needs a path")?,
+            "--training-len" => {
+                args.training_len = it
+                    .next()
+                    .ok_or("--training-len needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--training-len: {e}"))?;
+            }
+            "--threads" => {
+                let value: usize = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if value == 0 {
+                    return Err("--threads: must be at least 1".to_owned());
+                }
+                args.threads = Some(value);
+            }
+            "--top" => {
+                args.top = it
+                    .next()
+                    .ok_or("--top needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: perfbaseline [--out PATH] [--training-len N] [--threads N] [--top N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn fixture(training_len: usize) -> Result<Corpus, Box<dyn std::error::Error>> {
+    // The benchmark fixture's "small" shape (see `detdiv_bench::
+    // small_corpus`), with the training length adjustable so CI can run
+    // a faster sweep than the committed baseline.
+    let config = SynthesisConfig::builder()
+        .training_len(training_len)
+        .anomaly_sizes(2..=4)
+        .windows(2..=6)
+        .background_len(1024)
+        .plant_repeats(4)
+        .seed(2005)
+        .build()?;
+    Ok(Corpus::synthesize(&config)?)
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(threads) = args.threads {
+        detdiv_par::global().set_threads(Some(threads));
+    }
+    let threads = detdiv_par::global().threads();
+    eprintln!(
+        "perfbaseline: training_len={} threads={threads} out={}",
+        args.training_len, args.out
+    );
+
+    let corpus = fixture(args.training_len)?;
+
+    // Pass 1: tracing disarmed. This is the configuration the
+    // determinism gate and normal runs use; its profile is the
+    // baseline's phase table.
+    obs::trace::disarm();
+    obs::trace::reset();
+    let started = Instant::now();
+    let report_off = FullReport::generate_on(&corpus)?;
+    let wall_off = started.elapsed();
+
+    // Pass 2: tracing armed; same corpus, same work.
+    obs::trace::reset();
+    obs::trace::arm();
+    let started = Instant::now();
+    let _report_on = FullReport::generate_on(&corpus)?;
+    let wall_on = started.elapsed();
+    obs::trace::disarm();
+    let trace_events = obs::trace::drain().len();
+    let trace_dropped = obs::trace::dropped();
+    obs::trace::reset();
+
+    let profile = &report_off.telemetry.profile;
+    let wall_off_ms = wall_off.as_secs_f64() * 1e3;
+    let wall_on_ms = wall_on.as_secs_f64() * 1e3;
+    let baseline = Baseline {
+        bench: "pr3".to_owned(),
+        training_len: args.training_len,
+        threads,
+        wall_ms_trace_off: wall_off_ms,
+        wall_ms_trace_on: wall_on_ms,
+        trace_overhead_percent: if wall_off_ms > 0.0 {
+            (wall_on_ms - wall_off_ms) / wall_off_ms * 100.0
+        } else {
+            0.0
+        },
+        trace_events,
+        trace_dropped,
+        utilization_percent: profile.utilization_percent,
+        phases: profile
+            .top(args.top)
+            .iter()
+            .map(|row| PhaseRow {
+                path: row.path.clone(),
+                count: row.count,
+                inclusive_ms: row.inclusive_ns as f64 / 1e6,
+                exclusive_ms: row.exclusive_ns as f64 / 1e6,
+            })
+            .collect(),
+    };
+
+    std::fs::write(&args.out, serde_json::to_string_pretty(&baseline)?)?;
+    eprintln!(
+        "perfbaseline: wall trace-off {:.0} ms, trace-on {:.0} ms ({:+.2}%), {} events; wrote {}",
+        baseline.wall_ms_trace_off,
+        baseline.wall_ms_trace_on,
+        baseline.trace_overhead_percent,
+        baseline.trace_events,
+        args.out
+    );
+    println!("{}", report_off.telemetry.profile.render_text(args.top));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("perfbaseline: argument error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The self-profile requires telemetry; quiet the logger unless the
+    // environment asks for more.
+    if std::env::var_os("DETDIV_LOG").is_none() {
+        obs::set_max_level(obs::Level::Warn);
+    }
+    if !obs::telemetry_enabled() {
+        eprintln!(
+            "perfbaseline: telemetry is disabled (DETDIV_LOG=off) — the self-profile needs it; \
+             unset DETDIV_LOG or pick a level"
+        );
+        return ExitCode::FAILURE;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("perfbaseline: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

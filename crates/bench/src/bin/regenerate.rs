@@ -22,7 +22,13 @@
 //! * `--log` — diagnostic verbosity (`off error warn info debug
 //!   trace`); overrides the `DETDIV_LOG` environment variable. The
 //!   binary defaults to `info` so progress is visible; `off` also
-//!   disables telemetry collection.
+//!   disables telemetry collection;
+//! * `--trace` — arm the per-thread event recorder and write a Chrome
+//!   trace-event JSON file (loadable in Perfetto or `chrome://tracing`)
+//!   to the given path when the run finishes; overrides the
+//!   `DETDIV_TRACE` environment variable. Tracing is independent of
+//!   `--log off`: spans, grid cells, and `par-worker-N` activity are
+//!   recorded even when logging and telemetry are disabled.
 
 use std::process::ExitCode;
 
@@ -44,6 +50,7 @@ struct Args {
     json: Option<String>,
     threads: Option<usize>,
     log: Option<obs::Level>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -54,6 +61,8 @@ fn parse_args() -> Result<Args, String> {
         json: None,
         threads: None,
         log: None,
+        // `--trace PATH` below overrides the environment.
+        trace: obs::trace::env_path(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -98,12 +107,16 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or_else(|| format!("--log: unknown level {value}"))?,
                 );
             }
+            "--trace" => {
+                args.trace = Some(it.next().ok_or("--trace needs a path")?);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: regenerate [--experiment ID] [--training-len N] [--paper] [--seed N] [--json PATH] [--threads N] [--log LEVEL]\n\
+                    "usage: regenerate [--experiment ID] [--training-len N] [--paper] [--seed N] [--json PATH] [--threads N] [--log LEVEL] [--trace PATH]\n\
                      experiments: fig2 fig3 fig4 fig5 fig6 fig7 comb1 comb2 comb3 abl1 abl2 abl3 abl4 nat1 ext1 div1 masq1 fn1 ana1 all\n\
                      threads:     parallel fan-out width (default: DETDIV_THREADS, then available parallelism; results are thread-count independent)\n\
-                     log levels:  off error warn info debug trace (default info; DETDIV_LOG also honoured)"
+                     log levels:  off error warn info debug trace (default info; DETDIV_LOG also honoured)\n\
+                     trace:       write a Chrome trace-event JSON file (DETDIV_TRACE also honoured; independent of --log off)"
                 );
                 std::process::exit(0);
             }
@@ -113,13 +126,13 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Verifies that the `--json` output path can actually be written,
-/// *before* any synthesis or evaluation starts: the target must not be
-/// a directory, its parent directory must exist, and a probe file must
-/// be creatable there (covering read-only mounts and permissions).
-/// A failure here costs milliseconds instead of surfacing after the
-/// full run.
-fn preflight_json_target(path: &str) -> Result<(), String> {
+/// Verifies that an output path (`--json`, `--trace`) can actually be
+/// written, *before* any synthesis or evaluation starts: the target
+/// must not be a directory, its parent directory must exist, and a
+/// probe file must be creatable there (covering read-only mounts and
+/// permissions). A failure here costs milliseconds instead of
+/// surfacing after the full run.
+fn preflight_write_target(path: &str) -> Result<(), String> {
     let target = std::path::Path::new(path);
     if target.is_dir() {
         return Err(format!("{path} is a directory, not a file path"));
@@ -375,15 +388,38 @@ fn main() -> ExitCode {
     if let Some(threads) = args.threads {
         detdiv_par::global().set_threads(Some(threads));
     }
-    // Fail fast on an unwritable --json destination: milliseconds now
-    // instead of an error after the full evaluation.
+    // Fail fast on unwritable --json / --trace destinations:
+    // milliseconds now instead of an error after the full evaluation.
     if let Some(path) = &args.json {
-        if let Err(e) = preflight_json_target(path) {
+        if let Err(e) = preflight_write_target(path) {
             eprintln!("regenerate: cannot write --json output {path}: {e}");
             return ExitCode::FAILURE;
         }
     }
-    match run(&args) {
+    if let Some(path) = &args.trace {
+        if let Err(e) = preflight_write_target(path) {
+            eprintln!("regenerate: cannot write --trace output {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        obs::trace::arm();
+    }
+    let outcome = run(&args);
+    if let Some(path) = &args.trace {
+        obs::trace::disarm();
+        match obs::trace::write_chrome_trace(path) {
+            Ok(events) => {
+                obs::info!("wrote trace", path = path, events = events);
+                // Unconditional: the trace gate runs under --log off
+                // and still wants a human-readable confirmation.
+                eprintln!("regenerate: wrote {events} trace events to {path}");
+            }
+            Err(e) => {
+                eprintln!("regenerate: failed to write trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             // eprintln in addition to the structured logger so the

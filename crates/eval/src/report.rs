@@ -92,6 +92,13 @@ fn step<T>(
         elapsed_ms = span.elapsed().as_millis(),
         ok = result.is_ok(),
     );
+    if detdiv_obs::trace::armed() {
+        // Periodic counter samples: one point per experiment step, so
+        // the exported trace graphs pool progress as a time series.
+        let stats = detdiv_par::global().stats();
+        detdiv_obs::trace::counter("par/jobs_executed", stats.total_jobs());
+        detdiv_obs::trace::counter("par/steals", stats.total_steals());
+    }
     result
 }
 
@@ -196,9 +203,11 @@ impl FullReport {
         // not just how long it took.
         let pool_stats = detdiv_par::global().stats();
         detdiv_obs::set_counter("par/maps_run", pool_stats.maps_run);
+        detdiv_obs::set_counter("par/workers", pool_stats.workers.len() as u64);
         detdiv_obs::set_counter("par/jobs_executed", pool_stats.total_jobs());
         detdiv_obs::set_counter("par/steals", pool_stats.total_steals());
         detdiv_obs::set_counter("par/idle_parks", pool_stats.total_idle_parks());
+        detdiv_obs::set_counter("par/busy_ns", pool_stats.total_busy_nanos());
         for (id, worker) in pool_stats.workers.iter().enumerate() {
             detdiv_obs::set_counter(
                 &format!("par/worker{id}/jobs_executed"),
@@ -206,6 +215,7 @@ impl FullReport {
             );
             detdiv_obs::set_counter(&format!("par/worker{id}/steals"), worker.steals);
             detdiv_obs::set_counter(&format!("par/worker{id}/idle_parks"), worker.idle_parks);
+            detdiv_obs::set_counter(&format!("par/worker{id}/busy_ns"), worker.busy_nanos);
         }
         // Snapshot after the report span closes, so `span/report`
         // itself is part of the attached telemetry.

@@ -46,12 +46,15 @@
 
 pub mod histogram;
 mod level;
+mod profile;
 mod registry;
 mod snapshot;
 mod span;
+pub mod trace;
 
 pub use histogram::Histogram;
 pub use level::{enabled, max_level, set_max_level, telemetry_enabled, Level};
+pub use profile::{ProfileRow, SelfProfile};
 pub use registry::{
     incr_counter, record_cell, record_duration, record_nanos, reset, set_counter, snapshot,
 };
@@ -156,13 +159,22 @@ macro_rules! trace {
 /// `span!("train", detector = name, window = dw)` logs the entry at
 /// [`Level::Trace`] with the given fields, and on drop records wall
 /// time into the `span/<path>` histogram, where `<path>` is the
-/// slash-joined stack of enclosing spans on this thread.
+/// slash-joined stack of enclosing spans on this thread. When the
+/// [`trace`] recorder is armed, the span additionally emits paired
+/// `B`/`E` trace events carrying the fields as event args.
+///
+/// Field expressions are evaluated exactly once (they feed both the
+/// log record and the trace args), so keep them cheap and
+/// side-effect-free — every current call site passes plain accessors.
 #[macro_export]
 macro_rules! span {
     ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {{
         let name = $name;
-        $crate::log_event!($crate::Level::Trace, "span opened", span = name $(, $key = $val)*);
-        $crate::SpanGuard::enter(name)
+        $(let $key = $val;)*
+        let args: &[(&'static str, &dyn ::std::fmt::Display)] =
+            &[$((stringify!($key), &$key as &dyn ::std::fmt::Display)),*];
+        $crate::log_event!($crate::Level::Trace, "span opened", span = name $(, $key = $key)*);
+        $crate::SpanGuard::enter_with(name, args)
     }};
 }
 

@@ -107,6 +107,20 @@ pub fn record_duration(name: &str, duration: Duration) {
 /// filled from the calling thread's current span path (see
 /// [`crate::current_path`]). No-op when telemetry is disabled.
 pub fn record_cell(detector: &str, window: usize, anomaly_size: usize, duration: Duration) {
+    // The trace event is emitted even when telemetry is off: the trace
+    // recorder is armed independently of `DETDIV_LOG` (see
+    // [`crate::trace`]), and the exported sweep view needs its cells.
+    if crate::trace::armed() {
+        crate::trace::complete(
+            "cell",
+            duration,
+            &[
+                ("detector", &detector),
+                ("window", &window),
+                ("anomaly_size", &anomaly_size),
+            ],
+        );
+    }
     if !telemetry_enabled() {
         return;
     }
@@ -166,10 +180,14 @@ pub fn snapshot() -> TelemetrySnapshot {
                 b.nanos,
             ))
     });
+    // The self-profile is a pure function of the frozen maps, so a
+    // snapshot stays deterministic given what was recorded.
+    let profile = crate::profile::SelfProfile::from_maps(&histograms, &counters);
     TelemetrySnapshot {
         counters,
         histograms,
         cells,
+        profile,
     }
 }
 

@@ -9,6 +9,7 @@
 //! when cells were recorded from many `detdiv-par` workers — which the
 //! test suite asserts.
 
+use crate::profile::SelfProfile;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -65,6 +66,12 @@ pub struct TelemetrySnapshot {
     /// (experiment, detector, window, anomaly size) so the order never
     /// depends on worker scheduling.
     pub cells: Vec<CellTiming>,
+    /// The self-profile derived from the span histograms and pool
+    /// counters: inclusive/exclusive time per span path plus worker
+    /// utilization. Defaults to empty when deserializing snapshots
+    /// written before this field existed.
+    #[serde(default)]
+    pub profile: SelfProfile,
 }
 
 impl TelemetrySnapshot {
@@ -112,6 +119,9 @@ impl TelemetrySnapshot {
             );
         }
         let _ = writeln!(out, "telemetry: {} grid cells timed", self.cells.len());
+        if !self.profile.is_empty() {
+            out.push_str(&self.profile.render_text(12));
+        }
         out
     }
 }
@@ -144,6 +154,7 @@ mod tests {
             anomaly_size: 2,
             nanos: 42,
         });
+        snap.profile = SelfProfile::from_maps(&snap.histograms, &snap.counters);
         snap
     }
 
@@ -185,5 +196,7 @@ mod tests {
         assert!(text.contains("grid cells timed"));
         assert!(text.contains("eval/cases"));
         assert!(text.contains("span/report"));
+        assert!(text.contains("self-profile"), "profile table rendered");
+        assert!(text.contains("worker utilization"));
     }
 }

@@ -14,6 +14,7 @@
 
 use crate::level::{enabled, telemetry_enabled, Level};
 use std::cell::RefCell;
+use std::fmt;
 use std::time::Instant;
 
 thread_local! {
@@ -38,6 +39,10 @@ pub struct SpanGuard {
     /// Full slash-joined path including this span; `None` when
     /// telemetry is disabled and the guard is inert.
     path: Option<String>,
+    /// Span name to emit an `E` trace event for on drop; `None` when
+    /// tracing was not armed at entry (so arming mid-span never emits
+    /// an unmatched `E`, and disarming mid-span never loses one).
+    traced: Option<String>,
     started: Instant,
 }
 
@@ -45,9 +50,29 @@ impl SpanGuard {
     /// Opens a span named `name`, pushing it onto the thread's span
     /// stack. Returns an inert guard when telemetry is disabled.
     pub fn enter(name: &str) -> SpanGuard {
+        SpanGuard::enter_with(name, &[])
+    }
+
+    /// [`SpanGuard::enter`] carrying event arguments: when tracing is
+    /// armed (see [`crate::trace`]), the span's begin event records
+    /// `args` (e.g. `detector`/`window` for a grid row) so the exported
+    /// trace is self-describing. The [`crate::span!`] macro routes its
+    /// `key = value` fields here.
+    ///
+    /// Timing spans themselves are unaffected: when telemetry is
+    /// disabled (`DETDIV_LOG=off`) the guard stays inert for the
+    /// histogram path even while trace events are emitted.
+    pub fn enter_with(name: &str, args: &[(&'static str, &dyn fmt::Display)]) -> SpanGuard {
+        let traced = if crate::trace::armed() {
+            crate::trace::begin(name, args);
+            Some(name.to_owned())
+        } else {
+            None
+        };
         if !telemetry_enabled() {
             return SpanGuard {
                 path: None,
+                traced,
                 started: Instant::now(),
             };
         }
@@ -58,6 +83,7 @@ impl SpanGuard {
         });
         SpanGuard {
             path: Some(path),
+            traced,
             started: Instant::now(),
         }
     }
@@ -132,6 +158,13 @@ impl Drop for ContextGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        // The `E` event pairs with the `B` emitted at entry whenever
+        // the guard was created with tracing armed, independent of the
+        // histogram path below — per-thread B/E balance is a trace
+        // invariant the export checker enforces.
+        if let Some(name) = self.traced.take() {
+            crate::trace::end_paired(&name);
+        }
         let Some(path) = self.path.take() else {
             return;
         };

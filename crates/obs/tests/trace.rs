@@ -1,0 +1,262 @@
+//! Integration tests for the per-thread event recorder and its Chrome
+//! trace-event export.
+//!
+//! Arming is process-global, so every test here serializes on one
+//! mutex (the test harness runs tests on multiple threads). Each test
+//! uses uniquely-prefixed span names and filters on them, so stray
+//! events from sibling test binaries' shared fixtures cannot cause
+//! false failures.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use detdiv_obs as obs;
+use obs::trace::{Event, Phase};
+use proptest::prelude::*;
+use serde::Value;
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Per-tid B/E stack check over recorded events: every `E` must close
+/// the innermost open `B` of the same name, and nothing is left open.
+fn assert_balanced(events: &[Event]) {
+    let mut stacks: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+    for event in events {
+        match event.phase {
+            Phase::Begin => stacks.entry(event.tid).or_default().push(&event.name),
+            Phase::End => {
+                let open = stacks
+                    .entry(event.tid)
+                    .or_default()
+                    .pop()
+                    .unwrap_or_else(|| panic!("tid {}: E without B ({})", event.tid, event.name));
+                assert_eq!(open, event.name, "tid {}: mismatched nesting", event.tid);
+            }
+            _ => {}
+        }
+    }
+    for (tid, stack) in stacks {
+        assert!(stack.is_empty(), "tid {tid}: spans left open: {stack:?}");
+    }
+}
+
+/// Per-tid timestamps never decrease in drained order.
+fn assert_monotonic(events: &[Event]) {
+    let mut last: BTreeMap<u32, u64> = BTreeMap::new();
+    for event in events {
+        if let Some(&previous) = last.get(&event.tid) {
+            assert!(
+                event.nanos >= previous,
+                "tid {}: timestamp went backwards {previous} -> {}",
+                event.tid,
+                event.nanos
+            );
+        }
+        last.insert(event.tid, event.nanos);
+    }
+}
+
+#[test]
+fn exported_file_is_valid_chrome_trace_json() {
+    let _guard = lock();
+    obs::trace::reset();
+    obs::trace::arm();
+    {
+        let _outer = obs::span!("it_export_outer");
+        let _inner = obs::span!("it_export_inner", detector = "stide");
+        obs::trace::instant("it_export_instant", &[("k", &7usize)]);
+        obs::record_cell("it-export-det", 6, 3, Duration::from_micros(10));
+    }
+    obs::trace::disarm();
+
+    let path = std::env::temp_dir().join(format!("detdiv_trace_it_{}.json", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let events = obs::trace::write_chrome_trace(path_str).expect("trace written");
+    assert!(events >= 6, "B/E pairs + instant + cell, got {events}");
+
+    let raw = std::fs::read_to_string(&path).expect("trace readable");
+    let _ = std::fs::remove_file(&path);
+    let doc = serde_json::from_str_value(&raw).expect("trace file is valid JSON");
+    let trace_events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert!(!trace_events.is_empty());
+    for event in trace_events {
+        assert!(event.get("name").and_then(Value::as_str).is_some());
+        let phase = event.get("ph").and_then(Value::as_str).expect("ph");
+        assert!(
+            matches!(phase, "B" | "E" | "i" | "X" | "C" | "M"),
+            "{phase}"
+        );
+        assert!(event.get("ts").is_some());
+        assert!(event.get("pid").is_some());
+        assert!(event.get("tid").is_some());
+    }
+    // The grid cell rides along as an X slice with its grid args.
+    assert!(raw.contains("\"it-export-det\""));
+    assert!(raw.contains("\"window\":\"6\""));
+    assert!(raw.contains("\"anomaly_size\":\"3\""));
+}
+
+/// Spans recorded from several threads at once drain with per-tid
+/// monotonic timestamps and balanced B/E stacks — at width 1 and 4.
+#[test]
+fn multithreaded_spans_balance_per_tid() {
+    let _guard = lock();
+    for threads in [1usize, 4] {
+        obs::trace::reset();
+        obs::trace::arm();
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                scope.spawn(move || {
+                    obs::trace::set_thread_name(&format!("it-worker-{worker}"));
+                    for i in 0..40 {
+                        let _outer = obs::SpanGuard::enter("it_mt_outer");
+                        if i % 3 == 0 {
+                            let _inner = obs::SpanGuard::enter("it_mt_inner");
+                            obs::trace::instant("it_mt_tick", &[("i", &i)]);
+                        }
+                    }
+                    // Scoped threads flush explicitly: the scope can
+                    // complete before TLS destructors run (see
+                    // `trace::flush_thread`).
+                    obs::trace::flush_thread();
+                });
+            }
+        });
+        obs::trace::disarm();
+        let events: Vec<Event> = obs::trace::drain()
+            .into_iter()
+            .filter(|e| e.name.starts_with("it_mt") || e.name == "thread_name")
+            .collect();
+        let begins = events.iter().filter(|e| e.phase == Phase::Begin).count();
+        let ends = events.iter().filter(|e| e.phase == Phase::End).count();
+        assert_eq!(begins, ends, "threads={threads}");
+        assert!(begins >= threads * 40, "threads={threads}: {begins} begins");
+        assert_monotonic(&events);
+        assert_balanced(&events);
+        let named = events
+            .iter()
+            .filter(|e| e.phase == Phase::Meta && e.name == "thread_name")
+            .count();
+        assert!(named >= threads, "threads={threads}: {named} named");
+    }
+}
+
+/// A disarmed recorder does no event-path work: spans, instants, and
+/// cells leave the sink untouched, and an export renders only the
+/// process-metadata preamble.
+#[test]
+fn disarmed_recorder_is_inert() {
+    let _guard = lock();
+    obs::trace::disarm();
+    obs::trace::reset();
+    {
+        let _span = obs::span!("it_disarmed_span");
+        obs::trace::instant("it_disarmed_instant", &[]);
+        obs::record_cell("it-disarmed-det", 2, 2, Duration::from_micros(1));
+    }
+    let events = obs::trace::drain();
+    assert!(
+        events
+            .iter()
+            .all(|e| !e.name.contains("it_disarmed") && !e.name.contains("it-disarmed")),
+        "disarmed paths must record nothing: {events:?}"
+    );
+}
+
+/// Mid-span disarm: a span that emitted its `B` while armed still
+/// emits its `E`, so the per-thread stack stays balanced.
+#[test]
+fn mid_span_disarm_keeps_b_e_balance() {
+    let _guard = lock();
+    obs::trace::reset();
+    obs::trace::arm();
+    {
+        let _span = obs::SpanGuard::enter("it_midspan");
+        obs::trace::disarm();
+        // Guard drops here, after the disarm.
+    }
+    let events: Vec<Event> = obs::trace::drain()
+        .into_iter()
+        .filter(|e| e.name == "it_midspan")
+        .collect();
+    assert_eq!(events.len(), 2, "one B and one E: {events:?}");
+    assert_balanced(&events);
+}
+
+/// Strategy: a stack-disciplined sequence of span operations. `true`
+/// opens a nested span, `false` closes the innermost open one (no-op
+/// on an empty stack); everything still open closes at the end.
+fn span_ops() -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(prop_oneof![Just(true), Just(false)], 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random span nesting round-trips through the Chrome export: the
+    /// rendered JSON parses, and re-deriving the B/E stream from it
+    /// reproduces exactly the recorded nesting, in order.
+    #[test]
+    fn random_span_nesting_round_trips_through_export(ops in span_ops()) {
+        let _guard = lock();
+        obs::trace::reset();
+        obs::trace::arm();
+        let mut open: Vec<obs::SpanGuard> = Vec::new();
+        let mut expected: Vec<(char, String)> = Vec::new();
+        let mut next_id = 0usize;
+        let mut depth_names: Vec<String> = Vec::new();
+        for op in &ops {
+            if *op {
+                let name = format!("it_prop_{next_id}");
+                next_id += 1;
+                expected.push(('B', name.clone()));
+                open.push(obs::SpanGuard::enter(&name));
+                depth_names.push(name);
+            } else if !open.is_empty() {
+                // close the innermost open span
+                drop(open.pop());
+                let name = depth_names.pop().expect("name stack tracks guard stack");
+                expected.push(('E', name));
+            }
+        }
+        while let Some(guard) = open.pop() {
+            drop(guard);
+            let name = depth_names.pop().expect("name stack tracks guard stack");
+            expected.push(('E', name));
+        }
+        obs::trace::disarm();
+
+        let events: Vec<Event> = obs::trace::drain()
+            .into_iter()
+            .filter(|e| e.name.starts_with("it_prop_"))
+            .collect();
+        assert_monotonic(&events);
+        assert_balanced(&events);
+
+        // Render and re-parse; the B/E stream from the JSON must match
+        // what was recorded, in order.
+        let json = obs::trace::render_chrome_json(&events);
+        let doc = serde_json::from_str_value(&json).expect("rendered trace parses");
+        let mut from_json: Vec<(char, String)> = Vec::new();
+        for event in doc.get("traceEvents").and_then(Value::as_array).unwrap() {
+            let name = event.get("name").and_then(Value::as_str).unwrap();
+            if !name.starts_with("it_prop_") {
+                continue;
+            }
+            match event.get("ph").and_then(Value::as_str).unwrap() {
+                "B" => from_json.push(('B', name.to_owned())),
+                "E" => from_json.push(('E', name.to_owned())),
+                _ => {}
+            }
+        }
+        prop_assert_eq!(&from_json, &expected);
+    }
+}

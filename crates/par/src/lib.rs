@@ -1,5 +1,11 @@
-//! `detdiv-par`: a zero-dependency, std-only work-stealing thread pool
-//! with a **deterministic** parallel-map API.
+//! `detdiv-par`: a work-stealing thread pool with a **deterministic**
+//! parallel-map API, free of third-party dependencies.
+//!
+//! The only dependency is the in-workspace `detdiv-obs` crate (itself
+//! std-only): workers name their trace threads, emit steal/chunk
+//! instants, and time their busy intervals through it. Those hooks are
+//! fire-and-forget — scheduling, result slots, and error selection
+//! depend on nothing but the standard library.
 //!
 //! Every cell of the paper's (AS × DW) detection-coverage grid — train
 //! one detector at one window, score it against one anomaly size — is
@@ -191,6 +197,30 @@ mod tests {
             stats.total_idle_parks() >= 2,
             "expected idle parks: {stats:?}"
         );
+    }
+
+    #[test]
+    fn busy_nanos_accumulate_when_telemetry_is_enabled() {
+        if !detdiv_obs::telemetry_enabled() {
+            // Under DETDIV_LOG=off the busy clock is intentionally
+            // never read; the determinism gate covers that path.
+            return;
+        }
+        let pool = Pool::with_threads(2);
+        pool.map(&[0u8; 8], |_| {
+            std::thread::sleep(Duration::from_micros(300))
+        });
+        let stats = pool.stats();
+        assert!(
+            stats.total_busy_nanos() > 0,
+            "busy time must register: {stats:?}"
+        );
+        // Inline runs attribute busy time to slot 0 too.
+        let inline = Pool::with_threads(1);
+        inline.map(&[0u8; 4], |_| {
+            std::thread::sleep(Duration::from_micros(300))
+        });
+        assert!(inline.stats().total_busy_nanos() > 0);
     }
 
     #[test]

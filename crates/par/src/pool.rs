@@ -3,6 +3,7 @@
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crate::queue::ChunkedQueue;
 use crate::stats::{PoolStats, WorkerSlot};
@@ -213,12 +214,35 @@ impl Pool {
                     let slot: &WorkerSlot = &slots[id];
                     scope.spawn(move || {
                         let _nest = NestGuard::enter();
+                        // Observability wiring. Both hooks are pure
+                        // side channels: they never influence claim
+                        // order, result slots, or error selection.
+                        let traced = detdiv_obs::trace::armed();
+                        if traced {
+                            detdiv_obs::trace::set_thread_name(&format!("par-worker-{id}"));
+                        }
+                        // Busy-interval timing is gated on telemetry
+                        // (not tracing) so `DETDIV_LOG=off` keeps the
+                        // hot path clock-free and `busy_nanos` at zero.
+                        let timed = detdiv_obs::telemetry_enabled();
                         let mut out: Vec<(usize, Result<R, E>)> = Vec::new();
                         let mut executed = 0u64;
                         while let Some(claim) = queue.claim(id) {
                             if claim.stolen {
                                 slot.steals.fetch_add(1, Ordering::Relaxed);
                             }
+                            if traced {
+                                let kind = if claim.stolen { "steal" } else { "chunk" };
+                                detdiv_obs::trace::instant(
+                                    kind,
+                                    &[
+                                        ("worker", &id),
+                                        ("start", &claim.start),
+                                        ("end", &claim.end),
+                                    ],
+                                );
+                            }
+                            let claim_started = timed.then(Instant::now);
                             // An index loop, not `enumerate().skip()`:
                             // `index` is the job's identity (result
                             // slot + error ordering), not a position
@@ -235,11 +259,24 @@ impl Pool {
                                 executed += 1;
                                 out.push((index, result));
                             }
+                            if let Some(started) = claim_started {
+                                let nanos =
+                                    started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                                slot.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+                            }
                         }
                         if executed == 0 {
                             slot.idle_parks.fetch_add(1, Ordering::Relaxed);
                         } else {
                             slot.jobs_executed.fetch_add(executed, Ordering::Relaxed);
+                        }
+                        if traced {
+                            // Hand this worker's ring to the sink *in*
+                            // the closure: the scope can observe
+                            // completion before TLS destructors (the
+                            // automatic flush) run, and the caller may
+                            // drain immediately after the map returns.
+                            detdiv_obs::trace::flush_thread();
                         }
                         out
                     })
@@ -335,6 +372,7 @@ fn run_inline<T, R, E>(
     slot: &WorkerSlot,
 ) -> Result<Vec<R>, E> {
     let _nest = NestGuard::enter();
+    let started = detdiv_obs::telemetry_enabled().then(Instant::now);
     let mut out = Vec::with_capacity(items.len());
     let mut executed = 0u64;
     let result = (|| {
@@ -345,5 +383,9 @@ fn run_inline<T, R, E>(
         Ok(out)
     })();
     slot.jobs_executed.fetch_add(executed, Ordering::Relaxed);
+    if let Some(started) = started {
+        let nanos = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        slot.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
     result
 }

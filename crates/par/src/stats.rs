@@ -14,6 +14,7 @@ pub(crate) struct WorkerSlot {
     pub jobs_executed: AtomicU64,
     pub steals: AtomicU64,
     pub idle_parks: AtomicU64,
+    pub busy_nanos: AtomicU64,
 }
 
 impl WorkerSlot {
@@ -22,6 +23,7 @@ impl WorkerSlot {
             jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             idle_parks: self.idle_parks.load(Ordering::Relaxed),
+            busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -29,6 +31,7 @@ impl WorkerSlot {
         self.jobs_executed.store(0, Ordering::Relaxed);
         self.steals.store(0, Ordering::Relaxed);
         self.idle_parks.store(0, Ordering::Relaxed);
+        self.busy_nanos.store(0, Ordering::Relaxed);
     }
 }
 
@@ -42,6 +45,12 @@ pub struct WorkerStats {
     /// Times this worker found the queue already drained and parked
     /// without having executed a single job of that map.
     pub idle_parks: u64,
+    /// Wall time this worker spent executing claimed chunks, in
+    /// nanoseconds. Timed per chunk claim (one `Instant` pair per
+    /// chunk, not per job) and only while telemetry is enabled, so
+    /// `DETDIV_LOG=off` keeps the counter at zero and the hot path
+    /// clock-free. Feeds the self-profile's worker-utilization figure.
+    pub busy_nanos: u64,
 }
 
 /// Frozen view of a pool's counters; see [`crate::Pool::stats`].
@@ -70,6 +79,11 @@ impl PoolStats {
     pub fn total_idle_parks(&self) -> u64 {
         self.workers.iter().map(|w| w.idle_parks).sum()
     }
+
+    /// Total busy wall time across all workers, in nanoseconds.
+    pub fn total_busy_nanos(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy_nanos).sum()
+    }
 }
 
 #[cfg(test)]
@@ -84,11 +98,13 @@ mod tests {
                     jobs_executed: 3,
                     steals: 1,
                     idle_parks: 0,
+                    busy_nanos: 100,
                 },
                 WorkerStats {
                     jobs_executed: 5,
                     steals: 0,
                     idle_parks: 2,
+                    busy_nanos: 250,
                 },
             ],
             maps_run: 2,
@@ -96,6 +112,7 @@ mod tests {
         assert_eq!(stats.total_jobs(), 8);
         assert_eq!(stats.total_steals(), 1);
         assert_eq!(stats.total_idle_parks(), 2);
+        assert_eq!(stats.total_busy_nanos(), 350);
     }
 
     #[test]
@@ -104,12 +121,14 @@ mod tests {
         slot.jobs_executed.store(7, Ordering::Relaxed);
         slot.steals.store(2, Ordering::Relaxed);
         slot.idle_parks.store(1, Ordering::Relaxed);
+        slot.busy_nanos.store(1234, Ordering::Relaxed);
         assert_eq!(
             slot.snapshot(),
             WorkerStats {
                 jobs_executed: 7,
                 steals: 2,
-                idle_parks: 1
+                idle_parks: 1,
+                busy_nanos: 1234,
             }
         );
         slot.reset();

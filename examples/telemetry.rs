@@ -1,7 +1,15 @@
 //! Runs a reduced-grid evaluation and prints the run-telemetry summary
 //! the observability layer collected along the way: per-detector
-//! train/score histograms, event counters, and per-(AS × DW) cell wall
-//! times.
+//! train/score histograms, event counters, per-(AS × DW) cell wall
+//! times, and the self-profile (inclusive/exclusive time per span
+//! path, worker utilization).
+//!
+//! The run also arms the per-thread event recorder and writes a Chrome
+//! trace-event file to `target/telemetry_trace.json` — open it in
+//! [Perfetto](https://ui.perfetto.dev) or `chrome://tracing` to see
+//! the span hierarchy, the `par-worker-N` threads, and every
+//! evaluation-grid cell as an `X` slice carrying its
+//! `(detector, window, anomaly_size)` args.
 //!
 //! ```text
 //! cargo run --release --example telemetry
@@ -9,9 +17,12 @@
 //!
 //! Set `DETDIV_LOG=debug` to also watch per-span timings stream to
 //! stderr while the experiments run, or `DETDIV_LOG=off` to see the
-//! collection disabled end to end (the summary comes back empty).
+//! collection disabled end to end (the summary comes back empty —
+//! while the trace file is still written, because tracing is armed
+//! explicitly and is independent of the log level).
 
 use detdiv::prelude::*;
+use detdiv_obs as obs;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SynthesisConfig::builder()
@@ -23,14 +34,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .seed(3)
         .build()?;
 
+    // Arm the event recorder for the whole run; the trace is exported
+    // after the report is generated.
+    obs::trace::arm();
+
     // `generate` resets telemetry, synthesizes the corpus under a
     // `synthesize` span, runs every experiment, and attaches the
     // snapshot to the report.
     let report = FullReport::generate(&config)?;
     let telemetry = &report.telemetry;
 
+    obs::trace::disarm();
+    let trace_path = "target/telemetry_trace.json";
+    match obs::trace::write_chrome_trace(trace_path) {
+        Ok(events) => {
+            println!("wrote {events} trace events to {trace_path} (load it in ui.perfetto.dev)")
+        }
+        Err(e) => println!("could not write {trace_path}: {e}"),
+    }
+
     if telemetry.is_empty() {
-        println!("telemetry disabled (DETDIV_LOG=off); nothing to report");
+        println!("telemetry disabled (DETDIV_LOG=off); nothing else to report");
         return Ok(());
     }
 
@@ -73,14 +97,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // And the coarse phase breakdown from the span hierarchy.
-    println!("\ntop-level spans:");
-    for (name, h) in &telemetry.histograms {
-        let path = name.trim_start_matches("span/");
-        if name.starts_with("span/") && !path.contains('/') {
-            println!("  {path:<28} {:>10.1} ms", h.sum_ns as f64 / 1e6);
-        }
-    }
+    // The self-profile: inclusive vs exclusive time per span path plus
+    // worker utilization, the table `render_text` appends and
+    // `paper_telemetry.json` serializes.
+    println!();
+    print!("{}", telemetry.profile.render_text(10));
 
     Ok(())
 }

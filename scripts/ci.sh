@@ -12,7 +12,20 @@
 #                               DETDIV_THREADS=1 and =4 must be
 #                               byte-identical (DETDIV_LOG=off so the
 #                               telemetry snapshot is empty and carries
-#                               no wall times)
+#                               no wall times). Both runs are executed
+#                               with --trace armed: tracing must not
+#                               perturb results (the trace files
+#                               themselves carry wall times and are
+#                               excluded from the comparison)
+#   6. trace gate             — the exported Chrome trace files must be
+#                               valid trace-event JSON with per-thread
+#                               monotonic timestamps and balanced B/E
+#                               stacks (`tracecheck`), and the 4-thread
+#                               trace must name its pool workers
+#   7. perf baseline          — scripts/perf_baseline.sh runs the
+#                               pinned reduced sweep and emits a
+#                               baseline JSON (tracing overhead, top
+#                               phases, utilization)
 #
 # Usage: scripts/ci.sh
 # The script is silent on success for each phase beyond a one-line
@@ -44,14 +57,31 @@ banner "determinism gate (DETDIV_THREADS=1 vs 4)"
 GATE_DIR="$(mktemp -d)"
 trap 'rm -rf "$GATE_DIR"' EXIT
 mkdir -p "$GATE_DIR/t1" "$GATE_DIR/t4"
+# Tracing is armed on both runs: an armed recorder must not perturb
+# any output byte. The trace files carry wall times and thread counts,
+# so they are validated (below) but never compared.
 DETDIV_LOG=off DETDIV_THREADS=1 ./target/release/regenerate \
     --training-len 60000 --json "$GATE_DIR/t1/paper_report.json" \
-    > "$GATE_DIR/t1/stdout.txt"
+    --trace "$GATE_DIR/t1/trace.json" \
+    > "$GATE_DIR/t1/stdout.txt" 2> /dev/null
 DETDIV_LOG=off DETDIV_THREADS=4 ./target/release/regenerate \
     --training-len 60000 --json "$GATE_DIR/t4/paper_report.json" \
-    > "$GATE_DIR/t4/stdout.txt"
+    --trace "$GATE_DIR/t4/trace.json" \
+    > "$GATE_DIR/t4/stdout.txt" 2> /dev/null
 cmp "$GATE_DIR/t1/paper_report.json" "$GATE_DIR/t4/paper_report.json"
 cmp "$GATE_DIR/t1/stdout.txt" "$GATE_DIR/t4/stdout.txt"
-echo "report and stdout byte-identical at 1 and 4 threads"
+echo "report and stdout byte-identical at 1 and 4 threads (tracing armed)"
+
+banner "trace gate (Chrome trace-event JSON validity + B/E balance)"
+./target/release/tracecheck "$GATE_DIR/t1/trace.json"
+./target/release/tracecheck "$GATE_DIR/t4/trace.json" \
+    --expect-thread par-worker-1 --expect-thread par-worker-2
+
+banner "perf baseline (BENCH JSON)"
+# A reduced training stream keeps CI fast; the committed BENCH_pr3.json
+# at the repo root is regenerated at the default scale via
+# `scripts/perf_baseline.sh` without arguments.
+scripts/perf_baseline.sh "$GATE_DIR/bench.json" 30000
+echo "perf baseline OK ($(grep -o '"trace_overhead_percent":[^,]*' "$GATE_DIR/bench.json" || true))"
 
 banner "CI green"
