@@ -1,8 +1,10 @@
-//! Performance baseline for the PR 3 observability work: runs a pinned
-//! reduced sweep twice — tracing disarmed, then armed — and writes a
-//! machine-readable baseline (`BENCH_pr3.json` by default) recording
-//! wall times, the tracing overhead, the self-profile's top phases by
-//! exclusive time, and worker utilization.
+//! Performance baseline for the experiment pipeline: runs a pinned
+//! reduced sweep three times — trained-model cache disabled, cache
+//! enabled, then cache enabled with tracing armed — and writes a
+//! machine-readable baseline (`BENCH_pr4.json` by default) recording
+//! wall times, the cache speed-up and hit statistics, the tracing
+//! overhead, the self-profile's top phases by exclusive time, and
+//! worker utilization.
 //!
 //! ```text
 //! perfbaseline [--out PATH] [--training-len N] [--threads N] [--top N]
@@ -32,14 +34,35 @@ struct PhaseRow {
 }
 
 #[derive(Debug, Serialize)]
+struct CacheRow {
+    hits: u64,
+    misses: u64,
+    inflight_waits: u64,
+    /// hits / (hits + misses), percent, within one cold-start report.
+    hit_rate_percent: f64,
+    resident_entries: usize,
+    resident_bytes: u64,
+}
+
+#[derive(Debug, Serialize)]
 struct Baseline {
     bench: String,
     training_len: usize,
     threads: usize,
-    /// Full-report wall time with the trace recorder disarmed, ms.
+    /// Full-report wall time with the trained-model cache disabled, ms
+    /// (tracing disarmed; the pre-PR4 configuration).
+    wall_ms_cache_off: f64,
+    /// Full-report wall time with the cache enabled from cold, ms
+    /// (tracing disarmed; the default configuration).
     wall_ms_trace_off: f64,
-    /// Full-report wall time with the trace recorder armed, ms.
+    /// Full-report wall time with the cache enabled from cold and the
+    /// trace recorder armed, ms.
     wall_ms_trace_on: f64,
+    /// Cache-off over cache-on improvement, percent of the cache-off
+    /// wall time (negative = the cache cost time).
+    cache_speedup_percent: f64,
+    /// Single-flight cache statistics from the cold cached run.
+    cache: CacheRow,
     /// Armed-over-disarmed overhead, percent (negative = noise).
     trace_overhead_percent: f64,
     /// Events the armed run recorded.
@@ -61,7 +84,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        out: "BENCH_pr3.json".to_owned(),
+        out: "BENCH_pr4.json".to_owned(),
         training_len: 60_000,
         threads: None,
         top: 10,
@@ -133,17 +156,36 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let corpus = fixture(args.training_len)?;
+    let cache = detdiv_cache::global();
 
-    // Pass 1: tracing disarmed. This is the configuration the
-    // determinism gate and normal runs use; its profile is the
-    // baseline's phase table.
+    // Pass A: trained-model cache disabled, tracing disarmed — the
+    // pre-PR4 configuration, and the denominator of the cache speed-up.
     obs::trace::disarm();
     obs::trace::reset();
+    detdiv_cache::set_enabled(false);
+    cache.clear();
+    cache.reset_stats();
+    let started = Instant::now();
+    let _report_uncached = FullReport::generate_on(&corpus)?;
+    let wall_cache_off = started.elapsed();
+
+    // Pass B: cache enabled from cold, tracing disarmed. This is the
+    // default configuration; its profile is the baseline's phase table
+    // and its cache statistics are the committed hit rate. The cache is
+    // cleared first so the measurement is a cold start, not a replay of
+    // pass A's residue.
+    detdiv_cache::set_enabled(true);
+    cache.clear();
+    cache.reset_stats();
     let started = Instant::now();
     let report_off = FullReport::generate_on(&corpus)?;
     let wall_off = started.elapsed();
+    let cache_stats = cache.stats();
 
-    // Pass 2: tracing armed; same corpus, same work.
+    // Pass C: cache enabled from cold, tracing armed; same corpus,
+    // same work, so armed-minus-disarmed isolates the recorder.
+    cache.clear();
+    cache.reset_stats();
     obs::trace::reset();
     obs::trace::arm();
     let started = Instant::now();
@@ -155,14 +197,34 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     obs::trace::reset();
 
     let profile = &report_off.telemetry.profile;
+    let wall_cache_off_ms = wall_cache_off.as_secs_f64() * 1e3;
     let wall_off_ms = wall_off.as_secs_f64() * 1e3;
     let wall_on_ms = wall_on.as_secs_f64() * 1e3;
+    let lookups = cache_stats.hits + cache_stats.misses;
     let baseline = Baseline {
-        bench: "pr3".to_owned(),
+        bench: "pr4".to_owned(),
         training_len: args.training_len,
         threads,
+        wall_ms_cache_off: wall_cache_off_ms,
         wall_ms_trace_off: wall_off_ms,
         wall_ms_trace_on: wall_on_ms,
+        cache_speedup_percent: if wall_cache_off_ms > 0.0 {
+            (wall_cache_off_ms - wall_off_ms) / wall_cache_off_ms * 100.0
+        } else {
+            0.0
+        },
+        cache: CacheRow {
+            hits: cache_stats.hits,
+            misses: cache_stats.misses,
+            inflight_waits: cache_stats.inflight_waits,
+            hit_rate_percent: if lookups > 0 {
+                cache_stats.hits as f64 / lookups as f64 * 100.0
+            } else {
+                0.0
+            },
+            resident_entries: cache_stats.entries,
+            resident_bytes: cache_stats.resident_bytes,
+        },
         trace_overhead_percent: if wall_off_ms > 0.0 {
             (wall_on_ms - wall_off_ms) / wall_off_ms * 100.0
         } else {
@@ -185,8 +247,12 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
     std::fs::write(&args.out, serde_json::to_string_pretty(&baseline)?)?;
     eprintln!(
-        "perfbaseline: wall trace-off {:.0} ms, trace-on {:.0} ms ({:+.2}%), {} events; wrote {}",
+        "perfbaseline: wall cache-off {:.0} ms, cached {:.0} ms ({:+.2}%, hit rate {:.1}%), \
+         trace-on {:.0} ms ({:+.2}%), {} events; wrote {}",
+        baseline.wall_ms_cache_off,
         baseline.wall_ms_trace_off,
+        baseline.cache_speedup_percent,
+        baseline.cache.hit_rate_percent,
         baseline.wall_ms_trace_on,
         baseline.trace_overhead_percent,
         baseline.trace_events,

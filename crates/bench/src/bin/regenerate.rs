@@ -1,7 +1,7 @@
 //! Regenerates every figure and analysis of Tan & Maxion (DSN 2005).
 //!
 //! ```text
-//! regenerate [--experiment ID] [--training-len N] [--paper] [--seed N] [--json PATH] [--threads N]
+//! regenerate [--experiment ID] [--training-len N] [--paper] [--seed N] [--json PATH] [--threads N] [--no-cache]
 //! ```
 //!
 //! * `--experiment` — one of `fig2 fig3 fig4 fig5 fig6 fig7 comb1 comb2
@@ -28,7 +28,11 @@
 //!   to the given path when the run finishes; overrides the
 //!   `DETDIV_TRACE` environment variable. Tracing is independent of
 //!   `--log off`: spans, grid cells, and `par-worker-N` activity are
-//!   recorded even when logging and telemetry are disabled.
+//!   recorded even when logging and telemetry are disabled;
+//! * `--no-cache` — disable the single-flight trained-model cache and
+//!   train every model afresh (equivalent to `DETDIV_CACHE=off`).
+//!   Results are byte-identical either way; this exists for honest
+//!   timing comparisons and as an escape hatch.
 
 use std::process::ExitCode;
 
@@ -51,6 +55,7 @@ struct Args {
     threads: Option<usize>,
     log: Option<obs::Level>,
     trace: Option<String>,
+    no_cache: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -63,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
         log: None,
         // `--trace PATH` below overrides the environment.
         trace: obs::trace::env_path(),
+        no_cache: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -110,13 +116,15 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => {
                 args.trace = Some(it.next().ok_or("--trace needs a path")?);
             }
+            "--no-cache" => args.no_cache = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: regenerate [--experiment ID] [--training-len N] [--paper] [--seed N] [--json PATH] [--threads N] [--log LEVEL] [--trace PATH]\n\
+                    "usage: regenerate [--experiment ID] [--training-len N] [--paper] [--seed N] [--json PATH] [--threads N] [--log LEVEL] [--trace PATH] [--no-cache]\n\
                      experiments: fig2 fig3 fig4 fig5 fig6 fig7 comb1 comb2 comb3 abl1 abl2 abl3 abl4 nat1 ext1 div1 masq1 fn1 ana1 all\n\
                      threads:     parallel fan-out width (default: DETDIV_THREADS, then available parallelism; results are thread-count independent)\n\
                      log levels:  off error warn info debug trace (default info; DETDIV_LOG also honoured)\n\
-                     trace:       write a Chrome trace-event JSON file (DETDIV_TRACE also honoured; independent of --log off)"
+                     trace:       write a Chrome trace-event JSON file (DETDIV_TRACE also honoured; independent of --log off)\n\
+                     no-cache:    train every model afresh, bypassing the single-flight model cache (DETDIV_CACHE=off also honoured; results identical)"
                 );
                 std::process::exit(0);
             }
@@ -387,6 +395,9 @@ fn main() -> ExitCode {
     }
     if let Some(threads) = args.threads {
         detdiv_par::global().set_threads(Some(threads));
+    }
+    if args.no_cache {
+        detdiv_cache::set_enabled(false);
     }
     // Fail fast on unwritable --json / --trace destinations:
     // milliseconds now instead of an error after the full evaluation.

@@ -10,7 +10,14 @@
 
 use detdiv_sequence::Symbol;
 
-/// A sequence-based anomaly detector operating on fixed-length windows.
+/// The immutable scoring surface of a trained sequence anomaly detector.
+///
+/// This is the *train-phase output* of a [`SequenceAnomalyDetector`]:
+/// everything needed to score test streams, and nothing that mutates the
+/// model. Because scoring takes `&self` and the trait requires
+/// `Send + Sync`, one trained model can be shared across threads (e.g.
+/// behind an `Arc` in the `detdiv-par` pool, or memoized by
+/// `detdiv-cache`) without re-training per consumer.
 ///
 /// Implementations produce one **anomaly response in `[0, 1]`** per
 /// window position of a test stream: `0` means completely normal, `1`
@@ -20,21 +27,17 @@ use detdiv_sequence::Symbol;
 /// DW − 1 context elements *and* the predicted element, so all detectors
 /// share one indexing convention.
 ///
-/// Implementations must be deterministic once trained: repeated calls to
-/// [`SequenceAnomalyDetector::scores`] on the same stream return the same
-/// responses.
-pub trait SequenceAnomalyDetector {
+/// Implementations must be **pure under scoring**: repeated calls to
+/// [`TrainedModel::scores`] on the same stream — from one thread or
+/// several — return the same responses. The conformance suite in
+/// `crates/core/tests/conformance.rs` enforces this contract for every
+/// detector family in the workspace.
+pub trait TrainedModel: Send + Sync {
     /// Human-readable detector name, used in maps and reports.
     fn name(&self) -> &str;
 
     /// The detector-window length DW this instance was configured with.
     fn window(&self) -> usize;
-
-    /// Acquires the model of normal behaviour from `training`.
-    ///
-    /// Called once per experiment; a second call replaces the model with
-    /// one trained on the new stream only.
-    fn train(&mut self, training: &[Symbol]);
 
     /// Anomaly responses for every window position of `test`, each in
     /// `[0, 1]`.
@@ -55,6 +58,33 @@ pub trait SequenceAnomalyDetector {
         1.0
     }
 
+    /// A rough estimate of the trained model's resident size in bytes,
+    /// used by `detdiv-cache` for eviction accounting. Best-effort: the
+    /// default of `0` means "unknown/negligible"; families with real
+    /// databases override it.
+    fn approx_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// A sequence-based anomaly detector operating on fixed-length windows:
+/// the **train phase** layered on top of [`TrainedModel`].
+///
+/// §4.2's three components map onto the two traits as follows: the
+/// model-acquisition mechanism is [`SequenceAnomalyDetector::train`];
+/// the similarity metric and thresholding are the [`TrainedModel`]
+/// supertrait. Once trained, a detector *is* its trained model — the
+/// evaluation framework scores through `&dyn TrainedModel` and never
+/// needs `&mut` again.
+pub trait SequenceAnomalyDetector: TrainedModel {
+    /// Acquires the model of normal behaviour from `training`.
+    ///
+    /// Called once per experiment; a second call replaces the model with
+    /// one trained on the new stream only. Training on the same stream
+    /// twice must produce equivalent models (identical scores on any
+    /// test stream) — the property `detdiv-cache` relies on.
+    fn train(&mut self, training: &[Symbol]);
+
     /// The smallest usable window for this detector family (2 for the
     /// Markov- and neural-network-based detectors, which need at least
     /// one context element plus the predicted element; 1 is technically
@@ -64,21 +94,27 @@ pub trait SequenceAnomalyDetector {
     }
 }
 
-impl<D: SequenceAnomalyDetector + ?Sized> SequenceAnomalyDetector for Box<D> {
+impl<D: TrainedModel + ?Sized> TrainedModel for Box<D> {
     fn name(&self) -> &str {
         (**self).name()
     }
     fn window(&self) -> usize {
         (**self).window()
     }
-    fn train(&mut self, training: &[Symbol]) {
-        (**self).train(training)
-    }
     fn scores(&self, test: &[Symbol]) -> Vec<f64> {
         (**self).scores(test)
     }
     fn maximal_response_floor(&self) -> f64 {
         (**self).maximal_response_floor()
+    }
+    fn approx_bytes(&self) -> usize {
+        (**self).approx_bytes()
+    }
+}
+
+impl<D: SequenceAnomalyDetector + ?Sized> SequenceAnomalyDetector for Box<D> {
+    fn train(&mut self, training: &[Symbol]) {
+        (**self).train(training)
     }
     fn min_window(&self) -> usize {
         (**self).min_window()
@@ -119,14 +155,13 @@ mod tests {
         window: usize,
     }
 
-    impl SequenceAnomalyDetector for FlagNine {
+    impl TrainedModel for FlagNine {
         fn name(&self) -> &str {
             "flag-nine"
         }
         fn window(&self) -> usize {
             self.window
         }
-        fn train(&mut self, _training: &[Symbol]) {}
         fn scores(&self, test: &[Symbol]) -> Vec<f64> {
             if test.len() < self.window {
                 return Vec::new();
@@ -141,6 +176,10 @@ mod tests {
                 })
                 .collect()
         }
+    }
+
+    impl SequenceAnomalyDetector for FlagNine {
+        fn train(&mut self, _training: &[Symbol]) {}
     }
 
     #[test]

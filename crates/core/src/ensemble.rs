@@ -16,7 +16,7 @@ use std::fmt;
 
 use detdiv_sequence::Symbol;
 
-use crate::detector::{alarms_at, SequenceAnomalyDetector};
+use crate::detector::{alarms_at, SequenceAnomalyDetector, TrainedModel};
 use crate::error::EvalError;
 
 /// How an ensemble combines its members' alarms.
@@ -154,7 +154,7 @@ impl fmt::Debug for AlarmEnsemble {
     }
 }
 
-impl SequenceAnomalyDetector for AlarmEnsemble {
+impl TrainedModel for AlarmEnsemble {
     fn name(&self) -> &str {
         &self.name
     }
@@ -163,10 +163,8 @@ impl SequenceAnomalyDetector for AlarmEnsemble {
         self.window
     }
 
-    fn train(&mut self, training: &[Symbol]) {
-        for m in &mut self.members {
-            m.train(training);
-        }
+    fn approx_bytes(&self) -> usize {
+        self.members.iter().map(|m| m.approx_bytes()).sum()
     }
 
     fn scores(&self, test: &[Symbol]) -> Vec<f64> {
@@ -195,6 +193,14 @@ impl SequenceAnomalyDetector for AlarmEnsemble {
             .map(|a| if a { 1.0 } else { 0.0 })
             .collect()
     }
+}
+
+impl SequenceAnomalyDetector for AlarmEnsemble {
+    fn train(&mut self, training: &[Symbol]) {
+        for m in &mut self.members {
+            m.train(training);
+        }
+    }
 
     fn min_window(&self) -> usize {
         self.members
@@ -217,14 +223,13 @@ mod tests {
         response: f64,
     }
 
-    impl SequenceAnomalyDetector for FirstIs {
+    impl TrainedModel for FirstIs {
         fn name(&self) -> &str {
             "first-is"
         }
         fn window(&self) -> usize {
             2
         }
-        fn train(&mut self, _t: &[Symbol]) {}
         fn scores(&self, test: &[Symbol]) -> Vec<f64> {
             if test.len() < 2 {
                 return Vec::new();
@@ -242,6 +247,10 @@ mod tests {
         fn maximal_response_floor(&self) -> f64 {
             self.floor
         }
+    }
+
+    impl SequenceAnomalyDetector for FirstIs {
+        fn train(&mut self, _t: &[Symbol]) {}
     }
 
     fn det(trigger: u32) -> Box<dyn SequenceAnomalyDetector> {
@@ -299,32 +308,30 @@ mod tests {
     #[test]
     fn train_reaches_all_members() {
         struct CountTrain {
-            trained: std::cell::Cell<bool>,
+            trained: bool,
         }
-        impl SequenceAnomalyDetector for CountTrain {
+        impl TrainedModel for CountTrain {
             fn name(&self) -> &str {
                 "count"
             }
             fn window(&self) -> usize {
                 2
             }
-            fn train(&mut self, _t: &[Symbol]) {
-                self.trained.set(true);
-            }
             fn scores(&self, test: &[Symbol]) -> Vec<f64> {
                 vec![0.0; test.len().saturating_sub(1)]
+            }
+        }
+        impl SequenceAnomalyDetector for CountTrain {
+            fn train(&mut self, _t: &[Symbol]) {
+                self.trained = true;
             }
         }
         let mut e = AlarmEnsemble::new(
             "t",
             CombinationRule::Any,
             vec![
-                Box::new(CountTrain {
-                    trained: std::cell::Cell::new(false),
-                }),
-                Box::new(CountTrain {
-                    trained: std::cell::Cell::new(false),
-                }),
+                Box::new(CountTrain { trained: false }),
+                Box::new(CountTrain { trained: false }),
             ],
         );
         e.train(&symbols(&[1, 2, 3]));
@@ -337,17 +344,19 @@ mod tests {
     #[should_panic(expected = "share a detector window")]
     fn mismatched_windows_panic() {
         struct W3;
-        impl SequenceAnomalyDetector for W3 {
+        impl TrainedModel for W3 {
             fn name(&self) -> &str {
                 "w3"
             }
             fn window(&self) -> usize {
                 3
             }
-            fn train(&mut self, _t: &[Symbol]) {}
             fn scores(&self, _test: &[Symbol]) -> Vec<f64> {
                 Vec::new()
             }
+        }
+        impl SequenceAnomalyDetector for W3 {
+            fn train(&mut self, _t: &[Symbol]) {}
         }
         let _ = AlarmEnsemble::new("bad", CombinationRule::Any, vec![det(1), Box::new(W3)]);
     }

@@ -6,12 +6,12 @@
 //! * `detector/<name>/train_ns` — histogram of wall time per
 //!   [`SequenceAnomalyDetector::train`] call;
 //! * `detector/<name>/score_ns` — histogram of wall time per
-//!   [`SequenceAnomalyDetector::scores`] call;
+//!   [`TrainedModel::scores`] call;
 //! * `detector/<name>/train_calls`, `detector/<name>/score_calls` —
 //!   call counters;
 //! * `detector/<name>/windows_scored` — total window positions scored;
 //! * `detector/<name>/alarms_raised` — responses at or above the
-//!   detector's [`SequenceAnomalyDetector::maximal_response_floor`].
+//!   detector's [`TrainedModel::maximal_response_floor`].
 //!
 //! The wrapper is transparent: name, window, floor, minimum window and
 //! the scores themselves pass through unchanged, so wrapping cannot
@@ -19,7 +19,7 @@
 //! (`DETDIV_LOG=off`) each recording call reduces to one relaxed
 //! atomic load.
 
-use crate::detector::SequenceAnomalyDetector;
+use crate::detector::{SequenceAnomalyDetector, TrainedModel};
 use detdiv_sequence::Symbol;
 use std::time::Instant;
 
@@ -48,24 +48,13 @@ impl<D: SequenceAnomalyDetector> InstrumentedDetector<D> {
     }
 }
 
-impl<D: SequenceAnomalyDetector> SequenceAnomalyDetector for InstrumentedDetector<D> {
+impl<D: TrainedModel> TrainedModel for InstrumentedDetector<D> {
     fn name(&self) -> &str {
         self.inner.name()
     }
 
     fn window(&self) -> usize {
         self.inner.window()
-    }
-
-    fn train(&mut self, training: &[Symbol]) {
-        if !detdiv_obs::telemetry_enabled() {
-            return self.inner.train(training);
-        }
-        let started = Instant::now();
-        self.inner.train(training);
-        let name = self.inner.name();
-        detdiv_obs::record_duration(&format!("detector/{name}/train_ns"), started.elapsed());
-        detdiv_obs::incr_counter(&format!("detector/{name}/train_calls"), 1);
     }
 
     fn scores(&self, test: &[Symbol]) -> Vec<f64> {
@@ -94,6 +83,23 @@ impl<D: SequenceAnomalyDetector> SequenceAnomalyDetector for InstrumentedDetecto
         self.inner.maximal_response_floor()
     }
 
+    fn approx_bytes(&self) -> usize {
+        self.inner.approx_bytes()
+    }
+}
+
+impl<D: SequenceAnomalyDetector> SequenceAnomalyDetector for InstrumentedDetector<D> {
+    fn train(&mut self, training: &[Symbol]) {
+        if !detdiv_obs::telemetry_enabled() {
+            return self.inner.train(training);
+        }
+        let started = Instant::now();
+        self.inner.train(training);
+        let name = self.inner.name();
+        detdiv_obs::record_duration(&format!("detector/{name}/train_ns"), started.elapsed());
+        detdiv_obs::incr_counter(&format!("detector/{name}/train_calls"), 1);
+    }
+
     fn min_window(&self) -> usize {
         self.inner.min_window()
     }
@@ -111,15 +117,12 @@ mod tests {
         trained: bool,
     }
 
-    impl SequenceAnomalyDetector for StartsWithSeven {
+    impl TrainedModel for StartsWithSeven {
         fn name(&self) -> &str {
             "starts-with-seven"
         }
         fn window(&self) -> usize {
             self.window
-        }
-        fn train(&mut self, _training: &[Symbol]) {
-            self.trained = true;
         }
         fn scores(&self, test: &[Symbol]) -> Vec<f64> {
             if test.len() < self.window {
@@ -128,6 +131,12 @@ mod tests {
             test.windows(self.window)
                 .map(|w| if w[0].id() == 7 { 1.0 } else { 0.25 })
                 .collect()
+        }
+    }
+
+    impl SequenceAnomalyDetector for StartsWithSeven {
+        fn train(&mut self, _training: &[Symbol]) {
+            self.trained = true;
         }
     }
 

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use detdiv_sequence::Symbol;
 
-use crate::detector::{response_count, SequenceAnomalyDetector};
+use crate::detector::{response_count, TrainedModel};
 use crate::error::EvalError;
 use crate::incident::IncidentSpan;
 
@@ -186,21 +186,25 @@ pub fn classify_scores(
 /// # Examples
 ///
 /// ```
-/// use detdiv_core::{evaluate_case, Classification, OwnedCase, SequenceAnomalyDetector};
+/// use detdiv_core::{
+///     evaluate_case, Classification, OwnedCase, SequenceAnomalyDetector, TrainedModel,
+/// };
 /// use detdiv_sequence::{symbols, NgramSet, Symbol};
 ///
 /// /// A miniature Stide: foreign window => 1, known window => 0.
 /// struct MiniStide { dw: usize, db: NgramSet }
-/// impl SequenceAnomalyDetector for MiniStide {
+/// impl TrainedModel for MiniStide {
 ///     fn name(&self) -> &str { "mini-stide" }
 ///     fn window(&self) -> usize { self.dw }
-///     fn train(&mut self, t: &[Symbol]) { self.db = NgramSet::from_stream(t, self.dw); }
 ///     fn scores(&self, test: &[Symbol]) -> Vec<f64> {
 ///         if test.len() < self.dw { return Vec::new(); }
 ///         test.windows(self.dw)
 ///             .map(|w| if self.db.contains(w) { 0.0 } else { 1.0 })
 ///             .collect()
 ///     }
+/// }
+/// impl SequenceAnomalyDetector for MiniStide {
+///     fn train(&mut self, t: &[Symbol]) { self.db = NgramSet::from_stream(t, self.dw); }
 /// }
 ///
 /// let case = OwnedCase {
@@ -216,7 +220,7 @@ pub fn classify_scores(
 /// ```
 pub fn evaluate_case<D>(detector: &D, case: &dyn LabeledCase) -> Result<DetectionOutcome, EvalError>
 where
-    D: SequenceAnomalyDetector + ?Sized,
+    D: TrainedModel + ?Sized,
 {
     let test = case.test_stream();
     let span = IncidentSpan::compute(
@@ -314,14 +318,13 @@ mod tests {
         value: f64,
     }
 
-    impl SequenceAnomalyDetector for Constant {
+    impl TrainedModel for Constant {
         fn name(&self) -> &str {
             "constant"
         }
         fn window(&self) -> usize {
             self.dw
         }
-        fn train(&mut self, _t: &[Symbol]) {}
         fn scores(&self, test: &[Symbol]) -> Vec<f64> {
             vec![self.value; response_count(test.len(), self.dw)]
         }
@@ -361,14 +364,13 @@ mod tests {
 
     /// Detector lying about its response length.
     struct Liar;
-    impl SequenceAnomalyDetector for Liar {
+    impl TrainedModel for Liar {
         fn name(&self) -> &str {
             "liar"
         }
         fn window(&self) -> usize {
             2
         }
-        fn train(&mut self, _t: &[Symbol]) {}
         fn scores(&self, _test: &[Symbol]) -> Vec<f64> {
             vec![0.0]
         }

@@ -4,6 +4,7 @@
 use detdiv_core::{
     alarms_at, analyze_alarms, classify_scores, threshold_sweep, CellStatus, Classification,
     CoverageMap, DiversityMatrix, IncidentSpan, InstrumentedDetector, SequenceAnomalyDetector,
+    TrainedModel,
 };
 use detdiv_sequence::{symbols, Symbol};
 use proptest::prelude::*;
@@ -18,15 +19,12 @@ struct ModTen {
     trained_events: usize,
 }
 
-impl SequenceAnomalyDetector for ModTen {
+impl TrainedModel for ModTen {
     fn name(&self) -> &str {
         self.name
     }
     fn window(&self) -> usize {
         self.window
-    }
-    fn train(&mut self, training: &[Symbol]) {
-        self.trained_events += training.len();
     }
     fn scores(&self, test: &[Symbol]) -> Vec<f64> {
         if test.len() < self.window {
@@ -42,6 +40,12 @@ impl SequenceAnomalyDetector for ModTen {
                 }
             })
             .collect()
+    }
+}
+
+impl SequenceAnomalyDetector for ModTen {
+    fn train(&mut self, training: &[Symbol]) {
+        self.trained_events += training.len();
     }
 }
 

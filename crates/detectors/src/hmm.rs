@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use detdiv_core::SequenceAnomalyDetector;
+use detdiv_core::{SequenceAnomalyDetector, TrainedModel};
 use detdiv_hmm::{baum_welch, Hmm, InitStrategy, TrainConfig};
 use detdiv_sequence::Symbol;
 
@@ -56,7 +56,7 @@ impl Default for HmmConfig {
 /// # Examples
 ///
 /// ```
-/// use detdiv_core::SequenceAnomalyDetector;
+/// use detdiv_core::{SequenceAnomalyDetector, TrainedModel};
 /// use detdiv_detectors::HmmDetector;
 /// use detdiv_sequence::symbols;
 ///
@@ -139,45 +139,13 @@ impl HmmDetector {
     }
 }
 
-impl SequenceAnomalyDetector for HmmDetector {
+impl TrainedModel for HmmDetector {
     fn name(&self) -> &str {
         "hmm"
     }
 
     fn window(&self) -> usize {
         self.window
-    }
-
-    fn train(&mut self, training: &[Symbol]) {
-        if training.is_empty() {
-            self.model = None;
-            return;
-        }
-        let states = self.config.states.unwrap_or_else(|| {
-            training
-                .iter()
-                .map(|s| s.index() + 1)
-                .max()
-                .expect("nonempty training")
-        });
-        let chunks = Self::subsample(training, self.config.max_training_events);
-        // With the one-state-per-symbol heuristic, moment-matching
-        // initialisation sidesteps EM's poor local optima on
-        // near-deterministic streams; explicit smaller state counts fall
-        // back to a seeded random start.
-        let init = if states >= training.iter().map(|s| s.index() + 1).max().unwrap_or(0) {
-            InitStrategy::FirstOrder
-        } else {
-            InitStrategy::Random
-        };
-        let train_config = TrainConfig {
-            states,
-            max_iters: self.config.max_iters,
-            tol: self.config.tol,
-            seed: self.config.seed,
-            init,
-        };
-        self.model = baum_welch(&chunks, &train_config).ok().map(|(hmm, _)| hmm);
     }
 
     fn scores(&self, test: &[Symbol]) -> Vec<f64> {
@@ -213,6 +181,48 @@ impl SequenceAnomalyDetector for HmmDetector {
 
     fn maximal_response_floor(&self) -> f64 {
         self.config.detection_floor
+    }
+
+    fn approx_bytes(&self) -> usize {
+        // π (states) + A (states²) + B (states × symbols), f64 each.
+        self.model.as_ref().map_or(0, |m| {
+            let (n, k) = (m.states(), m.symbols());
+            (n + n * n + n * k) * std::mem::size_of::<f64>()
+        })
+    }
+}
+
+impl SequenceAnomalyDetector for HmmDetector {
+    fn train(&mut self, training: &[Symbol]) {
+        if training.is_empty() {
+            self.model = None;
+            return;
+        }
+        let states = self.config.states.unwrap_or_else(|| {
+            training
+                .iter()
+                .map(|s| s.index() + 1)
+                .max()
+                .expect("nonempty training")
+        });
+        let chunks = Self::subsample(training, self.config.max_training_events);
+        // With the one-state-per-symbol heuristic, moment-matching
+        // initialisation sidesteps EM's poor local optima on
+        // near-deterministic streams; explicit smaller state counts fall
+        // back to a seeded random start.
+        let init = if states >= training.iter().map(|s| s.index() + 1).max().unwrap_or(0) {
+            InitStrategy::FirstOrder
+        } else {
+            InitStrategy::Random
+        };
+        let train_config = TrainConfig {
+            states,
+            max_iters: self.config.max_iters,
+            tol: self.config.tol,
+            seed: self.config.seed,
+            init,
+        };
+        self.model = baum_welch(&chunks, &train_config).ok().map(|(hmm, _)| hmm);
     }
 }
 

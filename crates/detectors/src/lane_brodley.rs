@@ -16,7 +16,7 @@
 //! `DW(DW−1)/2` (10 of 15 for DW = 5) — "close to normal" — which is why
 //! the detector is blind across the entire MFS space (§7, Figure 3).
 
-use detdiv_core::SequenceAnomalyDetector;
+use detdiv_core::{SequenceAnomalyDetector, TrainedModel};
 use detdiv_sequence::{NgramSet, Symbol};
 
 /// Pairwise adjacency-weighted similarity between two same-length
@@ -74,7 +74,7 @@ pub const fn lane_brodley_sim_max(window: usize) -> u64 {
 /// # Examples
 ///
 /// ```
-/// use detdiv_core::SequenceAnomalyDetector;
+/// use detdiv_core::{SequenceAnomalyDetector, TrainedModel};
 /// use detdiv_detectors::LaneBrodley;
 /// use detdiv_sequence::symbols;
 ///
@@ -133,7 +133,7 @@ impl LaneBrodley {
     }
 }
 
-impl SequenceAnomalyDetector for LaneBrodley {
+impl TrainedModel for LaneBrodley {
     fn name(&self) -> &str {
         "lane-brodley"
     }
@@ -142,12 +142,10 @@ impl SequenceAnomalyDetector for LaneBrodley {
         self.window
     }
 
-    fn train(&mut self, training: &[Symbol]) {
-        // Deduplicate: similarity against duplicate normals is wasted
-        // work, and the max over a set equals the max over its distinct
-        // members.
-        let set = NgramSet::from_stream(training, self.window);
-        self.normals = set.iter().map(|g| g.to_vec().into_boxed_slice()).collect();
+    fn approx_bytes(&self) -> usize {
+        // One boxed normal sequence of `window` symbols per entry.
+        self.normals.len()
+            * (self.window * std::mem::size_of::<Symbol>() + std::mem::size_of::<Box<[Symbol]>>())
     }
 
     fn scores(&self, test: &[Symbol]) -> Vec<f64> {
@@ -168,6 +166,16 @@ impl SequenceAnomalyDetector for LaneBrodley {
                 }
             })
             .collect()
+    }
+}
+
+impl SequenceAnomalyDetector for LaneBrodley {
+    fn train(&mut self, training: &[Symbol]) {
+        // Deduplicate: similarity against duplicate normals is wasted
+        // work, and the max over a set equals the max over its distinct
+        // members.
+        let set = NgramSet::from_stream(training, self.window);
+        self.normals = set.iter().map(|g| g.to_vec().into_boxed_slice()).collect();
     }
 }
 

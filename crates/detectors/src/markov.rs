@@ -23,7 +23,7 @@
 //! [`MarkovDetector::strict`] restores the literal `score == 1` rule for
 //! the ablation documented in `DESIGN.md` §2.3.
 
-use detdiv_core::SequenceAnomalyDetector;
+use detdiv_core::{SequenceAnomalyDetector, TrainedModel};
 use detdiv_markov::{ConditionalModel, Prediction};
 use detdiv_sequence::{Symbol, DEFAULT_RARE_THRESHOLD};
 
@@ -32,7 +32,7 @@ use detdiv_sequence::{Symbol, DEFAULT_RARE_THRESHOLD};
 /// # Examples
 ///
 /// ```
-/// use detdiv_core::SequenceAnomalyDetector;
+/// use detdiv_core::{SequenceAnomalyDetector, TrainedModel};
 /// use detdiv_detectors::MarkovDetector;
 /// use detdiv_sequence::symbols;
 ///
@@ -105,17 +105,13 @@ impl MarkovDetector {
     }
 }
 
-impl SequenceAnomalyDetector for MarkovDetector {
+impl TrainedModel for MarkovDetector {
     fn name(&self) -> &str {
         "markov"
     }
 
     fn window(&self) -> usize {
         self.window
-    }
-
-    fn train(&mut self, training: &[Symbol]) {
-        self.model = ConditionalModel::estimate(training, self.window - 1).ok();
     }
 
     fn scores(&self, test: &[Symbol]) -> Vec<f64> {
@@ -140,6 +136,24 @@ impl SequenceAnomalyDetector for MarkovDetector {
 
     fn maximal_response_floor(&self) -> f64 {
         1.0 - self.rare_threshold
+    }
+
+    fn approx_bytes(&self) -> usize {
+        // One (context n-gram, next symbol, count) record per observed
+        // transition, plus map bookkeeping.
+        let per_entry = (self.window - 1) * std::mem::size_of::<Symbol>()
+            + std::mem::size_of::<Symbol>()
+            + std::mem::size_of::<u64>()
+            + 48;
+        self.model
+            .as_ref()
+            .map_or(0, |m| m.iter_counts().count() * per_entry)
+    }
+}
+
+impl SequenceAnomalyDetector for MarkovDetector {
+    fn train(&mut self, training: &[Symbol]) {
+        self.model = ConditionalModel::estimate(training, self.window - 1).ok();
     }
 }
 

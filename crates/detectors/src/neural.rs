@@ -25,7 +25,7 @@
 
 use std::collections::HashMap;
 
-use detdiv_core::SequenceAnomalyDetector;
+use detdiv_core::{SequenceAnomalyDetector, TrainedModel};
 use detdiv_markov::ConditionalModel;
 use detdiv_nn::{encode_context, Mlp, MlpConfig};
 use detdiv_sequence::Symbol;
@@ -80,7 +80,7 @@ struct TrainedNet {
 /// # Examples
 ///
 /// ```
-/// use detdiv_core::SequenceAnomalyDetector;
+/// use detdiv_core::{SequenceAnomalyDetector, TrainedModel};
 /// use detdiv_detectors::NeuralDetector;
 /// use detdiv_sequence::symbols;
 ///
@@ -164,7 +164,7 @@ impl NeuralDetector {
     }
 }
 
-impl SequenceAnomalyDetector for NeuralDetector {
+impl TrainedModel for NeuralDetector {
     fn name(&self) -> &str {
         "neural-network"
     }
@@ -173,6 +173,47 @@ impl SequenceAnomalyDetector for NeuralDetector {
         self.window
     }
 
+    fn scores(&self, test: &[Symbol]) -> Vec<f64> {
+        if test.len() < self.window {
+            return Vec::new();
+        }
+        let Some(state) = &self.state else {
+            return vec![1.0; test.len() - self.window + 1];
+        };
+        // Repetitive streams revisit the same window constantly; memoise
+        // the forward passes.
+        let mut cache: HashMap<&[Symbol], f64> = HashMap::new();
+        test.windows(self.window)
+            .map(|w| {
+                if let Some(&s) = cache.get(w) {
+                    s
+                } else {
+                    let s = self.response_for(state, w);
+                    cache.insert(w, s);
+                    s
+                }
+            })
+            .collect()
+    }
+
+    fn maximal_response_floor(&self) -> f64 {
+        self.config.detection_floor
+    }
+
+    fn approx_bytes(&self) -> usize {
+        // Weight + momentum matrices: f64 per connection (incl. bias),
+        // doubled for the momentum buffers.
+        self.state.as_ref().map_or(0, |s| {
+            let layers = s.net.config().layers();
+            layers
+                .windows(2)
+                .map(|w| (w[0] + 1) * w[1] * std::mem::size_of::<f64>() * 2)
+                .sum()
+        })
+    }
+}
+
+impl SequenceAnomalyDetector for NeuralDetector {
     fn train(&mut self, training: &[Symbol]) {
         let ctx_len = self.window - 1;
         let Ok(model) = ConditionalModel::estimate(training, ctx_len) else {
@@ -224,33 +265,6 @@ impl SequenceAnomalyDetector for NeuralDetector {
             net.train_epoch(&dataset).expect("well-formed dataset");
         }
         self.state = Some(TrainedNet { net, alphabet_size });
-    }
-
-    fn scores(&self, test: &[Symbol]) -> Vec<f64> {
-        if test.len() < self.window {
-            return Vec::new();
-        }
-        let Some(state) = &self.state else {
-            return vec![1.0; test.len() - self.window + 1];
-        };
-        // Repetitive streams revisit the same window constantly; memoise
-        // the forward passes.
-        let mut cache: HashMap<&[Symbol], f64> = HashMap::new();
-        test.windows(self.window)
-            .map(|w| {
-                if let Some(&s) = cache.get(w) {
-                    s
-                } else {
-                    let s = self.response_for(state, w);
-                    cache.insert(w, s);
-                    s
-                }
-            })
-            .collect()
-    }
-
-    fn maximal_response_floor(&self) -> f64 {
-        self.config.detection_floor
     }
 }
 

@@ -21,7 +21,7 @@
 
 use std::collections::HashMap;
 
-use detdiv_core::SequenceAnomalyDetector;
+use detdiv_core::{SequenceAnomalyDetector, TrainedModel};
 use detdiv_rules::{learn_rules, Example, LearnConfig, RuleSet};
 use detdiv_sequence::Symbol;
 
@@ -53,7 +53,7 @@ impl Default for RipperConfig {
 /// # Examples
 ///
 /// ```
-/// use detdiv_core::SequenceAnomalyDetector;
+/// use detdiv_core::{SequenceAnomalyDetector, TrainedModel};
 /// use detdiv_detectors::RipperDetector;
 /// use detdiv_sequence::symbols;
 ///
@@ -116,27 +116,13 @@ impl RipperDetector {
     }
 }
 
-impl SequenceAnomalyDetector for RipperDetector {
+impl TrainedModel for RipperDetector {
     fn name(&self) -> &str {
         "ripper"
     }
 
     fn window(&self) -> usize {
         self.window
-    }
-
-    fn train(&mut self, training: &[Symbol]) {
-        let mut examples: Vec<Example> =
-            detdiv_rules::examples_from_stream(training, self.window - 1)
-                .into_iter()
-                .filter(|e| e.weight >= self.config.min_count as f64)
-                .collect();
-        if examples.is_empty() {
-            // Degenerate filter: fall back to the unfiltered set so tiny
-            // fixtures still train.
-            examples = detdiv_rules::examples_from_stream(training, self.window - 1);
-        }
-        self.rules = learn_rules(&examples, &self.config.learn).ok();
     }
 
     fn scores(&self, test: &[Symbol]) -> Vec<f64> {
@@ -168,6 +154,32 @@ impl SequenceAnomalyDetector for RipperDetector {
 
     fn maximal_response_floor(&self) -> f64 {
         self.config.detection_floor
+    }
+
+    fn approx_bytes(&self) -> usize {
+        // Per rule: its condition vector plus fixed fields.
+        self.rules.as_ref().map_or(0, |rs| {
+            rs.rules()
+                .iter()
+                .map(|r| 64 + r.conditions.len() * 16)
+                .sum()
+        })
+    }
+}
+
+impl SequenceAnomalyDetector for RipperDetector {
+    fn train(&mut self, training: &[Symbol]) {
+        let mut examples: Vec<Example> =
+            detdiv_rules::examples_from_stream(training, self.window - 1)
+                .into_iter()
+                .filter(|e| e.weight >= self.config.min_count as f64)
+                .collect();
+        if examples.is_empty() {
+            // Degenerate filter: fall back to the unfiltered set so tiny
+            // fixtures still train.
+            examples = detdiv_rules::examples_from_stream(training, self.window - 1);
+        }
+        self.rules = learn_rules(&examples, &self.config.learn).ok();
     }
 }
 

@@ -9,7 +9,7 @@
 //! sequence was found, and the value 1 is assigned to indicate otherwise.
 //! No direct probabilistic concepts ... are employed." (§5.2)
 
-use detdiv_core::SequenceAnomalyDetector;
+use detdiv_core::{SequenceAnomalyDetector, TrainedModel};
 use detdiv_sequence::{NgramSet, Symbol};
 
 /// The Stide detector: binary foreign-sequence matching.
@@ -17,7 +17,7 @@ use detdiv_sequence::{NgramSet, Symbol};
 /// # Examples
 ///
 /// ```
-/// use detdiv_core::SequenceAnomalyDetector;
+/// use detdiv_core::{SequenceAnomalyDetector, TrainedModel};
 /// use detdiv_detectors::Stide;
 /// use detdiv_sequence::symbols;
 ///
@@ -53,17 +53,13 @@ impl Stide {
     }
 }
 
-impl SequenceAnomalyDetector for Stide {
+impl TrainedModel for Stide {
     fn name(&self) -> &str {
         "stide"
     }
 
     fn window(&self) -> usize {
         self.window
-    }
-
-    fn train(&mut self, training: &[Symbol]) {
-        self.db = NgramSet::from_stream(training, self.window);
     }
 
     fn scores(&self, test: &[Symbol]) -> Vec<f64> {
@@ -73,6 +69,18 @@ impl SequenceAnomalyDetector for Stide {
         test.windows(self.window)
             .map(|w| if self.db.contains(w) { 0.0 } else { 1.0 })
             .collect()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        // One boxed n-gram of `window` symbols per database entry, plus
+        // hash-set bookkeeping.
+        self.db.len() * (self.window * std::mem::size_of::<Symbol>() + 48)
+    }
+}
+
+impl SequenceAnomalyDetector for Stide {
+    fn train(&mut self, training: &[Symbol]) {
+        self.db = NgramSet::from_stream(training, self.window);
     }
 }
 
@@ -90,7 +98,7 @@ impl SequenceAnomalyDetector for Stide {
 /// # Examples
 ///
 /// ```
-/// use detdiv_core::SequenceAnomalyDetector;
+/// use detdiv_core::{SequenceAnomalyDetector, TrainedModel};
 /// use detdiv_detectors::StideLfc;
 /// use detdiv_sequence::symbols;
 ///
@@ -126,7 +134,7 @@ impl StideLfc {
     }
 }
 
-impl SequenceAnomalyDetector for StideLfc {
+impl TrainedModel for StideLfc {
     fn name(&self) -> &str {
         "stide-lfc"
     }
@@ -135,8 +143,8 @@ impl SequenceAnomalyDetector for StideLfc {
         self.stide.window
     }
 
-    fn train(&mut self, training: &[Symbol]) {
-        self.stide.train(training);
+    fn approx_bytes(&self) -> usize {
+        self.stide.approx_bytes()
     }
 
     fn scores(&self, test: &[Symbol]) -> Vec<f64> {
@@ -153,6 +161,12 @@ impl SequenceAnomalyDetector for StideLfc {
             out.push(in_frame as f64 / self.frame as f64);
         }
         out
+    }
+}
+
+impl SequenceAnomalyDetector for StideLfc {
+    fn train(&mut self, training: &[Symbol]) {
+        self.stide.train(training);
     }
 }
 

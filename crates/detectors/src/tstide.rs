@@ -8,7 +8,7 @@
 //! sequences rarer than a threshold as anomalous, sitting between Stide
 //! and the Markov detector in the diversity space.
 
-use detdiv_core::SequenceAnomalyDetector;
+use detdiv_core::{SequenceAnomalyDetector, TrainedModel};
 use detdiv_sequence::{NgramCounter, Symbol, DEFAULT_RARE_THRESHOLD};
 
 /// The t-stide detector: foreign *or rare* fixed-length sequences are
@@ -21,7 +21,7 @@ use detdiv_sequence::{NgramCounter, Symbol, DEFAULT_RARE_THRESHOLD};
 /// # Examples
 ///
 /// ```
-/// use detdiv_core::SequenceAnomalyDetector;
+/// use detdiv_core::{SequenceAnomalyDetector, TrainedModel};
 /// use detdiv_detectors::TStide;
 /// use detdiv_sequence::symbols;
 ///
@@ -81,17 +81,13 @@ impl TStide {
     }
 }
 
-impl SequenceAnomalyDetector for TStide {
+impl TrainedModel for TStide {
     fn name(&self) -> &str {
         "t-stide"
     }
 
     fn window(&self) -> usize {
         self.window
-    }
-
-    fn train(&mut self, training: &[Symbol]) {
-        self.db = NgramCounter::from_stream(training, self.window);
     }
 
     fn scores(&self, test: &[Symbol]) -> Vec<f64> {
@@ -105,6 +101,19 @@ impl SequenceAnomalyDetector for TStide {
 
     fn maximal_response_floor(&self) -> f64 {
         1.0 - self.rare_threshold
+    }
+
+    fn approx_bytes(&self) -> usize {
+        // One (n-gram, count) record per distinct window, plus map
+        // bookkeeping.
+        self.db.iter().count()
+            * (self.window * std::mem::size_of::<Symbol>() + std::mem::size_of::<u64>() + 48)
+    }
+}
+
+impl SequenceAnomalyDetector for TStide {
+    fn train(&mut self, training: &[Symbol]) {
+        self.db = NgramCounter::from_stream(training, self.window);
     }
 }
 

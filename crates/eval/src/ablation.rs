@@ -4,12 +4,12 @@
 
 use detdiv_core::{
     alarms_at, analyze_alarms, evaluate_case, CoverageMap, IncidentSpan, LabeledCase,
-    SequenceAnomalyDetector,
 };
-use detdiv_detectors::{NeuralConfig, NeuralDetector, Stide, StideLfc};
+use detdiv_detectors::NeuralConfig;
 use detdiv_synth::Corpus;
 use serde::{Deserialize, Serialize};
 
+use crate::cached::trained_model;
 use crate::coverage::{coverage_map, coverage_maps_for};
 use crate::error::HarnessError;
 use crate::kinds::DetectorKind;
@@ -103,13 +103,12 @@ pub fn abl2_locality_frame_count(
         case.injection_position(),
         case.anomaly_len(),
     )?;
-    // Each frame trains its own detector: fan the frames out and
-    // flatten the per-frame threshold rows in job order, so the table
-    // is identical to the serial nested loop.
+    // Each frame is its own detector configuration (and cache key): fan
+    // the frames out and flatten the per-frame threshold rows in job
+    // order, so the table is identical to the serial nested loop.
     let frames = [1usize, 5, 20];
     let per_frame = detdiv_par::par_try_map(&frames, |&frame| {
-        let mut det = StideLfc::new(window, frame);
-        det.train(case.training());
+        let det = trained_model(case.training(), &DetectorKind::StideLfc { frame }, window);
         let scores = det.scores(test);
         let mut rows = Vec::with_capacity(3);
         for threshold in [0.2, 0.5, 1.0] {
@@ -183,9 +182,12 @@ pub fn abl3_nn_sensitivity(
             min_count: 2,
             ..NeuralConfig::default()
         };
-        let mut det = NeuralDetector::with_config(window, config);
-        det.train(case.training());
-        let outcome = evaluate_case(&det, &case)?;
+        let det = trained_model(
+            case.training(),
+            &DetectorKind::NeuralNetwork { config },
+            window,
+        );
+        let outcome = evaluate_case(det.as_ref(), &case)?;
         Ok(NnSensitivityRow {
             hidden,
             learning_rate,
@@ -280,8 +282,7 @@ pub fn stide_reference_on_noisy_case(
         case.injection_position(),
         case.anomaly_len(),
     )?;
-    let mut det = Stide::new(window);
-    det.train(case.training());
+    let det = trained_model(case.training(), &DetectorKind::Stide, window);
     let alarms = alarms_at(&det.scores(test), det.maximal_response_floor());
     let a = analyze_alarms(&alarms, span)?;
     Ok(LfcRow {

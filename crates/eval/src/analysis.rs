@@ -1,12 +1,11 @@
 //! Quantitative side-analyses: FN1 (the paper's footnote 1) and ANA1
 //! (maximum-response maps underneath the binary coverage maps).
 
-use detdiv_core::{
-    evaluate_case, threshold_sweep, IncidentSpan, LabeledCase, RocPoint, SequenceAnomalyDetector,
-};
+use detdiv_core::{evaluate_case, threshold_sweep, IncidentSpan, LabeledCase, RocPoint};
 use detdiv_synth::Corpus;
 use serde::{Deserialize, Serialize};
 
+use crate::cached::trained_model;
 use crate::error::HarnessError;
 use crate::kinds::DetectorKind;
 
@@ -50,12 +49,13 @@ pub fn fn1_threshold_sweeps(
         case.injection_position(),
         case.anomaly_len(),
     )?;
-    // Each paper detector trains and sweeps independently: fan the four
-    // out; results come back in `paper_four()` order.
+    // Each paper detector sweeps independently: fan the four out;
+    // results come back in `paper_four()` order. Models come from the
+    // single-flight cache (the coverage grid usually trained them
+    // already).
     let kinds = DetectorKind::paper_four();
     detdiv_par::par_try_map(&kinds, |kind| {
-        let mut det = kind.build(window);
-        det.train(case.training());
+        let det = trained_model(case.training(), kind, window);
         let scores = det.scores(test);
         let in_span_max = span
             .slice(&scores)?
@@ -147,8 +147,7 @@ pub fn ana1_response_map(
     // every AS, then flatten the rows in window order (the map's
     // row-major layout).
     let rows = detdiv_par::par_try_map(&windows, |&window| {
-        let mut det = kind.build(window);
-        det.train(corpus.training());
+        let det = trained_model(corpus.training(), kind, window);
         let mut row = Vec::with_capacity(anomaly_sizes.len());
         for &anomaly_size in &anomaly_sizes {
             let case = corpus.case(anomaly_size, window)?;

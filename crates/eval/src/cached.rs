@@ -1,0 +1,102 @@
+//! Cached model acquisition: the one place experiments obtain trained
+//! detectors.
+//!
+//! Every experiment that needs a `(kind, window)` model trained on a
+//! given stream goes through [`trained_model`], which consults the
+//! process-wide single-flight [`detdiv_cache::global`] cache. The first
+//! request for a key trains (under a `train` telemetry span, exactly as
+//! the pre-cache hot paths did); every later request — including
+//! concurrent requests racing on other `detdiv-par` workers — shares the
+//! same immutable [`TrainedModel`].
+//!
+//! The cache key couples the *data* (a fingerprint + length of the
+//! training stream) with the *detector identity* (the full `Debug`
+//! rendering of [`DetectorKind`], which includes every hyperparameter)
+//! and the window, so distinct configurations can never collide. With
+//! `DETDIV_CACHE=off` (or `regenerate --no-cache`) the lookup is a pure
+//! pass-through and each call trains afresh — scoring is `&self`-pure
+//! and retraining is deterministic (enforced by the conformance suite),
+//! so results are byte-identical either way.
+
+use std::sync::Arc;
+
+use detdiv_cache::CacheKey;
+use detdiv_core::TrainedModel;
+use detdiv_sequence::Symbol;
+
+use crate::kinds::DetectorKind;
+
+/// Returns `kind` at `window`, trained on `training` — from the global
+/// single-flight cache when enabled, freshly trained otherwise.
+///
+/// Concurrent callers requesting the same (stream, kind, window) while a
+/// training run is in flight block until that single run publishes; no
+/// duplicate training occurs.
+pub fn trained_model(
+    training: &[Symbol],
+    kind: &DetectorKind,
+    window: usize,
+) -> Arc<dyn TrainedModel> {
+    let key = CacheKey::for_training(training, format!("{kind:?}"), window);
+    detdiv_cache::global().get_or_train(&key, || {
+        let mut detector = kind.build(window);
+        {
+            let _train = detdiv_obs::span!("train", detector = kind.name(), window = window);
+            detector.train(training);
+        }
+        Arc::new(detector) as Arc<dyn TrainedModel>
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detdiv_sequence::symbols;
+
+    fn stream() -> Vec<Symbol> {
+        symbols(&(0..200).map(|i| i % 8).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn same_request_shares_a_model() {
+        // Distinct window from other tests so this key is ours alone.
+        let s = stream();
+        let a = trained_model(&s, &DetectorKind::Stide, 5);
+        let b = trained_model(&s, &DetectorKind::Stide, 5);
+        if detdiv_cache::enabled() {
+            assert!(Arc::ptr_eq(&a, &b));
+        }
+        assert_eq!(a.scores(&s), b.scores(&s));
+    }
+
+    #[test]
+    fn hyperparameters_are_part_of_the_key() {
+        let s = stream();
+        let loose = trained_model(
+            &s,
+            &DetectorKind::MarkovRare {
+                rare_threshold: 0.02,
+            },
+            4,
+        );
+        let tight = trained_model(
+            &s,
+            &DetectorKind::MarkovRare {
+                rare_threshold: 0.2,
+            },
+            4,
+        );
+        assert!(!Arc::ptr_eq(&loose, &tight));
+        assert!(loose.maximal_response_floor() > tight.maximal_response_floor());
+    }
+
+    #[test]
+    fn cached_scores_match_a_fresh_detector() {
+        use detdiv_core::SequenceAnomalyDetector;
+        let s = stream();
+        let cached = trained_model(&s, &DetectorKind::Markov, 3);
+        let mut fresh = DetectorKind::Markov.build(3);
+        fresh.train(&s);
+        assert_eq!(cached.scores(&s), fresh.scores(&s));
+    }
+}

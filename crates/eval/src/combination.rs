@@ -2,12 +2,11 @@
 
 use detdiv_core::{
     alarms_at, analyze_alarms, suppress_alarms, CoverageMap, IncidentSpan, LabeledCase,
-    SequenceAnomalyDetector,
 };
-use detdiv_detectors::{MarkovDetector, Stide};
 use detdiv_synth::Corpus;
 use serde::{Deserialize, Serialize};
 
+use crate::cached::trained_model;
 use crate::coverage::coverage_map;
 use crate::error::HarnessError;
 use crate::kinds::DetectorKind;
@@ -156,6 +155,15 @@ pub fn comb3_suppression(
     // Each anomaly size owns its noisy case; fan the sizes out and
     // flatten the per-size window rows in job order, reproducing the
     // serial nested-loop row order exactly.
+    //
+    // Both detectors are obtained through the detector-kind factory and
+    // the single-flight model cache (pre-PR4 this path trained inline
+    // duplicates of models the coverage grid had already trained). The
+    // noisy cases share the corpus training stream, so the Stide models
+    // here are the very ones behind Figure 5's rows.
+    let markov_kind = DetectorKind::MarkovRare {
+        rare_threshold: config.markov_rare_threshold,
+    };
     let per_size = detdiv_par::par_try_map(&config.anomaly_sizes, |&anomaly_size| {
         let mut rows = Vec::new();
         let case = corpus.noisy_case(anomaly_size, config.background_len, config.seed)?;
@@ -168,13 +176,10 @@ pub fn comb3_suppression(
                 case.anomaly_len(),
             )?;
 
-            let mut markov =
-                MarkovDetector::with_rare_threshold(window, config.markov_rare_threshold);
-            markov.train(case.training());
+            let markov = trained_model(case.training(), &markov_kind, window);
             let markov_alarms = alarms_at(&markov.scores(test), markov.maximal_response_floor());
 
-            let mut stide = Stide::new(window);
-            stide.train(case.training());
+            let stide = trained_model(case.training(), &DetectorKind::Stide, window);
             let stide_alarms = alarms_at(&stide.scores(test), stide.maximal_response_floor());
 
             let suppressed = suppress_alarms(&markov_alarms, &stide_alarms)?;
@@ -285,6 +290,64 @@ mod tests {
         assert!(markov.false_alarms > 0, "Markov should be alarm-happy");
         assert_eq!(stide.false_alarms, 0);
         assert_eq!(combo.false_alarms, 0);
+    }
+
+    /// Regression for the pre-cache implementation, which trained
+    /// `MarkovDetector`/`Stide` inline instead of going through
+    /// `DetectorKind::build` + the model cache: the rerouted COMB3 must
+    /// reproduce the inline-trained rows exactly.
+    #[test]
+    fn comb3_matches_inline_trained_detectors() {
+        use detdiv_core::{SequenceAnomalyDetector, TrainedModel};
+        use detdiv_detectors::{MarkovDetector, Stide};
+
+        let corpus = corpus();
+        let config = SuppressionConfig {
+            background_len: 4096,
+            windows: vec![2, 4],
+            anomaly_sizes: vec![2],
+            ..SuppressionConfig::default()
+        };
+        let rows = comb3_suppression(&corpus, &config).unwrap();
+
+        let case = corpus
+            .noisy_case(2, config.background_len, config.seed)
+            .unwrap();
+        let test = case.test_stream();
+        let mut expected = Vec::new();
+        for &window in &config.windows {
+            let span = IncidentSpan::compute(
+                test.len(),
+                window,
+                case.injection_position(),
+                case.anomaly_len(),
+            )
+            .unwrap();
+            let mut markov =
+                MarkovDetector::with_rare_threshold(window, config.markov_rare_threshold);
+            markov.train(case.training());
+            let markov_alarms = alarms_at(&markov.scores(test), markov.maximal_response_floor());
+            let mut stide = Stide::new(window);
+            stide.train(case.training());
+            let stide_alarms = alarms_at(&stide.scores(test), stide.maximal_response_floor());
+            let suppressed = suppress_alarms(&markov_alarms, &stide_alarms).unwrap();
+            for (name, alarms) in [
+                ("markov", &markov_alarms),
+                ("stide", &stide_alarms),
+                ("markov + stide suppression", &suppressed),
+            ] {
+                let a = analyze_alarms(alarms, span).unwrap();
+                expected.push(SuppressionRow {
+                    window,
+                    anomaly_size: 2,
+                    detector: name.to_owned(),
+                    hit: a.hit,
+                    false_alarms: a.false_alarms,
+                    false_alarm_rate: a.false_alarm_rate(),
+                });
+            }
+        }
+        assert_eq!(rows, expected);
     }
 
     #[test]

@@ -1,15 +1,16 @@
 //! Coverage-map experiments: Figures 3–6.
 //!
-//! For each detector window DW of the corpus, a fresh detector is
-//! trained once on the training stream and evaluated on every anomaly
-//! size AS; the blind/weak/capable verdict fills the (AS, DW) cell. The
-//! x-axis additionally carries the paper's *undefined* column at AS = 1
-//! (a size-1 sequence cannot be simultaneously foreign and rare, §6).
+//! For each detector window DW of the corpus, a detector is trained
+//! once on the training stream (through the single-flight model cache —
+//! see `detdiv-cache`) and evaluated on every anomaly size AS; the
+//! blind/weak/capable verdict fills the (AS, DW) cell. The x-axis
+//! additionally carries the paper's *undefined* column at AS = 1 (a
+//! size-1 sequence cannot be simultaneously foreign and rare, §6).
 //!
 //! # Parallelism
 //!
-//! Grid rows are independent: each (detector, DW) pair trains its own
-//! fresh detector and touches disjoint cells. [`coverage_map`] and
+//! Grid rows are independent: each (detector, DW) pair scores its own
+//! immutable trained model and touches disjoint cells. [`coverage_map`] and
 //! [`coverage_maps_for`] therefore fan the rows out over the
 //! [`detdiv_par`] global pool and merge the finished rows back in grid
 //! order, so the resulting maps are bit-for-bit identical to the serial
@@ -19,6 +20,7 @@
 use detdiv_core::{evaluate_case, CellStatus, CoverageMap};
 use detdiv_synth::Corpus;
 
+use crate::cached::trained_model;
 use crate::error::HarnessError;
 use crate::kinds::DetectorKind;
 
@@ -26,21 +28,18 @@ use crate::kinds::DetectorKind;
 /// detector window, produced by [`coverage_row`].
 type CoverageRow = Vec<(usize, CellStatus)>;
 
-/// Trains a fresh `kind` detector at `window` and scores it against
-/// every anomaly size of the corpus, returning the row's cells in
-/// ascending AS order. This is the unit of parallel work: rows share
-/// nothing but the read-only corpus.
+/// Obtains the `(kind, window)` model — trained on first demand, shared
+/// from the single-flight cache thereafter — and scores it against every
+/// anomaly size of the corpus, returning the row's cells in ascending AS
+/// order. This is the unit of parallel work: rows share nothing but the
+/// read-only corpus and the immutable cached models.
 fn coverage_row(
     corpus: &Corpus,
     kind: &DetectorKind,
     window: usize,
 ) -> Result<CoverageRow, HarnessError> {
     let config = corpus.config();
-    let mut detector = kind.build(window);
-    {
-        let _train = detdiv_obs::span!("train", detector = kind.name(), window = window);
-        detector.train(corpus.training());
-    }
+    let detector = trained_model(corpus.training(), kind, window);
     let mut row = Vec::with_capacity(config.anomaly_sizes().count());
     for anomaly_size in config.anomaly_sizes() {
         let cell_started = std::time::Instant::now();

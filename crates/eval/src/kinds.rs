@@ -36,6 +36,14 @@ pub enum DetectorKind {
     /// The Markov-based detector under strict semantics (only exact
     /// zero-probability transitions count) — ablation ABL1.
     MarkovStrict,
+    /// The Markov-based detector with an explicit rare threshold `r`
+    /// (responses at or above `1 − r` count as maximal) — the
+    /// "sensitively tuned" regime of the §7 suppression experiment
+    /// (COMB3).
+    MarkovRare {
+        /// The rare threshold `r`; the detection floor is `1 − r`.
+        rare_threshold: f64,
+    },
     /// The neural-network-based detector.
     NeuralNetwork {
         /// Hyperparameters (see [`NeuralConfig`]).
@@ -95,6 +103,7 @@ impl DetectorKind {
             DetectorKind::TStide => "t-stide",
             DetectorKind::Markov => "markov",
             DetectorKind::MarkovStrict => "markov-strict",
+            DetectorKind::MarkovRare { .. } => "markov-rare",
             DetectorKind::NeuralNetwork { .. } => "neural-network",
             DetectorKind::LaneBrodley => "lane-brodley",
             DetectorKind::Hmm { .. } => "hmm",
@@ -114,6 +123,9 @@ impl DetectorKind {
             DetectorKind::TStide => instrumented(TStide::new(window)),
             DetectorKind::Markov => instrumented(MarkovDetector::new(window)),
             DetectorKind::MarkovStrict => instrumented(MarkovDetector::strict(window)),
+            DetectorKind::MarkovRare { rare_threshold } => {
+                instrumented(MarkovDetector::with_rare_threshold(window, *rare_threshold))
+            }
             DetectorKind::NeuralNetwork { config } => {
                 instrumented(NeuralDetector::with_config(window, config.clone()))
             }
@@ -142,6 +154,7 @@ impl DetectorKind {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use detdiv_core::TrainedModel;
 
     #[test]
     fn builds_every_family() {
@@ -151,6 +164,9 @@ mod tests {
             DetectorKind::TStide,
             DetectorKind::Markov,
             DetectorKind::MarkovStrict,
+            DetectorKind::MarkovRare {
+                rare_threshold: 0.02,
+            },
             DetectorKind::neural_default(),
             DetectorKind::LaneBrodley,
             DetectorKind::hmm_default(),
@@ -175,6 +191,11 @@ mod tests {
         assert_eq!(det.maximal_response_floor(), 1.0);
         let det = DetectorKind::Markov.build(2);
         assert!(det.maximal_response_floor() < 1.0);
+        let det = DetectorKind::MarkovRare {
+            rare_threshold: 0.1,
+        }
+        .build(2);
+        assert!((det.maximal_response_floor() - 0.9).abs() < 1e-12);
     }
 
     #[test]

@@ -50,6 +50,7 @@
 
 mod ablation;
 mod analysis;
+mod cached;
 mod census;
 mod combination;
 mod coverage;
@@ -67,6 +68,7 @@ pub use ablation::{
     SemanticsAblation, TrainingLenRow,
 };
 pub use analysis::{ana1_response_map, fn1_threshold_sweeps, ResponseMap, SweepResult};
+pub use cached::trained_model;
 pub use census::{nat1_census, CensusResult};
 pub use combination::{
     comb1_stide_markov_subset, comb2_stide_lb_union, comb3_suppression, render_suppression_table,

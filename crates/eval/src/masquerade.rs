@@ -9,7 +9,7 @@
 //! cleanly, while its MFS coverage map (Figure 3) stays empty. Diversity
 //! in detectors is diversity in the anomaly types they fit.
 
-use detdiv_core::SequenceAnomalyDetector;
+use detdiv_core::{SequenceAnomalyDetector, TrainedModel};
 use detdiv_detectors::LaneBrodley;
 use detdiv_sequence::SymbolTable;
 use detdiv_trace::{generate_command_stream, UserProfile};

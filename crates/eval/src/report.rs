@@ -217,6 +217,15 @@ impl FullReport {
             detdiv_obs::set_counter(&format!("par/worker{id}/idle_parks"), worker.idle_parks);
             detdiv_obs::set_counter(&format!("par/worker{id}/busy_ns"), worker.busy_nanos);
         }
+        // Mirror the model cache's live occupancy (the hit/miss/wait
+        // event counters were already incremented by `detdiv-cache` as
+        // they happened, so they are in the snapshot via the ordinary
+        // counter path).
+        if detdiv_cache::enabled() {
+            let cache_stats = detdiv_cache::global().stats();
+            detdiv_obs::set_counter("cache/resident_bytes", cache_stats.resident_bytes);
+            detdiv_obs::set_counter("cache/resident_entries", cache_stats.entries as u64);
+        }
         // Snapshot after the report span closes, so `span/report`
         // itself is part of the attached telemetry.
         report.telemetry = detdiv_obs::snapshot();

@@ -17,15 +17,24 @@
 #                               perturb results (the trace files
 #                               themselves carry wall times and are
 #                               excluded from the comparison)
-#   6. trace gate             — the exported Chrome trace files must be
+#   6. cache gate             — the report regenerated with the
+#                               single-flight trained-model cache
+#                               disabled (--no-cache) must be
+#                               byte-identical to the cached run; the
+#                               detector-contract conformance suite
+#                               runs explicitly; and a telemetry-on
+#                               cached run must record a non-zero
+#                               cache/hits counter (a silent cache is
+#                               a disabled cache)
+#   7. trace gate             — the exported Chrome trace files must be
 #                               valid trace-event JSON with per-thread
 #                               monotonic timestamps and balanced B/E
 #                               stacks (`tracecheck`), and the 4-thread
 #                               trace must name its pool workers
-#   7. perf baseline          — scripts/perf_baseline.sh runs the
+#   8. perf baseline          — scripts/perf_baseline.sh runs the
 #                               pinned reduced sweep and emits a
 #                               baseline JSON (tracing overhead, top
-#                               phases, utilization)
+#                               phases, utilization, cache hit rate)
 #
 # Usage: scripts/ci.sh
 # The script is silent on success for each phase beyond a one-line
@@ -72,13 +81,42 @@ cmp "$GATE_DIR/t1/paper_report.json" "$GATE_DIR/t4/paper_report.json"
 cmp "$GATE_DIR/t1/stdout.txt" "$GATE_DIR/t4/stdout.txt"
 echo "report and stdout byte-identical at 1 and 4 threads (tracing armed)"
 
+banner "cache gate (cached vs --no-cache byte identity + conformance + hit telemetry)"
+# The determinism-gate runs above went through the single-flight
+# trained-model cache (the default). Regenerate once more with the
+# cache disabled and demand byte-identical artifacts: memoization may
+# change when a model is trained, never what the report says.
+mkdir -p "$GATE_DIR/nc"
+DETDIV_LOG=off DETDIV_THREADS=4 ./target/release/regenerate \
+    --training-len 60000 --no-cache \
+    --json "$GATE_DIR/nc/paper_report.json" \
+    > "$GATE_DIR/nc/stdout.txt" 2> /dev/null
+cmp "$GATE_DIR/t1/paper_report.json" "$GATE_DIR/nc/paper_report.json"
+cmp "$GATE_DIR/t1/stdout.txt" "$GATE_DIR/nc/stdout.txt"
+echo "report and stdout byte-identical with cache on and off"
+# The cache is only sound if every detector family honours the
+# train-once/score-many contracts; run the conformance suite on its
+# own so a violation is named here, not lost in the workspace run.
+cargo test -q --release -p detdiv-core --test conformance
+# A telemetry-on cached run must actually hit: the report's counter
+# snapshot carries cache/hits, and zero hits would mean every eval
+# path stopped sharing models (the gate that caught nothing).
+DETDIV_THREADS=4 ./target/release/regenerate \
+    --training-len 30000 --json "$GATE_DIR/telemetry_report.json" \
+    > /dev/null 2> /dev/null
+grep -q '"cache/hits": *[1-9]' "$GATE_DIR/telemetry_report.json" || {
+    echo "cache gate: cache/hits is zero or missing in a cached telemetry-on report" >&2
+    exit 1
+}
+echo "cache hit telemetry present ($(grep -o '"cache/hits": *[0-9]*' "$GATE_DIR/telemetry_report.json"))"
+
 banner "trace gate (Chrome trace-event JSON validity + B/E balance)"
 ./target/release/tracecheck "$GATE_DIR/t1/trace.json"
 ./target/release/tracecheck "$GATE_DIR/t4/trace.json" \
     --expect-thread par-worker-1 --expect-thread par-worker-2
 
 banner "perf baseline (BENCH JSON)"
-# A reduced training stream keeps CI fast; the committed BENCH_pr3.json
+# A reduced training stream keeps CI fast; the committed BENCH_pr4.json
 # at the repo root is regenerated at the default scale via
 # `scripts/perf_baseline.sh` without arguments.
 scripts/perf_baseline.sh "$GATE_DIR/bench.json" 30000

@@ -1,25 +1,27 @@
 #!/usr/bin/env bash
-# Performance baseline for the observability stack (PR 3).
+# Performance baseline for the experiment pipeline (PR 4).
 #
 # Runs the `perfbaseline` harness — a pinned reduced sweep executed
-# twice, tracing disarmed then armed — and writes the machine-readable
-# baseline JSON (wall times, tracing overhead, top phases by exclusive
-# time, worker utilization).
+# three times: trained-model cache disabled, cache enabled from cold,
+# and cache enabled with tracing armed — and writes the
+# machine-readable baseline JSON (wall times, cache speed-up and hit
+# statistics, tracing overhead, top phases by exclusive time, worker
+# utilization).
 #
 # Usage: scripts/perf_baseline.sh [OUT_JSON] [TRAINING_LEN]
-#   OUT_JSON      output path (default BENCH_pr3.json at the repo root)
+#   OUT_JSON      output path (default BENCH_pr4.json at the repo root)
 #   TRAINING_LEN  training-stream length (default 60000; CI may pass a
 #                 smaller value for a faster sweep — the committed
 #                 baseline uses the default)
 #
-# The binary is built if missing. Exits non-zero if the sweep fails or
+# The binary is built if missing. Exits non-zero if the sweep fails,
 # the armed run dropped trace events (the sink cap must not be hit at
-# baseline scale).
+# baseline scale), or the cold cached run recorded no hits.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr3.json}"
+OUT="${1:-BENCH_pr4.json}"
 TRAINING_LEN="${2:-60000}"
 
 if [[ ! -x target/release/perfbaseline ]]; then
@@ -31,6 +33,12 @@ fi
 # The baseline is meaningless if the sink overflowed: fail loudly.
 if grep -q '"trace_dropped": *[1-9]' "$OUT"; then
     echo "perf_baseline.sh: armed run dropped trace events (see $OUT)" >&2
+    exit 1
+fi
+# A cold cached run that never hits means the eval paths stopped
+# sharing models — the speed-up figure would be measuring nothing.
+if ! grep -q '"hits": *[1-9]' "$OUT"; then
+    echo "perf_baseline.sh: cached run recorded zero cache hits (see $OUT)" >&2
     exit 1
 fi
 echo "perf_baseline.sh: wrote $OUT"

@@ -18,6 +18,9 @@
 //!   neural-network, Lane & Brodley) plus extensions (t-stide, LFC);
 //! * [`core`] — the evaluation framework: incident spans,
 //!   blind/weak/capable scoring, coverage maps, ensembles;
+//! * [`cache`] — the concurrent single-flight cache of trained detector
+//!   models shared across the experiment suite (disable with
+//!   `DETDIV_CACHE=off`);
 //! * [`trace`] — system-call trace parsing and synthesis;
 //! * [`eval`] — experiment drivers reproducing every figure and analysis
 //!   of the paper;
@@ -64,6 +67,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::print_stdout, clippy::print_stderr)]
 
+pub use detdiv_cache as cache;
 pub use detdiv_core as core;
 pub use detdiv_detectors as detectors;
 pub use detdiv_eval as eval;
@@ -81,7 +85,7 @@ pub use detdiv_trace as trace;
 pub mod prelude {
     pub use detdiv_core::{
         evaluate_case, Classification, CoverageMap, DetectionOutcome, DiversityMatrix,
-        IncidentSpan, LabeledCase, SequenceAnomalyDetector,
+        IncidentSpan, LabeledCase, SequenceAnomalyDetector, TrainedModel,
     };
     pub use detdiv_detectors::{
         HmmDetector, LaneBrodley, MarkovDetector, NeuralDetector, RipperDetector, Stide, TStide,

@@ -4,8 +4,9 @@
 //! byte-for-byte — any drift in synthesis, detector behaviour, grid
 //! geometry, or rendering shows up as a diff against the blessed text.
 //! Figures 3–6 are additionally regenerated through the parallel
-//! fan-out at several pool widths, so the golden files also pin down
-//! the executor's determinism.
+//! fan-out at several pool widths and once with the single-flight
+//! trained-model cache disabled, so the golden files also pin down the
+//! executor's determinism and the cache's transparency.
 //!
 //! To re-bless after an intentional change:
 //! `DETDIV_BLESS=1 cargo test --test golden_figures` (then inspect the
@@ -89,6 +90,20 @@ fn figures_3_to_6_match_their_golden_masters_serial_and_parallel() {
         );
     }
     par::global().set_threads(None);
+
+    // The runs above flow through the single-flight trained-model
+    // cache (the default). Re-render with the cache disabled and hold
+    // the result to the same golden masters: memoization must never
+    // move a figure, and the blessed files need no re-bless on either
+    // path.
+    detdiv::cache::set_enabled(false);
+    let uncached: Vec<String> = paper_coverage_maps(&corpus)
+        .expect("maps")
+        .iter()
+        .map(detdiv::core::CoverageMap::render)
+        .collect();
+    detdiv::cache::set_enabled(true);
+    assert_eq!(uncached, serial, "cache-off rendering diverged");
 }
 
 /// Figure 2: the incident-span worked example is corpus-independent.

@@ -4,7 +4,9 @@
 //! *input* alone — never of the worker count, chunk boundaries, or
 //! scheduling. These tests hold the whole evaluation pipeline to that
 //! promise: coverage maps, full reports, and rendered figures must be
-//! bit-for-bit identical at every thread count, thousands of tiny jobs
+//! bit-for-bit identical at every thread count — and, since PR 4,
+//! whether or not the single-flight trained-model cache is sharing
+//! models across those threads — thousands of tiny jobs
 //! must merge losslessly, panics must propagate without poisoning the
 //! pool, and a property test checks parallel-map == serial-map for
 //! arbitrary inputs and pool widths.
@@ -139,6 +141,50 @@ fn full_report_is_byte_identical_across_thread_counts() {
         "report bytes diverged between 1 and 4 threads"
     );
     assert_eq!(serial.render_text(), parallel.render_text());
+}
+
+/// The cache axis: the full report serializes to identical bytes across
+/// {cache on, cache off} × {1, 4} threads. The single-flight
+/// trained-model cache may only change *when* a model is trained, never
+/// what any detector reports — and the cached passes must actually hit
+/// (a zero hit count would mean the axis was not exercised).
+#[test]
+fn full_report_is_byte_identical_across_cache_and_thread_axes() {
+    let _guard = lock_pool();
+    struct RestoreCache;
+    impl Drop for RestoreCache {
+        fn drop(&mut self) {
+            detdiv::cache::set_enabled(true);
+        }
+    }
+    let _restore = RestoreCache;
+
+    let corpus = small_corpus();
+    let report_at = |cache_on: bool, threads: usize| {
+        detdiv::cache::set_enabled(cache_on);
+        with_global_threads(threads, || {
+            let mut report = FullReport::generate_on(&corpus).expect("report");
+            report.telemetry = Default::default();
+            serde_json::to_string(&report).expect("serialize")
+        })
+    };
+
+    let reference = report_at(true, 1);
+    let stats_before = detdiv::cache::global().stats();
+    for (cache_on, threads) in [(true, 4), (false, 1), (false, 4)] {
+        assert_eq!(
+            report_at(cache_on, threads),
+            reference,
+            "report bytes diverged at cache={cache_on} threads={threads}"
+        );
+    }
+    let stats_after = detdiv::cache::global().stats();
+    assert!(
+        stats_after.hits > stats_before.hits,
+        "the cached pass must share models (hits {} -> {})",
+        stats_before.hits,
+        stats_after.hits
+    );
 }
 
 /// Stress: thousands of tiny jobs with data-dependent results merge
