@@ -159,6 +159,10 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn main() -> ExitCode {
+    if let Err(e) = detdiv_bench::preflight_env() {
+        eprintln!("mfscensus: environment error: {e}");
+        return ExitCode::FAILURE;
+    }
     if std::env::var_os("DETDIV_LOG").is_none() {
         obs::set_max_level(obs::Level::Info);
     }

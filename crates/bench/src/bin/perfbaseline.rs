@@ -245,7 +245,9 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             .collect(),
     };
 
-    std::fs::write(&args.out, serde_json::to_string_pretty(&baseline)?)?;
+    // Crash-safe: the baseline appears complete or not at all, so the
+    // perf gate can never compare against a torn file.
+    detdiv_resil::AtomicFile::write(&args.out, serde_json::to_string_pretty(&baseline)?)?;
     eprintln!(
         "perfbaseline: wall cache-off {:.0} ms, cached {:.0} ms ({:+.2}%, hit rate {:.1}%), \
          trace-on {:.0} ms ({:+.2}%), {} events; wrote {}",
@@ -270,6 +272,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = detdiv_bench::preflight_env() {
+        eprintln!("perfbaseline: environment error: {e}");
+        return ExitCode::FAILURE;
+    }
     // The self-profile requires telemetry; quiet the logger unless the
     // environment asks for more.
     if std::env::var_os("DETDIV_LOG").is_none() {

@@ -32,11 +32,23 @@
 //! * `--no-cache` — disable the single-flight trained-model cache and
 //!   train every model afresh (equivalent to `DETDIV_CACHE=off`).
 //!   Results are byte-identical either way; this exists for honest
-//!   timing comparisons and as an escape hatch.
+//!   timing comparisons and as an escape hatch;
+//! * `--fault SPEC` — arm deterministic fault injection
+//!   (`seed:rate:kinds[:stall_ms]`, e.g. `42:1%:panic`); overrides the
+//!   `DETDIV_FAULT` environment variable. Injected panics are absorbed
+//!   by supervised retry; cells that fail permanently are marked `!` in
+//!   the report instead of killing the run;
+//! * `--resume PATH` — journal every completed coverage row to `PATH`
+//!   (checksummed, fsynced, torn-tail tolerant) and, when the journal
+//!   already holds rows from an interrupted run against the same
+//!   corpus, serve them instead of recomputing. The journal is removed
+//!   on success. Rows are deterministic, so a resumed run's artifacts
+//!   are byte-identical to an uninterrupted run's.
 
 use std::process::ExitCode;
 
 use detdiv_obs as obs;
+use detdiv_resil::{AtomicFile, FaultPlan};
 
 use detdiv_eval::{
     abl1_maximal_response_semantics, abl2_locality_frame_count, abl3_nn_sensitivity,
@@ -56,6 +68,8 @@ struct Args {
     log: Option<obs::Level>,
     trace: Option<String>,
     no_cache: bool,
+    fault: Option<String>,
+    resume: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,6 +83,8 @@ fn parse_args() -> Result<Args, String> {
         // `--trace PATH` below overrides the environment.
         trace: obs::trace::env_path(),
         no_cache: false,
+        fault: None,
+        resume: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -117,14 +133,22 @@ fn parse_args() -> Result<Args, String> {
                 args.trace = Some(it.next().ok_or("--trace needs a path")?);
             }
             "--no-cache" => args.no_cache = true,
+            "--fault" => {
+                args.fault = Some(it.next().ok_or("--fault needs a spec")?);
+            }
+            "--resume" => {
+                args.resume = Some(it.next().ok_or("--resume needs a journal path")?);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: regenerate [--experiment ID] [--training-len N] [--paper] [--seed N] [--json PATH] [--threads N] [--log LEVEL] [--trace PATH] [--no-cache]\n\
+                    "usage: regenerate [--experiment ID] [--training-len N] [--paper] [--seed N] [--json PATH] [--threads N] [--log LEVEL] [--trace PATH] [--no-cache] [--fault SPEC] [--resume PATH]\n\
                      experiments: fig2 fig3 fig4 fig5 fig6 fig7 comb1 comb2 comb3 abl1 abl2 abl3 abl4 nat1 ext1 div1 masq1 fn1 ana1 all\n\
                      threads:     parallel fan-out width (default: DETDIV_THREADS, then available parallelism; results are thread-count independent)\n\
                      log levels:  off error warn info debug trace (default info; DETDIV_LOG also honoured)\n\
                      trace:       write a Chrome trace-event JSON file (DETDIV_TRACE also honoured; independent of --log off)\n\
-                     no-cache:    train every model afresh, bypassing the single-flight model cache (DETDIV_CACHE=off also honoured; results identical)"
+                     no-cache:    train every model afresh, bypassing the single-flight model cache (DETDIV_CACHE=off also honoured; results identical)\n\
+                     fault:       arm deterministic fault injection, seed:rate:kinds[:stall_ms] e.g. 42:1%:panic (DETDIV_FAULT also honoured)\n\
+                     resume:      journal completed coverage rows to PATH and resume an interrupted run from it (removed on success)"
                 );
                 std::process::exit(0);
             }
@@ -135,31 +159,14 @@ fn parse_args() -> Result<Args, String> {
 }
 
 /// Verifies that an output path (`--json`, `--trace`) can actually be
-/// written, *before* any synthesis or evaluation starts: the target
-/// must not be a directory, its parent directory must exist, and a
-/// probe file must be creatable there (covering read-only mounts and
-/// permissions). A failure here costs milliseconds instead of
-/// surfacing after the full run.
+/// written, *before* any synthesis or evaluation starts. Delegates to
+/// [`AtomicFile::dry_run`], which probes the *deterministic temporary
+/// sibling* the eventual atomic write will use — not a racy
+/// process-id-named probe file — so the preflight exercises the exact
+/// path the artifact writer will take. A failure here costs
+/// milliseconds instead of surfacing after the full run.
 fn preflight_write_target(path: &str) -> Result<(), String> {
-    let target = std::path::Path::new(path);
-    if target.is_dir() {
-        return Err(format!("{path} is a directory, not a file path"));
-    }
-    let parent = match target.parent() {
-        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
-        _ => std::path::PathBuf::from("."),
-    };
-    if !parent.is_dir() {
-        return Err(format!(
-            "output directory {} does not exist",
-            parent.display()
-        ));
-    }
-    let probe = parent.join(format!(".detdiv_write_probe_{}", std::process::id()));
-    std::fs::write(&probe, b"probe")
-        .map_err(|e| format!("output directory {} is not writable: {e}", parent.display()))?;
-    let _ = std::fs::remove_file(&probe);
-    Ok(())
+    AtomicFile::dry_run(path)
 }
 
 fn build_corpus(args: &Args) -> Result<Corpus, Box<dyn std::error::Error>> {
@@ -355,13 +362,16 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             obs::info!("run telemetry summary follows");
             obs::raw(obs::Level::Info, &report.telemetry.render_text());
             if let Some(path) = &args.json {
-                std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
+                // Crash-safe: either artifact is observed complete or
+                // not at all; a kill mid-write can never leave a torn
+                // paper_report.json at the final path.
+                AtomicFile::write(path, serde_json::to_string_pretty(&report)?)?;
                 obs::info!("wrote JSON report", path = path);
                 let telemetry_path = std::path::Path::new(path)
                     .parent()
                     .map(|dir| dir.join("paper_telemetry.json"))
                     .unwrap_or_else(|| std::path::PathBuf::from("paper_telemetry.json"));
-                std::fs::write(
+                AtomicFile::write(
                     &telemetry_path,
                     serde_json::to_string_pretty(&report.telemetry)?,
                 )?;
@@ -385,6 +395,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // A mistyped environment knob must fail loudly, not silently fall
+    // back to a default the operator did not ask for.
+    if let Err(e) = detdiv_bench::preflight_env() {
+        eprintln!("regenerate: environment error: {e}");
+        return ExitCode::FAILURE;
+    }
     match args.log {
         Some(level) => obs::set_max_level(level),
         None => {
@@ -398,6 +414,45 @@ fn main() -> ExitCode {
     }
     if args.no_cache {
         detdiv_cache::set_enabled(false);
+    }
+    // Deterministic fault injection: an explicit --fault spec wins over
+    // the DETDIV_FAULT environment variable; either arms the same
+    // seeded plan. Malformed specs fail before any computation.
+    let fault_armed = if let Some(spec) = &args.fault {
+        match FaultPlan::parse(spec) {
+            Ok(plan) => {
+                detdiv_resil::arm(plan);
+                true
+            }
+            Err(e) => {
+                eprintln!("regenerate: --fault: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match detdiv_resil::arm_from_env() {
+            Ok(armed) => armed,
+            Err(e) => {
+                eprintln!("regenerate: DETDIV_FAULT: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    if fault_armed {
+        obs::info!("fault injection armed");
+        // Injected panics are expected and absorbed by supervision;
+        // keep them from spraying backtraces over a chaos run's
+        // stderr. Genuine panics still reach the default hook.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("detdiv-resil: injected"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
     }
     // Fail fast on unwritable --json / --trace destinations:
     // milliseconds now instead of an error after the full evaluation.
@@ -414,7 +469,36 @@ fn main() -> ExitCode {
         }
         obs::trace::arm();
     }
+    // Checkpoint/resume: arm the row journal before any computation so
+    // every completed coverage row is durably recorded, and rows from a
+    // previously killed run are served instead of recomputed.
+    if let Some(path) = &args.resume {
+        match detdiv_eval::checkpoint::arm(path) {
+            Ok(0) => obs::info!("row checkpointing armed", journal = path),
+            Ok(resumed) => {
+                obs::info!("resuming", journal = path, rows = resumed);
+                // Unconditional: visible under --log off so an operator
+                // can tell a resumed run from a fresh one.
+                eprintln!("regenerate: resuming {resumed} completed rows from {path}");
+            }
+            Err(e) => {
+                eprintln!("regenerate: cannot arm --resume journal {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let outcome = run(&args);
+    if args.resume.is_some() {
+        if outcome.is_ok() {
+            // The run completed: nothing remains to resume from.
+            if let Err(e) = detdiv_eval::checkpoint::finish() {
+                eprintln!("regenerate: could not remove resume journal: {e}");
+            }
+        } else {
+            // Keep the journal for the next attempt.
+            detdiv_eval::checkpoint::disarm();
+        }
+    }
     if let Some(path) = &args.trace {
         obs::trace::disarm();
         match obs::trace::write_chrome_trace(path) {

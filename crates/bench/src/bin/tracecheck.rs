@@ -193,6 +193,10 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    if let Err(e) = detdiv_bench::preflight_env() {
+        eprintln!("tracecheck: environment error: {e}");
+        return ExitCode::FAILURE;
+    }
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -10,6 +10,51 @@
 
 use detdiv_synth::{Corpus, SynthesisConfig};
 
+/// Validates the `DETDIV_*` environment knobs the harness binaries
+/// honour, so a typo (`DETDIV_THREADS=four`, `DETDIV_LOG=quiet`)
+/// fails fast with a one-line diagnostic instead of being silently
+/// replaced by a default deep inside the libraries.
+///
+/// `DETDIV_FAULT` is deliberately not checked here: arming it is the
+/// caller's job ([`detdiv_resil::arm_from_env`] already returns a
+/// typed parse error).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first malformed
+/// variable; callers print it to stderr and exit nonzero.
+pub fn preflight_env() -> Result<(), String> {
+    for name in ["DETDIV_THREADS", "DETDIV_CACHE_CAP"] {
+        if let Some(value) = env_value(name)? {
+            match value.trim().parse::<usize>() {
+                Ok(n) if n > 0 => {}
+                _ => {
+                    return Err(format!("{name}: not a positive integer: {value:?}"));
+                }
+            }
+        }
+    }
+    if let Some(value) = env_value("DETDIV_LOG")? {
+        if detdiv_obs::Level::parse(&value).is_none() {
+            return Err(format!(
+                "DETDIV_LOG: unknown level {value:?} (expected off, error, warn, info, debug or trace)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Reads one environment variable: `None` when unset or empty, an
+/// error when not valid Unicode.
+fn env_value(name: &str) -> Result<Option<String>, String> {
+    match std::env::var(name) {
+        Ok(v) if v.trim().is_empty() => Ok(None),
+        Ok(v) => Ok(Some(v)),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => Err(format!("{name}: not valid Unicode")),
+    }
+}
+
 /// A reduced corpus for microbenchmarks: 60 k training elements, AS
 /// 2–4, DW 2–6.
 ///
@@ -49,6 +94,41 @@ pub fn grid_corpus(training_len: usize) -> Corpus {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// One test mutates all the inspected variables serially: separate
+    /// tests would race each other through the process-global
+    /// environment.
+    #[test]
+    fn env_preflight_accepts_good_and_rejects_bad() {
+        for name in ["DETDIV_THREADS", "DETDIV_CACHE_CAP", "DETDIV_LOG"] {
+            std::env::remove_var(name);
+        }
+        assert!(preflight_env().is_ok(), "unset environment is fine");
+
+        std::env::set_var("DETDIV_THREADS", "4");
+        std::env::set_var("DETDIV_CACHE_CAP", "128");
+        std::env::set_var("DETDIV_LOG", "debug");
+        assert!(preflight_env().is_ok(), "well-formed values pass");
+
+        std::env::set_var("DETDIV_THREADS", "four");
+        let err = preflight_env().unwrap_err();
+        assert!(err.contains("DETDIV_THREADS"), "{err}");
+        std::env::set_var("DETDIV_THREADS", "0");
+        assert!(preflight_env().is_err(), "zero threads is rejected");
+        std::env::remove_var("DETDIV_THREADS");
+
+        std::env::set_var("DETDIV_CACHE_CAP", "-3");
+        let err = preflight_env().unwrap_err();
+        assert!(err.contains("DETDIV_CACHE_CAP"), "{err}");
+        std::env::remove_var("DETDIV_CACHE_CAP");
+
+        std::env::set_var("DETDIV_LOG", "quiet");
+        let err = preflight_env().unwrap_err();
+        assert!(err.contains("DETDIV_LOG"), "{err}");
+        std::env::remove_var("DETDIV_LOG");
+
+        assert!(preflight_env().is_ok(), "clean again after the sweep");
+    }
 
     #[test]
     fn fixtures_build() {

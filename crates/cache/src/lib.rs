@@ -326,7 +326,14 @@ impl ModelCache {
             detdiv_obs::trace::instant("cache/miss", &[("key", &key)]);
         }
 
-        match catch_unwind(AssertUnwindSafe(train)) {
+        // The fault point runs *inside* the leader's catch_unwind: an
+        // injected panic must follow the ordinary poison/unlink path so
+        // parked waiters are released instead of wedged on a slot whose
+        // leader unwound past them.
+        match catch_unwind(AssertUnwindSafe(|| {
+            detdiv_resil::point("cache/lead");
+            train()
+        })) {
             Ok(model) => {
                 let bytes = model.approx_bytes();
                 {

@@ -27,6 +27,11 @@ pub enum CellStatus {
     /// The cell is not measurable (anomaly size 1, or a window below the
     /// detector's minimum).
     Undefined,
+    /// The cell's computation failed permanently (its supervised unit
+    /// exhausted every retry) — rendered `!` so a degraded sweep is
+    /// visible in the report instead of aborting it. Never produced by a
+    /// fault-free run.
+    Failed,
 }
 
 impl CellStatus {
@@ -36,10 +41,11 @@ impl CellStatus {
         matches!(self, CellStatus::Detect)
     }
 
-    /// Whether the cell is measurable at all.
+    /// Whether the cell is measurable at all. [`CellStatus::Failed`]
+    /// counts as unmeasurable: its verdict was never obtained.
     #[inline]
     pub const fn is_defined(self) -> bool {
-        !matches!(self, CellStatus::Undefined)
+        !matches!(self, CellStatus::Undefined | CellStatus::Failed)
     }
 }
 
@@ -327,6 +333,7 @@ impl CoverageMap {
                     CellStatus::Weak => " o",
                     CellStatus::Blind => " .",
                     CellStatus::Undefined => "  ",
+                    CellStatus::Failed => " !",
                 };
                 out.push_str(ch);
             }
@@ -347,7 +354,11 @@ impl CoverageMap {
 fn union_status(a: CellStatus, b: CellStatus) -> CellStatus {
     use CellStatus::*;
     match (a, b) {
+        // A detection from either side stands on its own.
         (Detect, _) | (_, Detect) => Detect,
+        // Otherwise a failed operand taints the combination: the true
+        // union could be anything, so the degradation stays visible.
+        (Failed, _) | (_, Failed) => Failed,
         (Weak, _) | (_, Weak) => Weak,
         (Blind, _) | (_, Blind) => Blind,
         (Undefined, Undefined) => Undefined,
@@ -358,6 +369,8 @@ fn intersection_status(a: CellStatus, b: CellStatus) -> CellStatus {
     use CellStatus::*;
     match (a, b) {
         (Undefined, _) | (_, Undefined) => Undefined,
+        // Alarm confirmation cannot confirm through a failed operand.
+        (Failed, _) | (_, Failed) => Failed,
         (Detect, Detect) => Detect,
         (Blind, _) | (_, Blind) => Blind,
         _ => Weak,
@@ -497,6 +510,32 @@ mod tests {
         assert_eq!(
             CellStatus::from(Classification::Capable),
             CellStatus::Detect
+        );
+    }
+
+    #[test]
+    fn failed_cells_are_undetected_unmeasured_and_rendered() {
+        let mut m = filled("degraded", &[(2, 2)]);
+        m.set(3, 3, CellStatus::Failed).unwrap();
+        assert!(!CellStatus::Failed.is_detection());
+        assert!(!CellStatus::Failed.is_defined());
+        assert_eq!(m.detection_count(), 1);
+        assert_eq!(m.defined_count(), 8, "the failed cell is unmeasured");
+        assert!(m.render().contains(" !"), "render: {}", m.render());
+        // Union: a detection stands on its own; otherwise Failed taints.
+        let other = filled("other", &[(3, 3), (4, 4)]);
+        let u = m.union(&other).unwrap();
+        assert_eq!(u.get(3, 3).unwrap(), CellStatus::Detect);
+        let mut blind_other = filled("blind", &[]);
+        blind_other.set(3, 3, CellStatus::Blind).unwrap();
+        assert_eq!(
+            m.union(&blind_other).unwrap().get(3, 3).unwrap(),
+            CellStatus::Failed
+        );
+        // Intersection cannot confirm through a failed operand.
+        assert_eq!(
+            m.intersection(&other).unwrap().get(3, 3).unwrap(),
+            CellStatus::Failed
         );
     }
 

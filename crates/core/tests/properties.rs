@@ -55,6 +55,7 @@ fn arb_status() -> impl Strategy<Value = CellStatus> {
         Just(CellStatus::Weak),
         Just(CellStatus::Blind),
         Just(CellStatus::Undefined),
+        Just(CellStatus::Failed),
     ]
 }
 

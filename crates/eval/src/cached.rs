@@ -22,6 +22,7 @@ use std::sync::Arc;
 
 use detdiv_cache::CacheKey;
 use detdiv_core::TrainedModel;
+use detdiv_resil::{CellOutcome, RetryPolicy};
 use detdiv_sequence::Symbol;
 
 use crate::kinds::DetectorKind;
@@ -32,20 +33,46 @@ use crate::kinds::DetectorKind;
 /// Concurrent callers requesting the same (stream, kind, window) while a
 /// training run is in flight block until that single run publishes; no
 /// duplicate training occurs.
+///
+/// The acquisition runs under [`detdiv_resil::supervised`]: a panic in
+/// training (whether organic or injected at the `train/<detector>`
+/// fault site) poisons and unlinks the cache slot, and the whole
+/// lookup-or-train is retried with the default policy. Training is
+/// deterministic, so a retried run publishes the identical model.
+///
+/// # Panics
+///
+/// Panics only after every retry is exhausted — the caller's own
+/// supervision (e.g. a supervised coverage row) turns that into a
+/// degraded cell instead of a dead sweep.
 pub fn trained_model(
     training: &[Symbol],
     kind: &DetectorKind,
     window: usize,
 ) -> Arc<dyn TrainedModel> {
     let key = CacheKey::for_training(training, format!("{kind:?}"), window);
-    detdiv_cache::global().get_or_train(&key, || {
-        let mut detector = kind.build(window);
-        {
-            let _train = detdiv_obs::span!("train", detector = kind.name(), window = window);
-            detector.train(training);
-        }
-        Arc::new(detector) as Arc<dyn TrainedModel>
-    })
+    let site = format!("train/{}", kind.name());
+    let outcome = detdiv_resil::supervised(&site, &RetryPolicy::default(), || {
+        detdiv_cache::global().get_or_train(&key, || {
+            let mut detector = kind.build(window);
+            {
+                let _train = detdiv_obs::span!("train", detector = kind.name(), window = window);
+                if detdiv_resil::armed() {
+                    detdiv_resil::point(&site);
+                }
+                detector.train(training);
+            }
+            Arc::new(detector) as Arc<dyn TrainedModel>
+        })
+    });
+    match outcome {
+        CellOutcome::Ok { value, .. } => value,
+        CellOutcome::Failed {
+            site,
+            attempts,
+            error,
+        } => panic!("training permanently failed at {site} after {attempts} attempts: {error}"),
+    }
 }
 
 #[cfg(test)]

@@ -18,15 +18,25 @@
 //! `tests/par_determinism.rs`).
 
 use detdiv_core::{evaluate_case, CellStatus, CoverageMap};
+use detdiv_resil::{CellOutcome, RetryPolicy};
 use detdiv_synth::Corpus;
 
 use crate::cached::trained_model;
+use crate::checkpoint;
 use crate::error::HarnessError;
 use crate::kinds::DetectorKind;
 
 /// One finished grid row: every (AS → cell) verdict for a single
 /// detector window, produced by [`coverage_row`].
 type CoverageRow = Vec<(usize, CellStatus)>;
+
+/// The supervision policy for one grid row: `catch_unwind` + bounded
+/// retry, so a poisoned row degrades to a marked [`CellStatus::Failed`]
+/// stripe instead of killing the sweep. Rows are deterministic, so a
+/// retried row recomputes the identical cells.
+fn row_policy() -> RetryPolicy {
+    RetryPolicy::default()
+}
 
 /// Obtains the `(kind, window)` model — trained on first demand, shared
 /// from the single-flight cache thereafter — and scores it against every
@@ -43,6 +53,11 @@ fn coverage_row(
     let mut row = Vec::with_capacity(config.anomaly_sizes().count());
     for anomaly_size in config.anomaly_sizes() {
         let cell_started = std::time::Instant::now();
+        // Fault site for scoring; the `armed` guard keeps the disarmed
+        // hot path free of the site-name allocation.
+        if detdiv_resil::armed() {
+            detdiv_resil::point(&format!("score/{}", kind.name()));
+        }
         let case = corpus.case(anomaly_size, window)?;
         let outcome = evaluate_case(detector.as_ref(), &case)?;
         detdiv_obs::record_cell(kind.name(), window, anomaly_size, cell_started.elapsed());
@@ -98,16 +113,65 @@ pub fn coverage_map(corpus: &Corpus, kind: &DetectorKind) -> Result<CoverageMap,
     // Re-root worker-thread span stacks under this experiment so their
     // `train` spans and grid cells carry the right context.
     let parent = detdiv_obs::current_path();
-    let rows = detdiv_par::par_try_map(&windows, |&window| {
-        let _ctx = detdiv_obs::context(&parent);
-        coverage_row(corpus, kind, window)
-    })?;
-    for (window, row) in windows.into_iter().zip(rows) {
-        for (anomaly_size, status) in row {
-            map.set(anomaly_size, window, status)?;
-        }
+    let tag = checkpoint::corpus_tag(corpus);
+    let rows = detdiv_par::par_try_map_supervised(
+        &windows,
+        &row_policy(),
+        |_, &window| format!("row/{}/{window}", kind.name()),
+        |&window| -> Result<CoverageRow, HarnessError> {
+            if let Some(row) = tag
+                .as_deref()
+                .and_then(|tag| checkpoint::lookup(tag, kind, window))
+            {
+                return Ok(row);
+            }
+            let _ctx = detdiv_obs::context(&parent);
+            let row = coverage_row(corpus, kind, window)?;
+            if let Some(tag) = tag.as_deref() {
+                checkpoint::record(tag, kind, window, &row);
+            }
+            Ok(row)
+        },
+    )?;
+    for (window, outcome) in windows.into_iter().zip(rows) {
+        merge_row_outcome(&mut map, config.anomaly_sizes(), window, outcome)?;
     }
     Ok(map)
+}
+
+/// Writes one supervised row outcome into the map: a completed row
+/// fills its cells; a permanently failed row fills the window's stripe
+/// with [`CellStatus::Failed`] (rendered `!`) and logs the degradation,
+/// keeping the rest of the sweep intact.
+fn merge_row_outcome(
+    map: &mut CoverageMap,
+    anomaly_sizes: impl Iterator<Item = usize>,
+    window: usize,
+    outcome: CellOutcome<CoverageRow>,
+) -> Result<(), HarnessError> {
+    match outcome {
+        CellOutcome::Ok { value: row, .. } => {
+            for (anomaly_size, status) in row {
+                map.set(anomaly_size, window, status)?;
+            }
+        }
+        CellOutcome::Failed {
+            site,
+            attempts,
+            error,
+        } => {
+            detdiv_obs::warn!(
+                "coverage row degraded",
+                site = site,
+                attempts = attempts,
+                error = error,
+            );
+            for anomaly_size in anomaly_sizes {
+                map.set(anomaly_size, window, CellStatus::Failed)?;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Computes one coverage map per detector kind, fanning every
@@ -129,12 +193,28 @@ pub fn coverage_maps_for(
         .flat_map(|kind_index| windows.iter().map(move |&window| (kind_index, window)))
         .collect();
     let parent = detdiv_obs::current_path();
-    let rows = detdiv_par::par_try_map(&jobs, |&(kind_index, window)| {
-        let kind = &kinds[kind_index];
-        let _ctx = detdiv_obs::context(&parent);
-        let _span = detdiv_obs::span!("coverage", detector = kind.name());
-        coverage_row(corpus, kind, window)
-    })?;
+    let tag = checkpoint::corpus_tag(corpus);
+    let rows = detdiv_par::par_try_map_supervised(
+        &jobs,
+        &row_policy(),
+        |_, &(kind_index, window)| format!("row/{}/{window}", kinds[kind_index].name()),
+        |&(kind_index, window)| -> Result<CoverageRow, HarnessError> {
+            let kind = &kinds[kind_index];
+            if let Some(row) = tag
+                .as_deref()
+                .and_then(|tag| checkpoint::lookup(tag, kind, window))
+            {
+                return Ok(row);
+            }
+            let _ctx = detdiv_obs::context(&parent);
+            let _span = detdiv_obs::span!("coverage", detector = kind.name());
+            let row = coverage_row(corpus, kind, window)?;
+            if let Some(tag) = tag.as_deref() {
+                checkpoint::record(tag, kind, window, &row);
+            }
+            Ok(row)
+        },
+    )?;
     let mut maps: Vec<CoverageMap> = kinds
         .iter()
         .map(|kind| {
@@ -145,10 +225,13 @@ pub fn coverage_maps_for(
             )
         })
         .collect();
-    for (&(kind_index, window), row) in jobs.iter().zip(rows) {
-        for (anomaly_size, status) in row {
-            maps[kind_index].set(anomaly_size, window, status)?;
-        }
+    for (&(kind_index, window), outcome) in jobs.iter().zip(rows) {
+        merge_row_outcome(
+            &mut maps[kind_index],
+            config.anomaly_sizes(),
+            window,
+            outcome,
+        )?;
     }
     Ok(maps)
 }

@@ -52,6 +52,7 @@ mod ablation;
 mod analysis;
 mod cached;
 mod census;
+pub mod checkpoint;
 mod combination;
 mod coverage;
 mod diversity;

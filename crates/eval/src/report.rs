@@ -226,6 +226,18 @@ impl FullReport {
             detdiv_obs::set_counter("cache/resident_bytes", cache_stats.resident_bytes);
             detdiv_obs::set_counter("cache/resident_entries", cache_stats.entries as u64);
         }
+        // Mirror the fault-injection and supervision counters. The
+        // resil crate sits below obs and keeps its own atomics; this is
+        // the layer that depends on both, so the snapshot records what
+        // the supervised sweep absorbed (all zero on fault-free runs).
+        let resil_stats = detdiv_resil::stats();
+        detdiv_obs::set_counter("resil/injected_panics", resil_stats.injected_panics);
+        detdiv_obs::set_counter("resil/injected_io_errors", resil_stats.injected_io_errors);
+        detdiv_obs::set_counter("resil/injected_stalls", resil_stats.injected_stalls);
+        detdiv_obs::set_counter("resil/supervised_cells", resil_stats.supervised_cells);
+        detdiv_obs::set_counter("resil/retries", resil_stats.retries);
+        detdiv_obs::set_counter("resil/degraded_cells", resil_stats.degraded_cells);
+        detdiv_obs::set_counter("resil/watchdog_trips", resil_stats.watchdog_trips);
         // Snapshot after the report span closes, so `span/report`
         // itself is part of the attached telemetry.
         report.telemetry = detdiv_obs::snapshot();

@@ -538,15 +538,17 @@ pub fn export_chrome_json() -> String {
     render_chrome_json(&drain())
 }
 
-/// Drains the sink and writes the Chrome trace-event JSON to `path`,
-/// returning the number of exported events.
+/// Drains the sink and writes the Chrome trace-event JSON to `path`
+/// (crash-safely, via [`detdiv_resil::AtomicFile`]: the file appears
+/// complete or not at all), returning the number of exported events.
 ///
 /// # Errors
 ///
-/// Propagates the underlying file write error.
+/// Propagates the underlying file write error; `path` is untouched on
+/// failure.
 pub fn write_chrome_trace(path: &str) -> std::io::Result<usize> {
     let events = drain();
-    std::fs::write(path, render_chrome_json(&events))?;
+    detdiv_resil::AtomicFile::write(path, render_chrome_json(&events))?;
     Ok(events.len())
 }
 

@@ -58,6 +58,10 @@ mod stats;
 pub use pool::{inside_pool, Pool};
 pub use stats::{PoolStats, WorkerStats};
 
+// Re-exported so callers of the supervised maps can name the policy
+// and outcome types without depending on `detdiv-resil` directly.
+pub use detdiv_resil::{CellOutcome, RetryPolicy};
+
 use std::sync::OnceLock;
 
 /// The process-global pool used by [`par_map`] / [`par_try_map`] and by
@@ -92,6 +96,35 @@ where
     E: Send,
 {
     global().try_map(items, f)
+}
+
+/// [`Pool::map_supervised`] on the global pool.
+pub fn par_map_supervised<T, R>(
+    items: &[T],
+    policy: &RetryPolicy,
+    site_of: impl Fn(usize, &T) -> String + Sync,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<CellOutcome<R>>
+where
+    T: Sync,
+    R: Send,
+{
+    global().map_supervised(items, policy, site_of, f)
+}
+
+/// [`Pool::try_map_supervised`] on the global pool.
+pub fn par_try_map_supervised<T, R, E>(
+    items: &[T],
+    policy: &RetryPolicy,
+    site_of: impl Fn(usize, &T) -> String + Sync,
+    f: impl Fn(&T) -> Result<R, E> + Sync,
+) -> Result<Vec<CellOutcome<R>>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+{
+    global().try_map_supervised(items, policy, site_of, f)
 }
 
 #[cfg(test)]
@@ -348,6 +381,147 @@ mod tests {
         assert_eq!(summed.unwrap(), vec![1, 2]);
         assert!(global().stats().maps_run >= before + 2);
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn supervised_map_degrades_poisoned_cells_without_killing_the_sweep() {
+        let items: Vec<u32> = (0..60).collect();
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            backoff: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        for threads in [1, 2, 4] {
+            let pool = Pool::with_threads(threads);
+            let outcomes = pool.map_supervised(
+                &items,
+                &policy,
+                |i, _| format!("cell/{i}"),
+                |&i| {
+                    if i == 17 || i == 41 {
+                        panic!("cell {i} poisoned");
+                    }
+                    i * 10
+                },
+            );
+            assert_eq!(outcomes.len(), items.len(), "threads={threads}");
+            for (i, outcome) in outcomes.iter().enumerate() {
+                if i == 17 || i == 41 {
+                    match outcome {
+                        CellOutcome::Failed {
+                            site,
+                            attempts,
+                            error,
+                        } => {
+                            assert_eq!(site, &format!("cell/{i}"));
+                            assert_eq!(*attempts, 2);
+                            assert!(error.contains("poisoned"), "error: {error}");
+                        }
+                        other => panic!("slot {i} must degrade, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(
+                        outcome,
+                        &CellOutcome::Ok {
+                            value: i as u32 * 10,
+                            retries: 0
+                        },
+                        "threads={threads} slot {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_map_retries_transient_panics_to_success() {
+        let attempts: Vec<AtomicU64> = (0..20).map(|_| AtomicU64::new(0)).collect();
+        let items: Vec<usize> = (0..20).collect();
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            backoff: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        let pool = Pool::with_threads(4);
+        let outcomes = pool.map_supervised(
+            &items,
+            &policy,
+            |i, _| format!("cell/{i}"),
+            |&i| {
+                // Every third cell fails twice before succeeding.
+                if i % 3 == 0 && attempts[i].fetch_add(1, Ordering::SeqCst) < 2 {
+                    panic!("transient");
+                }
+                i + 100
+            },
+        );
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let expected_retries = if i % 3 == 0 { 2 } else { 0 };
+            assert_eq!(
+                outcome,
+                &CellOutcome::Ok {
+                    value: i + 100,
+                    retries: expected_retries
+                },
+                "slot {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn supervised_try_map_propagates_deliberate_errors_by_smallest_index() {
+        let items: Vec<usize> = (0..50).collect();
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        for threads in [1, 4] {
+            let pool = Pool::with_threads(threads);
+            let result: Result<Vec<CellOutcome<usize>>, String> = pool.try_map_supervised(
+                &items,
+                &policy,
+                |i, _| format!("cell/{i}"),
+                |&i| {
+                    if i == 30 || i == 12 {
+                        return Err(format!("config error at {i}"));
+                    }
+                    if i == 5 {
+                        panic!("fault at 5");
+                    }
+                    Ok(i)
+                },
+            );
+            // The panic at 5 degrades per-slot; the *returned* errors
+            // abort the map with the smallest failing index.
+            assert_eq!(
+                result.unwrap_err(),
+                "config error at 12",
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn supervised_global_helpers_route_through_the_global_pool() {
+        let policy = RetryPolicy::no_retry();
+        let outcomes = par_map_supervised(&[1u8, 2], &policy, |i, _| format!("g/{i}"), |&b| b + 1);
+        assert_eq!(
+            outcomes
+                .into_iter()
+                .map(|o| o.ok().unwrap())
+                .collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        let tried: Result<Vec<CellOutcome<u8>>, ()> =
+            par_try_map_supervised(&[7u8], &policy, |i, _| format!("g/{i}"), |&b| Ok(b));
+        assert_eq!(
+            tried.unwrap()[0],
+            CellOutcome::Ok {
+                value: 7,
+                retries: 0
+            }
+        );
     }
 
     #[test]

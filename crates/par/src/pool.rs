@@ -5,6 +5,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use detdiv_resil::{CellOutcome, RetryPolicy};
+
 use crate::queue::ChunkedQueue;
 use crate::stats::{PoolStats, WorkerSlot};
 
@@ -327,6 +329,84 @@ impl Pool {
                 _ => unreachable!("error-free map must fill every slot"),
             })
             .collect())
+    }
+
+    /// Supervised [`Pool::map`]: each job runs under
+    /// [`detdiv_resil::supervised`] — `catch_unwind` plus the bounded
+    /// retry/backoff/watchdog `policy` — so a panicking job degrades to
+    /// a [`CellOutcome::Failed`] in its slot instead of propagating and
+    /// discarding the rest of the map.
+    ///
+    /// `site_of(index, item)` names the unit for failure reports and
+    /// fault-injection replay; it is called once per job, outside the
+    /// retried closure.
+    ///
+    /// Determinism carries over from [`Pool::map`]: slot `i` holds the
+    /// supervised outcome of `f(&items[i])` at any worker count, and —
+    /// given the workspace's contract that `f` is deterministic — a
+    /// retried job recomputes the identical value.
+    pub fn map_supervised<T, R>(
+        &self,
+        items: &[T],
+        policy: &RetryPolicy,
+        site_of: impl Fn(usize, &T) -> String + Sync,
+        f: impl Fn(&T) -> R + Sync,
+    ) -> Vec<CellOutcome<R>>
+    where
+        T: Sync,
+        R: Send,
+    {
+        match self.try_map_supervised(items, policy, site_of, |item| {
+            Ok::<R, std::convert::Infallible>(f(item))
+        }) {
+            Ok(outcomes) => outcomes,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Supervised [`Pool::try_map`]: panics degrade per-slot (retried,
+    /// then [`CellOutcome::Failed`]), while a job that *returns* an
+    /// error keeps [`Pool::try_map`]'s semantics — the error of the
+    /// smallest failing index aborts the map. Deliberate `Err`s are
+    /// configuration problems the caller must see; panics are faults
+    /// the sweep survives. An `Err` attempt is never retried.
+    pub fn try_map_supervised<T, R, E>(
+        &self,
+        items: &[T],
+        policy: &RetryPolicy,
+        site_of: impl Fn(usize, &T) -> String + Sync,
+        f: impl Fn(&T) -> Result<R, E> + Sync,
+    ) -> Result<Vec<CellOutcome<R>>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+    {
+        // Map over indices so `site_of` sees the job's identity; slot
+        // determinism is inherited from `try_map`.
+        let indices: Vec<usize> = (0..items.len()).collect();
+        self.try_map(&indices, |&index| {
+            let item = &items[index];
+            let site = site_of(index, item);
+            match detdiv_resil::supervised(&site, policy, || f(item)) {
+                CellOutcome::Ok {
+                    value: Ok(value),
+                    retries,
+                } => Ok(CellOutcome::Ok { value, retries }),
+                CellOutcome::Ok {
+                    value: Err(error), ..
+                } => Err(error),
+                CellOutcome::Failed {
+                    site,
+                    attempts,
+                    error,
+                } => Ok(CellOutcome::Failed {
+                    site,
+                    attempts,
+                    error,
+                }),
+            }
+        })
     }
 
     /// Freezes the pool's accumulated per-worker counters.

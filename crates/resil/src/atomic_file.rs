@@ -1,0 +1,266 @@
+//! Crash-safe artifact writing: temp file + fsync + atomic rename.
+//!
+//! Every artifact the workspace emits (report JSON, telemetry, traces,
+//! corpus streams, bench baselines) goes through [`AtomicFile`], so an
+//! interrupted process can never leave a half-written file at the final
+//! path: observers see either the previous complete content or the new
+//! complete content, nothing in between.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::fault::io_point;
+
+/// Fault-injection site claimed once per atomic write/commit.
+const WRITE_SITE: &str = "io/atomic_write";
+/// Fault-injection site claimed once per commit (rename) step.
+const COMMIT_SITE: &str = "io/atomic_commit";
+
+/// A buffered writer to a *temporary* sibling of the destination path;
+/// the destination only appears (atomically, via `rename`) when
+/// [`AtomicFile::commit`] succeeds. Dropping without committing removes
+/// the temporary file.
+///
+/// The temporary path is deterministic (`.<name>.detdiv-tmp` in the
+/// destination directory), so [`AtomicFile::dry_run`] preflights the
+/// *actual* path a later write will use, and litter from a crashed run
+/// is overwritten — not accumulated — by the retry.
+#[derive(Debug)]
+pub struct AtomicFile {
+    path: PathBuf,
+    tmp: PathBuf,
+    writer: Option<BufWriter<File>>,
+}
+
+/// The deterministic temporary sibling for `path`.
+fn tmp_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unnamed".to_owned());
+    path.with_file_name(format!(".{name}.detdiv-tmp"))
+}
+
+impl AtomicFile {
+    /// Opens the temporary sibling of `path` for writing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the temp-file creation error (missing directory,
+    /// permissions, read-only mount) — the same failure a later
+    /// [`AtomicFile::commit`] would have hit, surfaced early.
+    pub fn create(path: impl Into<PathBuf>) -> io::Result<AtomicFile> {
+        let path = path.into();
+        let tmp = tmp_path(&path);
+        io_point(WRITE_SITE)?;
+        let file = File::create(&tmp)?;
+        Ok(AtomicFile {
+            path,
+            tmp,
+            writer: Some(BufWriter::new(file)),
+        })
+    }
+
+    /// The destination path this writer will commit to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flushes, fsyncs, and atomically renames the temporary file over
+    /// the destination. On any error the temporary file is removed and
+    /// the destination is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first flush/fsync/rename failure.
+    pub fn commit(mut self) -> io::Result<()> {
+        let writer = self
+            .writer
+            .take()
+            .expect("writer present until commit or drop");
+        let result = (|| {
+            io_point(COMMIT_SITE)?;
+            let file = writer
+                .into_inner()
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            file.sync_all()?;
+            drop(file);
+            fs::rename(&self.tmp, &self.path)?;
+            // Durability of the rename itself: fsync the directory when
+            // the platform allows opening it (best-effort elsewhere).
+            if let Some(dir) = self.path.parent() {
+                let dir = if dir.as_os_str().is_empty() {
+                    Path::new(".")
+                } else {
+                    dir
+                };
+                if let Ok(d) = File::open(dir) {
+                    let _ = d.sync_all();
+                }
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&self.tmp);
+        }
+        result
+    }
+
+    /// Writes `contents` to `path` atomically: the crash-safe
+    /// replacement for `std::fs::write` at every artifact site.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying create/write/fsync/rename failure; the
+    /// destination is untouched on error.
+    pub fn write(path: impl Into<PathBuf>, contents: impl AsRef<[u8]>) -> io::Result<()> {
+        let mut file = AtomicFile::create(path)?;
+        file.write_all(contents.as_ref())?;
+        file.commit()
+    }
+
+    /// Preflights `path` as a write destination *without* touching any
+    /// existing file at it: verifies the target is not a directory and
+    /// that the deterministic temporary sibling — the path a later
+    /// [`AtomicFile::write`] will actually use — can be created, then
+    /// removes the probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line human-readable diagnostic suitable for a CLI
+    /// preflight (`milliseconds now instead of an error after the full
+    /// evaluation`).
+    pub fn dry_run(path: impl AsRef<Path>) -> Result<(), String> {
+        let path = path.as_ref();
+        if path.is_dir() {
+            return Err(format!(
+                "{} is a directory, not a file path",
+                path.display()
+            ));
+        }
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        if !parent.is_dir() {
+            return Err(format!(
+                "output directory {} does not exist",
+                parent.display()
+            ));
+        }
+        let tmp = tmp_path(path);
+        File::create(&tmp)
+            .map_err(|e| format!("output directory {} is not writable: {e}", parent.display()))?;
+        let _ = fs::remove_file(&tmp);
+        Ok(())
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.writer
+            .as_mut()
+            .expect("writer present until commit or drop")
+            .write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer
+            .as_mut()
+            .expect("writer present until commit or drop")
+            .flush()
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.writer.take().is_some() {
+            // Not committed: drop the buffered writer first, then the
+            // temp file — the destination is never touched.
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("detdiv-resil-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_then_read_roundtrip_leaves_no_temp() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("artifact.json");
+        AtomicFile::write(&path, b"{\"ok\":true}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"ok\":true}");
+        assert!(!tmp_path(&path).exists(), "temp must be gone after commit");
+        // Overwrite is equally atomic.
+        AtomicFile::write(&path, b"v2").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"v2");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streaming_writer_commits_atomically() {
+        let dir = temp_dir("stream");
+        let path = dir.join("stream.txt");
+        let mut file = AtomicFile::create(&path).unwrap();
+        for i in 0..100 {
+            writeln!(file, "{i}").unwrap();
+        }
+        assert!(!path.exists(), "destination must not appear before commit");
+        file.commit().unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 100);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropping_uncommitted_removes_temp_and_preserves_destination() {
+        let dir = temp_dir("abort");
+        let path = dir.join("keep.txt");
+        fs::write(&path, b"original").unwrap();
+        {
+            let mut file = AtomicFile::create(&path).unwrap();
+            file.write_all(b"half-written garbage").unwrap();
+            // Dropped without commit.
+        }
+        assert_eq!(fs::read(&path).unwrap(), b"original");
+        assert!(!tmp_path(&path).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dry_run_accepts_writable_and_rejects_bad_targets() {
+        let dir = temp_dir("dryrun");
+        let path = dir.join("out.json");
+        AtomicFile::dry_run(&path).unwrap();
+        assert!(!tmp_path(&path).exists(), "probe must be cleaned up");
+        assert!(AtomicFile::dry_run(&dir)
+            .unwrap_err()
+            .contains("is a directory"));
+        assert!(AtomicFile::dry_run(dir.join("missing/sub/out.json"))
+            .unwrap_err()
+            .contains("does not exist"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_fails_fast_on_missing_directory() {
+        let missing = std::env::temp_dir().join("detdiv-resil-definitely-missing/x.txt");
+        assert!(AtomicFile::create(&missing).is_err());
+    }
+
+    #[test]
+    fn deterministic_tmp_path_is_a_hidden_sibling() {
+        let t = tmp_path(Path::new("/a/b/report.json"));
+        assert_eq!(t, PathBuf::from("/a/b/.report.json.detdiv-tmp"));
+    }
+}

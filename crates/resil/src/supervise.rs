@@ -1,0 +1,273 @@
+//! Supervised execution: `catch_unwind` + bounded retry + a wall-clock
+//! watchdog around one unit of work (typically one grid cell or row).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use crate::cells;
+
+/// Retry and watchdog policy for [`supervised`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try + retries); at least 1.
+    pub max_attempts: u32,
+    /// Backoff before retry `n` (1-based) is `backoff * 2^(n-1)`,
+    /// capped at 1 s. Zero disables sleeping.
+    pub backoff: Duration,
+    /// Wall-clock budget per attempt. An attempt that exceeds it is
+    /// *flagged* (the `watchdog_trips` counter) — this crate spawns no
+    /// threads, so a stuck attempt is detected, not preempted; the
+    /// injection layer only produces bounded stalls.
+    pub watchdog: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff: Duration::from_millis(5),
+            watchdog: Duration::from_secs(120),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, default watchdog).
+    pub fn no_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// The outcome of one supervised unit of work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellOutcome<R> {
+    /// The unit completed (possibly after retries).
+    Ok {
+        /// The unit's result.
+        value: R,
+        /// How many failed attempts preceded success.
+        retries: u32,
+    },
+    /// Every attempt panicked; the unit is degraded, not fatal.
+    Failed {
+        /// The supervision site (names the failing unit in reports).
+        site: String,
+        /// Attempts made (= the policy's `max_attempts`).
+        attempts: u32,
+        /// The final attempt's panic message.
+        error: String,
+    },
+}
+
+impl<R> CellOutcome<R> {
+    /// The successful value, if any.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            CellOutcome::Ok { value, .. } => Some(value),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Whether the unit degraded to [`CellOutcome::Failed`].
+    pub fn is_failed(&self) -> bool {
+        matches!(self, CellOutcome::Failed { .. })
+    }
+
+    /// Retries consumed (0 for a first-attempt success or a failure's
+    /// `attempts - 1`).
+    pub fn retries(&self) -> u32 {
+        match self {
+            CellOutcome::Ok { retries, .. } => *retries,
+            CellOutcome::Failed { attempts, .. } => attempts.saturating_sub(1),
+        }
+    }
+}
+
+/// Renders a panic payload as text.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs `f` under `catch_unwind`, retrying panicking attempts with
+/// exponential backoff up to `policy.max_attempts`, and flagging
+/// attempts that exceed the watchdog budget. The result is always a
+/// [`CellOutcome`] — a poisoned unit degrades instead of unwinding into
+/// the caller.
+///
+/// Process-wide counters (`supervised_cells`, `retries`,
+/// `degraded_cells`, `watchdog_trips`) record what happened; see
+/// [`crate::stats`].
+///
+/// `f` must be re-callable (`Fn`) and is expected to be deterministic:
+/// under the workspace's detector-conformance contract a retried cell
+/// recomputes to the identical value, which is what keeps chaos runs
+/// byte-identical to fault-free runs.
+pub fn supervised<R>(site: &str, policy: &RetryPolicy, f: impl Fn() -> R) -> CellOutcome<R> {
+    let c = cells();
+    c.supervised_cells.fetch_add(1, Ordering::Relaxed);
+    let max_attempts = policy.max_attempts.max(1);
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let started = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(&f));
+        if started.elapsed() > policy.watchdog {
+            c.watchdog_trips.fetch_add(1, Ordering::Relaxed);
+        }
+        match result {
+            Ok(value) => {
+                return CellOutcome::Ok {
+                    value,
+                    retries: attempt - 1,
+                }
+            }
+            Err(payload) => {
+                if attempt >= max_attempts {
+                    c.degraded_cells.fetch_add(1, Ordering::Relaxed);
+                    return CellOutcome::Failed {
+                        site: site.to_owned(),
+                        attempts: attempt,
+                        error: panic_message(payload.as_ref()),
+                    };
+                }
+                c.retries.fetch_add(1, Ordering::Relaxed);
+                if !policy.backoff.is_zero() {
+                    let factor = 1u32 << (attempt - 1).min(10);
+                    let sleep = policy
+                        .backoff
+                        .saturating_mul(factor)
+                        .min(Duration::from_secs(1));
+                    std::thread::sleep(sleep);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    /// Silences the default panic hook's backtrace spam for panics this
+    /// test intentionally catches, restoring the hook afterwards.
+    fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = f();
+        std::panic::set_hook(hook);
+        result
+    }
+
+    #[test]
+    fn first_attempt_success_consumes_no_retries() {
+        let before = crate::stats();
+        let outcome = supervised("unit/ok", &RetryPolicy::default(), || 7);
+        assert_eq!(
+            outcome,
+            CellOutcome::Ok {
+                value: 7,
+                retries: 0
+            }
+        );
+        let after = crate::stats();
+        assert_eq!(after.supervised_cells, before.supervised_cells + 1);
+        assert_eq!(after.retries, before.retries);
+    }
+
+    #[test]
+    fn transient_panics_are_retried_to_success() {
+        quiet_panics(|| {
+            let tries = AtomicU32::new(0);
+            let policy = RetryPolicy {
+                max_attempts: 5,
+                backoff: Duration::ZERO,
+                ..RetryPolicy::default()
+            };
+            let before = crate::stats();
+            let outcome = supervised("unit/transient", &policy, || {
+                if tries.fetch_add(1, Ordering::SeqCst) < 3 {
+                    panic!("flaky");
+                }
+                "done"
+            });
+            assert_eq!(
+                outcome,
+                CellOutcome::Ok {
+                    value: "done",
+                    retries: 3
+                }
+            );
+            let after = crate::stats();
+            assert_eq!(after.retries, before.retries + 3);
+            assert_eq!(after.degraded_cells, before.degraded_cells);
+        });
+    }
+
+    #[test]
+    fn exhausted_attempts_degrade_with_site_and_message() {
+        quiet_panics(|| {
+            let policy = RetryPolicy {
+                max_attempts: 3,
+                backoff: Duration::ZERO,
+                ..RetryPolicy::default()
+            };
+            let before = crate::stats();
+            let outcome: CellOutcome<()> =
+                supervised("unit/poisoned", &policy, || panic!("always broken"));
+            match &outcome {
+                CellOutcome::Failed {
+                    site,
+                    attempts,
+                    error,
+                } => {
+                    assert_eq!(site, "unit/poisoned");
+                    assert_eq!(*attempts, 3);
+                    assert_eq!(error, "always broken");
+                }
+                other => panic!("expected Failed, got {other:?}"),
+            }
+            assert!(outcome.is_failed());
+            assert_eq!(outcome.retries(), 2);
+            let after = crate::stats();
+            assert_eq!(after.degraded_cells, before.degraded_cells + 1);
+            assert_eq!(after.retries, before.retries + 2);
+        });
+    }
+
+    #[test]
+    fn watchdog_flags_slow_attempts() {
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+            watchdog: Duration::from_micros(1),
+        };
+        let before = crate::stats();
+        let outcome = supervised("unit/slow", &policy, || {
+            std::thread::sleep(Duration::from_millis(5));
+            1
+        });
+        assert_eq!(outcome.ok(), Some(1));
+        let after = crate::stats();
+        assert!(after.watchdog_trips > before.watchdog_trips);
+    }
+
+    #[test]
+    fn zero_max_attempts_still_runs_once() {
+        let policy = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(supervised("unit/zero", &policy, || 9).ok(), Some(9));
+    }
+}

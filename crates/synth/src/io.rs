@@ -14,9 +14,10 @@
 
 use std::fmt;
 use std::fs;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::path::Path;
 
+use detdiv_resil::AtomicFile;
 use detdiv_sequence::Symbol;
 use serde::{Deserialize, Serialize};
 
@@ -94,11 +95,14 @@ fn test_file(anomaly_size: usize) -> String {
 }
 
 fn write_stream(path: &Path, stream: &[Symbol]) -> Result<(), CorpusIoError> {
-    let mut w = BufWriter::new(fs::File::create(path)?);
+    // Crash-safe: the stream file appears complete (on commit) or not
+    // at all, so an interrupted save can never leave a truncated stream
+    // that verification would have to catch later.
+    let mut w = AtomicFile::create(path)?;
     for s in stream {
         writeln!(w, "{}", s.id())?;
     }
-    w.flush()?;
+    w.commit()?;
     Ok(())
 }
 
@@ -149,8 +153,11 @@ pub fn save_corpus(corpus: &Corpus, dir: &Path) -> Result<(), CorpusIoError> {
         config: corpus.config().clone(),
         anomalies,
     };
-    let json = serde_json::to_string_pretty(&manifest).expect("manifest serialises");
-    fs::write(dir.join(MANIFEST_FILE), json)?;
+    let json = serde_json::to_string_pretty(&manifest).map_err(|e| CorpusIoError::Malformed {
+        file: MANIFEST_FILE.to_owned(),
+        reason: format!("manifest serialisation failed: {e}"),
+    })?;
+    AtomicFile::write(dir.join(MANIFEST_FILE), json)?;
     Ok(())
 }
 

@@ -35,6 +35,16 @@
 #                               pinned reduced sweep and emits a
 #                               baseline JSON (tracing overhead, top
 #                               phases, utilization, cache hit rate)
+#   9. chaos gate             — the report regenerated under seeded
+#                               ~1% training-panic injection
+#                               (--fault 42:1%:panic) must be
+#                               byte-identical to the fault-free runs
+#                               at widths 1 and 4; the width-4 chaos
+#                               run is additionally SIGKILLed mid-run
+#                               and finished with --resume, and must
+#                               still match byte-for-byte (exit 0, no
+#                               wedged process — every run is under
+#                               `timeout`)
 #
 # Usage: scripts/ci.sh
 # The script is silent on success for each phase beyond a one-line
@@ -121,5 +131,58 @@ banner "perf baseline (BENCH JSON)"
 # `scripts/perf_baseline.sh` without arguments.
 scripts/perf_baseline.sh "$GATE_DIR/bench.json" 30000
 echo "perf baseline OK ($(grep -o '"trace_overhead_percent":[^,]*' "$GATE_DIR/bench.json" || true))"
+
+banner "chaos gate (seeded fault injection + mid-run SIGKILL + --resume)"
+# Injected panics are absorbed by supervised retry; `panic` kinds only,
+# so artifact writes themselves cannot be failed and byte-identity is
+# the honest expectation. DETDIV_LOG=off keeps the telemetry snapshot
+# (which now carries resil/* injection counters) out of the report.
+CHAOS_DIR="$GATE_DIR/chaos"
+mkdir -p "$CHAOS_DIR"
+FAULT_SPEC="42:1%:panic"
+# Width 1: chaos run, uninterrupted; must match the fault-free t1 run.
+DETDIV_LOG=off DETDIV_THREADS=1 timeout 900 ./target/release/regenerate \
+    --training-len 60000 --fault "$FAULT_SPEC" \
+    --json "$CHAOS_DIR/t1.json" \
+    > "$CHAOS_DIR/t1_stdout.txt" 2> /dev/null
+cmp "$GATE_DIR/t1/paper_report.json" "$CHAOS_DIR/t1.json"
+cmp "$GATE_DIR/t1/stdout.txt" "$CHAOS_DIR/t1_stdout.txt"
+echo "width-1 chaos run byte-identical to the fault-free run"
+# Width 4: chaos run with a row journal, SIGKILLed once rows have
+# committed, then finished with --resume; the resumed output must be
+# byte-identical to the fault-free t4 run.
+JOURNAL="$CHAOS_DIR/rows.journal"
+rm -f "$JOURNAL"
+DETDIV_LOG=off DETDIV_THREADS=4 timeout 900 ./target/release/regenerate \
+    --training-len 60000 --fault "$FAULT_SPEC" --resume "$JOURNAL" \
+    --json "$CHAOS_DIR/t4.json" \
+    > "$CHAOS_DIR/t4_stdout.txt" 2> /dev/null &
+CHAOS_PID=$!
+# Kill only after real progress: a few coverage rows in the journal.
+for _ in $(seq 1 600); do
+    if [ -f "$JOURNAL" ] && [ "$(wc -l < "$JOURNAL")" -ge 5 ]; then break; fi
+    if ! kill -0 "$CHAOS_PID" 2> /dev/null; then break; fi
+    sleep 0.1
+done
+kill -9 "$CHAOS_PID" 2> /dev/null || true
+wait "$CHAOS_PID" 2> /dev/null || true
+if [ -f "$JOURNAL" ]; then
+    # The expected path: the run died mid-sweep; resume it. Completed
+    # rows are served from the journal, missing cells recomputed.
+    DETDIV_LOG=off DETDIV_THREADS=4 timeout 900 ./target/release/regenerate \
+        --training-len 60000 --fault "$FAULT_SPEC" --resume "$JOURNAL" \
+        --json "$CHAOS_DIR/t4.json" \
+        > "$CHAOS_DIR/t4_stdout.txt" 2> "$CHAOS_DIR/t4_resume_stderr.txt"
+    echo "resumed after SIGKILL: $(grep -o 'resuming [0-9]* completed rows' \
+        "$CHAOS_DIR/t4_resume_stderr.txt" || echo 'journal present, 0 rows')"
+else
+    # The run outpaced the kill (fast machine): it completed cleanly
+    # and removed its journal, which is also a pass — just weaker.
+    echo "chaos run finished before the kill landed; comparing its output directly"
+fi
+cmp "$GATE_DIR/t4/paper_report.json" "$CHAOS_DIR/t4.json"
+cmp "$GATE_DIR/t4/stdout.txt" "$CHAOS_DIR/t4_stdout.txt"
+[ ! -f "$JOURNAL" ] || { echo "chaos gate: journal survived a successful run" >&2; exit 1; }
+echo "width-4 chaos+kill+resume run byte-identical to the fault-free run"
 
 banner "CI green"
