@@ -1,7 +1,8 @@
 //! Performance baseline for the experiment pipeline: runs a pinned
 //! reduced sweep three times — trained-model cache disabled, cache
 //! enabled, then cache enabled with tracing armed — and writes a
-//! machine-readable baseline (`BENCH_pr4.json` by default) recording
+//! machine-readable baseline (`BENCH_pr6.json` by default; the `bench`
+//! label is inferred from the filename) recording
 //! wall times, the cache speed-up and hit statistics, the tracing
 //! overhead, the self-profile's top phases by exclusive time, and
 //! worker utilization.
@@ -82,9 +83,21 @@ struct Args {
     top: usize,
 }
 
+/// The `bench` label recorded in the baseline, inferred from the
+/// output filename (`BENCH_pr6.json` → `pr6`) so `perfhist` can order
+/// the trajectory by PR without a separate flag.
+fn bench_label(out: &str) -> String {
+    std::path::Path::new(out)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| out.to_owned())
+        .trim_start_matches("BENCH_")
+        .to_owned()
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        out: "BENCH_pr4.json".to_owned(),
+        out: "BENCH_pr6.json".to_owned(),
         training_len: 60_000,
         threads: None,
         top: 10,
@@ -202,7 +215,7 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let wall_on_ms = wall_on.as_secs_f64() * 1e3;
     let lookups = cache_stats.hits + cache_stats.misses;
     let baseline = Baseline {
-        bench: "pr4".to_owned(),
+        bench: bench_label(&args.out),
         training_len: args.training_len,
         threads,
         wall_ms_cache_off: wall_cache_off_ms,

@@ -1,0 +1,102 @@
+//! Perf-history trajectory and regression gate over the committed
+//! `BENCH_*.json` baselines.
+//!
+//! ```text
+//! perfhist [--dir PATH] [--threshold PCT] [FILE...]
+//! ```
+//!
+//! With no positional files, scans `--dir` (default `.`) for
+//! `BENCH_*.json`. Prints the per-metric trajectory table across all
+//! baselines in PR order, then gates the newest pair: exits non-zero
+//! when the headline wall time (`wall_ms_trace_off`) grew by more than
+//! `--threshold` percent (default 25) between the two newest baselines
+//! — provided they measured the same sweep shape (training length and
+//! thread count); otherwise the gate abstains and passes.
+//!
+//! The default threshold is deliberately generous: CI machines are
+//! noisy and baselines are measured on whatever hardware produced the
+//! PR. The gate exists to catch structural regressions (2×, 10×), not
+//! 5% jitter.
+
+use detdiv_bench::perfhist;
+use std::process::ExitCode;
+
+struct Args {
+    dir: String,
+    threshold: f64,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dir: ".".to_owned(),
+        threshold: 25.0,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--dir" => args.dir = it.next().ok_or("--dir needs a path")?,
+            "--threshold" => {
+                args.threshold = it
+                    .next()
+                    .ok_or("--threshold needs a percentage")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+                if args.threshold < 0.0 {
+                    return Err("--threshold: must be non-negative".to_owned());
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: perfhist [--dir PATH] [--threshold PCT] [FILE...]\n\
+                     Prints the BENCH_*.json perf trajectory and exits non-zero when the newest\n\
+                     baseline regressed wall_ms_trace_off beyond the threshold (default 25%)."
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            file => args.files.push(file.to_owned()),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<ExitCode, String> {
+    let mut baselines = if args.files.is_empty() {
+        perfhist::discover(&args.dir)?
+    } else {
+        let mut files = Vec::with_capacity(args.files.len());
+        for path in &args.files {
+            files.push(perfhist::BaselineFile::load(path)?);
+        }
+        perfhist::sort_baselines(&mut files);
+        files
+    };
+    perfhist::sort_baselines(&mut baselines);
+    print!("{}", perfhist::render_trajectory(&baselines));
+    let verdict = perfhist::gate(&baselines, args.threshold);
+    eprintln!("{}", verdict.render());
+    Ok(if verdict.is_regression() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("perfhist: argument error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("perfhist: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

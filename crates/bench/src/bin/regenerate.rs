@@ -43,7 +43,19 @@
 //!   already holds rows from an interrupted run against the same
 //!   corpus, serve them instead of recomputing. The journal is removed
 //!   on success. Rows are deterministic, so a resumed run's artifacts
-//!   are byte-identical to an uninterrupted run's.
+//!   are byte-identical to an uninterrupted run's;
+//! * `--serve ADDR` — arm the live-introspection scope (`detdiv-scope`)
+//!   on `ADDR` (e.g. `127.0.0.1:9184`, or port `0` for an ephemeral
+//!   port) for the duration of the run: a metrics exposition server
+//!   (`/metrics` in Prometheus text format, `/healthz`,
+//!   `/snapshot.json`, `/profilez`) plus a background counter sampler
+//!   whose ring buffers feed rate gauges and the snapshot's
+//!   `timeseries` section. Overrides the `DETDIV_SERVE` environment
+//!   variable. The address is bound *before* any computation, so a
+//!   taken port fails in milliseconds; the bound address is echoed on
+//!   stderr unconditionally so scripts can scrape an ephemeral port.
+//!   The scope never writes telemetry, so artifacts are byte-identical
+//!   with and without it — CI enforces this with `cmp`.
 
 use std::process::ExitCode;
 
@@ -70,6 +82,7 @@ struct Args {
     no_cache: bool,
     fault: Option<String>,
     resume: Option<String>,
+    serve: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -85,6 +98,10 @@ fn parse_args() -> Result<Args, String> {
         no_cache: false,
         fault: None,
         resume: None,
+        // `--serve ADDR` below overrides the environment.
+        serve: std::env::var("DETDIV_SERVE")
+            .ok()
+            .filter(|v| !v.trim().is_empty()),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -139,16 +156,20 @@ fn parse_args() -> Result<Args, String> {
             "--resume" => {
                 args.resume = Some(it.next().ok_or("--resume needs a journal path")?);
             }
+            "--serve" => {
+                args.serve = Some(it.next().ok_or("--serve needs a listen address")?);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: regenerate [--experiment ID] [--training-len N] [--paper] [--seed N] [--json PATH] [--threads N] [--log LEVEL] [--trace PATH] [--no-cache] [--fault SPEC] [--resume PATH]\n\
+                    "usage: regenerate [--experiment ID] [--training-len N] [--paper] [--seed N] [--json PATH] [--threads N] [--log LEVEL] [--trace PATH] [--no-cache] [--fault SPEC] [--resume PATH] [--serve ADDR]\n\
                      experiments: fig2 fig3 fig4 fig5 fig6 fig7 comb1 comb2 comb3 abl1 abl2 abl3 abl4 nat1 ext1 div1 masq1 fn1 ana1 all\n\
                      threads:     parallel fan-out width (default: DETDIV_THREADS, then available parallelism; results are thread-count independent)\n\
                      log levels:  off error warn info debug trace (default info; DETDIV_LOG also honoured)\n\
                      trace:       write a Chrome trace-event JSON file (DETDIV_TRACE also honoured; independent of --log off)\n\
                      no-cache:    train every model afresh, bypassing the single-flight model cache (DETDIV_CACHE=off also honoured; results identical)\n\
                      fault:       arm deterministic fault injection, seed:rate:kinds[:stall_ms] e.g. 42:1%:panic (DETDIV_FAULT also honoured)\n\
-                     resume:      journal completed coverage rows to PATH and resume an interrupted run from it (removed on success)"
+                     resume:      journal completed coverage rows to PATH and resume an interrupted run from it (removed on success)\n\
+                     serve:       serve live metrics on ADDR while the run executes: /metrics /healthz /snapshot.json /profilez (DETDIV_SERVE also honoured; artifacts stay byte-identical)"
                 );
                 std::process::exit(0);
             }
@@ -469,6 +490,30 @@ fn main() -> ExitCode {
         }
         obs::trace::arm();
     }
+    // Live introspection: bind the exposition server and start the
+    // sampler *before* any computation, so a taken port or a bad
+    // DETDIV_SCOPE_* knob fails in milliseconds. The bound address is
+    // echoed unconditionally (CI passes `--serve 127.0.0.1:0` and
+    // parses the real port from this line).
+    let scope = if let Some(addr) = &args.serve {
+        let scope = detdiv_scope::ScopeConfig::from_env()
+            .and_then(|config| detdiv_scope::Scope::start(addr, config));
+        match scope {
+            Ok(scope) => {
+                eprintln!(
+                    "regenerate: serving live metrics on http://{}/metrics",
+                    scope.local_addr()
+                );
+                Some(scope)
+            }
+            Err(e) => {
+                eprintln!("regenerate: cannot arm --serve {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
     // Checkpoint/resume: arm the row journal before any computation so
     // every completed coverage row is durably recorded, and rows from a
     // previously killed run are served instead of recomputed.
@@ -488,6 +533,15 @@ fn main() -> ExitCode {
         }
     }
     let outcome = run(&args);
+    // Graceful scope teardown: the end-of-run snapshot was already
+    // taken inside the report (with the sampler's timeseries attached);
+    // now stop the server and sampler threads and write the optional
+    // DETDIV_SCOPE_DUMP series file.
+    if let Some(scope) = scope {
+        if let Err(e) = scope.shutdown() {
+            eprintln!("regenerate: scope shutdown: {e}");
+        }
+    }
     if args.resume.is_some() {
         if outcome.is_ok() {
             // The run completed: nothing remains to resume from.

@@ -1,0 +1,184 @@
+//! CI checker for a live `detdiv-scope` exposition server.
+//!
+//! ```text
+//! scopecheck --addr HOST:PORT [--retries N] [--delay-ms MS] [--expect-telemetry]
+//! ```
+//!
+//! Scrapes all four endpoints of a running server (typically one armed
+//! by `regenerate --serve 127.0.0.1:0` in another process) and
+//! validates each:
+//!
+//! * `/metrics` parses under the hand-rolled Prometheus text-format
+//!   validator (HELP/TYPE headers, name charset, cumulative histogram
+//!   buckets, `+Inf` terminals);
+//! * `/healthz` is JSON with `"status": "ok"`;
+//! * `/snapshot.json` deserializes as a `TelemetrySnapshot`;
+//! * `/profilez` renders the self-profile header.
+//!
+//! The first scrape retries with a bounded delay, because CI starts
+//! the server and the checker concurrently and the run being observed
+//! may still be in preflight. With `--expect-telemetry`, the check
+//! additionally requires `/healthz` to report telemetry enabled and
+//! `/metrics` to expose at least one `detdiv_*_total` counter —
+//! the mid-run-scrape assertion for a telemetry-on run.
+
+use detdiv_scope::{expo, server};
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    retries: u32,
+    delay_ms: u64,
+    expect_telemetry: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: String::new(),
+        retries: 20,
+        delay_ms: 250,
+        expect_telemetry: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => args.addr = it.next().ok_or("--addr needs HOST:PORT")?,
+            "--retries" => {
+                args.retries = it
+                    .next()
+                    .ok_or("--retries needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+            }
+            "--delay-ms" => {
+                args.delay_ms = it
+                    .next()
+                    .ok_or("--delay-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--delay-ms: {e}"))?;
+            }
+            "--expect-telemetry" => args.expect_telemetry = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: scopecheck --addr HOST:PORT [--retries N] [--delay-ms MS] [--expect-telemetry]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.addr.is_empty() {
+        return Err("--addr is required".to_owned());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let (addr, _) = server::parse_scrape_url(&args.addr)?;
+    let timeout = Duration::from_secs(5);
+
+    // First contact, with bounded retry: the server may still be
+    // binding when CI launches us.
+    let mut attempt = 0;
+    let metrics = loop {
+        attempt += 1;
+        match server::http_get(&addr, "/metrics", timeout) {
+            Ok((200, body)) => break body,
+            Ok((status, _)) => {
+                return Err(format!("/metrics answered HTTP {status}"));
+            }
+            Err(e) if attempt <= args.retries => {
+                eprintln!(
+                    "scopecheck: attempt {attempt}/{}: {e}; retrying in {} ms",
+                    args.retries, args.delay_ms
+                );
+                std::thread::sleep(Duration::from_millis(args.delay_ms));
+            }
+            Err(e) => {
+                return Err(format!(
+                    "/metrics unreachable after {attempt} attempts: {e}"
+                ))
+            }
+        }
+    };
+    let parsed = expo::validate(&metrics)
+        .map_err(|e| format!("/metrics is not valid Prometheus text: {e}"))?;
+    eprintln!(
+        "scopecheck: /metrics valid — {} families, {} samples",
+        parsed.families.len(),
+        parsed.samples.len()
+    );
+
+    let (status, health) = server::http_get(&addr, "/healthz", timeout)?;
+    if status != 200 {
+        return Err(format!("/healthz answered HTTP {status}"));
+    }
+    let health =
+        serde_json::from_str_value(&health).map_err(|e| format!("/healthz is not JSON: {e}"))?;
+    if health.get("status").and_then(|v| v.as_str()) != Some("ok") {
+        return Err("healthz status is not \"ok\"".to_owned());
+    }
+    eprintln!("scopecheck: /healthz ok");
+
+    let (status, snapshot) = server::http_get(&addr, "/snapshot.json", timeout)?;
+    if status != 200 {
+        return Err(format!("/snapshot.json answered HTTP {status}"));
+    }
+    let snapshot: detdiv_obs::TelemetrySnapshot = serde_json::from_str(&snapshot)
+        .map_err(|e| format!("/snapshot.json does not deserialize: {e}"))?;
+    eprintln!(
+        "scopecheck: /snapshot.json ok — {} counters, {} histograms, {} series",
+        snapshot.counters.len(),
+        snapshot.histograms.len(),
+        snapshot.timeseries.len()
+    );
+
+    let (status, profile) = server::http_get(&addr, "/profilez", timeout)?;
+    if status != 200 {
+        return Err(format!("/profilez answered HTTP {status}"));
+    }
+    if !profile.starts_with("detdiv self-profile") {
+        return Err("profilez is missing its header line".to_owned());
+    }
+    eprintln!("scopecheck: /profilez ok");
+
+    if args.expect_telemetry {
+        if health.get("telemetry_enabled") != Some(&serde::Value::Bool(true)) {
+            return Err("telemetry expected but /healthz reports it disabled".to_owned());
+        }
+        let counters = parsed
+            .samples
+            .iter()
+            .filter(|s| s.name.starts_with("detdiv_") && s.name.ends_with("_total"))
+            .count();
+        if counters == 0 {
+            return Err("telemetry expected but /metrics exposes no detdiv counters".to_owned());
+        }
+        if snapshot.counters.is_empty() {
+            return Err("telemetry expected but the snapshot has no counters".to_owned());
+        }
+        eprintln!("scopecheck: telemetry visible — {counters} exposed counters");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("scopecheck: argument error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => {
+            eprintln!("scopecheck: all endpoints valid");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("scopecheck: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(clippy::print_stdout, clippy::print_stderr)]
 
+pub mod perfhist;
+
 use detdiv_synth::{Corpus, SynthesisConfig};
 
 /// Validates the `DETDIV_*` environment knobs the harness binaries
@@ -39,6 +41,29 @@ pub fn preflight_env() -> Result<(), String> {
             return Err(format!(
                 "DETDIV_LOG: unknown level {value:?} (expected off, error, warn, info, debug or trace)"
             ));
+        }
+    }
+    if let Some(value) = env_value("DETDIV_SERVE")? {
+        use std::net::ToSocketAddrs as _;
+        let resolves = value
+            .trim()
+            .to_socket_addrs()
+            .map(|mut addrs| addrs.next().is_some())
+            .unwrap_or(false);
+        if !resolves {
+            return Err(format!(
+                "DETDIV_SERVE: not a listen address: {value:?} (expected HOST:PORT, e.g. 127.0.0.1:9184)"
+            ));
+        }
+    }
+    if let Some(value) = env_value("DETDIV_SCOPE_INTERVAL_MS")? {
+        match value.trim().parse::<u64>() {
+            Ok(ms) if ms > 0 => {}
+            _ => {
+                return Err(format!(
+                    "DETDIV_SCOPE_INTERVAL_MS: not a positive integer: {value:?}"
+                ));
+            }
         }
     }
     Ok(())
@@ -126,6 +151,24 @@ mod tests {
         let err = preflight_env().unwrap_err();
         assert!(err.contains("DETDIV_LOG"), "{err}");
         std::env::remove_var("DETDIV_LOG");
+
+        std::env::set_var("DETDIV_SERVE", "127.0.0.1:9184");
+        assert!(preflight_env().is_ok(), "valid serve address passes");
+        std::env::set_var("DETDIV_SERVE", "localhost:0");
+        assert!(preflight_env().is_ok(), "resolvable host with port passes");
+        std::env::set_var("DETDIV_SERVE", "not a socket");
+        let err = preflight_env().unwrap_err();
+        assert!(err.contains("DETDIV_SERVE"), "{err}");
+        std::env::remove_var("DETDIV_SERVE");
+
+        std::env::set_var("DETDIV_SCOPE_INTERVAL_MS", "250");
+        assert!(preflight_env().is_ok(), "positive interval passes");
+        std::env::set_var("DETDIV_SCOPE_INTERVAL_MS", "0");
+        let err = preflight_env().unwrap_err();
+        assert!(err.contains("DETDIV_SCOPE_INTERVAL_MS"), "{err}");
+        std::env::set_var("DETDIV_SCOPE_INTERVAL_MS", "fast");
+        assert!(preflight_env().is_err(), "non-numeric interval rejected");
+        std::env::remove_var("DETDIV_SCOPE_INTERVAL_MS");
 
         assert!(preflight_env().is_ok(), "clean again after the sweep");
     }

@@ -1,0 +1,432 @@
+//! Perf-history analysis over the committed `BENCH_*.json` baselines.
+//!
+//! Every PR that touches performance commits a baseline written by
+//! `perfbaseline` (`BENCH_pr3.json`, `BENCH_pr4.json`, ...). This
+//! module parses all of them, orders them by PR number, renders a
+//! per-metric trajectory table, and gates the newest comparable pair:
+//! when the most recent baseline's headline wall time regresses beyond
+//! a noise threshold against its predecessor *measured at the same
+//! sweep shape* (training length and thread count), the `perfhist`
+//! binary exits non-zero so CI fails.
+//!
+//! Baselines from different PRs carry different field sets (`pr3` has
+//! no cache statistics), so parsing goes through the generic JSON
+//! value tree and every metric is optional.
+
+use serde::Value;
+use std::path::{Path, PathBuf};
+
+/// The metrics the trajectory table tracks, in display order. The
+/// first entry (`wall_ms_trace_off` — the default-configuration
+/// full-report wall time) is the gated headline metric; the dotted
+/// name walks nested objects.
+pub const TRACKED_METRICS: &[&str] = &[
+    "wall_ms_trace_off",
+    "wall_ms_trace_on",
+    "wall_ms_cache_off",
+    "cache_speedup_percent",
+    "cache.hit_rate_percent",
+    "trace_overhead_percent",
+    "trace_events",
+    "trace_dropped",
+    "utilization_percent",
+];
+
+/// The metric the regression gate compares.
+pub const GATED_METRIC: &str = "wall_ms_trace_off";
+
+/// One parsed baseline file.
+#[derive(Debug, Clone)]
+pub struct BaselineFile {
+    /// Source path, for diagnostics.
+    pub path: PathBuf,
+    /// The `bench` label (`pr4`), falling back to the file stem.
+    pub label: String,
+    /// PR number parsed from the label's trailing digits (ordering
+    /// key; label text breaks ties).
+    pub order: u64,
+    /// Sweep shape: training length.
+    pub training_len: Option<u64>,
+    /// Sweep shape: thread count.
+    pub threads: Option<u64>,
+    /// The parsed value tree, for metric lookups.
+    value: Value,
+}
+
+impl BaselineFile {
+    /// Parses one baseline JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Unreadable file or malformed JSON, with the path named.
+    pub fn load(path: impl AsRef<Path>) -> Result<BaselineFile, String> {
+        let path = path.as_ref();
+        let raw = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let value = serde_json::from_str_value(&raw)
+            .map_err(|e| format!("{}: not valid JSON: {e}", path.display()))?;
+        let stem = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let label = value
+            .get("bench")
+            .and_then(|v| v.as_str())
+            .map(str::to_owned)
+            .unwrap_or_else(|| stem.trim_start_matches("BENCH_").to_owned());
+        let order = trailing_number(&label);
+        let training_len = value.get("training_len").and_then(as_u64);
+        let threads = value.get("threads").and_then(as_u64);
+        Ok(BaselineFile {
+            path: path.to_owned(),
+            label,
+            order,
+            training_len,
+            threads,
+            value,
+        })
+    }
+
+    /// Looks up one (possibly dotted) metric as a float.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        let mut cursor = &self.value;
+        for part in name.split('.') {
+            cursor = cursor.get(part)?;
+        }
+        as_f64(cursor)
+    }
+
+    /// Whether two baselines measured the same sweep shape, making
+    /// their wall times comparable.
+    pub fn comparable_with(&self, other: &BaselineFile) -> bool {
+        self.training_len == other.training_len && self.threads == other.threads
+    }
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::UInt(n) => Some(*n),
+        Value::Int(n) if *n >= 0 => Some(*n as u64),
+        Value::Float(f) if *f >= 0.0 && f.fract() == 0.0 => Some(*f as u64),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::Int(n) => Some(*n as f64),
+        Value::UInt(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+/// PR-number ordering key: the value of the label's trailing digit
+/// run (`pr10` → 10), or 0 when there is none (sorts first).
+fn trailing_number(label: &str) -> u64 {
+    let digits: String = label
+        .chars()
+        .rev()
+        .take_while(char::is_ascii_digit)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    digits.parse().unwrap_or(0)
+}
+
+/// Finds every `BENCH_*.json` directly inside `dir`, sorted by PR
+/// number then label.
+///
+/// # Errors
+///
+/// Unreadable directory, or any individual file failing to parse.
+pub fn discover(dir: impl AsRef<Path>) -> Result<Vec<BaselineFile>, String> {
+    let dir = dir.as_ref();
+    let mut files = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            files.push(BaselineFile::load(entry.path())?);
+        }
+    }
+    sort_baselines(&mut files);
+    Ok(files)
+}
+
+/// Sorts baselines into trajectory order (PR number, then label).
+pub fn sort_baselines(files: &mut [BaselineFile]) {
+    files.sort_by(|a, b| a.order.cmp(&b.order).then_with(|| a.label.cmp(&b.label)));
+}
+
+/// Renders the per-metric trajectory table: one column per baseline in
+/// PR order, one row per tracked metric, `-` where a baseline predates
+/// the metric.
+pub fn render_trajectory(files: &[BaselineFile]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if files.is_empty() {
+        out.push_str("perfhist: no BENCH_*.json baselines found\n");
+        return out;
+    }
+    let _ = write!(out, "{:<28}", "metric");
+    for f in files {
+        let _ = write!(out, " {:>14}", f.label);
+    }
+    out.push('\n');
+    let _ = write!(out, "{:<28}", "  (sweep)");
+    for f in files {
+        let shape = match (f.training_len, f.threads) {
+            (Some(len), Some(t)) => format!("{}k/t{t}", len / 1000),
+            _ => "?".to_owned(),
+        };
+        let _ = write!(out, " {shape:>14}");
+    }
+    out.push('\n');
+    for metric in TRACKED_METRICS {
+        let _ = write!(out, "{metric:<28}");
+        for f in files {
+            match f.metric(metric) {
+                Some(v) => {
+                    let _ = write!(out, " {v:>14.2}");
+                }
+                None => {
+                    let _ = write!(out, " {:>14}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The regression gate's verdict on the newest pair of baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Fewer than two baselines: nothing to compare.
+    TooFewBaselines,
+    /// The newest two baselines measured different sweep shapes;
+    /// wall times are not comparable, so the gate abstains.
+    NotComparable {
+        /// Newest baseline's label.
+        newest: String,
+        /// Predecessor's label.
+        previous: String,
+    },
+    /// Newest is within the threshold of (or faster than) its
+    /// predecessor.
+    Ok {
+        /// Newest baseline's label.
+        newest: String,
+        /// Predecessor's label.
+        previous: String,
+        /// Newest-over-previous change of the gated metric, percent
+        /// (negative = faster).
+        change_percent: f64,
+    },
+    /// Newest regressed the gated metric beyond the threshold.
+    Regression {
+        /// Newest baseline's label.
+        newest: String,
+        /// Predecessor's label.
+        previous: String,
+        /// Newest-over-previous change of the gated metric, percent.
+        change_percent: f64,
+        /// The threshold that was exceeded, percent.
+        threshold_percent: f64,
+    },
+}
+
+impl Verdict {
+    /// Whether CI should fail on this verdict.
+    pub fn is_regression(&self) -> bool {
+        matches!(self, Verdict::Regression { .. })
+    }
+
+    /// One-line human rendering.
+    pub fn render(&self) -> String {
+        match self {
+            Verdict::TooFewBaselines => {
+                "perfhist: fewer than two baselines; nothing to gate".to_owned()
+            }
+            Verdict::NotComparable { newest, previous } => format!(
+                "perfhist: {newest} and {previous} measured different sweeps; gate abstains"
+            ),
+            Verdict::Ok {
+                newest,
+                previous,
+                change_percent,
+            } => format!(
+                "perfhist: OK — {GATED_METRIC} {newest} vs {previous}: {change_percent:+.2}%"
+            ),
+            Verdict::Regression {
+                newest,
+                previous,
+                change_percent,
+                threshold_percent,
+            } => format!(
+                "perfhist: REGRESSION — {GATED_METRIC} {newest} vs {previous}: \
+                 {change_percent:+.2}% exceeds the {threshold_percent:.1}% threshold"
+            ),
+        }
+    }
+}
+
+/// Gates the newest baseline against its predecessor: regression when
+/// the gated metric grew by more than `threshold_percent` between the
+/// two newest baselines that share a sweep shape with each other.
+pub fn gate(files: &[BaselineFile], threshold_percent: f64) -> Verdict {
+    let Some(newest) = files.last() else {
+        return Verdict::TooFewBaselines;
+    };
+    let Some(previous) = files.iter().rev().nth(1) else {
+        return Verdict::TooFewBaselines;
+    };
+    if !newest.comparable_with(previous) {
+        return Verdict::NotComparable {
+            newest: newest.label.clone(),
+            previous: previous.label.clone(),
+        };
+    }
+    let (Some(new_wall), Some(old_wall)) =
+        (newest.metric(GATED_METRIC), previous.metric(GATED_METRIC))
+    else {
+        return Verdict::NotComparable {
+            newest: newest.label.clone(),
+            previous: previous.label.clone(),
+        };
+    };
+    if old_wall <= 0.0 {
+        return Verdict::NotComparable {
+            newest: newest.label.clone(),
+            previous: previous.label.clone(),
+        };
+    }
+    let change_percent = (new_wall - old_wall) / old_wall * 100.0;
+    if change_percent > threshold_percent {
+        Verdict::Regression {
+            newest: newest.label.clone(),
+            previous: previous.label.clone(),
+            change_percent,
+            threshold_percent,
+        }
+    } else {
+        Verdict::Ok {
+            newest: newest.label.clone(),
+            previous: previous.label.clone(),
+            change_percent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(label: &str, wall: f64, training_len: u64, threads: u64) -> BaselineFile {
+        let json = format!(
+            r#"{{"bench": "{label}", "training_len": {training_len}, "threads": {threads},
+                "wall_ms_trace_off": {wall}, "trace_dropped": 0}}"#
+        );
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "detdiv-perfhist-test-{}-BENCH_{label}.json",
+            std::process::id()
+        ));
+        std::fs::write(&path, json).unwrap();
+        let parsed = BaselineFile::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        parsed
+    }
+
+    #[test]
+    fn baselines_sort_by_pr_number_not_lexically() {
+        let mut files = vec![
+            synthetic("pr10", 100.0, 60_000, 1),
+            synthetic("pr4", 100.0, 60_000, 1),
+            synthetic("pr3", 100.0, 60_000, 1),
+        ];
+        sort_baselines(&mut files);
+        let labels: Vec<_> = files.iter().map(|f| f.label.as_str()).collect();
+        assert_eq!(labels, ["pr3", "pr4", "pr10"]);
+    }
+
+    #[test]
+    fn committed_baselines_parse_and_carry_the_gated_metric() {
+        // The real BENCH files at the repository root are test fixtures
+        // for the parser: they must stay loadable forever.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = discover(&root).expect("repo root scans");
+        assert!(
+            files.len() >= 2,
+            "at least pr3 and pr4 baselines are committed"
+        );
+        for f in &files {
+            assert!(
+                f.metric(GATED_METRIC).is_some(),
+                "{} carries {GATED_METRIC}",
+                f.path.display()
+            );
+        }
+        let table = render_trajectory(&files);
+        assert!(table.contains("pr3"));
+        assert!(table.contains("pr4"));
+        assert!(table.contains(GATED_METRIC));
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_fails_beyond_it() {
+        let files = vec![
+            synthetic("pr1", 1000.0, 60_000, 1),
+            synthetic("pr2", 1040.0, 60_000, 1),
+        ];
+        assert!(!gate(&files, 10.0).is_regression(), "4% growth under 10%");
+        let verdict = gate(&files, 2.0);
+        assert!(verdict.is_regression(), "4% growth over 2%");
+        assert!(verdict.render().contains("REGRESSION"));
+
+        let improved = vec![
+            synthetic("pr1", 1000.0, 60_000, 1),
+            synthetic("pr2", 700.0, 60_000, 1),
+        ];
+        assert!(!gate(&improved, 10.0).is_regression(), "speedups pass");
+    }
+
+    #[test]
+    fn gate_abstains_on_shape_mismatch_and_missing_data() {
+        let files = vec![
+            synthetic("pr1", 1000.0, 60_000, 1),
+            synthetic("pr2", 9000.0, 120_000, 1),
+        ];
+        assert_eq!(
+            gate(&files, 10.0),
+            Verdict::NotComparable {
+                newest: "pr2".to_owned(),
+                previous: "pr1".to_owned(),
+            },
+            "different training lengths are not comparable"
+        );
+        assert_eq!(
+            gate(&files[..1], 10.0),
+            Verdict::TooFewBaselines,
+            "a single baseline gates nothing"
+        );
+        assert_eq!(gate(&[], 10.0), Verdict::TooFewBaselines);
+    }
+
+    #[test]
+    fn dotted_metrics_walk_nested_objects() {
+        let json = r#"{"bench": "prX", "cache": {"hit_rate_percent": 60.25}}"#;
+        let path = std::env::temp_dir().join(format!(
+            "detdiv-perfhist-dotted-{}.json",
+            std::process::id()
+        ));
+        std::fs::write(&path, json).unwrap();
+        let f = BaselineFile::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(f.metric("cache.hit_rate_percent"), Some(60.25));
+        assert_eq!(f.metric("cache.absent"), None);
+        assert_eq!(f.metric("absent.whatever"), None);
+    }
+}

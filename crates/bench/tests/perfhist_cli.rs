@@ -1,0 +1,123 @@
+//! CLI contract tests for the `perfhist` binary: the trajectory table,
+//! the pass path, and — the part CI depends on — a demonstrable
+//! non-zero exit on a synthetic regressed baseline pair.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn perfhist() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_perfhist"))
+}
+
+/// A scratch directory holding synthetic `BENCH_*.json` baselines.
+fn fixture_dir(tag: &str, baselines: &[(&str, f64)]) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("detdiv-perfhist-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (label, wall) in baselines {
+        let json = format!(
+            r#"{{"bench": "{label}", "training_len": 60000, "threads": 1,
+                "wall_ms_trace_off": {wall}, "trace_events": 800, "trace_dropped": 0}}"#
+        );
+        std::fs::write(dir.join(format!("BENCH_{label}.json")), json).unwrap();
+    }
+    dir
+}
+
+#[test]
+fn regressed_pair_exits_nonzero_with_diagnostic() {
+    let dir = fixture_dir("regress", &[("pr1", 1000.0), ("pr2", 2500.0)]);
+    let output = perfhist()
+        .args(["--dir", dir.to_str().unwrap(), "--threshold", "25"])
+        .output()
+        .expect("spawn perfhist");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        !output.status.success(),
+        "a 150% wall-time regression must fail the gate"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("REGRESSION") && stderr.contains("pr2"),
+        "diagnostic names the verdict and the offender: {stderr:?}"
+    );
+}
+
+#[test]
+fn improving_pair_passes_and_prints_the_trajectory() {
+    let dir = fixture_dir("improve", &[("pr1", 1000.0), ("pr2", 800.0)]);
+    let output = perfhist()
+        .args(["--dir", dir.to_str().unwrap(), "--threshold", "25"])
+        .output()
+        .expect("spawn perfhist");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        output.status.success(),
+        "a speed-up passes: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("wall_ms_trace_off"), "table rows: {stdout}");
+    assert!(
+        stdout.contains("pr1") && stdout.contains("pr2"),
+        "table columns in PR order: {stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("OK"), "verdict rendered: {stderr}");
+}
+
+#[test]
+fn committed_repo_baselines_parse_end_to_end() {
+    // The repo root relative to this crate; the committed BENCH files
+    // must always survive the binary's full parse-render-gate path.
+    // The huge threshold makes this a parse test, not a perf test —
+    // committed baselines may come from different machines.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let output = perfhist()
+        .args(["--dir", root.to_str().unwrap(), "--threshold", "100000"])
+        .output()
+        .expect("spawn perfhist");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("pr3") && stdout.contains("pr4"));
+}
+
+#[test]
+fn explicit_file_arguments_bypass_discovery() {
+    let dir = fixture_dir("files", &[("pr7", 500.0), ("pr8", 510.0)]);
+    let a = dir.join("BENCH_pr7.json");
+    let b = dir.join("BENCH_pr8.json");
+    let output = perfhist()
+        .args([
+            b.to_str().unwrap(),
+            a.to_str().unwrap(),
+            "--threshold",
+            "25",
+        ])
+        .output()
+        .expect("spawn perfhist");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let pr7 = stdout.find("pr7").expect("pr7 in table");
+    let pr8 = stdout.find("pr8").expect("pr8 in table");
+    assert!(
+        pr7 < pr8,
+        "files are sorted into PR order regardless of argv order"
+    );
+}
+
+#[test]
+fn unreadable_input_fails_with_diagnostic() {
+    let output = perfhist()
+        .args(["/nonexistent/BENCH_nope.json"])
+        .output()
+        .expect("spawn perfhist");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("BENCH_nope"), "names the file: {stderr}");
+}

@@ -126,3 +126,91 @@ fn corpus_free_experiment_succeeds_with_thread_override() {
         "fig7 output should include the similarity table: {stdout:?}"
     );
 }
+
+/// `--serve` on a port that is already taken must fail fast — the bind
+/// happens during preflight, before any synthesis.
+#[test]
+fn serve_on_taken_port_fails_fast_with_diagnostic() {
+    let blocker = std::net::TcpListener::bind("127.0.0.1:0").expect("bind blocker");
+    let taken = blocker.local_addr().unwrap().to_string();
+    let started = Instant::now();
+    let output = regenerate()
+        .args(["--log", "off", "--serve", &taken])
+        .output()
+        .expect("spawn regenerate");
+    let elapsed = started.elapsed();
+    assert!(!output.status.success(), "taken port must fail the run");
+    let stderr = stderr_of(&output);
+    assert!(
+        stderr.contains("cannot arm --serve") && stderr.contains(&taken),
+        "diagnostic names the flag and the address: {stderr:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "serve preflight should fail before any computation, took {elapsed:?}"
+    );
+}
+
+/// A served corpus-free run succeeds, echoes the bound address on
+/// stderr (the line CI parses for the ephemeral port), and still
+/// prints its normal output.
+#[test]
+fn serve_run_echoes_bound_address_and_succeeds() {
+    let output = regenerate()
+        .args([
+            "--log",
+            "off",
+            "--experiment",
+            "fig7",
+            "--serve",
+            "127.0.0.1:0",
+        ])
+        .output()
+        .expect("spawn regenerate");
+    assert!(
+        output.status.success(),
+        "served fig7 should succeed: stderr={:?}",
+        stderr_of(&output)
+    );
+    let stderr = stderr_of(&output);
+    assert!(
+        stderr.contains("serving live metrics on http://127.0.0.1:"),
+        "bound address echoed for scripted scrapers: {stderr:?}"
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("Sim"), "fig7 output intact: {stdout:?}");
+}
+
+/// A malformed `DETDIV_SERVE` is caught by the environment preflight
+/// with a diagnostic naming the variable.
+#[test]
+fn malformed_detdiv_serve_env_is_rejected() {
+    let output = regenerate()
+        .args(["--log", "off", "--experiment", "fig7"])
+        .env("DETDIV_SERVE", "not a socket")
+        .output()
+        .expect("spawn regenerate");
+    assert!(!output.status.success());
+    let stderr = stderr_of(&output);
+    assert!(
+        stderr.contains("DETDIV_SERVE"),
+        "diagnostic names the variable: {stderr:?}"
+    );
+}
+
+/// A malformed `DETDIV_SCOPE_INTERVAL_MS` is likewise rejected up
+/// front, even when `--serve` is not armed.
+#[test]
+fn malformed_scope_interval_env_is_rejected() {
+    let output = regenerate()
+        .args(["--log", "off", "--experiment", "fig7"])
+        .env("DETDIV_SCOPE_INTERVAL_MS", "0")
+        .output()
+        .expect("spawn regenerate");
+    assert!(!output.status.success());
+    let stderr = stderr_of(&output);
+    assert!(
+        stderr.contains("DETDIV_SCOPE_INTERVAL_MS"),
+        "diagnostic names the variable: {stderr:?}"
+    );
+}

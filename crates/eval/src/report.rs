@@ -92,6 +92,11 @@ fn step<T>(
         elapsed_ms = span.elapsed().as_millis(),
         ok = result.is_ok(),
     );
+    if result.is_ok() {
+        // Coarse progress counter: the live scope sampler graphs it as
+        // a rate, and a stalled run shows up as a flat line.
+        detdiv_obs::incr_counter("eval/experiments_completed", 1);
+    }
     if detdiv_obs::trace::armed() {
         // Periodic counter samples: one point per experiment step, so
         // the exported trace graphs pool progress as a time series.

@@ -50,6 +50,18 @@ fn bucket_index(value: u64) -> usize {
     }
 }
 
+/// Inclusive upper bound of bucket `i` (`2^(i+1) - 1`; `u64::MAX` for
+/// the last bucket). This is the `le` bound a cumulative exposition
+/// format (e.g. Prometheus text 0.0.4) attaches to the bucket: every
+/// sample routed to bucket `i` is `<=` this value.
+pub fn bucket_upper_inclusive(i: usize) -> u64 {
+    if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
 /// Inclusive lower bound of bucket `i`.
 fn bucket_low(i: usize) -> u64 {
     if i == 0 {
@@ -128,6 +140,14 @@ impl Histogram {
         self.max.load(Ordering::Relaxed)
     }
 
+    /// Point-in-time copy of the raw log2 bucket counts (bucket `i`
+    /// counts samples whose `floor(log2(v)) == i`). Used by exposition
+    /// layers that need the distribution itself, not just the
+    /// [`HistogramSummary`] quantile estimates.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
     /// Produces a serializable point-in-time summary.
     pub fn summary(&self) -> HistogramSummary {
         let count = self.count();
@@ -166,6 +186,36 @@ mod tests {
         assert_eq!(bucket_index(4), 2);
         assert_eq!(bucket_index(u64::MAX), 63);
         assert!(bucket_low(5) <= 40 && 40 < bucket_high(5));
+    }
+
+    #[test]
+    fn inclusive_upper_bounds_cover_their_buckets() {
+        // Every representable value in bucket `i` is <= its inclusive
+        // upper bound, and the bounds are strictly increasing — the
+        // property a cumulative `le` exposition relies on.
+        assert_eq!(bucket_upper_inclusive(0), 1);
+        assert_eq!(bucket_upper_inclusive(1), 3);
+        assert_eq!(bucket_upper_inclusive(62), (1u64 << 63) - 1);
+        assert_eq!(bucket_upper_inclusive(63), u64::MAX);
+        for i in 0..BUCKETS {
+            assert!(bucket_high(i).saturating_sub(1) <= bucket_upper_inclusive(i));
+            if i > 0 {
+                assert!(bucket_upper_inclusive(i - 1) < bucket_upper_inclusive(i));
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_counts_reflect_recordings() {
+        let h = Histogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 0
+        h.record(5); // bucket 2
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[1], 0);
+        assert_eq!(counts[2], 1);
+        assert_eq!(counts.iter().sum::<u64>(), h.count());
     }
 
     #[test]

@@ -56,9 +56,10 @@ pub use histogram::Histogram;
 pub use level::{enabled, max_level, set_max_level, telemetry_enabled, Level};
 pub use profile::{ProfileRow, SelfProfile};
 pub use registry::{
-    incr_counter, record_cell, record_duration, record_nanos, reset, set_counter, snapshot,
+    export_counters, export_histograms, incr_counter, record_cell, record_duration, record_nanos,
+    reset, set_counter, set_timeseries_source, snapshot, TimeseriesSource,
 };
-pub use snapshot::{CellTiming, HistogramSummary, TelemetrySnapshot};
+pub use snapshot::{CellTiming, HistogramSummary, SeriesSummary, TelemetrySnapshot};
 pub use span::{context, current_depth, current_path, ContextGuard, SpanGuard};
 
 use std::fmt;

@@ -9,11 +9,32 @@
 
 use crate::histogram::Histogram;
 use crate::level::telemetry_enabled;
-use crate::snapshot::{CellTiming, TelemetrySnapshot};
+use crate::snapshot::{CellTiming, SeriesSummary, TelemetrySnapshot};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
+
+/// A callback producing the sampled time-series section a snapshot
+/// embeds (see [`set_timeseries_source`]).
+pub type TimeseriesSource = Box<dyn Fn() -> Vec<SeriesSummary> + Send + Sync>;
+
+fn timeseries_source() -> &'static Mutex<Option<TimeseriesSource>> {
+    static SOURCE: OnceLock<Mutex<Option<TimeseriesSource>>> = OnceLock::new();
+    SOURCE.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs (or, with `None`, removes) the provider of the snapshot's
+/// `timeseries` section. The live-introspection layer (`detdiv-scope`)
+/// installs its sampler here while armed, so end-of-run snapshots carry
+/// the sampled series; with no source installed — the default — the
+/// section is empty and snapshots are unchanged. The source survives
+/// [`reset`]: arming happens once per process, before the first run.
+pub fn set_timeseries_source(source: Option<TimeseriesSource>) {
+    *timeseries_source()
+        .lock()
+        .expect("timeseries source poisoned") = source;
+}
 
 #[derive(Debug, Default)]
 struct Registry {
@@ -142,6 +163,35 @@ pub fn record_cell(detector: &str, window: usize, anomaly_size: usize, duration:
         .push(cell);
 }
 
+/// Point-in-time export of every counter's name and value, in name
+/// order. This is the registry-iteration hook exposition layers build
+/// on (e.g. the `detdiv-scope` Prometheus renderer): unlike
+/// [`snapshot`] it copies no histograms or cells, so it is cheap
+/// enough to serve on every scrape.
+pub fn export_counters() -> Vec<(String, u64)> {
+    registry()
+        .counters
+        .lock()
+        .expect("counter registry poisoned")
+        .iter()
+        .map(|(name, c)| (name.clone(), c.load(Ordering::Relaxed)))
+        .collect()
+}
+
+/// Point-in-time export of every histogram's name and shared handle,
+/// in name order. The returned [`Histogram`]s are the live instruments
+/// (behind `Arc`s), so callers can read raw bucket counts and
+/// quantiles without copying; recording continues concurrently.
+pub fn export_histograms() -> Vec<(String, Arc<Histogram>)> {
+    registry()
+        .histograms
+        .lock()
+        .expect("histogram registry poisoned")
+        .iter()
+        .map(|(name, h)| (name.clone(), Arc::clone(h)))
+        .collect()
+}
+
 /// Freezes the registry into a serializable snapshot.
 pub fn snapshot() -> TelemetrySnapshot {
     let reg = registry();
@@ -183,11 +233,23 @@ pub fn snapshot() -> TelemetrySnapshot {
     // The self-profile is a pure function of the frozen maps, so a
     // snapshot stays deterministic given what was recorded.
     let profile = crate::profile::SelfProfile::from_maps(&histograms, &counters);
+    // The sampled time series, when a sampler is armed (sorted by name
+    // so the section's order never depends on sampling internals).
+    let mut timeseries = match timeseries_source()
+        .lock()
+        .expect("timeseries source poisoned")
+        .as_ref()
+    {
+        Some(source) => source(),
+        None => Vec::new(),
+    };
+    timeseries.sort_by(|a, b| a.name.cmp(&b.name));
     TelemetrySnapshot {
         counters,
         histograms,
         cells,
         profile,
+        timeseries,
     }
 }
 
@@ -289,6 +351,61 @@ mod tests {
             .expect("cell histogram recorded");
         assert!(h.count >= 2);
         assert!(h.sum_ns >= 11_000);
+    }
+
+    #[test]
+    fn export_hooks_mirror_the_registry() {
+        incr_counter("test/registry/export_counter", 5);
+        record_nanos("test/registry/export_histogram", 1000);
+        let counters = export_counters();
+        let (_, value) = counters
+            .iter()
+            .find(|(name, _)| name == "test/registry/export_counter")
+            .expect("exported counter present");
+        assert!(*value >= 5);
+        let histograms = export_histograms();
+        let (_, h) = histograms
+            .iter()
+            .find(|(name, _)| name == "test/registry/export_histogram")
+            .expect("exported histogram present");
+        assert!(h.count() >= 1);
+        // Name order, matching the snapshot's BTreeMap iteration.
+        let names: Vec<_> = counters.iter().map(|(n, _)| n.clone()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn timeseries_source_feeds_snapshots_and_survives_reset() {
+        set_timeseries_source(Some(Box::new(|| {
+            vec![
+                SeriesSummary {
+                    name: "zeta/series".into(),
+                    interval_ms: 100,
+                    samples: vec![1, 2, 3],
+                    rate_per_sec: 10.0,
+                },
+                SeriesSummary {
+                    name: "alpha/series".into(),
+                    interval_ms: 100,
+                    samples: vec![4],
+                    rate_per_sec: 0.0,
+                },
+            ]
+        })));
+        let snap = snapshot();
+        let names: Vec<_> = snap.timeseries.iter().map(|s| s.name.clone()).collect();
+        assert!(names.contains(&"alpha/series".to_owned()));
+        assert!(names.contains(&"zeta/series".to_owned()));
+        let alpha = names.iter().position(|n| n == "alpha/series").unwrap();
+        let zeta = names.iter().position(|n| n == "zeta/series").unwrap();
+        assert!(alpha < zeta, "series are snapshot in name order");
+        // (`reset` deliberately leaves the source armed; calling it
+        // here would race the other registry tests in this process, so
+        // that property is covered by the `detdiv-scope` suite.)
+        set_timeseries_source(None);
+        assert!(snapshot().timeseries.is_empty());
     }
 
     #[test]

@@ -34,6 +34,28 @@ pub struct HistogramSummary {
     pub p99_ns: u64,
 }
 
+/// One sampled counter time series, as recorded by a live-introspection
+/// sampler (`detdiv-scope`): the ring of absolute counter values it
+/// observed at a fixed interval, plus the rate derived from the newest
+/// pair. Carries wall-clock-dependent data by construction, so it is
+/// only ever non-empty when a sampler was explicitly armed — paper
+/// artifacts produced without one are unaffected.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSummary {
+    /// The sampled counter's registry name (e.g.
+    /// `detector/stide/windows_scored`), or a sampler-derived
+    /// aggregate (`scope/events`).
+    pub name: String,
+    /// Sampling interval, in milliseconds.
+    pub interval_ms: u64,
+    /// Ring contents, oldest first: the counter's absolute value at
+    /// each tick, up to the ring capacity.
+    pub samples: Vec<u64>,
+    /// Events per second derived from the two newest samples (0 when
+    /// fewer than two samples exist or the counter went backwards).
+    pub rate_per_sec: f64,
+}
+
 /// Wall time of one evaluation-grid cell: one detector trained at one
 /// window, scored against one anomaly size.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -72,6 +94,12 @@ pub struct TelemetrySnapshot {
     /// written before this field existed.
     #[serde(default)]
     pub profile: SelfProfile,
+    /// Sampled counter time series, non-empty only when a
+    /// live-introspection sampler (`detdiv-scope`) was armed for the
+    /// run. Defaults to empty when deserializing snapshots written
+    /// before this field existed.
+    #[serde(default)]
+    pub timeseries: Vec<SeriesSummary>,
 }
 
 impl TelemetrySnapshot {
@@ -119,6 +147,19 @@ impl TelemetrySnapshot {
             );
         }
         let _ = writeln!(out, "telemetry: {} grid cells timed", self.cells.len());
+        if !self.timeseries.is_empty() {
+            let _ = writeln!(out, "telemetry: {} sampled series", self.timeseries.len());
+            for s in &self.timeseries {
+                let _ = writeln!(
+                    out,
+                    "  {:<44} {:>8} samples @{:>5} ms {:>12.1}/s",
+                    s.name,
+                    s.samples.len(),
+                    s.interval_ms,
+                    s.rate_per_sec,
+                );
+            }
+        }
         if !self.profile.is_empty() {
             out.push_str(&self.profile.render_text(12));
         }
@@ -155,6 +196,12 @@ mod tests {
             nanos: 42,
         });
         snap.profile = SelfProfile::from_maps(&snap.histograms, &snap.counters);
+        snap.timeseries.push(SeriesSummary {
+            name: "detector/stide/windows_scored".into(),
+            interval_ms: 250,
+            samples: vec![0, 40, 94],
+            rate_per_sec: 216.0,
+        });
         snap
     }
 

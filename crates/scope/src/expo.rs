@@ -1,0 +1,567 @@
+//! Prometheus text exposition (format 0.0.4) over the obs registry,
+//! plus the hand-rolled validator the test suite and `scopecheck` use.
+//!
+//! The mapping from obs instruments to exposition families is a pure
+//! function of the registry contents:
+//!
+//! * counter `par/jobs_executed` → `detdiv_par_jobs_executed_total`
+//!   (`# TYPE ... counter`);
+//! * histogram `span/report` → `detdiv_span_report` with cumulative
+//!   `_bucket{le="..."}` lines rendered from the raw log2 buckets
+//!   (bucket `i` is published under its inclusive upper bound
+//!   `2^(i+1) - 1`, the last bucket folds into `le="+Inf"`), plus
+//!   `_sum` / `_count`, plus `detdiv_span_report_p50` / `_p90` /
+//!   `_p99` gauges carrying the interpolated quantile estimates;
+//! * sampler rates → `detdiv_rate_per_sec{series="<registry name>"}`
+//!   gauges and the aggregate `detdiv_events_per_sec`.
+//!
+//! Counter values are rendered as exact integers, so a scrape of a
+//! finished deterministic run reproduces the `TelemetrySnapshot`
+//! counter map value-for-value — the exposition-correctness test pins
+//! that down.
+
+use detdiv_obs::Histogram;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Maps an obs registry name onto the Prometheus metric-name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every run of invalid characters
+/// becomes one `_`. The rendered names are additionally prefixed with
+/// `detdiv_`, so a leading digit can never start a metric name.
+pub fn sanitize(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut gap = false;
+    for c in raw.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+            gap = false;
+        } else if !gap {
+            out.push('_');
+            gap = true;
+        }
+    }
+    out
+}
+
+/// The exposition name of an obs counter (`…_total` per convention).
+pub fn counter_metric_name(raw: &str) -> String {
+    format!("detdiv_{}_total", sanitize(raw))
+}
+
+/// The exposition family name of an obs histogram.
+pub fn histogram_metric_name(raw: &str) -> String {
+    format!("detdiv_{}", sanitize(raw))
+}
+
+/// Escapes a HELP docstring (backslash and newline, per the format).
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value (backslash, quote, newline).
+fn escape_label(text: &str) -> String {
+    text.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Incremental builder for one exposition page. Families are emitted
+/// in the order the `emit_*` calls arrive; each carries its `# HELP`
+/// and `# TYPE` header.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    /// An empty page.
+    pub fn new() -> Exposition {
+        Exposition::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emits one counter family with a single exact-integer sample.
+    pub fn emit_counter(&mut self, raw: &str, value: u64) {
+        let name = counter_metric_name(raw);
+        self.header(&name, &format!("detdiv counter `{raw}`"), "counter");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Emits one unlabeled gauge family with an integer sample.
+    pub fn emit_gauge_u64(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Emits one unlabeled gauge family with a float sample.
+    pub fn emit_gauge_f64(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Emits one gauge family whose samples are distinguished by a
+    /// single label; `series` holds `(label value, sample)` pairs.
+    pub fn emit_labeled_gauge(
+        &mut self,
+        name: &str,
+        help: &str,
+        label: &str,
+        series: &[(String, f64)],
+    ) {
+        if series.is_empty() {
+            return;
+        }
+        self.header(name, help, "gauge");
+        for (value, sample) in series {
+            let _ = writeln!(
+                self.out,
+                "{name}{{{label}=\"{}\"}} {sample}",
+                escape_label(value)
+            );
+        }
+    }
+
+    /// Emits one histogram family from the live log2 instrument:
+    /// cumulative buckets (only up to the highest non-empty bucket,
+    /// then the mandatory `le="+Inf"`), `_sum`, `_count`, and the
+    /// three quantile-estimate gauges.
+    pub fn emit_histogram(&mut self, raw: &str, h: &Histogram) {
+        let name = histogram_metric_name(raw);
+        // One consistent view: buckets are copied once, and count/sum
+        // are derived from that copy so `_count` always equals the
+        // terminal bucket even while recording continues concurrently.
+        let buckets = h.bucket_counts();
+        let total: u64 = buckets.iter().sum();
+        self.header(
+            &name,
+            &format!("detdiv histogram `{raw}` (nanoseconds, log2 buckets)"),
+            "histogram",
+        );
+        let highest = buckets.iter().rposition(|&n| n > 0);
+        let mut cumulative = 0u64;
+        if let Some(highest) = highest {
+            for (i, &n) in buckets.iter().enumerate().take(highest + 1) {
+                cumulative += n;
+                let le = detdiv_obs::histogram::bucket_upper_inclusive(i);
+                if le == u64::MAX {
+                    break; // the last bucket is published as +Inf only
+                }
+                let _ = writeln!(self.out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+        }
+        let _ = writeln!(self.out, "{name}_bucket{{le=\"+Inf\"}} {total}");
+        let _ = writeln!(self.out, "{name}_sum {}", h.sum());
+        let _ = writeln!(self.out, "{name}_count {total}");
+        for (q, suffix) in [(0.50, "p50"), (0.90, "p90"), (0.99, "p99")] {
+            let gauge = format!("{name}_{suffix}");
+            self.emit_gauge_u64(
+                &gauge,
+                &format!("detdiv histogram `{raw}` {suffix} estimate, nanoseconds"),
+                h.quantile(q),
+            );
+        }
+    }
+
+    /// The finished page.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Renders the whole obs registry (every counter and histogram, in
+/// registry name order) into one exposition page, preceded by the
+/// caller-supplied scope-process families. This is what `GET /metrics`
+/// serves.
+pub fn render_registry(mut page: Exposition) -> String {
+    for (name, value) in detdiv_obs::export_counters() {
+        page.emit_counter(&name, value);
+    }
+    for (name, h) in detdiv_obs::export_histograms() {
+        page.emit_histogram(&name, h.as_ref());
+    }
+    page.finish()
+}
+
+/// Re-export used by [`render_registry`] callers that pre-populate the
+/// page with process metrics.
+pub type HistogramHandle = Arc<Histogram>;
+
+// ---------------------------------------------------------------------
+// Validator
+// ---------------------------------------------------------------------
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Metric name (before any `{...}`).
+    pub name: String,
+    /// Raw label block contents (without braces; empty when absent).
+    pub labels: String,
+    /// The raw value token, preserved exactly for integer comparisons.
+    pub value: String,
+}
+
+/// The outcome of a successful validation: every sample plus the
+/// family census.
+#[derive(Debug, Clone, Default)]
+pub struct PromText {
+    /// All sample lines, in page order.
+    pub samples: Vec<PromSample>,
+    /// Families seen via `# TYPE`, `(name, kind)` in page order.
+    pub families: Vec<(String, String)>,
+}
+
+impl PromText {
+    /// The raw value of the first unlabeled sample named `name`.
+    pub fn value_of(&self, name: &str) -> Option<&str> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value.as_str())
+    }
+
+    /// The unlabeled sample named `name`, parsed as `u64`.
+    pub fn value_u64(&self, name: &str) -> Option<u64> {
+        self.value_of(name).and_then(|v| v.parse().ok())
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_value(value: &str) -> bool {
+    matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok()
+}
+
+/// Splits `name{labels} value` / `name value`; labels may contain
+/// spaces inside quoted values.
+fn split_sample(line: &str) -> Result<PromSample, String> {
+    let (head, labels, rest) = match line.find('{') {
+        Some(open) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unterminated label block: {line}"))?;
+            if close < open {
+                return Err(format!("malformed label block: {line}"));
+            }
+            (
+                &line[..open],
+                line[open + 1..close].to_owned(),
+                line[close + 1..].trim(),
+            )
+        }
+        None => {
+            let mut it = line.splitn(2, ' ');
+            let head = it.next().unwrap_or_default();
+            (head, String::new(), it.next().unwrap_or("").trim())
+        }
+    };
+    let name = head.trim().to_owned();
+    if name.is_empty() || rest.is_empty() {
+        return Err(format!("sample line needs `name value`: {line}"));
+    }
+    // Timestamps (a second token after the value) are permitted by the
+    // format but never emitted by detdiv; reject them to keep scrapes
+    // canonical.
+    let mut tokens = rest.split_whitespace();
+    let value = tokens.next().unwrap_or("").to_owned();
+    if tokens.next().is_some() {
+        return Err(format!("unexpected trailing token: {line}"));
+    }
+    Ok(PromSample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn label_value(labels: &str, key: &str) -> Option<String> {
+    // Good enough for detdiv's own pages: single-label blocks with
+    // escaped quotes handled by the renderer's escaping rules.
+    let needle = format!("{key}=\"");
+    let start = labels.find(&needle)? + needle.len();
+    let mut out = String::new();
+    let mut escaped = false;
+    for c in labels[start..].chars() {
+        match (escaped, c) {
+            (true, _) => {
+                out.push(c);
+                escaped = false;
+            }
+            (false, '\\') => escaped = true,
+            (false, '"') => return Some(out),
+            (false, _) => out.push(c),
+        }
+    }
+    None
+}
+
+/// Validates one Prometheus text-format 0.0.4 page, enforcing the
+/// contract the detdiv renderer promises:
+///
+/// * every line is empty, `# HELP`, `# TYPE`, or a sample;
+/// * each `# TYPE` names a known kind and appears once per family,
+///   with a matching `# HELP` on the page;
+/// * every sample belongs to a family with a `# TYPE` (histogram
+///   samples resolve through their `_bucket`/`_sum`/`_count` suffix);
+/// * metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*` and values parse;
+/// * every histogram's buckets are cumulative (non-decreasing), their
+///   `le` bounds strictly increase, the terminal bucket is
+///   `le="+Inf"`, and `_count` equals the terminal bucket.
+///
+/// # Errors
+///
+/// The first violated rule, as a human-readable message naming the
+/// offending line or family.
+pub fn validate(text: &str) -> Result<PromText, String> {
+    let mut out = PromText::default();
+    let mut helps: Vec<String> = Vec::new();
+    let mut types: Vec<(String, String)> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or_default().to_owned();
+            if !valid_metric_name(&name) {
+                return Err(format!("HELP names an invalid metric: {line}"));
+            }
+            helps.push(name);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let name = it.next().unwrap_or_default().to_owned();
+            let kind = it.next().unwrap_or_default().to_owned();
+            if !valid_metric_name(&name) {
+                return Err(format!("TYPE names an invalid metric: {line}"));
+            }
+            if !matches!(
+                kind.as_str(),
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("unknown TYPE kind {kind:?}: {line}"));
+            }
+            if types.iter().any(|(n, _)| *n == name) {
+                return Err(format!("duplicate TYPE for family {name}"));
+            }
+            if !helps.contains(&name) {
+                return Err(format!("TYPE for {name} has no preceding HELP"));
+            }
+            types.push((name, kind));
+            continue;
+        }
+        if line.starts_with('#') {
+            // Free comments are legal; detdiv never emits them but a
+            // scrape proxy might.
+            continue;
+        }
+        let sample = split_sample(line)?;
+        if !valid_metric_name(&sample.name) {
+            return Err(format!("invalid metric name {:?}", sample.name));
+        }
+        if !valid_value(&sample.value) {
+            return Err(format!(
+                "sample {} has unparseable value {:?}",
+                sample.name, sample.value
+            ));
+        }
+        let family = types
+            .iter()
+            .find(|(n, _)| *n == sample.name)
+            .map(|(n, _)| n.clone())
+            .or_else(|| {
+                ["_bucket", "_sum", "_count"].iter().find_map(|suffix| {
+                    let base = sample.name.strip_suffix(suffix)?;
+                    types
+                        .iter()
+                        .find(|(n, k)| n == base && k == "histogram")
+                        .map(|(n, _)| n.clone())
+                })
+            });
+        if family.is_none() {
+            return Err(format!("sample {} has no TYPE header", sample.name));
+        }
+        out.samples.push(sample);
+    }
+    // Histogram shape checks.
+    for (family, kind) in &types {
+        if kind != "histogram" {
+            continue;
+        }
+        let bucket_name = format!("{family}_bucket");
+        let buckets: Vec<&PromSample> = out
+            .samples
+            .iter()
+            .filter(|s| s.name == bucket_name)
+            .collect();
+        if buckets.is_empty() {
+            return Err(format!("histogram {family} has no buckets"));
+        }
+        let mut previous_le = f64::NEG_INFINITY;
+        let mut previous_count = 0u64;
+        for (i, bucket) in buckets.iter().enumerate() {
+            let le = label_value(&bucket.labels, "le")
+                .ok_or_else(|| format!("histogram {family} bucket without le label"))?;
+            let le_value = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse::<f64>()
+                    .map_err(|e| format!("histogram {family} bucket le {le:?}: {e}"))?
+            };
+            if le_value <= previous_le {
+                return Err(format!("histogram {family} le bounds not increasing"));
+            }
+            previous_le = le_value;
+            let count: u64 = bucket
+                .value
+                .parse()
+                .map_err(|e| format!("histogram {family} bucket count {:?}: {e}", bucket.value))?;
+            if count < previous_count {
+                return Err(format!("histogram {family} buckets not cumulative"));
+            }
+            previous_count = count;
+            let is_last = i == buckets.len() - 1;
+            if is_last && le != "+Inf" {
+                return Err(format!("histogram {family} terminal bucket is not +Inf"));
+            }
+        }
+        let count = out
+            .value_u64(&format!("{family}_count"))
+            .ok_or_else(|| format!("histogram {family} has no _count"))?;
+        if count != previous_count {
+            return Err(format!(
+                "histogram {family} _count {count} != +Inf bucket {previous_count}"
+            ));
+        }
+        if out.value_of(&format!("{family}_sum")).is_none() {
+            return Err(format!("histogram {family} has no _sum"));
+        }
+    }
+    out.families = types;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_collapses_invalid_runs() {
+        assert_eq!(
+            sanitize("par/worker0/jobs_executed"),
+            "par_worker0_jobs_executed"
+        );
+        assert_eq!(
+            sanitize("detector/lane-brodley/train_ns"),
+            "detector_lane_brodley_train_ns"
+        );
+        assert_eq!(sanitize("a//b"), "a_b");
+        assert_eq!(counter_metric_name("eval/cases"), "detdiv_eval_cases_total");
+    }
+
+    #[test]
+    fn rendered_counter_page_validates_and_round_trips_values() {
+        let mut page = Exposition::new();
+        page.emit_counter("eval/cases", 1234);
+        page.emit_counter("detector/stide/alarms_raised", 9);
+        let text = page.finish();
+        let parsed = validate(&text).expect("renderer output validates");
+        assert_eq!(parsed.value_u64("detdiv_eval_cases_total"), Some(1234));
+        assert_eq!(
+            parsed.value_u64("detdiv_detector_stide_alarms_raised_total"),
+            Some(9)
+        );
+        assert_eq!(parsed.families.len(), 2);
+    }
+
+    #[test]
+    fn rendered_histogram_is_cumulative_with_inf_terminal() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 2, 5, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let mut page = Exposition::new();
+        page.emit_histogram("span/report", &h);
+        let text = page.finish();
+        let parsed = validate(&text).expect("histogram page validates");
+        assert_eq!(parsed.value_u64("detdiv_span_report_count"), Some(6));
+        assert_eq!(parsed.value_u64("detdiv_span_report_sum"), Some(1_001_010));
+        assert!(parsed.value_u64("detdiv_span_report_p50").is_some());
+        let inf_bucket = parsed
+            .samples
+            .iter()
+            .find(|s| s.name == "detdiv_span_report_bucket" && s.labels.contains("+Inf"))
+            .expect("terminal bucket present");
+        assert_eq!(inf_bucket.value, "6");
+    }
+
+    #[test]
+    fn empty_histogram_still_validates() {
+        let h = Histogram::new();
+        let mut page = Exposition::new();
+        page.emit_histogram("span/empty", &h);
+        let parsed = validate(&page.finish()).expect("empty histogram validates");
+        assert_eq!(parsed.value_u64("detdiv_span_empty_count"), Some(0));
+    }
+
+    #[test]
+    fn labeled_gauges_validate() {
+        let mut page = Exposition::new();
+        page.emit_labeled_gauge(
+            "detdiv_rate_per_sec",
+            "sampled counter rate",
+            "series",
+            &[
+                ("detector/stide/windows_scored".to_owned(), 123.5),
+                ("cache/hits".to_owned(), 0.0),
+            ],
+        );
+        let parsed = validate(&page.finish()).expect("labeled gauge validates");
+        assert_eq!(parsed.samples.len(), 2);
+        assert!(parsed.samples[0].labels.contains("series=\""));
+    }
+
+    #[test]
+    fn validator_rejects_the_contract_violations() {
+        // No TYPE header.
+        assert!(validate("orphan_metric 1\n").is_err());
+        // TYPE without HELP.
+        assert!(validate("# TYPE x counter\nx 1\n").is_err());
+        // Unknown kind.
+        assert!(validate("# HELP x d\n# TYPE x rainbow\nx 1\n").is_err());
+        // Invalid name charset.
+        assert!(validate("# HELP x d\n# TYPE x counter\nx-y 1\n").is_err());
+        // Unparseable value.
+        assert!(validate("# HELP x d\n# TYPE x counter\nx banana\n").is_err());
+        // Non-cumulative buckets.
+        let shrinking = "# HELP h d\n# TYPE h histogram\n\
+                         h_bucket{le=\"1\"} 5\nh_bucket{le=\"3\"} 3\n\
+                         h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n";
+        assert!(validate(shrinking).unwrap_err().contains("cumulative"));
+        // Missing +Inf terminal.
+        let no_inf = "# HELP h d\n# TYPE h histogram\n\
+                      h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n";
+        assert!(validate(no_inf).unwrap_err().contains("+Inf"));
+        // _count disagrees with the terminal bucket.
+        let bad_count = "# HELP h d\n# TYPE h histogram\n\
+                         h_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 5\n";
+        assert!(validate(bad_count).unwrap_err().contains("_count"));
+        // le bounds must strictly increase.
+        let repeated_le = "# HELP h d\n# TYPE h histogram\n\
+                           h_bucket{le=\"1\"} 1\nh_bucket{le=\"1\"} 2\n\
+                           h_bucket{le=\"+Inf\"} 2\nh_sum 2\nh_count 2\n";
+        assert!(validate(repeated_le).unwrap_err().contains("increasing"));
+    }
+}

@@ -1,0 +1,215 @@
+//! `detdiv-scope`: live runtime introspection for the detdiv
+//! workspace — a metrics exposition server and a time-series sampler
+//! layered on the `detdiv-obs` registry, std-only like everything else
+//! here.
+//!
+//! # Pieces
+//!
+//! * [`server`] — a tiny `TcpListener` HTTP responder serving
+//!   `GET /metrics` (Prometheus text format 0.0.4), `/healthz`,
+//!   `/snapshot.json`, and `/profilez`. Binding is separate from
+//!   serving so arming can fail fast during preflight.
+//! * [`sampler`] — a background thread sampling selected obs counters
+//!   at a fixed interval into fixed-capacity ring buffers, deriving
+//!   events-per-second rate gauges, and feeding the snapshot's
+//!   `timeseries` section through the obs source hook.
+//! * [`expo`] — the Prometheus renderer plus the hand-rolled format
+//!   validator used by the tests and the `scopecheck` CI checker.
+//!
+//! # Arming and the determinism contract
+//!
+//! A [`Scope`] is only ever constructed when explicitly asked for
+//! (`regenerate --serve ADDR`, `DETDIV_SERVE`); a run without one pays
+//! nothing and emits byte-identical artifacts. While armed, neither
+//! the server nor the sampler writes the obs registry — scope-process
+//! metrics (uptime, scrape counts) live in scope-private atomics and
+//! appear only on `/metrics` — and the sampler additionally records
+//! nothing when telemetry is disabled (`DETDIV_LOG=off`), mirroring
+//! the PR 3 `busy_nanos` gating. The byte-determinism CI gate runs a
+//! `--serve` run against a plain run and `cmp`s every artifact.
+//!
+//! # Example
+//!
+//! ```
+//! use detdiv_scope::{Scope, ScopeConfig};
+//!
+//! let scope = Scope::start("127.0.0.1:0", ScopeConfig::default()).unwrap();
+//! let addr = scope.local_addr();
+//! detdiv_obs::incr_counter("detector/doc/windows_scored", 94);
+//! let (status, body) = detdiv_scope::server::http_get(
+//!     &addr,
+//!     "/metrics",
+//!     std::time::Duration::from_secs(2),
+//! )
+//! .unwrap();
+//! assert_eq!(status, 200);
+//! detdiv_scope::expo::validate(&body).unwrap();
+//! scope.shutdown().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![warn(clippy::print_stdout, clippy::print_stderr)]
+
+pub mod expo;
+pub mod sampler;
+pub mod server;
+
+pub use sampler::{Sampler, SamplerConfig, SamplerState};
+pub use server::{bind, http_get, parse_scrape_url, BoundServer, ServerHandle};
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Environment variable arming the scope without a CLI flag: its value
+/// is the listen address (`regenerate --serve ADDR` wins when both are
+/// given).
+pub const SERVE_ENV: &str = "DETDIV_SERVE";
+
+/// Environment variable naming a JSON file to persist the sampled
+/// time series to at shutdown (written crash-safely via
+/// `detdiv-resil`'s `AtomicFile`).
+pub const DUMP_ENV: &str = "DETDIV_SCOPE_DUMP";
+
+/// Configuration for a [`Scope`].
+#[derive(Debug, Clone, Default)]
+pub struct ScopeConfig {
+    /// Sampler settings (interval, ring capacity, counter selection).
+    pub sampler: SamplerConfig,
+    /// Optional path receiving the final sampled series as JSON.
+    pub dump_path: Option<String>,
+}
+
+impl ScopeConfig {
+    /// The default config with `DETDIV_SCOPE_INTERVAL_MS` and
+    /// `DETDIV_SCOPE_DUMP` applied.
+    ///
+    /// # Errors
+    ///
+    /// A diagnostic when the interval variable is set but malformed.
+    pub fn from_env() -> Result<ScopeConfig, String> {
+        Ok(ScopeConfig {
+            sampler: SamplerConfig::from_env()?,
+            dump_path: std::env::var(DUMP_ENV).ok().filter(|p| !p.is_empty()),
+        })
+    }
+}
+
+/// A running introspection scope: the exposition server plus the
+/// sampler, with the sampler installed as the obs snapshot timeseries
+/// source. Shut it down with [`Scope::shutdown`] once the run it
+/// observes has finished.
+#[derive(Debug)]
+pub struct Scope {
+    server: ServerHandle,
+    sampler: Option<Sampler>,
+    state: Arc<SamplerState>,
+    dump_path: Option<String>,
+}
+
+impl Scope {
+    /// Binds `addr`, preflights the dump path (when configured), and
+    /// starts the sampler and server threads. Everything that can fail
+    /// fails here, before the caller does any expensive work.
+    ///
+    /// # Errors
+    ///
+    /// A one-line diagnostic when the address cannot be bound or the
+    /// dump path is not writable.
+    pub fn start(addr: &str, config: ScopeConfig) -> Result<Scope, String> {
+        let bound = server::bind(addr)?;
+        if let Some(path) = &config.dump_path {
+            detdiv_resil::AtomicFile::dry_run(path)
+                .map_err(|e| format!("{DUMP_ENV}={path}: {e}"))?;
+        }
+        let sampler = Sampler::start(config.sampler);
+        let state = sampler.state();
+        let source_state = Arc::clone(&state);
+        detdiv_obs::set_timeseries_source(Some(Box::new(move || source_state.summaries())));
+        let server = bound.serve(Some(Arc::clone(&state)));
+        Ok(Scope {
+            server,
+            sampler: Some(sampler),
+            state,
+            dump_path: config.dump_path,
+        })
+    }
+
+    /// The address the exposition server is listening on (with the
+    /// real port when `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The sampler's shared state, for callers that want to inspect
+    /// the rings directly.
+    pub fn sampler_state(&self) -> Arc<SamplerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Graceful shutdown: final sampler tick, server stopped and
+    /// joined, the obs timeseries source uninstalled, and — when
+    /// configured — the sampled series persisted as JSON.
+    ///
+    /// The timeseries source is removed *after* the final tick, so the
+    /// caller should take its end-of-run `detdiv_obs::snapshot()`
+    /// before calling this (the regeneration binary snapshots inside
+    /// the report and shuts the scope down afterwards).
+    ///
+    /// # Errors
+    ///
+    /// A diagnostic when the dump file cannot be written; server and
+    /// sampler are torn down regardless.
+    pub fn shutdown(self) -> Result<(), String> {
+        if let Some(sampler) = self.sampler {
+            sampler.shutdown();
+        }
+        let summaries = self.state.summaries();
+        self.server.shutdown();
+        detdiv_obs::set_timeseries_source(None);
+        if let Some(path) = &self.dump_path {
+            let json = serde_json::to_string_pretty(&summaries)
+                .map_err(|e| format!("serialize sampled series: {e}"))?;
+            detdiv_resil::AtomicFile::write(path, json.as_bytes())
+                .map_err(|e| format!("write {path}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn scope_start_fails_fast_on_bad_address() {
+        let err = Scope::start("256.256.256.256:99999", ScopeConfig::default())
+            .expect_err("invalid address rejected at start");
+        assert!(err.contains("cannot bind"), "diagnostic: {err}");
+    }
+
+    #[test]
+    fn scope_start_fails_fast_on_unwritable_dump_path() {
+        let config = ScopeConfig {
+            dump_path: Some("/nonexistent-detdiv-dir/dump.json".to_owned()),
+            ..ScopeConfig::default()
+        };
+        let err = Scope::start("127.0.0.1:0", config).expect_err("bad dump path rejected");
+        assert!(err.contains("DETDIV_SCOPE_DUMP"), "diagnostic: {err}");
+    }
+
+    #[test]
+    fn scope_serves_and_shuts_down_cleanly() {
+        let scope = Scope::start("127.0.0.1:0", ScopeConfig::default()).unwrap();
+        let addr = scope.local_addr();
+        let (status, body) = server::http_get(&addr, "/healthz", Duration::from_secs(2)).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\""));
+        scope.shutdown().unwrap();
+        // The port is released: a fresh bind on the same address works.
+        let rebound = server::bind(&addr.to_string());
+        assert!(rebound.is_ok(), "address released after shutdown");
+    }
+}

@@ -1,0 +1,467 @@
+//! Background time-series sampler over the obs counter registry.
+//!
+//! A [`Sampler`] owns one thread that wakes at a fixed interval,
+//! exports the obs counters, and appends the absolute value of every
+//! selected counter to a fixed-capacity ring buffer (oldest samples
+//! are evicted). From the two newest samples of each series it derives
+//! an events-per-second rate gauge; the synthetic `scope/events`
+//! series aggregates all `*/windows_scored` counters so the headline
+//! `detdiv_events_per_sec` gauge tracks scoring throughput.
+//!
+//! Determinism contract: the sampler only ever **reads** the registry.
+//! Every tick first checks [`detdiv_obs::telemetry_enabled`], so under
+//! `DETDIV_LOG=off` — the mode the byte-determinism CI gates run in —
+//! it records nothing at all, exactly like the PR 3 `busy_nanos`
+//! gauges. Sampled data is wall-clock-dependent by construction and is
+//! surfaced only through channels that are empty when no sampler is
+//! armed (`/metrics`, the snapshot `timeseries` section).
+
+use detdiv_obs::SeriesSummary;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Name of the synthetic aggregate series: the sum of every
+/// `*/windows_scored` counter at each tick.
+pub const EVENTS_SERIES: &str = "scope/events";
+
+/// Environment variable overriding the sampling interval, in
+/// milliseconds (positive integer).
+pub const INTERVAL_ENV: &str = "DETDIV_SCOPE_INTERVAL_MS";
+
+/// Configuration for a [`Sampler`].
+#[derive(Debug, Clone)]
+pub struct SamplerConfig {
+    /// Tick interval (default 250 ms; override via
+    /// `DETDIV_SCOPE_INTERVAL_MS`).
+    pub interval: Duration,
+    /// Ring capacity per series: the newest `capacity` samples are
+    /// kept (default 512 — two minutes of history at the default
+    /// interval).
+    pub capacity: usize,
+    /// Registry-name prefixes selecting which counters are sampled.
+    pub prefixes: Vec<String>,
+    /// Upper bound on distinct sampled series; once reached, counters
+    /// not already tracked are ignored (protects the ring memory from
+    /// unbounded registry growth).
+    pub max_series: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> SamplerConfig {
+        SamplerConfig {
+            interval: Duration::from_millis(250),
+            capacity: 512,
+            prefixes: vec![
+                "detector/".to_owned(),
+                "cache/".to_owned(),
+                "eval/".to_owned(),
+                "synth/".to_owned(),
+                "par/pool/".to_owned(),
+                "resil/".to_owned(),
+            ],
+            max_series: 64,
+        }
+    }
+}
+
+impl SamplerConfig {
+    /// The default config with the interval taken from
+    /// `DETDIV_SCOPE_INTERVAL_MS` when set.
+    ///
+    /// # Errors
+    ///
+    /// A diagnostic when the variable is set but not a positive
+    /// integer.
+    pub fn from_env() -> Result<SamplerConfig, String> {
+        let mut config = SamplerConfig::default();
+        if let Ok(raw) = std::env::var(INTERVAL_ENV) {
+            let ms: u64 = raw
+                .parse()
+                .ok()
+                .filter(|&ms| ms > 0)
+                .ok_or_else(|| format!("{INTERVAL_ENV}={raw:?} is not a positive integer"))?;
+            config.interval = Duration::from_millis(ms);
+        }
+        Ok(config)
+    }
+}
+
+/// One series' ring plus the bookkeeping its rate derives from.
+#[derive(Debug, Default)]
+struct Series {
+    samples: VecDeque<u64>,
+    rate_per_sec: f64,
+}
+
+/// Shared state between the sampling thread, the exposition server,
+/// and the snapshot timeseries source.
+#[derive(Debug)]
+pub struct SamplerState {
+    series: Mutex<BTreeMap<String, Series>>,
+    ticks: AtomicU64,
+    last_tick: Mutex<Option<Instant>>,
+    previous_tick_at: Mutex<Option<Instant>>,
+    interval_ms: u64,
+    capacity: usize,
+}
+
+impl SamplerState {
+    fn new(config: &SamplerConfig) -> SamplerState {
+        SamplerState {
+            series: Mutex::new(BTreeMap::new()),
+            ticks: AtomicU64::new(0),
+            last_tick: Mutex::new(None),
+            previous_tick_at: Mutex::new(None),
+            interval_ms: config.interval.as_millis().max(1) as u64,
+            capacity: config.capacity.max(2),
+        }
+    }
+
+    /// Takes one sample of every selected counter. Reads the registry,
+    /// never writes it; records nothing when telemetry is disabled.
+    pub fn tick(&self, config: &SamplerConfig) {
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+        if !detdiv_obs::telemetry_enabled() {
+            return;
+        }
+        let now = Instant::now();
+        let elapsed = {
+            let mut last = self.last_tick.lock().expect("sampler clock poisoned");
+            let elapsed = last.map(|t| now.duration_since(t));
+            let mut previous = self
+                .previous_tick_at
+                .lock()
+                .expect("sampler clock poisoned");
+            *previous = *last;
+            *last = Some(now);
+            elapsed
+        };
+        let counters = detdiv_obs::export_counters();
+        let mut events = 0u64;
+        let mut map = self.series.lock().expect("sampler series poisoned");
+        for (name, value) in &counters {
+            if name.ends_with("/windows_scored") {
+                events += value;
+            }
+            if !config.prefixes.iter().any(|p| name.starts_with(p)) {
+                continue;
+            }
+            if !map.contains_key(name) && map.len() >= config.max_series {
+                continue;
+            }
+            Self::push(&mut map, name, *value, elapsed, self.capacity);
+        }
+        Self::push(&mut map, EVENTS_SERIES, events, elapsed, self.capacity);
+    }
+
+    fn push(
+        map: &mut BTreeMap<String, Series>,
+        name: &str,
+        value: u64,
+        elapsed: Option<Duration>,
+        capacity: usize,
+    ) {
+        let series = map.entry(name.to_owned()).or_default();
+        let rate = match (series.samples.back(), elapsed) {
+            (Some(&previous), Some(elapsed)) if value >= previous && !elapsed.is_zero() => {
+                (value - previous) as f64 / elapsed.as_secs_f64()
+            }
+            _ => {
+                // First sample, counter went backwards (obs::reset
+                // between ticks), or a degenerate clock: declare no
+                // rate rather than a wild one, and restart the ring on
+                // a reset so samples stay monotone.
+                if series.samples.back().is_some_and(|&p| value < p) {
+                    series.samples.clear();
+                }
+                0.0
+            }
+        };
+        series.rate_per_sec = rate;
+        series.samples.push_back(value);
+        while series.samples.len() > capacity {
+            series.samples.pop_front();
+        }
+    }
+
+    /// Number of sampling ticks taken so far (including disabled ones).
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct series currently tracked.
+    pub fn series_count(&self) -> usize {
+        self.series.lock().expect("sampler series poisoned").len()
+    }
+
+    /// Age of the newest recorded sample, when any exists.
+    pub fn last_sample_age(&self) -> Option<Duration> {
+        self.last_tick
+            .lock()
+            .expect("sampler clock poisoned")
+            .map(|t| t.elapsed())
+    }
+
+    /// The current per-series rate gauges, in series-name order.
+    pub fn rates(&self) -> Vec<(String, f64)> {
+        self.series
+            .lock()
+            .expect("sampler series poisoned")
+            .iter()
+            .map(|(name, s)| (name.clone(), s.rate_per_sec))
+            .collect()
+    }
+
+    /// The aggregate events-per-second rate (0 before two ticks).
+    pub fn events_per_sec(&self) -> f64 {
+        self.series
+            .lock()
+            .expect("sampler series poisoned")
+            .get(EVENTS_SERIES)
+            .map(|s| s.rate_per_sec)
+            .unwrap_or(0.0)
+    }
+
+    /// Freezes every series into the serializable snapshot form, in
+    /// series-name order. This is what the obs timeseries source hook
+    /// returns, and what `DETDIV_SCOPE_DUMP` persists.
+    pub fn summaries(&self) -> Vec<SeriesSummary> {
+        self.series
+            .lock()
+            .expect("sampler series poisoned")
+            .iter()
+            .map(|(name, s)| SeriesSummary {
+                name: name.clone(),
+                interval_ms: self.interval_ms,
+                samples: s.samples.iter().copied().collect(),
+                rate_per_sec: s.rate_per_sec,
+            })
+            .collect()
+    }
+}
+
+/// Handle to the background sampling thread.
+#[derive(Debug)]
+pub struct Sampler {
+    state: Arc<SamplerState>,
+    config: SamplerConfig,
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Starts the sampling thread. The first tick happens immediately,
+    /// so even runs shorter than one interval record a sample.
+    pub fn start(config: SamplerConfig) -> Sampler {
+        let state = Arc::new(SamplerState::new(&config));
+        let stop: Arc<(Mutex<bool>, Condvar)> = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("detdiv-scope-sampler".to_owned())
+                .spawn(move || {
+                    let (flag, signal) = &*stop;
+                    loop {
+                        state.tick(&config);
+                        let guard = flag.lock().expect("sampler stop flag poisoned");
+                        if *guard {
+                            break;
+                        }
+                        let (guard, _timeout) = signal
+                            .wait_timeout(guard, config.interval)
+                            .expect("sampler stop flag poisoned");
+                        if *guard {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn sampler thread")
+        };
+        Sampler {
+            state,
+            config,
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// The shared state (for the server and the snapshot source).
+    pub fn state(&self) -> Arc<SamplerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Stops the thread promptly and joins it. The final tick taken on
+    /// the way out means the ring always includes end-of-run values.
+    pub fn shutdown(mut self) {
+        self.signal_stop();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+        // One closing sample after the thread is gone, so whatever ran
+        // between the last tick and shutdown is represented.
+        self.state.tick(&self.config);
+    }
+
+    fn signal_stop(&self) {
+        let (flag, signal) = &*self.stop;
+        *flag.lock().expect("sampler stop flag poisoned") = true;
+        signal.notify_all();
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.signal_stop();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config(prefix: &str) -> SamplerConfig {
+        SamplerConfig {
+            interval: Duration::from_millis(5),
+            capacity: 4,
+            prefixes: vec![prefix.to_owned()],
+            max_series: 8,
+        }
+    }
+
+    #[test]
+    fn ticks_record_selected_counters_into_rings() {
+        let config = test_config("scopetest_a/");
+        let state = SamplerState::new(&config);
+        detdiv_obs::incr_counter("scopetest_a/widgets", 10);
+        state.tick(&config);
+        detdiv_obs::incr_counter("scopetest_a/widgets", 5);
+        std::thread::sleep(Duration::from_millis(2));
+        state.tick(&config);
+        let summaries = state.summaries();
+        let widgets = summaries
+            .iter()
+            .find(|s| s.name == "scopetest_a/widgets")
+            .expect("sampled series present");
+        assert_eq!(widgets.samples.last(), Some(&15));
+        assert!(widgets.samples.len() >= 2);
+        let rate = state
+            .rates()
+            .iter()
+            .find(|(n, _)| n == "scopetest_a/widgets")
+            .map(|(_, r)| *r)
+            .unwrap();
+        assert!(rate > 0.0, "positive rate after an increment, got {rate}");
+    }
+
+    #[test]
+    fn ring_capacity_evicts_oldest_samples() {
+        let config = test_config("scopetest_b/");
+        let state = SamplerState::new(&config);
+        for i in 0..10u64 {
+            detdiv_obs::set_counter("scopetest_b/gauge", i);
+            state.tick(&config);
+        }
+        let summaries = state.summaries();
+        let series = summaries
+            .iter()
+            .find(|s| s.name == "scopetest_b/gauge")
+            .unwrap();
+        assert!(series.samples.len() <= 4, "ring respects capacity");
+        assert_eq!(series.samples.last(), Some(&9));
+        // Oldest-first ordering with the early samples evicted.
+        assert!(series.samples[0] >= 6);
+    }
+
+    #[test]
+    fn counter_reset_restarts_the_ring_with_zero_rate() {
+        let config = test_config("scopetest_c/");
+        let state = SamplerState::new(&config);
+        detdiv_obs::set_counter("scopetest_c/resetting", 100);
+        state.tick(&config);
+        detdiv_obs::set_counter("scopetest_c/resetting", 3);
+        std::thread::sleep(Duration::from_millis(2));
+        state.tick(&config);
+        let summaries = state.summaries();
+        let series = summaries
+            .iter()
+            .find(|s| s.name == "scopetest_c/resetting")
+            .unwrap();
+        assert_eq!(series.samples.as_slice(), &[3], "ring restarted on reset");
+        assert_eq!(series.rate_per_sec, 0.0);
+    }
+
+    #[test]
+    fn events_series_aggregates_windows_scored() {
+        let config = test_config("scopetest_never_matches/");
+        let state = SamplerState::new(&config);
+        detdiv_obs::incr_counter("detector/scopetest_d/windows_scored", 40);
+        state.tick(&config);
+        let summaries = state.summaries();
+        let events = summaries
+            .iter()
+            .find(|s| s.name == EVENTS_SERIES)
+            .expect("aggregate series always present");
+        assert!(
+            events.samples.last().copied().unwrap_or(0) >= 40,
+            "aggregate includes the detector counter"
+        );
+    }
+
+    #[test]
+    fn max_series_bounds_tracked_counters() {
+        let config = SamplerConfig {
+            max_series: 2,
+            ..test_config("scopetest_e/")
+        };
+        let state = SamplerState::new(&config);
+        for i in 0..5 {
+            detdiv_obs::incr_counter(&format!("scopetest_e/c{i}"), 1);
+        }
+        state.tick(&config);
+        // 2 selected series + the synthetic aggregate.
+        assert!(state.series_count() <= 3);
+    }
+
+    #[test]
+    fn sampler_thread_starts_ticks_and_shuts_down() {
+        let sampler = Sampler::start(test_config("scopetest_f/"));
+        let state = sampler.state();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while state.ticks() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(state.ticks() >= 3, "sampler thread ticks on its own");
+        let before = state.ticks();
+        sampler.shutdown();
+        // Shutdown takes one final tick; after that the count is frozen.
+        let after = state.ticks();
+        assert!(after > before || after >= 3);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(state.ticks(), after, "no ticks after shutdown");
+    }
+
+    #[test]
+    fn from_env_rejects_malformed_interval() {
+        // Uses the parsing path directly rather than mutating the
+        // process environment (other tests run concurrently).
+        let parse = |raw: &str| {
+            raw.parse::<u64>()
+                .ok()
+                .filter(|&ms| ms > 0)
+                .ok_or_else(|| format!("{INTERVAL_ENV}={raw:?} is not a positive integer"))
+        };
+        assert!(parse("250").is_ok());
+        assert!(parse("0").is_err());
+        assert!(parse("fast").is_err());
+        assert!(parse("-5").is_err());
+    }
+}

@@ -1,0 +1,428 @@
+//! The metrics exposition server: a tiny single-threaded HTTP/1.1
+//! responder over [`std::net::TcpListener`].
+//!
+//! The server exists to be scraped, not to be a web framework: it
+//! accepts one connection at a time, answers exactly four `GET`
+//! routes, and closes the connection. Binding ([`bind`]) is separate
+//! from serving ([`BoundServer::serve`]) so callers can fail fast on a
+//! taken or invalid address *before* doing any expensive work — the
+//! regeneration binary binds during preflight, before training starts.
+//!
+//! Routes:
+//!
+//! * `GET /metrics` — Prometheus text format 0.0.4 (see
+//!   [`crate::expo`]): scope process gauges, sampler rate gauges, and
+//!   every obs counter and histogram.
+//! * `GET /healthz` — JSON liveness: status, uptime, last-sample age,
+//!   whether telemetry is enabled, scrape count.
+//! * `GET /snapshot.json` — the full serialized
+//!   [`detdiv_obs::TelemetrySnapshot`], timeseries section included.
+//! * `GET /profilez` — the live self-profile table as plain text.
+//!
+//! Shutdown sets a flag and pokes the listener with a self-connect so
+//! the accept loop observes it promptly, then joins the thread.
+
+use crate::expo;
+use crate::sampler::SamplerState;
+use serde::Serialize;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-connection I/O timeout: a stuck scraper cannot wedge the
+/// accept loop for longer than this.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Largest request head the server reads before answering 400.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// What `GET /healthz` serializes.
+#[derive(Debug, Serialize)]
+struct Health {
+    status: String,
+    uptime_seconds: f64,
+    last_sample_age_seconds: f64,
+    telemetry_enabled: bool,
+    sampler_ticks: u64,
+    series: u64,
+    scrapes_total: u64,
+}
+
+/// State shared between the accept loop and the handle.
+#[derive(Debug)]
+struct Shared {
+    started: Instant,
+    scrapes: AtomicU64,
+    stop: AtomicBool,
+    sampler: Option<Arc<SamplerState>>,
+}
+
+/// A successfully bound, not-yet-serving listener. Produced by
+/// [`bind`]; consumed by [`BoundServer::serve`].
+#[derive(Debug)]
+pub struct BoundServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+/// Binds the exposition listener.
+///
+/// This is the preflight: a taken port, a malformed address, or a
+/// hostname that does not resolve surfaces here as a one-line
+/// diagnostic, before any training work has run.
+///
+/// # Errors
+///
+/// A human-readable message naming the address and the OS error.
+pub fn bind(addr: &str) -> Result<BoundServer, String> {
+    let listener = TcpListener::bind(addr)
+        .map_err(|e| format!("cannot bind metrics server on {addr}: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address for {addr}: {e}"))?;
+    Ok(BoundServer { listener, addr })
+}
+
+impl BoundServer {
+    /// The actual bound address (port filled in when `:0` was asked).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts the accept loop on a background thread and returns the
+    /// controlling handle. `sampler` (when present) feeds the rate
+    /// gauges on `/metrics` and the sample-age field on `/healthz`.
+    pub fn serve(self, sampler: Option<Arc<SamplerState>>) -> ServerHandle {
+        let shared = Arc::new(Shared {
+            started: Instant::now(),
+            scrapes: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            sampler,
+        });
+        let thread = {
+            let shared = Arc::clone(&shared);
+            let listener = self.listener;
+            std::thread::Builder::new()
+                .name("detdiv-scope-server".to_owned())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        if let Ok(stream) = stream {
+                            handle_connection(stream, &shared);
+                        }
+                    }
+                })
+                .expect("spawn exposition server thread")
+        };
+        ServerHandle {
+            addr: self.addr,
+            shared,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// Handle to a running exposition server; dropping it (or calling
+/// [`ServerHandle::shutdown`]) stops the accept loop and joins the
+/// thread.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total `GET` requests answered so far.
+    pub fn scrapes_total(&self) -> u64 {
+        self.shared.scrapes.load(Ordering::Relaxed)
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // Poke the blocking accept so it observes the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Reads the request head (through the blank line), answers, closes.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&chunk[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n")
+                    || head.windows(2).any(|w| w == b"\n\n")
+                    || head.len() > MAX_REQUEST_BYTES
+                {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(&head);
+    let mut tokens = request.split_whitespace();
+    let (method, path) = (tokens.next().unwrap_or(""), tokens.next().unwrap_or(""));
+    let response = match (method, path) {
+        ("GET", _) => {
+            shared.scrapes.fetch_add(1, Ordering::Relaxed);
+            route_get(path, shared)
+        }
+        ("", _) => respond(400, "text/plain; charset=utf-8", "bad request\n"),
+        _ => respond(405, "text/plain; charset=utf-8", "method not allowed\n"),
+    };
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+fn route_get(path: &str, shared: &Shared) -> String {
+    // Scrapers may append query strings; routing ignores them.
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => respond(
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            &render_metrics(shared),
+        ),
+        "/healthz" => {
+            let body = serde_json::to_string_pretty(&health(shared)).unwrap_or_default();
+            respond(200, "application/json; charset=utf-8", &body)
+        }
+        "/snapshot.json" => {
+            let body = serde_json::to_string_pretty(&detdiv_obs::snapshot()).unwrap_or_default();
+            respond(200, "application/json; charset=utf-8", &body)
+        }
+        "/profilez" => respond(200, "text/plain; charset=utf-8", &render_profile()),
+        _ => respond(
+            404,
+            "text/plain; charset=utf-8",
+            "not found; try /metrics /healthz /snapshot.json /profilez\n",
+        ),
+    }
+}
+
+fn render_metrics(shared: &Shared) -> String {
+    let mut page = expo::Exposition::new();
+    page.emit_gauge_f64(
+        "scope_uptime_seconds",
+        "seconds since the exposition server started",
+        shared.started.elapsed().as_secs_f64(),
+    );
+    page.emit_gauge_u64(
+        "scope_scrapes_total",
+        "GET requests answered by the exposition server",
+        // Incremented before routing, so the scrape being served
+        // counts itself and the value stays monotone across scrapes.
+        shared.scrapes.load(Ordering::Relaxed),
+    );
+    page.emit_gauge_u64(
+        "scope_telemetry_enabled",
+        "1 when the obs registry records telemetry (DETDIV_LOG != off)",
+        u64::from(detdiv_obs::telemetry_enabled()),
+    );
+    if let Some(sampler) = &shared.sampler {
+        page.emit_gauge_u64(
+            "scope_sampler_ticks_total",
+            "sampling ticks taken by the time-series sampler",
+            sampler.ticks(),
+        );
+        page.emit_gauge_u64(
+            "scope_series",
+            "distinct counter series currently sampled",
+            sampler.series_count() as u64,
+        );
+        page.emit_gauge_f64(
+            "detdiv_events_per_sec",
+            "aggregate windows-scored throughput from the two newest samples",
+            sampler.events_per_sec(),
+        );
+        page.emit_labeled_gauge(
+            "detdiv_rate_per_sec",
+            "per-series counter rate from the two newest samples",
+            "series",
+            &sampler.rates(),
+        );
+    }
+    expo::render_registry(page)
+}
+
+fn health(shared: &Shared) -> Health {
+    let last_sample_age_seconds = shared
+        .sampler
+        .as_ref()
+        .and_then(|s| s.last_sample_age())
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(-1.0);
+    Health {
+        status: "ok".to_owned(),
+        uptime_seconds: shared.started.elapsed().as_secs_f64(),
+        last_sample_age_seconds,
+        telemetry_enabled: detdiv_obs::telemetry_enabled(),
+        sampler_ticks: shared.sampler.as_ref().map(|s| s.ticks()).unwrap_or(0),
+        series: shared
+            .sampler
+            .as_ref()
+            .map(|s| s.series_count() as u64)
+            .unwrap_or(0),
+        scrapes_total: shared.scrapes.load(Ordering::Relaxed),
+    }
+}
+
+fn render_profile() -> String {
+    let profile = detdiv_obs::snapshot().profile;
+    let mut out = String::from("detdiv self-profile (live)\n");
+    if profile.is_empty() {
+        out.push_str("(no spans recorded yet)\n");
+    } else {
+        out.push_str(&profile.render_text(40));
+    }
+    out
+}
+
+fn respond(status: u16, content_type: &str, body: &str) -> String {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+// ---------------------------------------------------------------------
+// Minimal HTTP client (used by tests and the `scopecheck` checker)
+// ---------------------------------------------------------------------
+
+/// Performs one `GET` against a detdiv exposition server and returns
+/// `(status, body)`.
+///
+/// # Errors
+///
+/// Connection, I/O, or response-parsing failures as readable messages.
+pub fn http_get(addr: &SocketAddr, path: &str, timeout: Duration) -> Result<(u16, String), String> {
+    let mut stream =
+        TcpStream::connect_timeout(addr, timeout).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send request to {addr}: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read response from {addr}: {e}"))?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line in response from {addr}"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .or_else(|| raw.split_once("\n\n"))
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Splits a scrape URL (`http://127.0.0.1:9184/metrics` or bare
+/// `127.0.0.1:9184`) into its socket address and path (`/metrics`
+/// when absent).
+///
+/// # Errors
+///
+/// A diagnostic when the host:port part does not resolve.
+pub fn parse_scrape_url(url: &str) -> Result<(SocketAddr, String), String> {
+    use std::net::ToSocketAddrs;
+    let rest = url.strip_prefix("http://").unwrap_or(url);
+    let (host, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], rest[i..].to_owned()),
+        None => (rest, "/metrics".to_owned()),
+    };
+    let addr = host
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {host}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{host} resolves to no address"))?;
+    Ok((addr, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_rejects_taken_and_invalid_addresses() {
+        let first = bind("127.0.0.1:0").expect("ephemeral bind works");
+        let taken = first.local_addr().to_string();
+        let err = bind(&taken).expect_err("double bind fails");
+        assert!(
+            err.contains("cannot bind"),
+            "diagnostic names the failure: {err}"
+        );
+        assert!(err.contains(&taken), "diagnostic names the address: {err}");
+        assert!(bind("not-an-address").is_err());
+    }
+
+    #[test]
+    fn parse_scrape_url_accepts_all_supported_shapes() {
+        let (addr, path) = parse_scrape_url("http://127.0.0.1:9184/metrics").unwrap();
+        assert_eq!(addr.port(), 9184);
+        assert_eq!(path, "/metrics");
+        let (_, path) = parse_scrape_url("127.0.0.1:9184").unwrap();
+        assert_eq!(path, "/metrics");
+        let (_, path) = parse_scrape_url("127.0.0.1:9184/healthz").unwrap();
+        assert_eq!(path, "/healthz");
+        assert!(parse_scrape_url("http:///nope").is_err());
+    }
+
+    #[test]
+    fn responses_carry_status_and_content_length() {
+        let r = respond(200, "text/plain", "body\n");
+        assert!(r.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(r.contains("Content-Length: 5\r\n"));
+        assert!(r.ends_with("body\n"));
+        assert!(respond(404, "text/plain", "x").contains("Not Found"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Exposition-format contract tests: the golden page, the validator,
+//! and the scrape-equals-snapshot guarantee.
+
+use detdiv_obs as obs;
+use detdiv_scope::expo;
+use detdiv_scope::{server, Scope, ScopeConfig};
+use std::time::Duration;
+
+const GOLDEN_PATH: &str = "tests/golden/metrics.prom";
+
+/// Renders the fixed exposition page the golden file pins down.
+fn golden_page() -> String {
+    let mut page = expo::Exposition::new();
+    page.emit_counter("eval/cases", 1234);
+    page.emit_counter("detector/stide/windows_scored", 94000);
+    let h = obs::Histogram::new();
+    for v in [1u64, 2, 2, 5, 1000, 1_000_000] {
+        h.record(v);
+    }
+    page.emit_histogram("span/report", &h);
+    page.emit_labeled_gauge(
+        "detdiv_rate_per_sec",
+        "per-series counter rate from the two newest samples",
+        "series",
+        &[("detector/stide/windows_scored".to_owned(), 216.0)],
+    );
+    page.finish()
+}
+
+#[test]
+fn golden_page_matches_committed_exposition() {
+    let rendered = golden_page();
+    if std::env::var("DETDIV_BLESS").is_ok() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("bless golden file");
+    }
+    let committed = include_str!("golden/metrics.prom");
+    assert_eq!(
+        rendered, committed,
+        "rendered exposition drifted from {GOLDEN_PATH}; \
+         run with DETDIV_BLESS=1 to re-bless after an intentional change"
+    );
+}
+
+#[test]
+fn golden_page_is_valid_prometheus_text() {
+    let parsed = expo::validate(include_str!("golden/metrics.prom"))
+        .expect("committed golden page validates");
+    assert_eq!(parsed.value_u64("detdiv_eval_cases_total"), Some(1234));
+    assert_eq!(
+        parsed.value_u64("detdiv_detector_stide_windows_scored_total"),
+        Some(94000)
+    );
+    assert_eq!(parsed.value_u64("detdiv_span_report_count"), Some(6));
+    assert_eq!(parsed.value_u64("detdiv_span_report_sum"), Some(1_001_010));
+    // Families: 2 counters, 1 histogram, 3 quantile gauges, 1 rate gauge.
+    assert_eq!(parsed.families.len(), 7);
+}
+
+/// The ISSUE acceptance test: counters scraped from a live `/metrics`
+/// page are exactly the values an obs snapshot reports, and every
+/// snapshot counter appears on the page.
+#[test]
+fn scraped_counters_equal_snapshot_counters() {
+    // Unique prefix so concurrent tests in other binaries can't touch
+    // these counters between the snapshot and the scrape.
+    obs::incr_counter("expoeq/alpha", 7);
+    obs::incr_counter("expoeq/beta", 123_456_789);
+    obs::incr_counter("expoeq/gamma", 0);
+    obs::record_nanos("expoeq/latency", 1500);
+
+    let scope = Scope::start("127.0.0.1:0", ScopeConfig::default()).expect("scope starts");
+    let addr = scope.local_addr();
+    let (status, body) =
+        server::http_get(&addr, "/metrics", Duration::from_secs(2)).expect("scrape works");
+    assert_eq!(status, 200);
+    let parsed = expo::validate(&body).expect("live page validates");
+    let snapshot = obs::snapshot();
+    scope.shutdown().expect("scope shuts down");
+
+    let mut compared = 0;
+    for (name, value) in &snapshot.counters {
+        let metric = expo::counter_metric_name(name);
+        let scraped = parsed
+            .value_u64(&metric)
+            .unwrap_or_else(|| panic!("snapshot counter {name} missing from /metrics as {metric}"));
+        if name.starts_with("expoeq/") {
+            assert_eq!(
+                scraped, *value,
+                "scraped {metric} disagrees with snapshot {name}"
+            );
+            compared += 1;
+        }
+    }
+    assert_eq!(compared, 3, "all three unique counters compared");
+    // The histogram shows up as a full family with exact count.
+    assert_eq!(
+        parsed.value_u64(&format!(
+            "{}_count",
+            expo::histogram_metric_name("expoeq/latency")
+        )),
+        Some(snapshot.histogram("expoeq/latency").unwrap().count)
+    );
+}

@@ -1,0 +1,172 @@
+//! End-to-end tests of the exposition server: routes, error paths,
+//! sampler wiring into snapshots, and the shutdown dump.
+//!
+//! `Scope::start` installs the process-global obs timeseries source,
+//! so tests that construct a `Scope` serialize on one mutex.
+
+use detdiv_obs as obs;
+use detdiv_scope::{expo, sampler, server, SamplerConfig, Scope, ScopeConfig};
+use std::io::{Read as _, Write as _};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static SCOPE_LOCK: Mutex<()> = Mutex::new(());
+
+fn fast_config() -> ScopeConfig {
+    ScopeConfig {
+        sampler: SamplerConfig {
+            interval: Duration::from_millis(10),
+            ..SamplerConfig::default()
+        },
+        dump_path: None,
+    }
+}
+
+#[test]
+fn all_routes_answer_with_their_content_types() {
+    let _guard = SCOPE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::incr_counter("srvtest/requests", 3);
+    let scope = Scope::start("127.0.0.1:0", fast_config()).expect("scope starts");
+    let addr = scope.local_addr();
+    let timeout = Duration::from_secs(2);
+
+    let (status, metrics) = server::http_get(&addr, "/metrics", timeout).unwrap();
+    assert_eq!(status, 200);
+    let parsed = expo::validate(&metrics).expect("metrics page validates");
+    assert!(parsed.value_u64("detdiv_srvtest_requests_total").unwrap() >= 3);
+    assert!(parsed.value_of("scope_uptime_seconds").is_some());
+    assert!(parsed.value_of("scope_telemetry_enabled").is_some());
+
+    let (status, health) = server::http_get(&addr, "/healthz", timeout).unwrap();
+    assert_eq!(status, 200);
+    let value = serde_json::from_str_value(&health).expect("healthz is JSON");
+    assert_eq!(
+        value.get("status").and_then(|v| v.as_str()),
+        Some("ok"),
+        "healthz reports ok: {health}"
+    );
+    assert!(value.get("uptime_seconds").is_some());
+    assert!(value.get("scrapes_total").is_some());
+
+    let (status, snapshot) = server::http_get(&addr, "/snapshot.json", timeout).unwrap();
+    assert_eq!(status, 200);
+    let snap: obs::TelemetrySnapshot =
+        serde_json::from_str(&snapshot).expect("snapshot.json deserializes");
+    assert!(snap.counter("srvtest/requests") >= 3);
+
+    let (status, profile) = server::http_get(&addr, "/profilez", timeout).unwrap();
+    assert_eq!(status, 200);
+    assert!(profile.starts_with("detdiv self-profile"));
+
+    let (status, _) = server::http_get(&addr, "/nope", timeout).unwrap();
+    assert_eq!(status, 404);
+    // Query strings are ignored for routing.
+    let (status, _) = server::http_get(&addr, "/metrics?format=raw", timeout).unwrap();
+    assert_eq!(status, 200);
+
+    scope.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn non_get_methods_are_rejected() {
+    let _guard = SCOPE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let scope = Scope::start("127.0.0.1:0", fast_config()).expect("scope starts");
+    let addr = scope.local_addr();
+    let mut stream = std::net::TcpStream::connect_timeout(&addr, Duration::from_secs(2)).unwrap();
+    stream
+        .write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    let _ = stream.read_to_string(&mut response);
+    assert!(
+        response.starts_with("HTTP/1.1 405"),
+        "POST rejected: {response}"
+    );
+    scope.shutdown().unwrap();
+}
+
+#[test]
+fn sampler_feeds_rates_and_snapshot_timeseries_while_armed() {
+    let _guard = SCOPE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let scope = Scope::start("127.0.0.1:0", fast_config()).expect("scope starts");
+    let addr = scope.local_addr();
+
+    // Generate load the sampler can see across several ticks.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut sampled = false;
+    while Instant::now() < deadline {
+        obs::incr_counter("detector/srvtest/windows_scored", 500);
+        std::thread::sleep(Duration::from_millis(15));
+        if scope.sampler_state().ticks() >= 4 {
+            sampled = true;
+            break;
+        }
+    }
+    assert!(sampled, "sampler ticked while load ran");
+
+    // While armed, snapshots embed the sampled series.
+    let snap = obs::snapshot();
+    assert!(
+        !snap.timeseries.is_empty(),
+        "armed scope feeds the snapshot timeseries section"
+    );
+    assert!(
+        snap.timeseries
+            .iter()
+            .any(|s| s.name == sampler::EVENTS_SERIES),
+        "aggregate events series present"
+    );
+    let series = snap
+        .timeseries
+        .iter()
+        .find(|s| s.name == "detector/srvtest/windows_scored")
+        .expect("sampled detector counter present");
+    assert!(!series.samples.is_empty());
+    assert_eq!(series.interval_ms, 10);
+
+    // And /metrics carries the rate gauges.
+    let (_, metrics) = server::http_get(&addr, "/metrics", Duration::from_secs(2)).unwrap();
+    let parsed = expo::validate(&metrics).unwrap();
+    assert!(parsed.value_of("detdiv_events_per_sec").is_some());
+    assert!(
+        metrics.contains("detdiv_rate_per_sec{series=\"detector/srvtest/windows_scored\"}"),
+        "per-series rate gauge exposed"
+    );
+
+    scope.shutdown().expect("clean shutdown");
+    // Disarmed: the timeseries section is empty again.
+    assert!(
+        obs::snapshot().timeseries.is_empty(),
+        "shutdown uninstalls the snapshot source"
+    );
+}
+
+#[test]
+fn shutdown_dump_persists_sampled_series_as_json() {
+    let _guard = SCOPE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::env::temp_dir().join(format!("detdiv-scope-dump-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("timeseries.json");
+    let config = ScopeConfig {
+        dump_path: Some(path.to_string_lossy().into_owned()),
+        ..fast_config()
+    };
+    let scope = Scope::start("127.0.0.1:0", config).expect("scope starts");
+    obs::incr_counter("detector/dumptest/windows_scored", 7);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while scope.sampler_state().ticks() < 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    scope.shutdown().expect("shutdown writes the dump");
+    let raw = std::fs::read_to_string(&path).expect("dump file exists");
+    let series: Vec<obs::SeriesSummary> =
+        serde_json::from_str(&raw).expect("dump deserializes as series list");
+    assert!(
+        series.iter().any(|s| s.name == sampler::EVENTS_SERIES),
+        "dump includes the aggregate series"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -12,8 +12,13 @@
 //! `(detector, window, anomaly_size)` args.
 //!
 //! ```text
-//! cargo run --release --example telemetry
+//! cargo run --release --example telemetry [-- --serve HOST:PORT]
 //! ```
+//!
+//! With `--serve 127.0.0.1:0` the run also arms the live introspection
+//! server: the example prints the scrape URL as soon as it binds, and
+//! `curl` against `/metrics`, `/healthz`, `/snapshot.json` or
+//! `/profilez` while the experiments run shows the counters moving.
 //!
 //! Set `DETDIV_LOG=debug` to also watch per-span timings stream to
 //! stderr while the experiments run, or `DETDIV_LOG=off` to see the
@@ -25,6 +30,29 @@ use detdiv::prelude::*;
 use detdiv_obs as obs;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // `--serve HOST:PORT` arms the live metrics server for the run;
+    // port 0 picks an ephemeral port, echoed below.
+    let mut serve = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--serve" => serve = Some(args.next().ok_or("--serve needs HOST:PORT")?),
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+    let scope = match serve {
+        Some(addr) => {
+            let scope =
+                detdiv::scope::Scope::start(&addr, detdiv::scope::ScopeConfig::from_env()?)?;
+            println!(
+                "serving live metrics on http://{}/metrics — try:\n  curl http://{0}/metrics\n  curl http://{0}/healthz",
+                scope.local_addr()
+            );
+            Some(scope)
+        }
+        None => None,
+    };
+
     let config = SynthesisConfig::builder()
         .training_len(60_000)
         .anomaly_sizes(2..=4)
@@ -43,6 +71,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // snapshot to the report.
     let report = FullReport::generate(&config)?;
     let telemetry = &report.telemetry;
+
+    // The report (and its attached snapshot, sampled time series
+    // included) is complete; the server has nothing more to show.
+    if let Some(scope) = scope {
+        if let Err(e) = scope.shutdown() {
+            println!("scope shutdown: {e}");
+        }
+    }
 
     obs::trace::disarm();
     let trace_path = "target/telemetry_trace.json";

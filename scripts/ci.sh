@@ -31,11 +31,30 @@
 #                               monotonic timestamps and balanced B/E
 #                               stacks (`tracecheck`), and the 4-thread
 #                               trace must name its pool workers
-#   8. perf baseline          — scripts/perf_baseline.sh runs the
+#   8. scope gate             — `regenerate --serve 127.0.0.1:0` runs
+#                               with the live metrics server armed at
+#                               widths 1 and 4; `scopecheck` scrapes
+#                               /metrics, /healthz, /snapshot.json and
+#                               /profilez mid-run and validates each
+#                               (Prometheus text format included), and
+#                               the served runs' artifacts must be
+#                               byte-identical to the unserved
+#                               determinism-gate runs — observation
+#                               must not perturb results. A telemetry-
+#                               on served run is additionally scraped
+#                               with --expect-telemetry to prove live
+#                               counters are actually visible mid-run
+#   9. perf baseline          — scripts/perf_baseline.sh runs the
 #                               pinned reduced sweep and emits a
 #                               baseline JSON (tracing overhead, top
 #                               phases, utilization, cache hit rate)
-#   9. chaos gate             — the report regenerated under seeded
+#  10. perf history gate      — `perfhist` parses every committed
+#                               repo-root BENCH_*.json, prints the
+#                               cross-PR trajectory table, and fails
+#                               if the newest comparable baseline pair
+#                               shows a wall-time regression beyond
+#                               the noise threshold
+#  11. chaos gate             — the report regenerated under seeded
 #                               ~1% training-panic injection
 #                               (--fault 42:1%:panic) must be
 #                               byte-identical to the fault-free runs
@@ -125,12 +144,75 @@ banner "trace gate (Chrome trace-event JSON validity + B/E balance)"
 ./target/release/tracecheck "$GATE_DIR/t4/trace.json" \
     --expect-thread par-worker-1 --expect-thread par-worker-2
 
+banner "scope gate (mid-run scrape + served-run byte identity)"
+# A served run regenerates the same artifacts as the determinism-gate
+# runs while exposing live metrics on an ephemeral port; scraping it
+# mid-run must succeed, and the artifacts must still be byte-identical
+# to the unserved runs — the introspection layer is read-only.
+SCOPE_DIR="$GATE_DIR/scope"
+mkdir -p "$SCOPE_DIR/t1" "$SCOPE_DIR/t4" "$SCOPE_DIR/tele"
+
+# scope_serve_run THREADS DIR LOG [EXTRA_SCOPECHECK_FLAG]
+# Launches a served regeneration in the background, waits for the
+# "serving live metrics" stderr line to learn the ephemeral port, runs
+# scopecheck against it mid-run, then waits for the run to finish.
+scope_serve_run() {
+    local threads="$1" dir="$2" log="$3" expect_flag="${4:-}"
+    DETDIV_LOG="$log" DETDIV_THREADS="$threads" \
+        timeout 900 ./target/release/regenerate \
+        --training-len 60000 --serve 127.0.0.1:0 \
+        --json "$dir/paper_report.json" --trace "$dir/trace.json" \
+        > "$dir/stdout.txt" 2> "$dir/stderr.txt" &
+    local pid=$!
+    local addr=""
+    for _ in $(seq 1 200); do
+        addr="$(sed -n 's#.*serving live metrics on http://\([0-9.:]*\)/metrics.*#\1#p' \
+            "$dir/stderr.txt" 2> /dev/null | head -n 1)"
+        [ -n "$addr" ] && break
+        if ! kill -0 "$pid" 2> /dev/null; then break; fi
+        sleep 0.05
+    done
+    if [ -z "$addr" ]; then
+        echo "scope gate: served run never echoed its bound address" >&2
+        cat "$dir/stderr.txt" >&2 || true
+        kill "$pid" 2> /dev/null || true
+        return 1
+    fi
+    # shellcheck disable=SC2086 — expect_flag is intentionally a word
+    if ! ./target/release/scopecheck --addr "$addr" --retries 40 --delay-ms 50 \
+        $expect_flag 2> "$dir/scopecheck.txt"; then
+        cat "$dir/scopecheck.txt" >&2
+        kill "$pid" 2> /dev/null || true
+        return 1
+    fi
+    wait "$pid"
+}
+
+scope_serve_run 1 "$SCOPE_DIR/t1" off
+cmp "$GATE_DIR/t1/paper_report.json" "$SCOPE_DIR/t1/paper_report.json"
+cmp "$GATE_DIR/t1/stdout.txt" "$SCOPE_DIR/t1/stdout.txt"
+scope_serve_run 4 "$SCOPE_DIR/t4" off
+cmp "$GATE_DIR/t4/paper_report.json" "$SCOPE_DIR/t4/paper_report.json"
+cmp "$GATE_DIR/t4/stdout.txt" "$SCOPE_DIR/t4/stdout.txt"
+echo "served runs byte-identical to unserved runs at widths 1 and 4"
+# Telemetry-on served run: the mid-run scrape must see live detdiv
+# counters, a telemetry-enabled healthz, and a non-empty snapshot.
+scope_serve_run 4 "$SCOPE_DIR/tele" warn --expect-telemetry
+echo "telemetry-on served run scraped live counters mid-run"
+
 banner "perf baseline (BENCH JSON)"
-# A reduced training stream keeps CI fast; the committed BENCH_pr4.json
+# A reduced training stream keeps CI fast; the committed BENCH_pr6.json
 # at the repo root is regenerated at the default scale via
 # `scripts/perf_baseline.sh` without arguments.
 scripts/perf_baseline.sh "$GATE_DIR/bench.json" 30000
 echo "perf baseline OK ($(grep -o '"trace_overhead_percent":[^,]*' "$GATE_DIR/bench.json" || true))"
+
+banner "perf history gate (cross-PR BENCH trajectory)"
+# Every committed repo-root baseline must parse, and the newest
+# comparable pair must not show a wall-time regression beyond the
+# noise threshold. The threshold is generous: this gate exists to
+# catch structural slowdowns, not machine-to-machine jitter.
+./target/release/perfhist --dir . --threshold 50
 
 banner "chaos gate (seeded fault injection + mid-run SIGKILL + --resume)"
 # Injected panics are absorbed by supervised retry; `panic` kinds only,

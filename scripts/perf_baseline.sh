@@ -9,19 +9,24 @@
 # utilization).
 #
 # Usage: scripts/perf_baseline.sh [OUT_JSON] [TRAINING_LEN]
-#   OUT_JSON      output path (default BENCH_pr4.json at the repo root)
+#   OUT_JSON      output path (default BENCH_pr6.json at the repo root;
+#                 the baseline's `bench` label is inferred from the
+#                 filename, so BENCH_pr7.json labels itself pr7)
 #   TRAINING_LEN  training-stream length (default 60000; CI may pass a
 #                 smaller value for a faster sweep — the committed
 #                 baseline uses the default)
 #
 # The binary is built if missing. Exits non-zero if the sweep fails,
 # the armed run dropped trace events (the sink cap must not be hit at
-# baseline scale), or the cold cached run recorded no hits.
+# baseline scale), the cold cached run recorded no hits, or the
+# perf-history gate (`perfhist` over the repo-root BENCH_*.json
+# trajectory, the fresh baseline included when written there) detects
+# a wall-time regression beyond its noise threshold.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr4.json}"
+OUT="${1:-BENCH_pr6.json}"
 TRAINING_LEN="${2:-60000}"
 
 if [[ ! -x target/release/perfbaseline ]]; then
@@ -42,3 +47,13 @@ if ! grep -q '"hits": *[1-9]' "$OUT"; then
     exit 1
 fi
 echo "perf_baseline.sh: wrote $OUT"
+
+# Perf-history trajectory over the committed repo-root baselines (the
+# fresh OUT is included automatically when it was written there). The
+# gate only compares baselines measured at the same sweep shape, and
+# the generous threshold targets structural regressions, not machine
+# jitter.
+if [[ ! -x target/release/perfhist ]]; then
+    cargo build --release -p detdiv-bench --bin perfhist
+fi
+./target/release/perfhist --dir . --threshold 50

@@ -29,7 +29,11 @@
 //!   histograms, serializable run telemetry);
 //! * [`par`] — the work-stealing thread pool behind the evaluation
 //!   grid's parallel fan-outs (deterministic results regardless of
-//!   `DETDIV_THREADS`).
+//!   `DETDIV_THREADS`);
+//! * [`scope`] — live runtime introspection: an embedded HTTP server
+//!   exposing Prometheus-format metrics, health, snapshot and
+//!   self-profile endpoints, plus a background time-series sampler
+//!   (arm with `regenerate --serve HOST:PORT` or `DETDIV_SERVE`).
 //!
 //! # Quickstart
 //!
@@ -77,6 +81,7 @@ pub use detdiv_nn as nn;
 pub use detdiv_obs as obs;
 pub use detdiv_par as par;
 pub use detdiv_rules as rules;
+pub use detdiv_scope as scope;
 pub use detdiv_sequence as sequence;
 pub use detdiv_synth as synth;
 pub use detdiv_trace as trace;
