@@ -1,10 +1,12 @@
 //! Performance baseline for the experiment pipeline: runs a pinned
 //! reduced sweep three times — trained-model cache disabled, cache
-//! enabled, then cache enabled with tracing armed — and writes a
-//! machine-readable baseline (`BENCH_pr6.json` by default; the `bench`
-//! label is inferred from the filename) recording
-//! wall times, the cache speed-up and hit statistics, the tracing
-//! overhead, the self-profile's top phases by exclusive time, and
+//! enabled, then cache enabled with tracing armed — plus a streaming
+//! throughput pass (the full seven-family adapter bank consuming the
+//! training stream one event at a time), and writes a machine-readable
+//! baseline (`BENCH_pr7.json` by default; the `bench` label is
+//! inferred from the filename) recording wall times, the cache
+//! speed-up and hit statistics, the tracing overhead, streaming
+//! events/sec, the self-profile's top phases by exclusive time, and
 //! worker utilization.
 //!
 //! ```text
@@ -19,10 +21,12 @@
 //! `DETDIV_LOG` says otherwise.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
-use detdiv_eval::FullReport;
+use detdiv_eval::{DetectorKind, FullReport};
 use detdiv_obs as obs;
+use detdiv_stream::{hash_stream_id, ModelAdapter, SignalContext, StreamDetector, StreamEngine};
 use detdiv_synth::{Corpus, SynthesisConfig};
 use serde::Serialize;
 
@@ -70,6 +74,12 @@ struct Baseline {
     trace_events: usize,
     /// Events dropped by the armed run's sink cap.
     trace_dropped: u64,
+    /// Events pushed through the streaming pass (the training stream,
+    /// one event at a time, into a seven-family adapter bank).
+    stream_events: u64,
+    /// Streaming throughput of that pass, events per second (each event
+    /// is scored by all seven adapters).
+    stream_events_per_sec: f64,
     /// Worker utilization from the disarmed run's self-profile.
     utilization_percent: Option<f64>,
     /// Top phases by exclusive time, from the disarmed run.
@@ -84,7 +94,7 @@ struct Args {
 }
 
 /// The `bench` label recorded in the baseline, inferred from the
-/// output filename (`BENCH_pr6.json` → `pr6`) so `perfhist` can order
+/// output filename (`BENCH_pr7.json` → `pr7`) so `perfhist` can order
 /// the trajectory by PR without a separate flag.
 fn bench_label(out: &str) -> String {
     std::path::Path::new(out)
@@ -97,7 +107,7 @@ fn bench_label(out: &str) -> String {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        out: "BENCH_pr6.json".to_owned(),
+        out: "BENCH_pr7.json".to_owned(),
         training_len: 60_000,
         threads: None,
         top: 10,
@@ -209,6 +219,55 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let trace_dropped = obs::trace::dropped();
     obs::trace::reset();
 
+    // Pass D: streaming throughput. The full seven-family adapter bank
+    // consumes the training stream one event at a time through the
+    // engine's push path — the deployment-shaped counterpart of the
+    // batch sweeps above. Models come from the cache warmed by pass C,
+    // so only the push loop is timed.
+    let stream_window = 6;
+    let models: Vec<_> = [
+        DetectorKind::Stide,
+        DetectorKind::TStide,
+        DetectorKind::Markov,
+        DetectorKind::hmm_default(),
+        DetectorKind::neural_default(),
+        DetectorKind::LaneBrodley,
+        DetectorKind::ripper_default(),
+    ]
+    .iter()
+    .map(|kind| detdiv_eval::trained_model(corpus.training(), kind, stream_window))
+    .collect();
+    let mut engine = StreamEngine::new(|| {
+        models
+            .iter()
+            .map(|m| Box::new(ModelAdapter::new(Arc::clone(m))) as Box<dyn StreamDetector>)
+            .collect()
+    });
+    let stream_id = hash_stream_id("perfbaseline");
+    let mut verdicts = Vec::with_capacity(models.len());
+    let started = Instant::now();
+    for (i, &symbol) in corpus.training().iter().enumerate() {
+        verdicts.clear();
+        engine.push(
+            &SignalContext::from_symbol(i as u64, stream_id, symbol),
+            &mut verdicts,
+        );
+    }
+    let stream_elapsed = started.elapsed();
+    let stream_events = engine.events();
+    let stream_events_per_sec = if stream_elapsed.as_secs_f64() > 0.0 {
+        stream_events as f64 / stream_elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    if engine.degraded_slots() > 0 {
+        return Err(format!(
+            "streaming pass degraded {} adapter slot(s)",
+            engine.degraded_slots()
+        )
+        .into());
+    }
+
     let profile = &report_off.telemetry.profile;
     let wall_cache_off_ms = wall_cache_off.as_secs_f64() * 1e3;
     let wall_off_ms = wall_off.as_secs_f64() * 1e3;
@@ -245,6 +304,8 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         },
         trace_events,
         trace_dropped,
+        stream_events,
+        stream_events_per_sec,
         utilization_percent: profile.utilization_percent,
         phases: profile
             .top(args.top)
@@ -263,7 +324,7 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     detdiv_resil::AtomicFile::write(&args.out, serde_json::to_string_pretty(&baseline)?)?;
     eprintln!(
         "perfbaseline: wall cache-off {:.0} ms, cached {:.0} ms ({:+.2}%, hit rate {:.1}%), \
-         trace-on {:.0} ms ({:+.2}%), {} events; wrote {}",
+         trace-on {:.0} ms ({:+.2}%), {} events; streaming {:.0} events/s over {} events; wrote {}",
         baseline.wall_ms_cache_off,
         baseline.wall_ms_trace_off,
         baseline.cache_speedup_percent,
@@ -271,6 +332,8 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         baseline.wall_ms_trace_on,
         baseline.trace_overhead_percent,
         baseline.trace_events,
+        baseline.stream_events_per_sec,
+        baseline.stream_events,
         args.out
     );
     println!("{}", report_off.telemetry.profile.render_text(args.top));

@@ -66,6 +66,13 @@ pub fn preflight_env() -> Result<(), String> {
             }
         }
     }
+    if let Some(value) = env_value("DETDIV_STREAM")? {
+        if !matches!(value.trim(), "on" | "1" | "off" | "0") {
+            return Err(format!(
+                "DETDIV_STREAM: unknown mode {value:?} (expected on, 1, off or 0)"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -169,6 +176,15 @@ mod tests {
         std::env::set_var("DETDIV_SCOPE_INTERVAL_MS", "fast");
         assert!(preflight_env().is_err(), "non-numeric interval rejected");
         std::env::remove_var("DETDIV_SCOPE_INTERVAL_MS");
+
+        for good in ["on", "off", "1", "0"] {
+            std::env::set_var("DETDIV_STREAM", good);
+            assert!(preflight_env().is_ok(), "DETDIV_STREAM={good} passes");
+        }
+        std::env::set_var("DETDIV_STREAM", "sometimes");
+        let err = preflight_env().unwrap_err();
+        assert!(err.contains("DETDIV_STREAM"), "{err}");
+        std::env::remove_var("DETDIV_STREAM");
 
         assert!(preflight_env().is_ok(), "clean again after the sweep");
     }

@@ -29,6 +29,7 @@ pub const TRACKED_METRICS: &[&str] = &[
     "trace_overhead_percent",
     "trace_events",
     "trace_dropped",
+    "stream_events_per_sec",
     "utilization_percent",
 ];
 

@@ -112,6 +112,45 @@ fn explicit_file_arguments_bypass_discovery() {
 }
 
 #[test]
+fn streaming_metric_is_tracked_but_not_gated() {
+    // PR 7 baselines carry the streaming throughput gauge; older ones
+    // do not. The trajectory must render the new row (with a gap for
+    // the old baseline), and a throughput drop alone must never trip
+    // the gate — only `wall_ms_trace_off` is gated.
+    let dir =
+        std::env::temp_dir().join(format!("detdiv-perfhist-cli-stream-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("BENCH_pr1.json"),
+        r#"{"bench": "pr1", "training_len": 60000, "threads": 1,
+            "wall_ms_trace_off": 1000.0, "trace_events": 800, "trace_dropped": 0}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("BENCH_pr2.json"),
+        r#"{"bench": "pr2", "training_len": 60000, "threads": 1,
+            "wall_ms_trace_off": 990.0, "trace_events": 800, "trace_dropped": 0,
+            "stream_events": 60000, "stream_events_per_sec": 2500000.0}"#,
+    )
+    .unwrap();
+    let output = perfhist()
+        .args(["--dir", dir.to_str().unwrap(), "--threshold", "25"])
+        .output()
+        .expect("spawn perfhist");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        output.status.success(),
+        "an absent or changed streaming gauge must not trip the wall-time gate: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("stream_events_per_sec"),
+        "streaming throughput row rendered: {stdout}"
+    );
+}
+
+#[test]
 fn unreadable_input_fails_with_diagnostic() {
     let output = perfhist()
         .args(["/nonexistent/BENCH_nope.json"])

@@ -46,6 +46,26 @@ pub trait TrainedModel: Send + Sync {
     /// vector when the stream is shorter than the window.
     fn scores(&self, test: &[Symbol]) -> Vec<f64>;
 
+    /// Anomaly response of a *single* full window, bit-identical to the
+    /// response [`TrainedModel::scores`] would assign that window inside
+    /// any stream.
+    ///
+    /// This is the streaming hot path (`detdiv-stream` calls it once per
+    /// event): families whose per-window computation has an
+    /// allocation-free form override it; the default delegates to
+    /// [`TrainedModel::scores`] on the one-window slice, which is always
+    /// correct because every detector in this workspace scores a window
+    /// as a pure function of its contents (the batch↔stream differential
+    /// suite in `crates/stream/tests/differential.rs` enforces the
+    /// bit-identity).
+    ///
+    /// `window.len()` must equal [`TrainedModel::window`]; the default
+    /// returns `1.0` (maximally anomalous) for malformed input rather
+    /// than panicking on the serving path.
+    fn score_one(&self, window: &[Symbol]) -> f64 {
+        self.scores(window).pop().unwrap_or(1.0)
+    }
+
     /// The smallest response this detector's thresholding treats as a
     /// *maximal* (alarm-certain) response.
     ///
@@ -103,6 +123,9 @@ impl<D: TrainedModel + ?Sized> TrainedModel for Box<D> {
     }
     fn scores(&self, test: &[Symbol]) -> Vec<f64> {
         (**self).scores(test)
+    }
+    fn score_one(&self, window: &[Symbol]) -> f64 {
+        (**self).score_one(window)
     }
     fn maximal_response_floor(&self) -> f64 {
         (**self).maximal_response_floor()
@@ -213,5 +236,17 @@ mod tests {
     #[test]
     fn alarms_threshold_is_inclusive() {
         assert_eq!(alarms_at(&[0.995, 0.994], 0.995), vec![true, false]);
+    }
+
+    #[test]
+    fn default_score_one_matches_batch_scores() {
+        let d = FlagNine { window: 3 };
+        let s = symbols(&[1, 2, 9, 4, 5, 9, 6]);
+        let batch = d.scores(&s);
+        for (i, w) in s.windows(3).enumerate() {
+            assert_eq!(d.score_one(w).to_bits(), batch[i].to_bits());
+        }
+        // Malformed input degrades to maximally anomalous, not a panic.
+        assert_eq!(d.score_one(&symbols(&[1])), 1.0);
     }
 }

@@ -79,6 +79,13 @@ impl<D: TrainedModel> TrainedModel for InstrumentedDetector<D> {
         scores
     }
 
+    fn score_one(&self, window: &[Symbol]) -> f64 {
+        // The per-event streaming path: no spans, no counters — a
+        // telemetry call per event would dominate the work being
+        // measured. Streaming throughput is accounted by the engine.
+        self.inner.score_one(window)
+    }
+
     fn maximal_response_floor(&self) -> f64 {
         self.inner.maximal_response_floor()
     }

@@ -20,6 +20,13 @@
 //! t-stide, markov, hmm, neural network, Lane & Brodley, and the
 //! RIPPER-style rule learner. Stochastic substrates (HMM, neural net)
 //! are seeded, so "equivalent" here is bit-identical.
+//!
+//! A fourth contract covers the streaming side (`detdiv-stream`, a
+//! dev-only dependency): every family's [`detdiv_stream::ModelAdapter`]
+//! must stay silent for exactly `DW − 1` warmup events, emit verdicts
+//! with score and confidence in `[0, 1]` afterwards, replay a stream
+//! bit-identically after `reset`, and be `Send` so the engine can move
+//! detector banks across worker threads.
 
 use detdiv_core::{LabeledCase, SequenceAnomalyDetector, TrainedModel};
 use detdiv_detectors::{
@@ -144,6 +151,75 @@ fn train_once_score_many_matches_train_per_case() {
             );
         }
     }
+}
+
+/// Contract (4): the streaming adapter honours the `StreamDetector`
+/// contract for every family — exactly `DW − 1` leading `None`s, every
+/// verdict's score and confidence in `[0, 1]`, and a bit-identical
+/// replay after `reset`.
+#[test]
+fn stream_adapters_conform() {
+    use detdiv_stream::{ModelAdapter, SignalContext, StreamDetector};
+    use std::sync::Arc;
+
+    let corpus = corpus(31);
+    for window in 2..=4 {
+        let case = corpus.case(2, window).expect("synthesized case");
+        let test: &[Symbol] = case.test_stream();
+        for mut det in families(window) {
+            det.train(corpus.training());
+            let name = det.name().to_owned();
+            let model: Arc<dyn TrainedModel> = Arc::new(det);
+            let mut adapter = ModelAdapter::new(Arc::clone(&model));
+            assert_eq!(adapter.warmup_len(), window - 1, "{name}");
+
+            let feed = |adapter: &mut ModelAdapter| -> Vec<f64> {
+                let mut scores = Vec::new();
+                for (i, &s) in test.iter().enumerate() {
+                    match adapter.update(&SignalContext::from_symbol(i as u64, 0, s)) {
+                        None => assert!(
+                            i < window - 1,
+                            "{name}: silent past the warmup boundary at event {i}"
+                        ),
+                        Some(r) => {
+                            assert!(
+                                i >= window - 1,
+                                "{name}: verdict inside warmup at event {i}"
+                            );
+                            assert!(
+                                (0.0..=1.0).contains(&r.score),
+                                "{name}: score {} out of range",
+                                r.score
+                            );
+                            assert!(
+                                (0.0..=1.0).contains(&r.confidence),
+                                "{name}: confidence {} out of range",
+                                r.confidence
+                            );
+                            assert!(!r.reason.is_empty(), "{name}: empty reason");
+                            scores.push(r.score);
+                        }
+                    }
+                }
+                scores
+            };
+
+            let first = feed(&mut adapter);
+            assert_scores_eq(&name, "streamed vs batch", &model.scores(test), &first);
+            adapter.reset();
+            let replay = feed(&mut adapter);
+            assert_scores_eq(&name, "replay after reset", &first, &replay);
+        }
+    }
+}
+
+/// Contract (4), `Send` half: adapters (and boxed stream detectors in
+/// general) can move across worker threads. Compile-time assertion.
+#[test]
+fn stream_adapters_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<detdiv_stream::ModelAdapter>();
+    assert_send::<Box<dyn detdiv_stream::StreamDetector>>();
 }
 
 proptest! {

@@ -167,6 +167,16 @@ impl TrainedModel for LaneBrodley {
             })
             .collect()
     }
+
+    fn score_one(&self, window: &[Symbol]) -> f64 {
+        // Allocation-free streaming form: the batch path memoises
+        // [`LaneBrodley::response`] per distinct window, which never
+        // changes the value — one uncached call is bit-identical.
+        if window.len() != self.window {
+            return 1.0;
+        }
+        self.response(window)
+    }
 }
 
 impl SequenceAnomalyDetector for LaneBrodley {

@@ -134,6 +134,22 @@ impl TrainedModel for MarkovDetector {
             .collect()
     }
 
+    fn score_one(&self, window: &[Symbol]) -> f64 {
+        // Allocation-free streaming form of the batch closure above.
+        if window.len() != self.window {
+            return 1.0;
+        }
+        let Some(model) = &self.model else {
+            return 1.0;
+        };
+        let context = &window[..self.window - 1];
+        let next = window[self.window - 1];
+        match model.predict(context, next) {
+            Prediction::UnseenContext => 1.0,
+            Prediction::Known(p) => 1.0 - p,
+        }
+    }
+
     fn maximal_response_floor(&self) -> f64 {
         1.0 - self.rare_threshold
     }

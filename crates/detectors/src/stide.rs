@@ -71,6 +71,18 @@ impl TrainedModel for Stide {
             .collect()
     }
 
+    fn score_one(&self, window: &[Symbol]) -> f64 {
+        // Allocation-free streaming form of the batch closure above.
+        if window.len() != self.window {
+            return 1.0;
+        }
+        if self.db.contains(window) {
+            0.0
+        } else {
+            1.0
+        }
+    }
+
     fn approx_bytes(&self) -> usize {
         // One boxed n-gram of `window` symbols per database entry, plus
         // hash-set bookkeeping.

@@ -99,6 +99,14 @@ impl TrainedModel for TStide {
             .collect()
     }
 
+    fn score_one(&self, window: &[Symbol]) -> f64 {
+        // Allocation-free streaming form of the batch closure above.
+        if window.len() != self.window {
+            return 1.0;
+        }
+        1.0 - self.db.relative_frequency(window)
+    }
+
     fn maximal_response_floor(&self) -> f64 {
         1.0 - self.rare_threshold
     }

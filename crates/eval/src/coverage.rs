@@ -17,7 +17,7 @@
 //! computation regardless of `DETDIV_THREADS` (asserted by
 //! `tests/par_determinism.rs`).
 
-use detdiv_core::{evaluate_case, CellStatus, CoverageMap};
+use detdiv_core::{evaluate_case, evaluate_scores, CellStatus, CoverageMap, LabeledCase};
 use detdiv_resil::{CellOutcome, RetryPolicy};
 use detdiv_synth::Corpus;
 
@@ -59,7 +59,16 @@ fn coverage_row(
             detdiv_resil::point(&format!("score/{}", kind.name()));
         }
         let case = corpus.case(anomaly_size, window)?;
-        let outcome = evaluate_case(detector.as_ref(), &case)?;
+        // Streaming mode scores through the push-based adapter; the
+        // scores are bit-identical to the batch call (the adapter's
+        // contract), so the verdict — and every downstream artifact —
+        // is unchanged.
+        let outcome = if crate::streamed::stream_scoring() {
+            let scores = detdiv_stream::stream_scores(&detector, case.test_stream());
+            evaluate_scores(detector.as_ref(), &case, &scores)?
+        } else {
+            evaluate_case(detector.as_ref(), &case)?
+        };
         detdiv_obs::record_cell(kind.name(), window, anomaly_size, cell_started.elapsed());
         row.push((anomaly_size, CellStatus::from(outcome.classification())));
     }

@@ -62,6 +62,7 @@ mod figures;
 mod kinds;
 mod masquerade;
 mod report;
+mod streamed;
 
 pub use ablation::{
     abl1_maximal_response_semantics, abl2_locality_frame_count, abl3_nn_sensitivity,
@@ -83,3 +84,4 @@ pub use figures::{fig2_incident_span, fig7_similarity, Fig2Result, Fig7Result};
 pub use kinds::DetectorKind;
 pub use masquerade::{masq1_lane_brodley_masquerade, MasqueradeResult};
 pub use report::FullReport;
+pub use streamed::{apply_stream_env, set_stream_scoring, stream_scoring};

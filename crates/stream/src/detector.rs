@@ -1,0 +1,59 @@
+//! The push contract every streaming detector implements.
+
+use crate::context::{DetectionResult, SignalContext};
+
+/// A detector consuming one event at a time.
+///
+/// Implementations are owned by a single stream (the
+/// [`crate::StreamEngine`] builds one bank per stream id), so `update`
+/// takes `&mut self`; `Send` lets banks migrate across worker threads.
+///
+/// ## Warmup
+///
+/// Warmup is explicit: `update` returns `None` for exactly the first
+/// [`warmup_len`](StreamDetector::warmup_len) events of a stream and
+/// `Some` for every event after. Callers therefore never see a score
+/// invented from insufficient state — a sliding-window adapter stays
+/// silent until its first full window, an EWMA until its running mean
+/// means something.
+///
+/// ## Score contract
+///
+/// Every emitted [`DetectionResult`] carries `score` and `confidence`
+/// in `[0, 1]` and a static `reason`. Determinism is part of the
+/// contract: feeding the same event sequence into a freshly constructed
+/// detector must reproduce results bit-identically (the differential
+/// suite enforces this for every implementation shipped here).
+pub trait StreamDetector: Send {
+    /// Stable name of the detector (used in telemetry and reports).
+    fn name(&self) -> &str;
+
+    /// Number of leading events consumed silently before the first
+    /// `Some` verdict.
+    fn warmup_len(&self) -> usize;
+
+    /// Consumes one event; returns a verdict once warm.
+    fn update(&mut self, ctx: &SignalContext) -> Option<DetectionResult>;
+
+    /// Forgets all per-stream state, returning the detector to its
+    /// pre-warmup condition (trained model state, if any, is retained).
+    fn reset(&mut self);
+}
+
+impl<D: StreamDetector + ?Sized> StreamDetector for Box<D> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn warmup_len(&self) -> usize {
+        (**self).warmup_len()
+    }
+
+    fn update(&mut self, ctx: &SignalContext) -> Option<DetectionResult> {
+        (**self).update(ctx)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}

@@ -1,0 +1,299 @@
+//! The multi-stream engine: routing, per-slot panic isolation, and
+//! degradation accounting.
+//!
+//! A [`StreamEngine`] owns one *bank* of [`StreamDetector`]s per
+//! distinct stream id (built lazily by the factory the engine was
+//! constructed with) and routes each pushed [`SignalContext`] to its
+//! stream's bank by the pre-hashed id — interleaved multi-stream feeds
+//! keep every stream's warmup and window state independent, exactly as
+//! if each stream were fed alone.
+//!
+//! A panicking detector must not take down its siblings or the process:
+//! each slot's `update` runs under `catch_unwind`, a panic permanently
+//! degrades that one slot (subsequent events skip it), and the engine
+//! counts degradations for the caller to surface. When a
+//! [`detdiv_resil`] fault plan is armed, every update passes the
+//! `stream/update` fault site first, so chaos runs exercise exactly
+//! this isolation path.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::context::{DetectionResult, SignalContext};
+use crate::detector::StreamDetector;
+
+/// One detector verdict routed back to the caller by
+/// [`StreamEngine::push`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotResult {
+    /// Index of the emitting detector within its stream's bank (banks
+    /// are built by one factory, so the index identifies the detector
+    /// across streams).
+    pub slot: usize,
+    /// The verdict.
+    pub result: DetectionResult,
+}
+
+struct Slot {
+    detector: Box<dyn StreamDetector>,
+    degraded: bool,
+}
+
+impl std::fmt::Debug for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slot")
+            .field("detector", &self.detector.name())
+            .field("degraded", &self.degraded)
+            .finish()
+    }
+}
+
+/// A push-based engine fanning each event out to a per-stream bank of
+/// detectors.
+///
+/// # Examples
+///
+/// ```
+/// use detdiv_stream::{hash_stream_id, Ewma, SignalContext, StreamDetector, StreamEngine};
+/// use detdiv_sequence::Symbol;
+///
+/// let mut engine = StreamEngine::new(|| {
+///     vec![Box::new(Ewma::new(0.1, 4)) as Box<dyn StreamDetector>]
+/// });
+/// let stream = hash_stream_id("host-a");
+/// let mut out = Vec::new();
+/// for i in 0..8 {
+///     let ctx = SignalContext::new(i, stream, Symbol::new(0), 5.0);
+///     engine.push(&ctx, &mut out);
+/// }
+/// assert_eq!(out.len(), 4); // events 0..=3 were warmup; 4.. score
+/// assert_eq!(engine.stream_count(), 1);
+/// ```
+pub struct StreamEngine<F>
+where
+    F: FnMut() -> Vec<Box<dyn StreamDetector>>,
+{
+    factory: F,
+    streams: HashMap<u64, Vec<Slot>>,
+    events: u64,
+    emitted: u64,
+    degraded: u64,
+}
+
+impl<F> std::fmt::Debug for StreamEngine<F>
+where
+    F: FnMut() -> Vec<Box<dyn StreamDetector>>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamEngine")
+            .field("streams", &self.streams.len())
+            .field("events", &self.events)
+            .field("emitted", &self.emitted)
+            .field("degraded", &self.degraded)
+            .finish()
+    }
+}
+
+impl<F> StreamEngine<F>
+where
+    F: FnMut() -> Vec<Box<dyn StreamDetector>>,
+{
+    /// Creates an engine whose per-stream banks are built by `factory`
+    /// on first contact with each stream id.
+    pub fn new(factory: F) -> StreamEngine<F> {
+        StreamEngine {
+            factory,
+            streams: HashMap::new(),
+            events: 0,
+            emitted: 0,
+            degraded: 0,
+        }
+    }
+
+    /// Routes one event to its stream's bank, appending every emitted
+    /// verdict to `out` (which is *not* cleared — callers own the
+    /// buffer so the steady-state hot path performs no allocation).
+    ///
+    /// A slot whose detector panics is degraded: the panic is caught,
+    /// counted, and the slot skips all subsequent events. `push` itself
+    /// never panics on detector failure.
+    pub fn push(&mut self, ctx: &SignalContext, out: &mut Vec<SlotResult>) {
+        self.events += 1;
+        let bank = self.streams.entry(ctx.stream_id_hash).or_insert_with(|| {
+            (self.factory)()
+                .into_iter()
+                .map(|detector| Slot {
+                    detector,
+                    degraded: false,
+                })
+                .collect()
+        });
+        let mut newly_degraded = 0u64;
+        for (slot_index, slot) in bank.iter_mut().enumerate() {
+            if slot.degraded {
+                continue;
+            }
+            let update = catch_unwind(AssertUnwindSafe(|| {
+                if detdiv_resil::armed() {
+                    detdiv_resil::point("stream/update");
+                }
+                slot.detector.update(ctx)
+            }));
+            match update {
+                Ok(Some(result)) => {
+                    self.emitted += 1;
+                    out.push(SlotResult {
+                        slot: slot_index,
+                        result,
+                    });
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    slot.degraded = true;
+                    newly_degraded += 1;
+                }
+            }
+        }
+        if newly_degraded > 0 {
+            self.degraded += newly_degraded;
+            if detdiv_obs::telemetry_enabled() {
+                detdiv_obs::incr_counter("stream/degraded", newly_degraded);
+            }
+        }
+    }
+
+    /// Number of distinct streams seen so far.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Total events pushed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Total verdicts emitted across all slots.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Number of slots permanently degraded by a caught panic.
+    pub fn degraded_slots(&self) -> u64 {
+        self.degraded
+    }
+
+    /// Forgets a stream's bank (its detectors are dropped); returns
+    /// whether the stream existed.
+    pub fn close_stream(&mut self, stream_id_hash: u64) -> bool {
+        self.streams.remove(&stream_id_hash).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::hash_stream_id;
+    use crate::online::Ewma;
+    use detdiv_sequence::Symbol;
+
+    /// A detector that panics on a chosen event value.
+    #[derive(Debug)]
+    struct Grenade {
+        trigger: f64,
+    }
+
+    impl StreamDetector for Grenade {
+        fn name(&self) -> &str {
+            "grenade"
+        }
+
+        fn warmup_len(&self) -> usize {
+            0
+        }
+
+        fn update(&mut self, ctx: &SignalContext) -> Option<DetectionResult> {
+            assert!(ctx.value != self.trigger, "boom");
+            Some(DetectionResult::certain(0.0, "calm"))
+        }
+
+        fn reset(&mut self) {}
+    }
+
+    fn bank() -> Vec<Box<dyn StreamDetector>> {
+        vec![
+            Box::new(Grenade { trigger: 13.0 }),
+            Box::new(Ewma::new(0.1, 2)),
+        ]
+    }
+
+    #[test]
+    fn interleaved_streams_warm_up_independently() {
+        let mut engine =
+            StreamEngine::new(|| vec![Box::new(Ewma::new(0.1, 3)) as Box<dyn StreamDetector>]);
+        let a = hash_stream_id("a");
+        let b = hash_stream_id("b");
+        let mut out = Vec::new();
+        // Interleave: a gets 4 events (1 verdict), b gets 2 (0 verdicts).
+        for i in 0..4u64 {
+            engine.push(&SignalContext::new(i, a, Symbol::new(0), 1.0), &mut out);
+            if i < 2 {
+                engine.push(&SignalContext::new(i, b, Symbol::new(0), 1.0), &mut out);
+            }
+        }
+        assert_eq!(engine.stream_count(), 2);
+        assert_eq!(out.len(), 1, "only stream a is past warmup");
+        assert_eq!(engine.events(), 6);
+        assert_eq!(engine.emitted(), 1);
+    }
+
+    #[test]
+    fn a_panicking_slot_degrades_alone_and_stays_down() {
+        let mut engine = StreamEngine::new(bank);
+        let s = hash_stream_id("s");
+        let mut out = Vec::new();
+        for (i, v) in [1.0, 2.0, 13.0, 4.0, 5.0].iter().enumerate() {
+            engine.push(
+                &SignalContext::new(i as u64, s, Symbol::new(0), *v),
+                &mut out,
+            );
+        }
+        assert_eq!(engine.degraded_slots(), 1);
+        // The grenade emitted for events 0..=1, then died; the EWMA
+        // (warmup 2) emitted for events 2..=4 regardless.
+        let grenade_emissions = out.iter().filter(|r| r.slot == 0).count();
+        let ewma_emissions = out.iter().filter(|r| r.slot == 1).count();
+        assert_eq!(grenade_emissions, 2);
+        assert_eq!(ewma_emissions, 3);
+        // The same trigger value again must not re-panic (slot skipped).
+        engine.push(&SignalContext::new(5, s, Symbol::new(0), 13.0), &mut out);
+        assert_eq!(engine.degraded_slots(), 1);
+    }
+
+    #[test]
+    fn degradation_is_per_stream() {
+        let mut engine = StreamEngine::new(bank);
+        let mut out = Vec::new();
+        engine.push(
+            &SignalContext::new(0, hash_stream_id("dies"), Symbol::new(0), 13.0),
+            &mut out,
+        );
+        engine.push(
+            &SignalContext::new(0, hash_stream_id("lives"), Symbol::new(0), 1.0),
+            &mut out,
+        );
+        assert_eq!(engine.degraded_slots(), 1);
+        // The healthy stream's grenade slot still emits.
+        assert!(out.iter().any(|r| r.slot == 0));
+    }
+
+    #[test]
+    fn close_stream_drops_state() {
+        let mut engine = StreamEngine::new(bank);
+        let s = hash_stream_id("s");
+        let mut out = Vec::new();
+        engine.push(&SignalContext::new(0, s, Symbol::new(0), 1.0), &mut out);
+        assert!(engine.close_stream(s));
+        assert!(!engine.close_stream(s));
+        assert_eq!(engine.stream_count(), 0);
+    }
+}

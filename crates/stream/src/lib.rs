@@ -1,0 +1,43 @@
+//! Online streaming detection for the detector-diversity suite.
+//!
+//! The paper's evaluation (and everything downstream of it in this
+//! repository) is *batch*: train, then score a complete test stream in
+//! one call. Deployment is not — events arrive one at a time, across
+//! many interleaved streams, with no end in sight. This crate bridges
+//! the two without forking the science:
+//!
+//! * [`StreamDetector`] — the push contract (`update` per event,
+//!   explicit warmup via `None`, scores and confidences in `[0, 1]`,
+//!   static reason labels);
+//! * [`ModelAdapter`] / [`stream_scores`] — sliding-window adapters
+//!   over any batch-trained [`detdiv_core::TrainedModel`], emitting
+//!   scores **bit-identical** to the batch `scores()` vector (the
+//!   differential suite in `tests/differential.rs` enforces this for
+//!   every family × window cell of the paper grid);
+//! * [`Ewma`], [`Cusum`], [`AdaptiveThreshold`], [`FadingHistogram`] —
+//!   genuinely-online zero-dependency detectors with no training set at
+//!   all;
+//! * [`StreamEngine`] — multi-stream routing by pre-hashed id with
+//!   per-slot panic isolation and degradation accounting.
+//!
+//! Because streamed and batch scores are the same bits, the evaluation
+//! pipeline can swap scoring modes (`regenerate --stream`) and produce
+//! byte-identical artifacts — which is exactly what the CI differential
+//! gate checks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![warn(clippy::print_stdout, clippy::print_stderr)]
+
+mod adapter;
+mod context;
+mod detector;
+mod engine;
+mod online;
+
+pub use adapter::{stream_scores, ModelAdapter, REASON_ELEVATED, REASON_MAXIMAL, REASON_NORMAL};
+pub use context::{hash_stream_id, DetectionResult, SignalContext};
+pub use detector::StreamDetector;
+pub use engine::{SlotResult, StreamEngine};
+pub use online::{AdaptiveThreshold, Cusum, Ewma, FadingHistogram, DEFAULT_WARMUP};

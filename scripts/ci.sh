@@ -26,12 +26,23 @@
 #                               cached run must record a non-zero
 #                               cache/hits counter (a silent cache is
 #                               a disabled cache)
-#   7. trace gate             — the exported Chrome trace files must be
+#   7. stream gate            — `streamcheck` bit-compares streamed
+#                               against batch scores for every family ×
+#                               window × anomaly-size cell of the full
+#                               paper grid; the batch↔stream
+#                               differential suite runs explicitly; and
+#                               the report regenerated with streamed
+#                               scoring (--stream, and once via
+#                               DETDIV_STREAM=on) must be
+#                               byte-identical to the batch runs —
+#                               streaming is the batch pipeline
+#                               reordered in time, not a new pipeline
+#   8. trace gate             — the exported Chrome trace files must be
 #                               valid trace-event JSON with per-thread
 #                               monotonic timestamps and balanced B/E
 #                               stacks (`tracecheck`), and the 4-thread
 #                               trace must name its pool workers
-#   8. scope gate             — `regenerate --serve 127.0.0.1:0` runs
+#   9. scope gate             — `regenerate --serve 127.0.0.1:0` runs
 #                               with the live metrics server armed at
 #                               widths 1 and 4; `scopecheck` scrapes
 #                               /metrics, /healthz, /snapshot.json and
@@ -44,26 +55,28 @@
 #                               on served run is additionally scraped
 #                               with --expect-telemetry to prove live
 #                               counters are actually visible mid-run
-#   9. perf baseline          — scripts/perf_baseline.sh runs the
+#  10. perf baseline          — scripts/perf_baseline.sh runs the
 #                               pinned reduced sweep and emits a
 #                               baseline JSON (tracing overhead, top
-#                               phases, utilization, cache hit rate)
-#  10. perf history gate      — `perfhist` parses every committed
+#                               phases, utilization, cache hit rate,
+#                               streaming events/sec)
+#  11. perf history gate      — `perfhist` parses every committed
 #                               repo-root BENCH_*.json, prints the
 #                               cross-PR trajectory table, and fails
 #                               if the newest comparable baseline pair
 #                               shows a wall-time regression beyond
 #                               the noise threshold
-#  11. chaos gate             — the report regenerated under seeded
+#  12. chaos gate             — the report regenerated under seeded
 #                               ~1% training-panic injection
 #                               (--fault 42:1%:panic) must be
 #                               byte-identical to the fault-free runs
-#                               at widths 1 and 4; the width-4 chaos
-#                               run is additionally SIGKILLed mid-run
-#                               and finished with --resume, and must
-#                               still match byte-for-byte (exit 0, no
-#                               wedged process — every run is under
-#                               `timeout`)
+#                               at widths 1 and 4 — and once more with
+#                               --stream on top of the injection; the
+#                               width-4 chaos run is additionally
+#                               SIGKILLed mid-run and finished with
+#                               --resume, and must still match
+#                               byte-for-byte (exit 0, no wedged
+#                               process — every run is under `timeout`)
 #
 # Usage: scripts/ci.sh
 # The script is silent on success for each phase beyond a one-line
@@ -138,6 +151,34 @@ grep -q '"cache/hits": *[1-9]' "$GATE_DIR/telemetry_report.json" || {
     exit 1
 }
 echo "cache hit telemetry present ($(grep -o '"cache/hits": *[0-9]*' "$GATE_DIR/telemetry_report.json"))"
+
+banner "stream gate (streamcheck grid + streamed-run byte identity)"
+# Event-by-event streaming claims bit-identity with batch scoring;
+# `streamcheck` enforces it for every family × window × anomaly-size
+# cell of the full paper grid (DW 2-15 × AS 2-9, seven families).
+./target/release/streamcheck
+# The differential suite covers the structural edges the grid cannot:
+# warmup boundaries, empty/short/duplicate-run streams, interleaved
+# multi-stream feeds, and randomized training/test pairs.
+cargo test -q --release -p detdiv-stream --test differential
+# Report-level identity: the whole experiment suite scored through the
+# streaming adapters must regenerate byte-identical artifacts — once
+# via the --stream flag at width 4, once via DETDIV_STREAM=on at
+# width 1, both compared against the batch determinism-gate runs.
+mkdir -p "$GATE_DIR/stream"
+DETDIV_LOG=off DETDIV_THREADS=4 ./target/release/regenerate \
+    --training-len 60000 --stream \
+    --json "$GATE_DIR/stream/flag.json" \
+    > "$GATE_DIR/stream/flag_stdout.txt" 2> /dev/null
+cmp "$GATE_DIR/t1/paper_report.json" "$GATE_DIR/stream/flag.json"
+cmp "$GATE_DIR/t1/stdout.txt" "$GATE_DIR/stream/flag_stdout.txt"
+DETDIV_LOG=off DETDIV_THREADS=1 DETDIV_STREAM=on ./target/release/regenerate \
+    --training-len 60000 \
+    --json "$GATE_DIR/stream/env.json" \
+    > "$GATE_DIR/stream/env_stdout.txt" 2> /dev/null
+cmp "$GATE_DIR/t1/paper_report.json" "$GATE_DIR/stream/env.json"
+cmp "$GATE_DIR/t1/stdout.txt" "$GATE_DIR/stream/env_stdout.txt"
+echo "streamed runs (--stream and DETDIV_STREAM=on) byte-identical to batch runs"
 
 banner "trace gate (Chrome trace-event JSON validity + B/E balance)"
 ./target/release/tracecheck "$GATE_DIR/t1/trace.json"
@@ -230,6 +271,16 @@ DETDIV_LOG=off DETDIV_THREADS=1 timeout 900 ./target/release/regenerate \
 cmp "$GATE_DIR/t1/paper_report.json" "$CHAOS_DIR/t1.json"
 cmp "$GATE_DIR/t1/stdout.txt" "$CHAOS_DIR/t1_stdout.txt"
 echo "width-1 chaos run byte-identical to the fault-free run"
+# Streamed chaos: the same injection with streamed scoring on top —
+# supervised retries around training and the streaming score path must
+# compose without perturbing a byte.
+DETDIV_LOG=off DETDIV_THREADS=1 timeout 900 ./target/release/regenerate \
+    --training-len 60000 --fault "$FAULT_SPEC" --stream \
+    --json "$CHAOS_DIR/stream.json" \
+    > "$CHAOS_DIR/stream_stdout.txt" 2> /dev/null
+cmp "$GATE_DIR/t1/paper_report.json" "$CHAOS_DIR/stream.json"
+cmp "$GATE_DIR/t1/stdout.txt" "$CHAOS_DIR/stream_stdout.txt"
+echo "streamed chaos run byte-identical to the fault-free run"
 # Width 4: chaos run with a row journal, SIGKILLed once rows have
 # committed, then finished with --resume; the resumed output must be
 # byte-identical to the fault-free t4 run.

@@ -3,13 +3,14 @@
 #
 # Runs the `perfbaseline` harness — a pinned reduced sweep executed
 # three times: trained-model cache disabled, cache enabled from cold,
-# and cache enabled with tracing armed — and writes the
-# machine-readable baseline JSON (wall times, cache speed-up and hit
-# statistics, tracing overhead, top phases by exclusive time, worker
-# utilization).
+# and cache enabled with tracing armed — plus a streaming throughput
+# pass (the seven-family adapter bank fed one event at a time), and
+# writes the machine-readable baseline JSON (wall times, cache
+# speed-up and hit statistics, tracing overhead, streaming events/sec,
+# top phases by exclusive time, worker utilization).
 #
 # Usage: scripts/perf_baseline.sh [OUT_JSON] [TRAINING_LEN]
-#   OUT_JSON      output path (default BENCH_pr6.json at the repo root;
+#   OUT_JSON      output path (default BENCH_pr7.json at the repo root;
 #                 the baseline's `bench` label is inferred from the
 #                 filename, so BENCH_pr7.json labels itself pr7)
 #   TRAINING_LEN  training-stream length (default 60000; CI may pass a
@@ -26,7 +27,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr6.json}"
+OUT="${1:-BENCH_pr7.json}"
 TRAINING_LEN="${2:-60000}"
 
 if [[ ! -x target/release/perfbaseline ]]; then

@@ -33,7 +33,13 @@
 //! * [`scope`] — live runtime introspection: an embedded HTTP server
 //!   exposing Prometheus-format metrics, health, snapshot and
 //!   self-profile endpoints, plus a background time-series sampler
-//!   (arm with `regenerate --serve HOST:PORT` or `DETDIV_SERVE`).
+//!   (arm with `regenerate --serve HOST:PORT` or `DETDIV_SERVE`);
+//! * [`stream`] — the online streaming engine: a push-based
+//!   [`stream::StreamDetector`] contract, sliding-window adapters that
+//!   score event-by-event bit-identically to the batch path (switch the
+//!   whole suite over with `regenerate --stream` or `DETDIV_STREAM=on`),
+//!   and genuinely-online detectors (EWMA, CUSUM, adaptive thresholds,
+//!   fading histograms).
 //!
 //! # Quickstart
 //!
@@ -83,6 +89,7 @@ pub use detdiv_par as par;
 pub use detdiv_rules as rules;
 pub use detdiv_scope as scope;
 pub use detdiv_sequence as sequence;
+pub use detdiv_stream as stream;
 pub use detdiv_synth as synth;
 pub use detdiv_trace as trace;
 
@@ -99,6 +106,9 @@ pub mod prelude {
     pub use detdiv_sequence::{
         symbols, Alphabet, NgramCounter, NgramSet, StreamProfile, SubstringIndex, Symbol,
         DEFAULT_RARE_THRESHOLD,
+    };
+    pub use detdiv_stream::{
+        stream_scores, DetectionResult, ModelAdapter, SignalContext, StreamDetector, StreamEngine,
     };
     pub use detdiv_synth::{Corpus, InjectedCase, SynthesisConfig};
 }
