@@ -1,11 +1,12 @@
 //! Performance baseline for the experiment pipeline: runs a pinned
-//! reduced sweep three times — trained-model cache disabled, cache
-//! enabled, then cache enabled with tracing armed — plus a streaming
-//! throughput pass (the full seven-family adapter bank consuming the
-//! training stream one event at a time), and writes a machine-readable
-//! baseline (`BENCH_pr7.json` by default; the `bench` label is
-//! inferred from the filename) recording wall times, the cache
-//! speed-up and hit statistics, the tracing overhead, streaming
+//! reduced sweep four times — trained-model cache disabled, cache
+//! enabled, cache enabled with tracing armed, then cache enabled with
+//! the flight recorder armed — plus a streaming throughput pass (the
+//! full seven-family adapter bank consuming the training stream one
+//! event at a time), and writes a machine-readable baseline
+//! (`BENCH_pr8.json` by default; the `bench` label is inferred from
+//! the filename) recording wall times, the cache speed-up and hit
+//! statistics, the tracing and flight-recording overheads, streaming
 //! events/sec, the self-profile's top phases by exclusive time, and
 //! worker utilization.
 //!
@@ -74,6 +75,14 @@ struct Baseline {
     trace_events: usize,
     /// Events dropped by the armed run's sink cap.
     trace_dropped: u64,
+    /// Full-report wall time with the cache enabled from cold and the
+    /// flight recorder armed, ms.
+    wall_ms_flight_on: f64,
+    /// Flight-armed over disarmed overhead, percent of
+    /// `wall_ms_trace_off` (negative = noise).
+    flight_overhead_percent: f64,
+    /// Wide-event records the flight-armed run produced.
+    flight_records: usize,
     /// Events pushed through the streaming pass (the training stream,
     /// one event at a time, into a seven-family adapter bank).
     stream_events: u64,
@@ -107,7 +116,7 @@ fn bench_label(out: &str) -> String {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        out: "BENCH_pr7.json".to_owned(),
+        out: "BENCH_pr8.json".to_owned(),
         training_len: 60_000,
         threads: None,
         top: 10,
@@ -268,6 +277,24 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         .into());
     }
 
+    // Pass E: cache enabled from cold, flight recorder armed; the same
+    // work as pass B, so armed-minus-disarmed isolates the audit log's
+    // record/flush cost. The records are drained and counted, not
+    // exported — the dump write happens after the timed region in real
+    // runs too.
+    cache.clear();
+    cache.reset_stats();
+    detdiv_flight::reset();
+    let flight_sink =
+        std::env::temp_dir().join(format!("detdiv-perfbaseline-{}.flight", std::process::id()));
+    detdiv_flight::arm(&flight_sink.to_string_lossy());
+    let started = Instant::now();
+    let _report_flight = FullReport::generate_on(&corpus)?;
+    let wall_flight = started.elapsed();
+    detdiv_flight::disarm();
+    let flight_records = detdiv_flight::drain().len();
+    detdiv_flight::reset();
+
     let profile = &report_off.telemetry.profile;
     let wall_cache_off_ms = wall_cache_off.as_secs_f64() * 1e3;
     let wall_off_ms = wall_off.as_secs_f64() * 1e3;
@@ -304,6 +331,13 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         },
         trace_events,
         trace_dropped,
+        wall_ms_flight_on: wall_flight.as_secs_f64() * 1e3,
+        flight_overhead_percent: if wall_off_ms > 0.0 {
+            (wall_flight.as_secs_f64() * 1e3 - wall_off_ms) / wall_off_ms * 100.0
+        } else {
+            0.0
+        },
+        flight_records,
         stream_events,
         stream_events_per_sec,
         utilization_percent: profile.utilization_percent,
@@ -324,7 +358,8 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     detdiv_resil::AtomicFile::write(&args.out, serde_json::to_string_pretty(&baseline)?)?;
     eprintln!(
         "perfbaseline: wall cache-off {:.0} ms, cached {:.0} ms ({:+.2}%, hit rate {:.1}%), \
-         trace-on {:.0} ms ({:+.2}%), {} events; streaming {:.0} events/s over {} events; wrote {}",
+         trace-on {:.0} ms ({:+.2}%), {} events; flight-on {:.0} ms ({:+.2}%), {} records; \
+         streaming {:.0} events/s over {} events; wrote {}",
         baseline.wall_ms_cache_off,
         baseline.wall_ms_trace_off,
         baseline.cache_speedup_percent,
@@ -332,6 +367,9 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         baseline.wall_ms_trace_on,
         baseline.trace_overhead_percent,
         baseline.trace_events,
+        baseline.wall_ms_flight_on,
+        baseline.flight_overhead_percent,
+        baseline.flight_records,
         baseline.stream_events_per_sec,
         baseline.stream_events,
         args.out

@@ -7,11 +7,14 @@
 //!
 //! With no positional files, scans `--dir` (default `.`) for
 //! `BENCH_*.json`. Prints the per-metric trajectory table across all
-//! baselines in PR order, then gates the newest pair: exits non-zero
-//! when the headline wall time (`wall_ms_trace_off`) grew by more than
+//! baselines in PR order, then gates the newest pair on every metric
+//! in `GATED_METRICS`, direction-aware: exits non-zero when the
+//! headline wall time (`wall_ms_trace_off`) *grew* — or the streaming
+//! throughput (`stream_events_per_sec`) *dropped* — by more than
 //! `--threshold` percent (default 25) between the two newest baselines
 //! — provided they measured the same sweep shape (training length and
-//! thread count); otherwise the gate abstains and passes.
+//! thread count) and both carry the metric; otherwise that metric
+//! abstains and passes.
 //!
 //! The default threshold is deliberately generous: CI machines are
 //! noisy and baselines are measured on whatever hardware produced the
@@ -51,7 +54,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: perfhist [--dir PATH] [--threshold PCT] [FILE...]\n\
                      Prints the BENCH_*.json perf trajectory and exits non-zero when the newest\n\
-                     baseline regressed wall_ms_trace_off beyond the threshold (default 25%)."
+                     baseline regressed a gated metric beyond the threshold (default 25%):\n\
+                     wall_ms_trace_off growing, or stream_events_per_sec dropping."
                 );
                 std::process::exit(0);
             }
@@ -75,9 +79,11 @@ fn run(args: &Args) -> Result<ExitCode, String> {
     };
     perfhist::sort_baselines(&mut baselines);
     print!("{}", perfhist::render_trajectory(&baselines));
-    let verdict = perfhist::gate(&baselines, args.threshold);
-    eprintln!("{}", verdict.render());
-    Ok(if verdict.is_regression() {
+    let verdicts = perfhist::gate(&baselines, args.threshold);
+    for verdict in &verdicts {
+        eprintln!("{}", verdict.render());
+    }
+    Ok(if verdicts.iter().any(perfhist::Verdict::is_regression) {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -60,6 +60,17 @@
 //!   taken port fails in milliseconds; the bound address is echoed on
 //!   stderr unconditionally so scripts can scrape an ephemeral port.
 //!   The scope never writes telemetry, so artifacts are byte-identical
+//!   with and without it — CI enforces this with `cmp`;
+//! * `--flight PATH` — arm the per-detection flight recorder
+//!   (`detdiv-flight`) and write the wide-event audit log to `PATH`
+//!   when the run finishes: one checksummed JSONL record per detection
+//!   decision (cell verdicts with score/threshold/span/cache
+//!   provenance, streaming emissions, supervised failures), sorted so
+//!   repeated runs of the same configuration produce byte-identical
+//!   dumps. Overrides the `DETDIV_FLIGHT` environment variable. A
+//!   panic additionally dumps the crash blackbox — the last wide
+//!   events before the failure — to `PATH.crash`. The recorder never
+//!   writes telemetry or report state, so artifacts are byte-identical
 //!   with and without it — CI enforces this with `cmp`.
 
 use std::process::ExitCode;
@@ -89,6 +100,7 @@ struct Args {
     fault: Option<String>,
     resume: Option<String>,
     serve: Option<String>,
+    flight: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -109,6 +121,8 @@ fn parse_args() -> Result<Args, String> {
         serve: std::env::var("DETDIV_SERVE")
             .ok()
             .filter(|v| !v.trim().is_empty()),
+        // `--flight PATH` below overrides the environment.
+        flight: detdiv_flight::env_path(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -167,9 +181,12 @@ fn parse_args() -> Result<Args, String> {
             "--serve" => {
                 args.serve = Some(it.next().ok_or("--serve needs a listen address")?);
             }
+            "--flight" => {
+                args.flight = Some(it.next().ok_or("--flight needs a path")?);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: regenerate [--experiment ID] [--training-len N] [--paper] [--seed N] [--json PATH] [--threads N] [--log LEVEL] [--trace PATH] [--no-cache] [--stream] [--fault SPEC] [--resume PATH] [--serve ADDR]\n\
+                    "usage: regenerate [--experiment ID] [--training-len N] [--paper] [--seed N] [--json PATH] [--threads N] [--log LEVEL] [--trace PATH] [--no-cache] [--stream] [--fault SPEC] [--resume PATH] [--serve ADDR] [--flight PATH]\n\
                      experiments: fig2 fig3 fig4 fig5 fig6 fig7 comb1 comb2 comb3 abl1 abl2 abl3 abl4 nat1 ext1 div1 masq1 fn1 ana1 all\n\
                      threads:     parallel fan-out width (default: DETDIV_THREADS, then available parallelism; results are thread-count independent)\n\
                      log levels:  off error warn info debug trace (default info; DETDIV_LOG also honoured)\n\
@@ -178,7 +195,8 @@ fn parse_args() -> Result<Args, String> {
                      stream:      score coverage cells through the push-based streaming adapter (DETDIV_STREAM=on also honoured; artifacts byte-identical)\n\
                      fault:       arm deterministic fault injection, seed:rate:kinds[:stall_ms] e.g. 42:1%:panic (DETDIV_FAULT also honoured)\n\
                      resume:      journal completed coverage rows to PATH and resume an interrupted run from it (removed on success)\n\
-                     serve:       serve live metrics on ADDR while the run executes: /metrics /healthz /snapshot.json /profilez (DETDIV_SERVE also honoured; artifacts stay byte-identical)"
+                     serve:       serve live metrics on ADDR while the run executes: /metrics /healthz /snapshot.json /profilez /streams /flightz (DETDIV_SERVE also honoured; artifacts stay byte-identical)\n\
+                     flight:      record one wide event per detection decision and write the sorted, checksummed audit log to PATH; panics dump the crash blackbox to PATH.crash (DETDIV_FLIGHT also honoured; artifacts stay byte-identical)"
                 );
                 std::process::exit(0);
             }
@@ -494,6 +512,19 @@ fn main() -> ExitCode {
             }
         }));
     }
+    // Flight recorder: preflight the dump destination, then arm. Armed
+    // *after* the chaos panic-hook filter above so the crash-dump hook
+    // (installed by `arm`) runs first on a panic — the blackbox is
+    // dumped before the filter decides whether to suppress the
+    // backtrace.
+    if let Some(path) = &args.flight {
+        if let Err(e) = preflight_write_target(path) {
+            eprintln!("regenerate: cannot write --flight output {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        detdiv_flight::arm(path);
+        obs::info!("flight recorder armed", path = path);
+    }
     // Fail fast on unwritable --json / --trace destinations:
     // milliseconds now instead of an error after the full evaluation.
     if let Some(path) = &args.json {
@@ -570,6 +601,21 @@ fn main() -> ExitCode {
         } else {
             // Keep the journal for the next attempt.
             detdiv_eval::checkpoint::disarm();
+        }
+    }
+    if let Some(path) = &args.flight {
+        detdiv_flight::disarm();
+        match detdiv_flight::export(path) {
+            Ok(records) => {
+                obs::info!("wrote flight audit log", path = path, records = records);
+                // Unconditional: the flight gate runs under --log off
+                // and parses this confirmation line.
+                eprintln!("regenerate: wrote {records} flight records to {path}");
+            }
+            Err(e) => {
+                eprintln!("regenerate: failed to write flight audit log {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     if let Some(path) = &args.trace {

@@ -73,6 +73,14 @@ pub fn preflight_env() -> Result<(), String> {
             ));
         }
     }
+    if let Some(value) = env_value("DETDIV_FLIGHT")? {
+        let path = value.trim();
+        if path.ends_with('/') || std::path::Path::new(path).is_dir() {
+            return Err(format!(
+                "DETDIV_FLIGHT: expected a dump file path, got a directory: {value:?}"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -185,6 +193,13 @@ mod tests {
         let err = preflight_env().unwrap_err();
         assert!(err.contains("DETDIV_STREAM"), "{err}");
         std::env::remove_var("DETDIV_STREAM");
+
+        std::env::set_var("DETDIV_FLIGHT", "/tmp/detdiv-flight.jsonl");
+        assert!(preflight_env().is_ok(), "file path passes");
+        std::env::set_var("DETDIV_FLIGHT", "/tmp/");
+        let err = preflight_env().unwrap_err();
+        assert!(err.contains("DETDIV_FLIGHT"), "{err}");
+        std::env::remove_var("DETDIV_FLIGHT");
 
         assert!(preflight_env().is_ok(), "clean again after the sweep");
     }

@@ -3,11 +3,12 @@
 //! Every PR that touches performance commits a baseline written by
 //! `perfbaseline` (`BENCH_pr3.json`, `BENCH_pr4.json`, ...). This
 //! module parses all of them, orders them by PR number, renders a
-//! per-metric trajectory table, and gates the newest comparable pair:
-//! when the most recent baseline's headline wall time regresses beyond
-//! a noise threshold against its predecessor *measured at the same
-//! sweep shape* (training length and thread count), the `perfhist`
-//! binary exits non-zero so CI fails.
+//! per-metric trajectory table, and gates the newest comparable pair
+//! on every metric in [`GATED_METRICS`], direction-aware: when the
+//! most recent baseline's headline wall time *grows* — or its
+//! streaming throughput *drops* — beyond a noise threshold against its
+//! predecessor *measured at the same sweep shape* (training length and
+//! thread count), the `perfhist` binary exits non-zero so CI fails.
 //!
 //! Baselines from different PRs carry different field sets (`pr3` has
 //! no cache statistics), so parsing goes through the generic JSON
@@ -33,8 +34,41 @@ pub const TRACKED_METRICS: &[&str] = &[
     "utilization_percent",
 ];
 
-/// The metric the regression gate compares.
-pub const GATED_METRIC: &str = "wall_ms_trace_off";
+/// Which way a gated metric is supposed to move: wall times regress
+/// upward, throughputs regress downward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (wall times): a regression is growth beyond
+    /// the threshold.
+    LowerIsBetter,
+    /// Larger is better (throughputs): a regression is a drop beyond
+    /// the threshold.
+    HigherIsBetter,
+}
+
+/// One metric the regression gate enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatedMetric {
+    /// Dotted metric name, looked up via [`BaselineFile::metric`].
+    pub name: &'static str,
+    /// Which way this metric regresses.
+    pub direction: Direction,
+}
+
+/// The metrics the regression gate compares, each with its regression
+/// direction. A baseline pair is gated on every metric both sides
+/// carry; a metric absent from either side abstains (older baselines
+/// predate newer gauges).
+pub const GATED_METRICS: &[GatedMetric] = &[
+    GatedMetric {
+        name: "wall_ms_trace_off",
+        direction: Direction::LowerIsBetter,
+    },
+    GatedMetric {
+        name: "stream_events_per_sec",
+        direction: Direction::HigherIsBetter,
+    },
+];
 
 /// One parsed baseline file.
 #[derive(Debug, Clone)]
@@ -202,37 +236,54 @@ pub fn render_trajectory(files: &[BaselineFile]) -> String {
     out
 }
 
-/// The regression gate's verdict on the newest pair of baselines.
+/// The regression gate's verdict on one gated metric of the newest
+/// pair of baselines (or on the pair as a whole, for the abstaining
+/// variants that precede any metric lookup).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Verdict {
     /// Fewer than two baselines: nothing to compare.
     TooFewBaselines,
     /// The newest two baselines measured different sweep shapes;
-    /// wall times are not comparable, so the gate abstains.
+    /// nothing about them is comparable, so the gate abstains.
     NotComparable {
         /// Newest baseline's label.
         newest: String,
         /// Predecessor's label.
         previous: String,
     },
-    /// Newest is within the threshold of (or faster than) its
-    /// predecessor.
-    Ok {
+    /// One side of the pair does not carry this metric (older
+    /// baselines predate newer gauges), so this metric abstains.
+    Absent {
+        /// The gated metric that is missing.
+        metric: &'static str,
         /// Newest baseline's label.
         newest: String,
         /// Predecessor's label.
         previous: String,
-        /// Newest-over-previous change of the gated metric, percent
-        /// (negative = faster).
+    },
+    /// Newest is within the threshold of (or better than) its
+    /// predecessor on this metric.
+    Ok {
+        /// The gated metric.
+        metric: &'static str,
+        /// Newest baseline's label.
+        newest: String,
+        /// Predecessor's label.
+        previous: String,
+        /// Newest-over-previous change, percent (sign is raw: a wall
+        /// time improves negative, a throughput improves positive).
         change_percent: f64,
     },
-    /// Newest regressed the gated metric beyond the threshold.
+    /// Newest regressed this metric beyond the threshold, in the
+    /// metric's regression direction.
     Regression {
+        /// The gated metric.
+        metric: &'static str,
         /// Newest baseline's label.
         newest: String,
         /// Predecessor's label.
         previous: String,
-        /// Newest-over-previous change of the gated metric, percent.
+        /// Newest-over-previous change, percent.
         change_percent: f64,
         /// The threshold that was exceeded, percent.
         threshold_percent: f64,
@@ -254,59 +305,91 @@ impl Verdict {
             Verdict::NotComparable { newest, previous } => format!(
                 "perfhist: {newest} and {previous} measured different sweeps; gate abstains"
             ),
+            Verdict::Absent {
+                metric,
+                newest,
+                previous,
+            } => format!(
+                "perfhist: {metric} absent from {newest} or {previous}; this metric abstains"
+            ),
             Verdict::Ok {
+                metric,
                 newest,
                 previous,
                 change_percent,
-            } => format!(
-                "perfhist: OK — {GATED_METRIC} {newest} vs {previous}: {change_percent:+.2}%"
-            ),
+            } => {
+                format!("perfhist: OK — {metric} {newest} vs {previous}: {change_percent:+.2}%")
+            }
             Verdict::Regression {
+                metric,
                 newest,
                 previous,
                 change_percent,
                 threshold_percent,
             } => format!(
-                "perfhist: REGRESSION — {GATED_METRIC} {newest} vs {previous}: \
+                "perfhist: REGRESSION — {metric} {newest} vs {previous}: \
                  {change_percent:+.2}% exceeds the {threshold_percent:.1}% threshold"
             ),
         }
     }
 }
 
-/// Gates the newest baseline against its predecessor: regression when
-/// the gated metric grew by more than `threshold_percent` between the
-/// two newest baselines that share a sweep shape with each other.
-pub fn gate(files: &[BaselineFile], threshold_percent: f64) -> Verdict {
+/// Gates the newest baseline against its predecessor on every metric
+/// in [`GATED_METRICS`], direction-aware: a wall time regresses when
+/// it *grew* by more than `threshold_percent`, a throughput when it
+/// *dropped* by more than `threshold_percent`. Returns one verdict per
+/// gated metric (or a single abstaining verdict when the pair itself
+/// is not comparable); CI fails when any verdict
+/// [`is_regression`](Verdict::is_regression).
+pub fn gate(files: &[BaselineFile], threshold_percent: f64) -> Vec<Verdict> {
     let Some(newest) = files.last() else {
-        return Verdict::TooFewBaselines;
+        return vec![Verdict::TooFewBaselines];
     };
     let Some(previous) = files.iter().rev().nth(1) else {
-        return Verdict::TooFewBaselines;
+        return vec![Verdict::TooFewBaselines];
     };
     if !newest.comparable_with(previous) {
-        return Verdict::NotComparable {
+        return vec![Verdict::NotComparable {
             newest: newest.label.clone(),
             previous: previous.label.clone(),
-        };
+        }];
     }
-    let (Some(new_wall), Some(old_wall)) =
-        (newest.metric(GATED_METRIC), previous.metric(GATED_METRIC))
+    GATED_METRICS
+        .iter()
+        .map(|gated| gate_metric(gated, newest, previous, threshold_percent))
+        .collect()
+}
+
+fn gate_metric(
+    gated: &GatedMetric,
+    newest: &BaselineFile,
+    previous: &BaselineFile,
+    threshold_percent: f64,
+) -> Verdict {
+    let (Some(new_value), Some(old_value)) =
+        (newest.metric(gated.name), previous.metric(gated.name))
     else {
-        return Verdict::NotComparable {
+        return Verdict::Absent {
+            metric: gated.name,
             newest: newest.label.clone(),
             previous: previous.label.clone(),
         };
     };
-    if old_wall <= 0.0 {
-        return Verdict::NotComparable {
+    if old_value <= 0.0 {
+        return Verdict::Absent {
+            metric: gated.name,
             newest: newest.label.clone(),
             previous: previous.label.clone(),
         };
     }
-    let change_percent = (new_wall - old_wall) / old_wall * 100.0;
-    if change_percent > threshold_percent {
+    let change_percent = (new_value - old_value) / old_value * 100.0;
+    let regressed = match gated.direction {
+        Direction::LowerIsBetter => change_percent > threshold_percent,
+        Direction::HigherIsBetter => change_percent < -threshold_percent,
+    };
+    if regressed {
         Verdict::Regression {
+            metric: gated.name,
             newest: newest.label.clone(),
             previous: previous.label.clone(),
             change_percent,
@@ -314,6 +397,7 @@ pub fn gate(files: &[BaselineFile], threshold_percent: f64) -> Verdict {
         }
     } else {
         Verdict::Ok {
+            metric: gated.name,
             newest: newest.label.clone(),
             previous: previous.label.clone(),
             change_percent,
@@ -326,9 +410,23 @@ mod tests {
     use super::*;
 
     fn synthetic(label: &str, wall: f64, training_len: u64, threads: u64) -> BaselineFile {
+        synthetic_with_stream(label, wall, None, training_len, threads)
+    }
+
+    fn synthetic_with_stream(
+        label: &str,
+        wall: f64,
+        stream_eps: Option<f64>,
+        training_len: u64,
+        threads: u64,
+    ) -> BaselineFile {
+        let stream = match stream_eps {
+            Some(eps) => format!(r#", "stream_events_per_sec": {eps}"#),
+            None => String::new(),
+        };
         let json = format!(
             r#"{{"bench": "{label}", "training_len": {training_len}, "threads": {threads},
-                "wall_ms_trace_off": {wall}, "trace_dropped": 0}}"#
+                "wall_ms_trace_off": {wall}, "trace_dropped": 0{stream}}}"#
         );
         let dir = std::env::temp_dir();
         let path = dir.join(format!(
@@ -339,6 +437,10 @@ mod tests {
         let parsed = BaselineFile::load(&path).unwrap();
         std::fs::remove_file(&path).ok();
         parsed
+    }
+
+    fn any_regression(verdicts: &[Verdict]) -> bool {
+        verdicts.iter().any(Verdict::is_regression)
     }
 
     #[test]
@@ -363,17 +465,18 @@ mod tests {
             files.len() >= 2,
             "at least pr3 and pr4 baselines are committed"
         );
+        let headline = GATED_METRICS[0].name;
         for f in &files {
             assert!(
-                f.metric(GATED_METRIC).is_some(),
-                "{} carries {GATED_METRIC}",
+                f.metric(headline).is_some(),
+                "{} carries {headline}",
                 f.path.display()
             );
         }
         let table = render_trajectory(&files);
         assert!(table.contains("pr3"));
         assert!(table.contains("pr4"));
-        assert!(table.contains(GATED_METRIC));
+        assert!(table.contains(headline));
     }
 
     #[test]
@@ -382,16 +485,67 @@ mod tests {
             synthetic("pr1", 1000.0, 60_000, 1),
             synthetic("pr2", 1040.0, 60_000, 1),
         ];
-        assert!(!gate(&files, 10.0).is_regression(), "4% growth under 10%");
-        let verdict = gate(&files, 2.0);
-        assert!(verdict.is_regression(), "4% growth over 2%");
-        assert!(verdict.render().contains("REGRESSION"));
+        assert!(!any_regression(&gate(&files, 10.0)), "4% growth under 10%");
+        let verdicts = gate(&files, 2.0);
+        let regression = verdicts
+            .iter()
+            .find(|v| v.is_regression())
+            .expect("4% growth over 2%");
+        assert!(regression.render().contains("REGRESSION"));
+        assert!(regression.render().contains("wall_ms_trace_off"));
 
         let improved = vec![
             synthetic("pr1", 1000.0, 60_000, 1),
             synthetic("pr2", 700.0, 60_000, 1),
         ];
-        assert!(!gate(&improved, 10.0).is_regression(), "speedups pass");
+        assert!(!any_regression(&gate(&improved, 10.0)), "speedups pass");
+    }
+
+    #[test]
+    fn throughput_gates_in_the_opposite_direction() {
+        // Wall time holds steady while streaming throughput collapses:
+        // the HigherIsBetter direction must flag the *drop*.
+        let dropped = vec![
+            synthetic_with_stream("pr1", 1000.0, Some(2_000_000.0), 60_000, 1),
+            synthetic_with_stream("pr2", 1000.0, Some(1_000_000.0), 60_000, 1),
+        ];
+        let verdicts = gate(&dropped, 25.0);
+        let regression = verdicts
+            .iter()
+            .find(|v| v.is_regression())
+            .expect("a 50% throughput drop trips the gate");
+        assert!(
+            regression.render().contains("stream_events_per_sec"),
+            "{}",
+            regression.render()
+        );
+
+        // A throughput *gain* of the same magnitude passes — the raw
+        // change percent is large and positive, which LowerIsBetter
+        // logic would misread as a regression.
+        let gained = vec![
+            synthetic_with_stream("pr1", 1000.0, Some(1_000_000.0), 60_000, 1),
+            synthetic_with_stream("pr2", 1000.0, Some(2_000_000.0), 60_000, 1),
+        ];
+        assert!(!any_regression(&gate(&gained, 25.0)), "speedups pass");
+
+        // A baseline predating the gauge abstains on that metric only.
+        let gap = vec![
+            synthetic("pr1", 1000.0, 60_000, 1),
+            synthetic_with_stream("pr2", 1000.0, Some(2_000_000.0), 60_000, 1),
+        ];
+        let verdicts = gate(&gap, 25.0);
+        assert!(!any_regression(&verdicts));
+        assert!(
+            verdicts.iter().any(|v| matches!(
+                v,
+                Verdict::Absent {
+                    metric: "stream_events_per_sec",
+                    ..
+                }
+            )),
+            "{verdicts:?}"
+        );
     }
 
     #[test]
@@ -402,18 +556,18 @@ mod tests {
         ];
         assert_eq!(
             gate(&files, 10.0),
-            Verdict::NotComparable {
+            vec![Verdict::NotComparable {
                 newest: "pr2".to_owned(),
                 previous: "pr1".to_owned(),
-            },
+            }],
             "different training lengths are not comparable"
         );
         assert_eq!(
             gate(&files[..1], 10.0),
-            Verdict::TooFewBaselines,
+            vec![Verdict::TooFewBaselines],
             "a single baseline gates nothing"
         );
-        assert_eq!(gate(&[], 10.0), Verdict::TooFewBaselines);
+        assert_eq!(gate(&[], 10.0), vec![Verdict::TooFewBaselines]);
     }
 
     #[test]

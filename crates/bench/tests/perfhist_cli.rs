@@ -112,11 +112,11 @@ fn explicit_file_arguments_bypass_discovery() {
 }
 
 #[test]
-fn streaming_metric_is_tracked_but_not_gated() {
+fn streaming_gauge_absent_from_the_older_baseline_abstains() {
     // PR 7 baselines carry the streaming throughput gauge; older ones
     // do not. The trajectory must render the new row (with a gap for
-    // the old baseline), and a throughput drop alone must never trip
-    // the gate — only `wall_ms_trace_off` is gated.
+    // the old baseline), and the throughput gate must abstain — not
+    // fail — on the metric it cannot compare.
     let dir =
         std::env::temp_dir().join(format!("detdiv-perfhist-cli-stream-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -140,13 +140,63 @@ fn streaming_metric_is_tracked_but_not_gated() {
     std::fs::remove_dir_all(&dir).ok();
     assert!(
         output.status.success(),
-        "an absent or changed streaming gauge must not trip the wall-time gate: {}",
+        "an absent streaming gauge must abstain, not fail: {}",
         String::from_utf8_lossy(&output.stderr)
     );
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(
         stdout.contains("stream_events_per_sec"),
         "streaming throughput row rendered: {stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("abstains"),
+        "the abstention is visible in the verdicts: {stderr}"
+    );
+}
+
+#[test]
+fn streaming_throughput_regression_exits_nonzero() {
+    // Both baselines carry the gauge and wall time holds steady, but
+    // throughput halves: the direction-aware gate must fail on the
+    // *drop* (the raw change percent is negative, which the wall-time
+    // rule would wave through).
+    let dir = std::env::temp_dir().join(format!(
+        "detdiv-perfhist-cli-streamregress-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("BENCH_pr1.json"),
+        r#"{"bench": "pr1", "training_len": 60000, "threads": 1,
+            "wall_ms_trace_off": 1000.0, "trace_events": 800, "trace_dropped": 0,
+            "stream_events": 60000, "stream_events_per_sec": 2500000.0}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("BENCH_pr2.json"),
+        r#"{"bench": "pr2", "training_len": 60000, "threads": 1,
+            "wall_ms_trace_off": 1000.0, "trace_events": 800, "trace_dropped": 0,
+            "stream_events": 60000, "stream_events_per_sec": 1250000.0}"#,
+    )
+    .unwrap();
+    let output = perfhist()
+        .args(["--dir", dir.to_str().unwrap(), "--threshold", "25"])
+        .output()
+        .expect("spawn perfhist");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        !output.status.success(),
+        "a 50% throughput drop must fail the gate"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("REGRESSION") && stderr.contains("stream_events_per_sec"),
+        "diagnostic names the regressed metric: {stderr:?}"
+    );
+    assert!(
+        stderr.contains("wall_ms_trace_off") && stderr.contains("OK"),
+        "the healthy metric still renders its own verdict: {stderr:?}"
     );
 }
 

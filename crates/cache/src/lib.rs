@@ -152,6 +152,33 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+/// How one [`ModelCache::get_or_train_traced`] request was satisfied —
+/// the cache leg of a detection decision's provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The cache was disabled; the caller trained a private model.
+    Disabled,
+    /// Served from a `Ready` slot without waiting.
+    Hit,
+    /// Served from a slot whose leader was still training when the
+    /// request arrived (the request parked on the condvar).
+    WaitHit,
+    /// This request became the training leader for its key.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Short label for audit records: `off`, `hit`, `wait` or `miss`.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Disabled => "off",
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::WaitHit => "wait",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
 enum SlotState {
     /// The leader is training; waiters block on the condvar.
     InFlight,
@@ -244,8 +271,27 @@ impl ModelCache {
     where
         F: FnOnce() -> Arc<dyn TrainedModel>,
     {
+        self.get_or_train_traced(key, train).0
+    }
+
+    /// [`ModelCache::get_or_train`] plus the request's [`CacheOutcome`]
+    /// — whether this call trained (leader), hit a ready slot, waited
+    /// on an in-flight training run, or bypassed a disabled cache. The
+    /// audit layer records the outcome as detection provenance.
+    ///
+    /// # Panics
+    ///
+    /// Exactly as [`ModelCache::get_or_train`].
+    pub fn get_or_train_traced<F>(
+        &self,
+        key: &CacheKey,
+        train: F,
+    ) -> (Arc<dyn TrainedModel>, CacheOutcome)
+    where
+        F: FnOnce() -> Arc<dyn TrainedModel>,
+    {
         if !enabled() {
-            return train();
+            return (train(), CacheOutcome::Disabled);
         }
 
         // Phase 1: find or claim the slot under the map lock.
@@ -276,7 +322,7 @@ impl ModelCache {
         };
 
         if leader {
-            return self.lead_training(key, &slot, train);
+            return (self.lead_training(key, &slot, train), CacheOutcome::Miss);
         }
 
         // Phase 2 (non-leader): hit, wait, or observe poison.
@@ -288,7 +334,12 @@ impl ModelCache {
                     let model = Arc::clone(model);
                     drop(state);
                     self.record_hit(key, waited);
-                    return model;
+                    let outcome = if waited {
+                        CacheOutcome::WaitHit
+                    } else {
+                        CacheOutcome::Hit
+                    };
+                    return (model, outcome);
                 }
                 SlotState::Poisoned(msg) => {
                     let msg = format!("model training for {key} panicked in another thread: {msg}");
@@ -598,6 +649,20 @@ mod tests {
         assert_eq!((stats.hits, stats.misses), (1, 1));
         assert_eq!(stats.resident_bytes, 10);
         assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn traced_requests_report_their_outcome() {
+        let cache = ModelCache::with_capacity(8);
+        let k = key("traced");
+        let (_, first) = cache.get_or_train_traced(&k, || model(1));
+        let (_, second) = cache.get_or_train_traced(&k, || model(1));
+        assert_eq!(first, CacheOutcome::Miss);
+        assert_eq!(second, CacheOutcome::Hit);
+        assert_eq!(first.label(), "miss");
+        assert_eq!(second.label(), "hit");
+        assert_eq!(CacheOutcome::Disabled.label(), "off");
+        assert_eq!(CacheOutcome::WaitHit.label(), "wait");
     }
 
     #[test]

@@ -50,10 +50,40 @@ pub fn trained_model(
     kind: &DetectorKind,
     window: usize,
 ) -> Arc<dyn TrainedModel> {
+    trained_model_with_origin(training, kind, window).0
+}
+
+/// Provenance of one model acquisition, recorded into the flight audit
+/// log alongside every cell decision the model contributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelOrigin {
+    /// Fingerprint of the training stream (the cache key's `corpus`).
+    pub corpus: u64,
+    /// Length of the training stream.
+    pub training_len: usize,
+    /// How the cache satisfied the request: `off`, `hit`, `wait` or
+    /// `miss`.
+    pub cache: &'static str,
+    /// Supervised retries the acquisition consumed (0 when healthy).
+    pub retries: u32,
+}
+
+/// [`trained_model`] plus the acquisition's [`ModelOrigin`]: the cache
+/// outcome of the final (successful) attempt, the retry count of the
+/// supervision around it, and the training-stream identity.
+///
+/// # Panics
+///
+/// Exactly as [`trained_model`].
+pub fn trained_model_with_origin(
+    training: &[Symbol],
+    kind: &DetectorKind,
+    window: usize,
+) -> (Arc<dyn TrainedModel>, ModelOrigin) {
     let key = CacheKey::for_training(training, format!("{kind:?}"), window);
     let site = format!("train/{}", kind.name());
     let outcome = detdiv_resil::supervised(&site, &RetryPolicy::default(), || {
-        detdiv_cache::global().get_or_train(&key, || {
+        detdiv_cache::global().get_or_train_traced(&key, || {
             let mut detector = kind.build(window);
             {
                 let _train = detdiv_obs::span!("train", detector = kind.name(), window = window);
@@ -66,7 +96,18 @@ pub fn trained_model(
         })
     });
     match outcome {
-        CellOutcome::Ok { value, .. } => value,
+        CellOutcome::Ok {
+            value: (model, cache_outcome),
+            retries,
+        } => {
+            let origin = ModelOrigin {
+                corpus: key.corpus,
+                training_len: key.training_len,
+                cache: cache_outcome.label(),
+                retries,
+            };
+            (model, origin)
+        }
         CellOutcome::Failed {
             site,
             attempts,
@@ -94,6 +135,24 @@ mod tests {
             assert!(Arc::ptr_eq(&a, &b));
         }
         assert_eq!(a.scores(&s), b.scores(&s));
+    }
+
+    #[test]
+    fn origin_reports_cache_outcome_and_identity() {
+        // Window 9 is this test's alone, so the first request leads.
+        let s = stream();
+        let (_, first) = trained_model_with_origin(&s, &DetectorKind::Stide, 9);
+        let (_, second) = trained_model_with_origin(&s, &DetectorKind::Stide, 9);
+        assert_eq!(first.training_len, s.len());
+        assert_eq!(first.corpus, second.corpus);
+        assert_eq!(first.retries, 0);
+        if detdiv_cache::enabled() {
+            assert_eq!(first.cache, "miss");
+            assert_eq!(second.cache, "hit");
+        } else {
+            assert_eq!(first.cache, "off");
+            assert_eq!(second.cache, "off");
+        }
     }
 
     #[test]

@@ -184,7 +184,7 @@ pub(crate) fn record(tag: &str, kind: &DetectorKind, window: usize, row: &[(usiz
     state.rows.insert(key, row.to_vec());
 }
 
-fn status_letter(status: CellStatus) -> char {
+pub(crate) fn status_letter(status: CellStatus) -> char {
     match status {
         CellStatus::Detect => 'D',
         CellStatus::Weak => 'W',

@@ -21,7 +21,7 @@ use detdiv_core::{evaluate_case, evaluate_scores, CellStatus, CoverageMap, Label
 use detdiv_resil::{CellOutcome, RetryPolicy};
 use detdiv_synth::Corpus;
 
-use crate::cached::trained_model;
+use crate::cached::trained_model_with_origin;
 use crate::checkpoint;
 use crate::error::HarnessError;
 use crate::kinds::DetectorKind;
@@ -49,7 +49,7 @@ fn coverage_row(
     window: usize,
 ) -> Result<CoverageRow, HarnessError> {
     let config = corpus.config();
-    let detector = trained_model(corpus.training(), kind, window);
+    let (detector, origin) = trained_model_with_origin(corpus.training(), kind, window);
     let mut row = Vec::with_capacity(config.anomaly_sizes().count());
     for anomaly_size in config.anomaly_sizes() {
         let cell_started = std::time::Instant::now();
@@ -70,7 +70,33 @@ fn coverage_row(
             evaluate_case(detector.as_ref(), &case)?
         };
         detdiv_obs::record_cell(kind.name(), window, anomaly_size, cell_started.elapsed());
-        row.push((anomaly_size, CellStatus::from(outcome.classification())));
+        let status = CellStatus::from(outcome.classification());
+        // One wide event per cell decision: the audit-log leg of the
+        // paper grid. Payloads are timestamp-free, so repeat runs dump
+        // identical bytes (`flightcheck` cross-checks these records
+        // against the finished coverage maps).
+        if detdiv_flight::armed() {
+            let span = outcome.span();
+            detdiv_flight::record(
+                detdiv_flight::CellRecord {
+                    corpus: origin.corpus,
+                    training_len: origin.training_len,
+                    detector: kind.name(),
+                    window,
+                    anomaly_size,
+                    verdict: checkpoint::status_letter(status),
+                    score: outcome.max_response(),
+                    threshold: detector.maximal_response_floor(),
+                    event_index: outcome.max_position(),
+                    span_first: span.first(),
+                    span_last: span.last(),
+                    cache: origin.cache,
+                    retries: origin.retries,
+                }
+                .render(),
+            );
+        }
+        row.push((anomaly_size, status));
     }
     // AS = 1 stays Undefined: a one-element sequence cannot be both
     // foreign and rare (§6).

@@ -142,6 +142,18 @@ impl FullReport {
     /// Runs every experiment without resetting telemetry, then attaches
     /// the accumulated snapshot.
     fn experiments(corpus: &Corpus) -> Result<FullReport, HarnessError> {
+        // The audit log's run identity: every cell record that follows
+        // carries this corpus fingerprint, and `flightcheck` filters on
+        // it before reconstructing the paper maps.
+        if detdiv_flight::armed() {
+            detdiv_flight::record(
+                detdiv_flight::HeaderRecord {
+                    corpus: detdiv_cache::fingerprint_stream(corpus.training()),
+                    training_len: corpus.training().len(),
+                }
+                .render(),
+            );
+        }
         let config = corpus.config().clone();
         let mid_anomaly = (config.min_anomaly() + config.max_anomaly()) / 2;
         let mid_window = mid_anomaly

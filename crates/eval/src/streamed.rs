@@ -18,9 +18,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 static STREAM_SCORING: AtomicBool = AtomicBool::new(false);
 
-/// Enables or disables streaming scoring process-wide.
+/// Enables or disables streaming scoring process-wide. Mirrored into
+/// the flight layer's armed-subsystem flags so `/healthz` can report
+/// the scoring mode.
 pub fn set_stream_scoring(on: bool) {
     STREAM_SCORING.store(on, Ordering::SeqCst);
+    detdiv_flight::flags::set_stream_scoring(on);
 }
 
 /// Whether coverage evaluation currently scores through the streaming

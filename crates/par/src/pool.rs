@@ -280,6 +280,13 @@ impl Pool {
                             // drain immediately after the map returns.
                             detdiv_obs::trace::flush_thread();
                         }
+                        if detdiv_flight::armed() {
+                            // Same TLS-destructor race as the trace
+                            // ring: flight records buffered by this
+                            // worker must reach the sink before the
+                            // scope returns and the caller exports.
+                            detdiv_flight::flush_thread();
+                        }
                         out
                     })
                 })

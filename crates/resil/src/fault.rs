@@ -258,11 +258,45 @@ pub(crate) fn reset_hits() {
     lock_injector().hits.clear();
 }
 
+thread_local! {
+    /// Nesting depth of [`suppress`] guards on this thread. While
+    /// non-zero, every fault site is inert — used by last-resort
+    /// diagnostic paths (the flight recorder's crash dump runs inside
+    /// a panic hook, where an injected panic would be a double panic
+    /// and abort the process).
+    static SUPPRESS_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// RAII guard making every fault site on the current thread inert for
+/// its lifetime. Produced by [`suppress`].
+#[derive(Debug)]
+pub struct SuppressGuard {
+    _private: (),
+}
+
+impl Drop for SuppressGuard {
+    fn drop(&mut self) {
+        SUPPRESS_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+    }
+}
+
+/// Suppresses fault injection on the current thread until the returned
+/// guard drops. Nests. For code that must not become a fault site even
+/// under an armed chaos plan: crash-dump writers running inside panic
+/// hooks, where an injected panic would abort the whole process.
+pub fn suppress() -> SuppressGuard {
+    SUPPRESS_DEPTH.with(|d| d.set(d.get() + 1));
+    SuppressGuard { _private: () }
+}
+
 /// Claims the next hit of `site` and returns the armed plan's decision
 /// (with the plan's stall duration), or `None` when disarmed / no
 /// injection.
 fn next_decision(site: &str) -> Option<(FaultKind, Duration, u64)> {
     if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    if SUPPRESS_DEPTH.with(std::cell::Cell::get) > 0 {
         return None;
     }
     let mut inj = lock_injector();

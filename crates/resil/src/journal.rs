@@ -29,6 +29,15 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Renders `payload` as one checksummed journal line **without** the
+/// trailing newline: `<fnv1a-hex-16> <payload>`. This is the exact
+/// wire format [`Journal`] appends and [`Journal::load`] verifies, so
+/// other subsystems (the flight recorder's audit dumps) can emit
+/// journal-compatible files without owning a `Journal`.
+pub fn checksum_line(payload: &str) -> String {
+    format!("{:016x} {payload}", fnv1a(payload.as_bytes()))
+}
+
 /// An append-only log of checkpoint records that survives `SIGKILL`
 /// mid-append.
 ///
@@ -202,6 +211,16 @@ mod tests {
             Journal::load(&path).unwrap(),
             vec!["row|stide|6|DWBU", "row|stide|7|DDDD", "row|bloom|6|UUUU"]
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_line_matches_the_append_wire_format() {
+        let dir = temp_dir("checksum-line");
+        let path = dir.join("ckpt.journal");
+        Journal::open(&path).unwrap().append("payload-x").unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text, format!("{}\n", checksum_line("payload-x")));
         let _ = fs::remove_dir_all(&dir);
     }
 

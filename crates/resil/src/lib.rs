@@ -72,10 +72,14 @@ mod supervise;
 
 pub use atomic_file::AtomicFile;
 pub use fault::{
-    arm, arm_from_env, armed, disarm, io_point, point, would_inject, FaultKind, FaultPlan,
+    arm, arm_from_env, armed, disarm, io_point, point, suppress, would_inject, FaultKind,
+    FaultPlan, SuppressGuard,
 };
-pub use journal::Journal;
-pub use supervise::{supervised, CellOutcome, RetryPolicy};
+pub use journal::{checksum_line, Journal};
+pub use supervise::{
+    clear_failure_observer, set_failure_observer, supervised, CellOutcome, FailureObserver,
+    RetryPolicy,
+};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -2,10 +2,54 @@
 //! watchdog around one unit of work (typically one grid cell or row).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::cells;
+
+/// Callback invoked when a supervised unit exhausts its retry budget:
+/// `(site, attempts, error)`. Installed by observability layers that
+/// sit *above* this crate in the dependency graph (the flight
+/// recorder), so degradation provenance is captured without resil
+/// depending on any recorder.
+pub type FailureObserver = Box<dyn Fn(&str, u32, &str) + Send + Sync>;
+
+/// Fast gate so the disarmed failure path stays one relaxed load.
+static OBSERVED: AtomicBool = AtomicBool::new(false);
+
+fn observer() -> &'static Mutex<Option<FailureObserver>> {
+    static OBSERVER: OnceLock<Mutex<Option<FailureObserver>>> = OnceLock::new();
+    OBSERVER.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs (or replaces) the process-wide failure observer. The
+/// observer runs on the supervising thread, after the degradation
+/// counters move and before [`CellOutcome::Failed`] is returned; it
+/// must not panic.
+pub fn set_failure_observer(f: FailureObserver) {
+    *observer().lock().unwrap_or_else(PoisonError::into_inner) = Some(f);
+    OBSERVED.store(true, Ordering::Relaxed);
+}
+
+/// Removes the failure observer installed by [`set_failure_observer`].
+pub fn clear_failure_observer() {
+    OBSERVED.store(false, Ordering::Relaxed);
+    *observer().lock().unwrap_or_else(PoisonError::into_inner) = None;
+}
+
+fn notify_failure(site: &str, attempts: u32, error: &str) {
+    if !OBSERVED.load(Ordering::Relaxed) {
+        return;
+    }
+    if let Some(f) = observer()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .as_ref()
+    {
+        f(site, attempts, error);
+    }
+}
 
 /// Retry and watchdog policy for [`supervised`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -134,10 +178,12 @@ pub fn supervised<R>(site: &str, policy: &RetryPolicy, f: impl Fn() -> R) -> Cel
             Err(payload) => {
                 if attempt >= max_attempts {
                     c.degraded_cells.fetch_add(1, Ordering::Relaxed);
+                    let error = panic_message(payload.as_ref());
+                    notify_failure(site, attempt, &error);
                     return CellOutcome::Failed {
                         site: site.to_owned(),
                         attempts: attempt,
-                        error: panic_message(payload.as_ref()),
+                        error,
                     };
                 }
                 c.retries.fetch_add(1, Ordering::Relaxed);
@@ -242,6 +288,34 @@ mod tests {
             let after = crate::stats();
             assert_eq!(after.degraded_cells, before.degraded_cells + 1);
             assert_eq!(after.retries, before.retries + 2);
+        });
+    }
+
+    #[test]
+    fn failure_observer_sees_exhausted_units() {
+        quiet_panics(|| {
+            use std::sync::Arc;
+            let seen: Arc<Mutex<Vec<(String, u32, String)>>> = Arc::new(Mutex::new(Vec::new()));
+            let sink = Arc::clone(&seen);
+            set_failure_observer(Box::new(move |site, attempts, error| {
+                sink.lock()
+                    .unwrap()
+                    .push((site.to_owned(), attempts, error.to_owned()));
+            }));
+            let policy = RetryPolicy {
+                max_attempts: 2,
+                backoff: Duration::ZERO,
+                ..RetryPolicy::default()
+            };
+            let _: CellOutcome<()> = supervised("unit/observed", &policy, || panic!("dead"));
+            // A successful unit must not notify.
+            let _ = supervised("unit/fine", &policy, || 1);
+            clear_failure_observer();
+            let seen = seen.lock().unwrap();
+            assert_eq!(
+                seen.as_slice(),
+                &[("unit/observed".to_owned(), 2, "dead".to_owned())]
+            );
         });
     }
 

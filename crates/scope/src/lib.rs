@@ -7,8 +7,10 @@
 //!
 //! * [`server`] — a tiny `TcpListener` HTTP responder serving
 //!   `GET /metrics` (Prometheus text format 0.0.4), `/healthz`,
-//!   `/snapshot.json`, and `/profilez`. Binding is separate from
-//!   serving so arming can fail fast during preflight.
+//!   `/snapshot.json`, `/profilez`, and the flight-layer views
+//!   `/streams` and `/flightz`. Binding is separate from serving so
+//!   arming can fail fast during preflight; routing is driven by one
+//!   endpoint table shared with the 404 hint.
 //! * [`sampler`] — a background thread sampling selected obs counters
 //!   at a fixed interval into fixed-capacity ring buffers, deriving
 //!   events-per-second rate gauges, and feeding the snapshot's
@@ -128,6 +130,11 @@ impl Scope {
         let source_state = Arc::clone(&state);
         detdiv_obs::set_timeseries_source(Some(Box::new(move || source_state.summaries())));
         let server = bound.serve(Some(Arc::clone(&state)));
+        // A live server means `/streams` is reachable: populate the
+        // flight stream registry while serving, and report "serve" in
+        // the `/healthz` armed-subsystem block.
+        detdiv_flight::flags::set_serving(true);
+        detdiv_flight::streams::set_enabled(true);
         Ok(Scope {
             server,
             sampler: Some(sampler),
@@ -168,6 +175,11 @@ impl Scope {
         let summaries = self.state.summaries();
         self.server.shutdown();
         detdiv_obs::set_timeseries_source(None);
+        detdiv_flight::flags::set_serving(false);
+        // Streams stay registered (the engine holds its handles); the
+        // registry just stops admitting new entries unless the flight
+        // recorder itself is armed.
+        detdiv_flight::streams::set_enabled(false);
         if let Some(path) = &self.dump_path {
             let json = serde_json::to_string_pretty(&summaries)
                 .map_err(|e| format!("serialize sampled series: {e}"))?;

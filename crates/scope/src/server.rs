@@ -2,11 +2,17 @@
 //! responder over [`std::net::TcpListener`].
 //!
 //! The server exists to be scraped, not to be a web framework: it
-//! accepts one connection at a time, answers exactly four `GET`
-//! routes, and closes the connection. Binding ([`bind`]) is separate
-//! from serving ([`BoundServer::serve`]) so callers can fail fast on a
-//! taken or invalid address *before* doing any expensive work — the
-//! regeneration binary binds during preflight, before training starts.
+//! accepts one connection at a time, answers the `GET` routes listed
+//! in [`ENDPOINTS`], and closes the connection. Binding ([`bind`]) is
+//! separate from serving ([`BoundServer::serve`]) so callers can fail
+//! fast on a taken or invalid address *before* doing any expensive
+//! work — the regeneration binary binds during preflight, before
+//! training starts.
+//!
+//! Routing is table-driven: [`ENDPOINTS`] is the single source of
+//! truth for paths, content types, and handlers, and the 404 body is
+//! derived from the same table so the route list can never drift from
+//! the error hint.
 //!
 //! Routes:
 //!
@@ -14,10 +20,18 @@
 //!   [`crate::expo`]): scope process gauges, sampler rate gauges, and
 //!   every obs counter and histogram.
 //! * `GET /healthz` — JSON liveness: status, uptime, last-sample age,
-//!   whether telemetry is enabled, scrape count.
+//!   whether telemetry is enabled, scrape count, degraded-stream
+//!   count, and which optional subsystems are armed
+//!   (serve/stream/fault/flight).
 //! * `GET /snapshot.json` — the full serialized
 //!   [`detdiv_obs::TelemetrySnapshot`], timeseries section included.
 //! * `GET /profilez` — the live self-profile table as plain text.
+//! * `GET /streams` — per-stream introspection from the flight
+//!   registry: events, emitted verdicts, alarm totals, degraded slots,
+//!   last score and event index, keyed by stream hash with the human
+//!   label when known.
+//! * `GET /flightz` — the live tail of the flight recorder's crash
+//!   ring: recorder status plus the most recent wide events as JSONL.
 //!
 //! Shutdown sets a flag and pokes the listener with a self-connect so
 //! the accept loop observes it promptly, then joins the thread.
@@ -49,6 +63,18 @@ struct Health {
     sampler_ticks: u64,
     series: u64,
     scrapes_total: u64,
+    degraded_streams: u64,
+    subsystems: SubsystemHealth,
+}
+
+/// The armed-subsystem block inside `/healthz`, mirrored from
+/// [`detdiv_flight::flags::subsystems`].
+#[derive(Debug, Serialize)]
+struct SubsystemHealth {
+    serve: bool,
+    stream: bool,
+    fault: bool,
+    flight: bool,
 }
 
 /// State shared between the accept loop and the handle.
@@ -192,45 +218,99 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             Err(_) => break,
         }
     }
+    let oversized = head.len() > MAX_REQUEST_BYTES;
     let request = String::from_utf8_lossy(&head);
     let mut tokens = request.split_whitespace();
     let (method, path) = (tokens.next().unwrap_or(""), tokens.next().unwrap_or(""));
-    let response = match (method, path) {
-        ("GET", _) => {
-            shared.scrapes.fetch_add(1, Ordering::Relaxed);
-            route_get(path, shared)
+    let response = if oversized {
+        respond(400, "text/plain; charset=utf-8", "request head too large\n")
+    } else {
+        match (method, path) {
+            ("GET", _) => {
+                shared.scrapes.fetch_add(1, Ordering::Relaxed);
+                route_get(path, shared)
+            }
+            ("", _) => respond(400, "text/plain; charset=utf-8", "bad request\n"),
+            _ => respond(405, "text/plain; charset=utf-8", "method not allowed\n"),
         }
-        ("", _) => respond(400, "text/plain; charset=utf-8", "bad request\n"),
-        _ => respond(405, "text/plain; charset=utf-8", "method not allowed\n"),
     };
     let _ = stream.write_all(response.as_bytes());
     let _ = stream.flush();
 }
 
+/// One `GET` route: its path, response content type, one-line summary
+/// (shown in the 404 hint), and handler.
+struct Endpoint {
+    path: &'static str,
+    content_type: &'static str,
+    summary: &'static str,
+    render: fn(&Shared) -> String,
+}
+
+/// The single source of truth for the server's routes. The router
+/// dispatch and the 404 hint body are both derived from this table.
+const ENDPOINTS: &[Endpoint] = &[
+    Endpoint {
+        path: "/metrics",
+        content_type: "text/plain; version=0.0.4; charset=utf-8",
+        summary: "Prometheus exposition of every obs counter and histogram",
+        render: render_metrics,
+    },
+    Endpoint {
+        path: "/healthz",
+        content_type: "application/json; charset=utf-8",
+        summary: "liveness, degraded-stream count, armed subsystems",
+        render: render_health,
+    },
+    Endpoint {
+        path: "/snapshot.json",
+        content_type: "application/json; charset=utf-8",
+        summary: "full telemetry snapshot, timeseries included",
+        render: render_snapshot,
+    },
+    Endpoint {
+        path: "/profilez",
+        content_type: "text/plain; charset=utf-8",
+        summary: "live self-profile table",
+        render: render_profile,
+    },
+    Endpoint {
+        path: "/streams",
+        content_type: "application/json; charset=utf-8",
+        summary: "per-stream counters from the flight registry",
+        render: render_streams,
+    },
+    Endpoint {
+        path: "/flightz",
+        content_type: "text/plain; charset=utf-8",
+        summary: "flight recorder status and live event tail",
+        render: render_flightz,
+    },
+];
+
 fn route_get(path: &str, shared: &Shared) -> String {
     // Scrapers may append query strings; routing ignores them.
     let path = path.split('?').next().unwrap_or(path);
-    match path {
-        "/metrics" => respond(
-            200,
-            "text/plain; version=0.0.4; charset=utf-8",
-            &render_metrics(shared),
-        ),
-        "/healthz" => {
-            let body = serde_json::to_string_pretty(&health(shared)).unwrap_or_default();
-            respond(200, "application/json; charset=utf-8", &body)
-        }
-        "/snapshot.json" => {
-            let body = serde_json::to_string_pretty(&detdiv_obs::snapshot()).unwrap_or_default();
-            respond(200, "application/json; charset=utf-8", &body)
-        }
-        "/profilez" => respond(200, "text/plain; charset=utf-8", &render_profile()),
-        _ => respond(
-            404,
-            "text/plain; charset=utf-8",
-            "not found; try /metrics /healthz /snapshot.json /profilez\n",
-        ),
+    match ENDPOINTS.iter().find(|e| e.path == path) {
+        Some(endpoint) => respond(200, endpoint.content_type, &(endpoint.render)(shared)),
+        None => respond(404, "text/plain; charset=utf-8", &not_found(path)),
     }
+}
+
+/// The 404 body: names the missed path and lists every route from
+/// [`ENDPOINTS`] with its summary.
+fn not_found(path: &str) -> String {
+    let mut body = String::from("no route for ");
+    body.push_str(path);
+    body.push_str("; endpoints:\n");
+    for endpoint in ENDPOINTS {
+        body.push_str("  ");
+        body.push_str(endpoint.path);
+        body.push_str(" - ");
+        body.push_str(endpoint.summary);
+        body.push('\n');
+    }
+    body
 }
 
 fn render_metrics(shared: &Shared) -> String {
@@ -285,6 +365,7 @@ fn health(shared: &Shared) -> Health {
         .and_then(|s| s.last_sample_age())
         .map(|d| d.as_secs_f64())
         .unwrap_or(-1.0);
+    let armed = detdiv_flight::flags::subsystems();
     Health {
         status: "ok".to_owned(),
         uptime_seconds: shared.started.elapsed().as_secs_f64(),
@@ -297,10 +378,89 @@ fn health(shared: &Shared) -> Health {
             .map(|s| s.series_count() as u64)
             .unwrap_or(0),
         scrapes_total: shared.scrapes.load(Ordering::Relaxed),
+        degraded_streams: detdiv_flight::streams::degraded_streams(),
+        subsystems: SubsystemHealth {
+            serve: armed.serve,
+            stream: armed.stream,
+            fault: armed.fault,
+            flight: armed.flight,
+        },
     }
 }
 
-fn render_profile() -> String {
+fn render_health(shared: &Shared) -> String {
+    serde_json::to_string_pretty(&health(shared)).unwrap_or_default()
+}
+
+fn render_snapshot(_shared: &Shared) -> String {
+    serde_json::to_string_pretty(&detdiv_obs::snapshot()).unwrap_or_default()
+}
+
+/// Renders `/streams`: one JSON object per registered stream, hashes
+/// ascending, plus the registry-wide degraded-stream count.
+fn render_streams(_shared: &Shared) -> String {
+    let snapshots = detdiv_flight::streams::snapshots();
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"registry_enabled\": {},\n",
+        detdiv_flight::streams::enabled()
+    ));
+    out.push_str(&format!(
+        "  \"degraded_streams\": {},\n",
+        detdiv_flight::streams::degraded_streams()
+    ));
+    out.push_str("  \"streams\": [");
+    for (i, snap) in snapshots.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!("    {{\"hash\":\"{:016x}\",", snap.stream_hash));
+        out.push_str("\"label\":\"");
+        detdiv_flight::push_json_escaped(&mut out, &snap.label);
+        out.push('"');
+        out.push_str(&format!(
+            ",\"events\":{},\"emitted\":{},\"alarms\":{},\"degraded\":{}",
+            snap.events, snap.emitted, snap.alarms, snap.degraded
+        ));
+        if snap.last_score.is_finite() {
+            out.push_str(&format!(",\"last_score\":{:?}", snap.last_score));
+        } else {
+            out.push_str(",\"last_score\":null");
+        }
+        out.push_str(&format!(
+            ",\"last_event_index\":{}}}",
+            snap.last_event_index
+        ));
+    }
+    if snapshots.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+/// Renders `/flightz`: recorder status header plus the crash ring's
+/// most recent wide events, oldest first, as JSONL.
+fn render_flightz(_shared: &Shared) -> String {
+    let mut out = format!(
+        "flight recorder: armed={} recorded={} dropped={} ring={}\n",
+        detdiv_flight::armed(),
+        detdiv_flight::recorded(),
+        detdiv_flight::dropped(),
+        detdiv_flight::blackbox::len(),
+    );
+    let tail = detdiv_flight::blackbox::tail(detdiv_flight::blackbox::BLACKBOX_CAPACITY);
+    if tail.is_empty() {
+        out.push_str("(no wide events recorded yet)\n");
+    } else {
+        for line in tail {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn render_profile(_shared: &Shared) -> String {
     let profile = detdiv_obs::snapshot().profile;
     let mut out = String::from("detdiv self-profile (live)\n");
     if profile.is_empty() {

@@ -170,3 +170,141 @@ fn shutdown_dump_persists_sampled_series_as_json() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn flight_routes_serve_registry_and_recorder_views() {
+    let _guard = SCOPE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let scope = Scope::start("127.0.0.1:0", fast_config()).expect("scope starts");
+    let addr = scope.local_addr();
+    let timeout = Duration::from_secs(2);
+
+    // Serving enables the flight stream registry.
+    assert!(detdiv_flight::streams::enabled());
+    let hash = 0x5eed_5eed_5eed_5eedu64;
+    let stats = detdiv_flight::streams::handle(hash).expect("registry admits streams");
+    detdiv_flight::streams::label(hash, "login-node");
+    stats.on_event(0);
+    stats.on_emit(2.5); // >= ALARM_SCORE: counts as an alarm
+
+    let (status, body) = server::http_get(&addr, "/streams", timeout).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"label\":\"login-node\""), "labeled: {body}");
+    assert!(body.contains("\"alarms\":1"), "alarm counted: {body}");
+    assert!(body.contains(&format!("\"hash\":\"{hash:016x}\"")));
+    assert!(body.contains("\"degraded_streams\": 0"));
+
+    let (status, body) = server::http_get(&addr, "/flightz", timeout).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        body.starts_with("flight recorder: armed="),
+        "status header: {body}"
+    );
+
+    // /healthz reports the armed-subsystem block; "serve" is on while
+    // this scope runs.
+    let (status, health) = server::http_get(&addr, "/healthz", timeout).unwrap();
+    assert_eq!(status, 200);
+    let value = serde_json::from_str_value(&health).expect("healthz is JSON");
+    let subsystems = value.get("subsystems").expect("subsystems block present");
+    assert_eq!(
+        subsystems.get("serve"),
+        Some(&serde_json::Value::Bool(true)),
+        "serve armed while scope runs: {health}"
+    );
+    assert!(value.get("degraded_streams").is_some());
+
+    scope.shutdown().expect("clean shutdown");
+    detdiv_flight::streams::reset();
+}
+
+#[test]
+fn not_found_hint_lists_every_endpoint() {
+    let _guard = SCOPE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let scope = Scope::start("127.0.0.1:0", fast_config()).expect("scope starts");
+    let addr = scope.local_addr();
+    let (status, body) = server::http_get(&addr, "/nope", Duration::from_secs(2)).unwrap();
+    assert_eq!(status, 404);
+    assert!(
+        body.contains("no route for /nope"),
+        "names the miss: {body}"
+    );
+    for path in [
+        "/metrics",
+        "/healthz",
+        "/snapshot.json",
+        "/profilez",
+        "/streams",
+        "/flightz",
+    ] {
+        assert!(body.contains(path), "404 hint lists {path}: {body}");
+    }
+    scope.shutdown().unwrap();
+}
+
+#[test]
+fn oversized_request_heads_answer_400() {
+    let _guard = SCOPE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let scope = Scope::start("127.0.0.1:0", fast_config()).expect("scope starts");
+    let addr = scope.local_addr();
+    let mut stream = std::net::TcpStream::connect_timeout(&addr, Duration::from_secs(2)).unwrap();
+    // A single request line far past MAX_REQUEST_BYTES, never
+    // terminated by a blank line.
+    let huge = format!("GET /{} HTTP/1.1\r\n", "x".repeat(10 * 1024));
+    stream.write_all(huge.as_bytes()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    assert!(
+        response.starts_with("HTTP/1.1 400"),
+        "oversized head rejected: {response}"
+    );
+    scope.shutdown().unwrap();
+}
+
+#[test]
+fn unknown_methods_are_rejected_with_405() {
+    let _guard = SCOPE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let scope = Scope::start("127.0.0.1:0", fast_config()).expect("scope starts");
+    let addr = scope.local_addr();
+    let mut stream = std::net::TcpStream::connect_timeout(&addr, Duration::from_secs(2)).unwrap();
+    stream
+        .write_all(b"BREW /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    assert!(
+        response.starts_with("HTTP/1.1 405"),
+        "unknown method rejected: {response}"
+    );
+    scope.shutdown().unwrap();
+}
+
+#[test]
+fn slowloris_connections_time_out_without_wedging_the_server() {
+    let _guard = SCOPE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let scope = Scope::start("127.0.0.1:0", fast_config()).expect("scope starts");
+    let addr = scope.local_addr();
+    // Trickle a few bytes and stall: the server's read timeout must
+    // end the connection rather than block the accept loop forever.
+    let mut stream = std::net::TcpStream::connect_timeout(&addr, Duration::from_secs(2)).unwrap();
+    stream.write_all(b"GET /hea").unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let started = Instant::now();
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response); // server closes after IO_TIMEOUT
+    assert!(
+        started.elapsed() < Duration::from_secs(8),
+        "stalled connection released within the I/O timeout"
+    );
+    // The accept loop survived: a well-formed request still answers.
+    let (status, _) = server::http_get(&addr, "/healthz", Duration::from_secs(2)).unwrap();
+    assert_eq!(status, 200);
+    scope.shutdown().unwrap();
+}

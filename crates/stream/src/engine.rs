@@ -48,6 +48,14 @@ impl std::fmt::Debug for Slot {
     }
 }
 
+/// One stream's bank plus its cached introspection handle. The handle
+/// is resolved once (when the registry is enabled), so the per-event
+/// hot path updates atomics without ever touching the registry lock.
+struct StreamEntry {
+    slots: Vec<Slot>,
+    stats: Option<std::sync::Arc<detdiv_flight::streams::StreamStats>>,
+}
+
 /// A push-based engine fanning each event out to a per-stream bank of
 /// detectors.
 ///
@@ -74,7 +82,7 @@ where
     F: FnMut() -> Vec<Box<dyn StreamDetector>>,
 {
     factory: F,
-    streams: HashMap<u64, Vec<Slot>>,
+    streams: HashMap<u64, StreamEntry>,
     events: u64,
     emitted: u64,
     degraded: u64,
@@ -119,17 +127,40 @@ where
     /// never panics on detector failure.
     pub fn push(&mut self, ctx: &SignalContext, out: &mut Vec<SlotResult>) {
         self.events += 1;
-        let bank = self.streams.entry(ctx.stream_id_hash).or_insert_with(|| {
-            (self.factory)()
-                .into_iter()
-                .map(|detector| Slot {
-                    detector,
-                    degraded: false,
-                })
-                .collect()
-        });
+        let entry = self
+            .streams
+            .entry(ctx.stream_id_hash)
+            .or_insert_with(|| StreamEntry {
+                slots: (self.factory)()
+                    .into_iter()
+                    .map(|detector| Slot {
+                        detector,
+                        degraded: false,
+                    })
+                    .collect(),
+                stats: detdiv_flight::streams::handle(ctx.stream_id_hash),
+            });
+        // The registry can be enabled after a stream's first contact
+        // (scope starting mid-run); re-resolve lazily, but only when
+        // enabled — the disarmed path stays atomic-load cheap.
+        if entry.stats.is_none() && detdiv_flight::streams::enabled() {
+            entry.stats = detdiv_flight::streams::handle(ctx.stream_id_hash);
+        }
+        if let Some(stats) = &entry.stats {
+            stats.on_event(ctx.seq);
+        }
+        let flight = detdiv_flight::armed();
+        let label = if flight {
+            entry
+                .stats
+                .as_ref()
+                .map(|s| s.label_string())
+                .unwrap_or_default()
+        } else {
+            String::new()
+        };
         let mut newly_degraded = 0u64;
-        for (slot_index, slot) in bank.iter_mut().enumerate() {
+        for (slot_index, slot) in entry.slots.iter_mut().enumerate() {
             if slot.degraded {
                 continue;
             }
@@ -142,15 +173,68 @@ where
             match update {
                 Ok(Some(result)) => {
                     self.emitted += 1;
+                    if let Some(stats) = &entry.stats {
+                        stats.on_emit(result.score);
+                    }
+                    if flight {
+                        detdiv_flight::record(
+                            detdiv_flight::StreamRecord {
+                                stream_label: &label,
+                                stream_hash: ctx.stream_id_hash,
+                                slot: slot_index,
+                                detector: slot.detector.name(),
+                                event_index: ctx.seq,
+                                score: result.score,
+                                confidence: result.confidence,
+                                reason: result.reason,
+                                warmup: false,
+                            }
+                            .render(),
+                        );
+                    }
                     out.push(SlotResult {
                         slot: slot_index,
                         result,
                     });
                 }
-                Ok(None) => {}
+                Ok(None) => {
+                    // Warmup absorption is a decision too: the audit
+                    // log shows *why* no verdict was emitted.
+                    if flight {
+                        detdiv_flight::record(
+                            detdiv_flight::StreamRecord {
+                                stream_label: &label,
+                                stream_hash: ctx.stream_id_hash,
+                                slot: slot_index,
+                                detector: slot.detector.name(),
+                                event_index: ctx.seq,
+                                score: 0.0,
+                                confidence: 0.0,
+                                reason: "warmup",
+                                warmup: true,
+                            }
+                            .render(),
+                        );
+                    }
+                }
                 Err(_) => {
                     slot.degraded = true;
                     newly_degraded += 1;
+                    if let Some(stats) = &entry.stats {
+                        stats.on_degraded();
+                    }
+                    if flight {
+                        detdiv_flight::record(
+                            detdiv_flight::DegradedRecord {
+                                stream_label: &label,
+                                stream_hash: ctx.stream_id_hash,
+                                slot: slot_index,
+                                detector: slot.detector.name(),
+                                event_index: ctx.seq,
+                            }
+                            .render(),
+                        );
+                    }
                 }
             }
         }
@@ -159,6 +243,12 @@ where
             if detdiv_obs::telemetry_enabled() {
                 detdiv_obs::incr_counter("stream/degraded", newly_degraded);
             }
+            // Every degradation leaves a post-mortem artifact: dump the
+            // crash ring (no-op unless the flight recorder is armed
+            // with a path). The panic hook already dumped once at the
+            // panic itself; this second dump also captures the
+            // `degraded` record emitted above.
+            detdiv_flight::blackbox::dump_on_degradation();
         }
     }
 
@@ -284,6 +374,34 @@ mod tests {
         assert_eq!(engine.degraded_slots(), 1);
         // The healthy stream's grenade slot still emits.
         assert!(out.iter().any(|r| r.slot == 0));
+    }
+
+    #[test]
+    fn enabled_registry_tracks_events_alarms_and_degradations() {
+        let mut engine = StreamEngine::new(bank);
+        detdiv_flight::streams::set_enabled(true);
+        let s = hash_stream_id("engine-registry");
+        detdiv_flight::streams::label(s, "engine-registry");
+        let mut out = Vec::new();
+        // Grenade emits score 0.0 for events 0..=1, dies at 13.0; the
+        // EWMA (warmup 2) emits thereafter.
+        for (i, v) in [1.0, 2.0, 13.0, 4.0].iter().enumerate() {
+            engine.push(
+                &SignalContext::new(i as u64, s, Symbol::new(0), *v),
+                &mut out,
+            );
+        }
+        let snap = detdiv_flight::streams::snapshots()
+            .into_iter()
+            .find(|snap| snap.stream_hash == s)
+            .expect("registry entry for the engine's stream");
+        assert_eq!(snap.label, "engine-registry");
+        assert_eq!(snap.events, 4);
+        assert_eq!(snap.emitted, engine.emitted());
+        assert_eq!(snap.degraded, 1);
+        assert_eq!(snap.last_event_index, 3);
+        assert!(detdiv_flight::streams::degraded_streams() >= 1);
+        detdiv_flight::streams::set_enabled(false);
     }
 
     #[test]

@@ -57,15 +57,16 @@
 #                               counters are actually visible mid-run
 #  10. perf baseline          — scripts/perf_baseline.sh runs the
 #                               pinned reduced sweep and emits a
-#                               baseline JSON (tracing overhead, top
-#                               phases, utilization, cache hit rate,
-#                               streaming events/sec)
+#                               baseline JSON (tracing and flight
+#                               overheads, top phases, utilization,
+#                               cache hit rate, streaming events/sec)
 #  11. perf history gate      — `perfhist` parses every committed
 #                               repo-root BENCH_*.json, prints the
 #                               cross-PR trajectory table, and fails
 #                               if the newest comparable baseline pair
-#                               shows a wall-time regression beyond
-#                               the noise threshold
+#                               regressed a gated metric beyond the
+#                               noise threshold (wall time growing, or
+#                               streaming throughput dropping)
 #  12. chaos gate             — the report regenerated under seeded
 #                               ~1% training-panic injection
 #                               (--fault 42:1%:panic) must be
@@ -77,6 +78,18 @@
 #                               --resume, and must still match
 #                               byte-for-byte (exit 0, no wedged
 #                               process — every run is under `timeout`)
+#  13. flight gate            — flight-armed runs (--flight at width 1,
+#                               DETDIV_FLIGHT at width 4) must produce
+#                               artifacts byte-identical to the unarmed
+#                               runs; `flightcheck` validates each
+#                               dump's wire format and reconstructs
+#                               every coverage-map alarm count from the
+#                               audit log alone; a repeated width-1 run
+#                               must produce a byte-identical dump; and
+#                               a chaos variant (--fault + --flight)
+#                               must still match the fault-free
+#                               artifacts while the panic hook leaves a
+#                               parseable crash dump
 #
 # Usage: scripts/ci.sh
 # The script is silent on success for each phase beyond a one-line
@@ -242,7 +255,7 @@ scope_serve_run 4 "$SCOPE_DIR/tele" warn --expect-telemetry
 echo "telemetry-on served run scraped live counters mid-run"
 
 banner "perf baseline (BENCH JSON)"
-# A reduced training stream keeps CI fast; the committed BENCH_pr6.json
+# A reduced training stream keeps CI fast; the committed BENCH_pr8.json
 # at the repo root is regenerated at the default scale via
 # `scripts/perf_baseline.sh` without arguments.
 scripts/perf_baseline.sh "$GATE_DIR/bench.json" 30000
@@ -317,5 +330,62 @@ cmp "$GATE_DIR/t4/paper_report.json" "$CHAOS_DIR/t4.json"
 cmp "$GATE_DIR/t4/stdout.txt" "$CHAOS_DIR/t4_stdout.txt"
 [ ! -f "$JOURNAL" ] || { echo "chaos gate: journal survived a successful run" >&2; exit 1; }
 echo "width-4 chaos+kill+resume run byte-identical to the fault-free run"
+
+banner "flight gate (audit-log identity + flightcheck reconstruction + chaos crash dump)"
+# The wide-event audit log is an observer: arming it must not perturb
+# a single artifact byte, and the dump itself must be reconstructible
+# evidence — every alarm the coverage maps count must be derivable
+# from the log alone (`flightcheck --report`).
+FLIGHT_DIR="$GATE_DIR/flight"
+mkdir -p "$FLIGHT_DIR/t1" "$FLIGHT_DIR/t4" "$FLIGHT_DIR/chaos"
+# Width 1, armed via the --flight flag.
+DETDIV_LOG=off DETDIV_THREADS=1 timeout 900 ./target/release/regenerate \
+    --training-len 60000 --flight "$FLIGHT_DIR/t1/audit.jsonl" \
+    --json "$FLIGHT_DIR/t1/paper_report.json" \
+    > "$FLIGHT_DIR/t1/stdout.txt" 2> /dev/null
+cmp "$GATE_DIR/t1/paper_report.json" "$FLIGHT_DIR/t1/paper_report.json"
+cmp "$GATE_DIR/t1/stdout.txt" "$FLIGHT_DIR/t1/stdout.txt"
+# Width 4, armed via the DETDIV_FLIGHT environment variable.
+DETDIV_LOG=off DETDIV_THREADS=4 DETDIV_FLIGHT="$FLIGHT_DIR/t4/audit.jsonl" \
+    timeout 900 ./target/release/regenerate \
+    --training-len 60000 \
+    --json "$FLIGHT_DIR/t4/paper_report.json" \
+    > "$FLIGHT_DIR/t4/stdout.txt" 2> /dev/null
+cmp "$GATE_DIR/t4/paper_report.json" "$FLIGHT_DIR/t4/paper_report.json"
+cmp "$GATE_DIR/t4/stdout.txt" "$FLIGHT_DIR/t4/stdout.txt"
+echo "flight-armed runs byte-identical to unarmed runs at widths 1 and 4"
+# Both dumps validate, and the width-1 log reconstructs every alarm the
+# run's coverage maps counted.
+./target/release/flightcheck --dump "$FLIGHT_DIR/t1/audit.jsonl" \
+    --report "$FLIGHT_DIR/t1/paper_report.json"
+./target/release/flightcheck --dump "$FLIGHT_DIR/t4/audit.jsonl" \
+    --report "$FLIGHT_DIR/t4/paper_report.json"
+# A repeated width-1 run must reproduce the dump byte-for-byte: the
+# export sorts records, so flush interleaving can never leak in.
+DETDIV_LOG=off DETDIV_THREADS=1 timeout 900 ./target/release/regenerate \
+    --training-len 60000 --flight "$FLIGHT_DIR/t1/audit_repeat.jsonl" \
+    --json "$FLIGHT_DIR/t1/repeat_report.json" \
+    > /dev/null 2> /dev/null
+cmp "$FLIGHT_DIR/t1/audit.jsonl" "$FLIGHT_DIR/t1/audit_repeat.jsonl"
+echo "audit dump byte-deterministic across repeat runs ($(wc -l < "$FLIGHT_DIR/t1/audit.jsonl") lines)"
+# Chaos + flight: seeded panic injection with the recorder armed. The
+# artifacts must still match the fault-free runs (the recorder's own
+# writes are exempt from injection and claim no fault-site hits), and
+# every injected panic must have left a parseable crash dump via the
+# panic hook.
+DETDIV_LOG=off DETDIV_THREADS=4 timeout 900 ./target/release/regenerate \
+    --training-len 60000 --fault "$FAULT_SPEC" \
+    --flight "$FLIGHT_DIR/chaos/audit.jsonl" \
+    --json "$FLIGHT_DIR/chaos/paper_report.json" \
+    > "$FLIGHT_DIR/chaos/stdout.txt" 2> /dev/null
+cmp "$GATE_DIR/t4/paper_report.json" "$FLIGHT_DIR/chaos/paper_report.json"
+cmp "$GATE_DIR/t4/stdout.txt" "$FLIGHT_DIR/chaos/stdout.txt"
+if [ ! -s "$FLIGHT_DIR/chaos/audit.jsonl.crash" ]; then
+    echo "flight gate: chaos run left no crash dump from the panic hook" >&2
+    exit 1
+fi
+./target/release/flightcheck --dump "$FLIGHT_DIR/chaos/audit.jsonl" \
+    --crash "$FLIGHT_DIR/chaos/audit.jsonl.crash"
+echo "chaos flight run byte-identical to fault-free, with a parseable crash dump"
 
 banner "CI green"

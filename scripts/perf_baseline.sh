@@ -2,17 +2,18 @@
 # Performance baseline for the experiment pipeline (PR 4).
 #
 # Runs the `perfbaseline` harness — a pinned reduced sweep executed
-# three times: trained-model cache disabled, cache enabled from cold,
-# and cache enabled with tracing armed — plus a streaming throughput
-# pass (the seven-family adapter bank fed one event at a time), and
-# writes the machine-readable baseline JSON (wall times, cache
-# speed-up and hit statistics, tracing overhead, streaming events/sec,
-# top phases by exclusive time, worker utilization).
+# four times: trained-model cache disabled, cache enabled from cold,
+# cache enabled with tracing armed, and cache enabled with the flight
+# recorder armed — plus a streaming throughput pass (the seven-family
+# adapter bank fed one event at a time), and writes the
+# machine-readable baseline JSON (wall times, cache speed-up and hit
+# statistics, tracing and flight-recording overheads, streaming
+# events/sec, top phases by exclusive time, worker utilization).
 #
 # Usage: scripts/perf_baseline.sh [OUT_JSON] [TRAINING_LEN]
-#   OUT_JSON      output path (default BENCH_pr7.json at the repo root;
+#   OUT_JSON      output path (default BENCH_pr8.json at the repo root;
 #                 the baseline's `bench` label is inferred from the
-#                 filename, so BENCH_pr7.json labels itself pr7)
+#                 filename, so BENCH_pr8.json labels itself pr8)
 #   TRAINING_LEN  training-stream length (default 60000; CI may pass a
 #                 smaller value for a faster sweep — the committed
 #                 baseline uses the default)
@@ -27,7 +28,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr7.json}"
+OUT="${1:-BENCH_pr8.json}"
 TRAINING_LEN="${2:-60000}"
 
 if [[ ! -x target/release/perfbaseline ]]; then
@@ -45,6 +46,12 @@ fi
 # sharing models — the speed-up figure would be measuring nothing.
 if ! grep -q '"hits": *[1-9]' "$OUT"; then
     echo "perf_baseline.sh: cached run recorded zero cache hits (see $OUT)" >&2
+    exit 1
+fi
+# The flight-armed pass must actually record wide events, or its
+# overhead figure is measuring a disarmed run.
+if ! grep -q '"flight_records": *[1-9]' "$OUT"; then
+    echo "perf_baseline.sh: flight-armed run recorded zero wide events (see $OUT)" >&2
     exit 1
 fi
 echo "perf_baseline.sh: wrote $OUT"
