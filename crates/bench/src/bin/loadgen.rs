@@ -1,0 +1,470 @@
+//! Load generator for the sharded ingest service: drives millions of
+//! distinct synthetic keyed streams through one [`IngestService`] in a
+//! single process and writes a machine-readable baseline
+//! (`BENCH_pr9.json`-shaped) recording sustained events/sec and the
+//! enqueue→verdict latency distribution (p50/p99).
+//!
+//! ```text
+//! loadgen [--streams N] [--events-per-stream N] [--shards N]
+//!         [--queue-cap N] [--threads N] [--full-tiering]
+//!         [--fault SPEC] [--snapshot PATH] [--resume PATH] [--out PATH]
+//! ```
+//!
+//! Events are synthesized deterministically (a splitmix64 mix of the
+//! stream index seeds ids, symbols, and values), so two runs with the
+//! same knobs ingest the identical event set. Every verdict folds into
+//! a per-shard FNV-1a digest — per-shard drain order is deterministic
+//! at every worker count, so the combined digest printed on stdout is
+//! the cross-width determinism check CI diffs (`--fault` runs are
+//! exempt: chaos changes which slots die, and with it the digest).
+//!
+//! Tiering is gated by default — the deployment shape: a cheap EWMA
+//! gate fronts every stream and roughly one stream in 257 carries a
+//! planted spike that escalates it to the trained tier-2 bank. Only
+//! escalated streams ever instantiate model state, which is what lets
+//! one process hold millions of streams. `--full-tiering` instantiates
+//! the full bank per stream instead (small runs only).
+//!
+//! `--snapshot` writes a crash-safe shard-state snapshot after the
+//! run; `--resume` recovers one before ingesting (a discarded snapshot
+//! is reported, never fatal) — together they exercise the recovery
+//! path under load: run A snapshots, run B resumes and continues.
+
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use detdiv_core::SequenceAnomalyDetector;
+use detdiv_detectors::Stide;
+use detdiv_sequence::{symbols, Symbol};
+use detdiv_serve::{
+    IngestService, RecoverOutcome, ServeConfig, Tier1Config, VerdictEvent, VerdictSink,
+};
+use detdiv_stream::{ModelAdapter, SignalContext, StreamDetector};
+use serde::Serialize;
+
+/// Sample one enqueue→verdict latency out of this many verdicts: keeps
+/// the sample vector small at millions of events while staying dense
+/// enough for stable percentiles. Prime, so the sampling never locks
+/// onto a per-stream emission period.
+const LATENCY_SAMPLE_EVERY: u64 = 997;
+
+/// One spike stream per this many streams escalates to tier-2.
+const SPIKE_PERIOD: u64 = 257;
+
+#[derive(Debug, Serialize)]
+struct Baseline {
+    bench: String,
+    streams: u64,
+    events_per_stream: u64,
+    shards: usize,
+    queue_capacity: usize,
+    threads: usize,
+    /// Total events processed (every synthesized event, exactly once).
+    events: u64,
+    /// Verdicts emitted across both tiers.
+    emitted: u64,
+    /// Streams escalated from the tier-1 gate to the tier-2 bank.
+    escalated: u64,
+    /// Backpressure rejections absorbed by drain-and-retry.
+    rejections: u64,
+    /// Detector slots degraded during the run (non-zero under --fault).
+    degraded: u64,
+    /// Ingest wall time: first enqueue to final drain, ms.
+    wall_ms: f64,
+    /// Sustained throughput over the ingest wall time, events/sec.
+    serve_events_per_sec: f64,
+    /// Median enqueue→verdict latency, microseconds.
+    serve_p50_us: f64,
+    /// 99th-percentile enqueue→verdict latency, microseconds.
+    serve_p99_us: f64,
+    /// Latencies the percentiles were computed from.
+    latency_samples: usize,
+    /// Combined per-shard verdict digest (the determinism check).
+    digest: String,
+}
+
+struct Args {
+    streams: u64,
+    events_per_stream: u64,
+    shards: usize,
+    queue_cap: usize,
+    threads: Option<usize>,
+    full_tiering: bool,
+    fault: Option<String>,
+    snapshot: Option<String>,
+    resume: Option<String>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        streams: 1_000_000,
+        events_per_stream: 6,
+        shards: 64,
+        queue_cap: 4096,
+        threads: None,
+        full_tiering: false,
+        fault: None,
+        snapshot: None,
+        resume: None,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--streams" => {
+                args.streams = value("--streams")?
+                    .parse()
+                    .map_err(|e| format!("--streams: {e}"))?;
+            }
+            "--events-per-stream" => {
+                args.events_per_stream = value("--events-per-stream")?
+                    .parse()
+                    .map_err(|e| format!("--events-per-stream: {e}"))?;
+            }
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--queue-cap" => {
+                args.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?;
+            }
+            "--threads" => {
+                let n: usize = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads: must be at least 1".to_owned());
+                }
+                args.threads = Some(n);
+            }
+            "--full-tiering" => args.full_tiering = true,
+            "--fault" => args.fault = Some(value("--fault")?),
+            "--snapshot" => args.snapshot = Some(value("--snapshot")?),
+            "--resume" => args.resume = Some(value("--resume")?),
+            "--out" => args.out = Some(value("--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen [--streams N] [--events-per-stream N] [--shards N]\n\
+                     \x20       [--queue-cap N] [--threads N] [--full-tiering]\n\
+                     \x20       [--fault SPEC] [--snapshot PATH] [--resume PATH] [--out PATH]\n\
+                     Drives N synthetic keyed streams through a sharded ingest service and\n\
+                     prints a deterministic verdict digest; --out writes the BENCH baseline."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        if args.streams == 0 || args.events_per_stream == 0 || args.shards == 0 {
+            return Err("streams, events-per-stream, and shards must be positive".to_owned());
+        }
+    }
+    Ok(args)
+}
+
+/// splitmix64: the per-stream deterministic seed mixer.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The synthetic event for stream index `i` at position `seq`.
+///
+/// Each stream holds a per-stream-constant quiet value (symbols still
+/// vary per event for tier-2), so the gate's deviation is exactly zero
+/// and quiet streams never escalate. Every [`SPIKE_PERIOD`]th stream
+/// carries one planted spike (at the third event, so the gate is past
+/// warmup and tier-2 still sees the tail): against zero variance any
+/// deviation is an infinite z-score, so escalation is deterministic.
+fn event(i: u64, seq: u64) -> SignalContext {
+    let id = mix(i.wrapping_mul(0x1000_0000_01b3) ^ 0x5ee5_0bad_c0de);
+    let bits = mix(id ^ seq);
+    let symbol = Symbol::new((bits % 4) as u32 + 1);
+    let spike = i.is_multiple_of(SPIKE_PERIOD) && seq == 2;
+    let value = if spike {
+        1000.0
+    } else {
+        1.0 + (id % 8) as f64 * 0.125
+    };
+    SignalContext::new(seq, id, symbol, value)
+}
+
+/// Per-shard FNV-1a verdict digests plus sampled latencies. Per-shard
+/// folding is what makes the combined digest width-independent: one
+/// worker drains a shard at a time, so each shard's verdict order is
+/// deterministic even when shards interleave freely.
+struct LoadSink {
+    digests: Vec<Mutex<u64>>,
+    latencies: Mutex<Vec<u64>>,
+    seen: Mutex<u64>,
+}
+
+impl LoadSink {
+    fn new(shards: usize) -> LoadSink {
+        LoadSink {
+            digests: (0..shards)
+                .map(|_| Mutex::new(0xcbf2_9ce4_8422_2325))
+                .collect(),
+            latencies: Mutex::new(Vec::new()),
+            seen: Mutex::new(0),
+        }
+    }
+
+    /// Folds the per-shard digests, in shard order, into one value.
+    fn combined(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for d in &self.digests {
+            for b in d.lock().unwrap().to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+impl VerdictSink for LoadSink {
+    fn on_verdict(&self, event: &VerdictEvent) {
+        let mut digest = self.digests[event.shard].lock().unwrap();
+        for word in [
+            event.stream_hash,
+            event.seq,
+            event.slot as u64,
+            event.result.score.to_bits(),
+        ] {
+            for b in word.to_le_bytes() {
+                *digest = (*digest ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        drop(digest);
+        let mut seen = self.seen.lock().unwrap();
+        *seen += 1;
+        let sample = seen.is_multiple_of(LATENCY_SAMPLE_EVERY);
+        drop(seen);
+        if sample {
+            let micros = event.latency.as_nanos() as u64 / 1000;
+            self.latencies.lock().unwrap().push(micros);
+        }
+    }
+}
+
+/// Exact percentile over the sorted samples (nearest-rank).
+fn percentile(sorted: &[u64], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64
+}
+
+fn bench_label(out: &str) -> String {
+    std::path::Path::new(out)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| out.to_owned())
+        .trim_start_matches("BENCH_")
+        .to_owned()
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(threads) = args.threads {
+        detdiv_par::global().set_threads(Some(threads));
+    }
+    let threads = detdiv_par::global().threads();
+    if let Some(spec) = &args.fault {
+        detdiv_resil::arm(detdiv_resil::FaultPlan::parse(spec)?);
+    }
+    eprintln!(
+        "loadgen: streams={} events/stream={} shards={} queue-cap={} threads={threads} \
+         tiering={}{}",
+        args.streams,
+        args.events_per_stream,
+        args.shards,
+        args.queue_cap,
+        if args.full_tiering { "full" } else { "gate" },
+        if args.fault.is_some() {
+            " (chaos armed)"
+        } else {
+            ""
+        },
+    );
+
+    // The tier-2 bank: one trained sliding-window model per stream.
+    // Training happens once, outside the timed region; escalated
+    // streams share the model through the Arc and keep only their own
+    // window state.
+    let mut stide = Stide::new(3);
+    let mut train = Vec::new();
+    for _ in 0..64 {
+        train.extend(symbols(&[1, 2, 3, 4, 2, 3, 1, 4]));
+    }
+    stide.train(&train);
+    let model: Arc<dyn detdiv_core::TrainedModel> = Arc::new(stide);
+
+    let config = ServeConfig::new(args.shards, args.queue_cap);
+    let config = if args.full_tiering {
+        config
+    } else {
+        // Warmup 2 so short per-stream feeds still clear the gate, and
+        // the planted spike at seq 2 is the first escalatable event.
+        config.gated(Tier1Config {
+            alpha: 0.3,
+            warmup: 2,
+            escalate_score: 0.5,
+        })
+    };
+    let service = IngestService::new(config, move || {
+        vec![Box::new(ModelAdapter::new(Arc::clone(&model))) as Box<dyn StreamDetector>]
+    });
+    service.register_introspection();
+
+    if let Some(path) = &args.resume {
+        match service.recover(path) {
+            RecoverOutcome::Recovered { streams, skipped } => {
+                eprintln!("loadgen: resumed {streams} stream(s) from {path} ({skipped} skipped)");
+            }
+            RecoverOutcome::Discarded { reason } => {
+                eprintln!("loadgen: snapshot {path} discarded ({reason}); cold start");
+            }
+        }
+    }
+
+    let sink = LoadSink::new(args.shards);
+    let mut processed = 0u64;
+    let mut emitted = 0u64;
+    let mut escalated = 0u64;
+    let mut degraded = 0u64;
+    let mut rejections = 0u64;
+    let started = Instant::now();
+    for seq in 0..args.events_per_stream {
+        for i in 0..args.streams {
+            let ctx = event(i, seq);
+            while let Err(_reject) = service.enqueue(ctx) {
+                // Backpressure: the queue is full, so drain the service
+                // and retry — the producer absorbs the pushback instead
+                // of the service buffering without bound.
+                rejections += 1;
+                let summary = service.drain(&sink);
+                processed += summary.processed;
+                emitted += summary.emitted;
+                escalated += summary.escalated;
+                degraded += summary.degraded;
+            }
+        }
+    }
+    // Final drains: under --fault a shard batch may defer, so spin
+    // until every queue is empty (the fault plan's hit index advances,
+    // so progress is guaranteed).
+    let mut spins = 0u32;
+    while service.pending() > 0 {
+        let summary = service.drain(&sink);
+        processed += summary.processed;
+        emitted += summary.emitted;
+        escalated += summary.escalated;
+        degraded += summary.degraded;
+        spins += 1;
+        if spins > 4096 {
+            return Err("drain made no progress".into());
+        }
+    }
+    let wall = started.elapsed();
+    if args.fault.is_some() {
+        detdiv_resil::disarm();
+    }
+
+    let expected = args.streams * args.events_per_stream;
+    if processed != expected {
+        return Err(format!("processed {processed} of {expected} events").into());
+    }
+
+    let mut latencies = std::mem::take(&mut *sink.latencies.lock().unwrap());
+    latencies.sort_unstable();
+    let p50 = percentile(&latencies, 50.0);
+    let p99 = percentile(&latencies, 99.0);
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let events_per_sec = if wall.as_secs_f64() > 0.0 {
+        processed as f64 / wall.as_secs_f64()
+    } else {
+        0.0
+    };
+
+    if let Some(path) = &args.snapshot {
+        let stats = service.snapshot(path)?;
+        eprintln!(
+            "loadgen: snapshot {} stream(s), {} bytes -> {path}",
+            stats.streams, stats.bytes
+        );
+    }
+
+    eprintln!(
+        "loadgen: {processed} events over {} stream(s) in {wall_ms:.0} ms \
+         ({events_per_sec:.0} events/s), {emitted} verdicts, {escalated} escalated, \
+         {degraded} degraded, {rejections} backpressure rejections, \
+         p50 {p50:.0} us, p99 {p99:.0} us ({} samples)",
+        service.stream_count(),
+        latencies.len()
+    );
+    // stdout carries only the deterministic facts CI diffs across
+    // worker counts; timing stays on stderr.
+    println!(
+        "loadgen: streams={} events={processed} digest={:016x}",
+        args.streams,
+        sink.combined()
+    );
+
+    if let Some(out) = &args.out {
+        let baseline = Baseline {
+            bench: bench_label(out),
+            streams: args.streams,
+            events_per_stream: args.events_per_stream,
+            shards: args.shards,
+            queue_capacity: args.queue_cap,
+            threads,
+            events: processed,
+            emitted,
+            escalated,
+            rejections,
+            degraded,
+            wall_ms,
+            serve_events_per_sec: events_per_sec,
+            serve_p50_us: p50,
+            serve_p99_us: p99,
+            latency_samples: latencies.len(),
+            digest: format!("{:016x}", sink.combined()),
+        };
+        // Crash-safe: the baseline appears complete or not at all.
+        detdiv_resil::AtomicFile::write(out, serde_json::to_string_pretty(&baseline)?)?;
+        eprintln!("loadgen: wrote {out}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("loadgen: argument error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = detdiv_bench::preflight_env() {
+        eprintln!("loadgen: environment error: {e}");
+        return ExitCode::FAILURE;
+    }
+    if std::env::var_os("DETDIV_LOG").is_none() {
+        detdiv_obs::set_max_level(detdiv_obs::Level::Warn);
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -7,14 +7,17 @@
 //!
 //! With no positional files, scans `--dir` (default `.`) for
 //! `BENCH_*.json`. Prints the per-metric trajectory table across all
-//! baselines in PR order, then gates the newest pair on every metric
-//! in `GATED_METRICS`, direction-aware: exits non-zero when the
-//! headline wall time (`wall_ms_trace_off`) *grew* — or the streaming
-//! throughput (`stream_events_per_sec`) *dropped* — by more than
-//! `--threshold` percent (default 25) between the two newest baselines
-//! — provided they measured the same sweep shape (training length and
-//! thread count) and both carry the metric; otherwise that metric
-//! abstains and passes.
+//! baselines in PR order, then gates every metric in `GATED_METRICS`
+//! over that metric's own newest-carrier pair, direction-aware: exits
+//! non-zero when a wall time or latency (`wall_ms_trace_off`,
+//! `serve_p99_us`) *grew* — or a throughput (`stream_events_per_sec`,
+//! `serve_events_per_sec`) *dropped* — by more than `--threshold`
+//! percent (default 25) against the newest older baseline carrying
+//! the metric at the same sweep shape (training length, stream count,
+//! thread count). A metric carried by no baseline, only by its
+//! introducing baseline, or with no same-shape predecessor abstains
+//! and passes — so a new harness's first baseline never fails the
+//! gate, and never un-gates the established metrics either.
 //!
 //! The default threshold is deliberately generous: CI machines are
 //! noisy and baselines are measured on whatever hardware produced the
@@ -53,9 +56,10 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: perfhist [--dir PATH] [--threshold PCT] [FILE...]\n\
-                     Prints the BENCH_*.json perf trajectory and exits non-zero when the newest\n\
-                     baseline regressed a gated metric beyond the threshold (default 25%):\n\
-                     wall_ms_trace_off growing, or stream_events_per_sec dropping."
+                     Prints the BENCH_*.json perf trajectory and exits non-zero when any gated\n\
+                     metric regressed beyond the threshold (default 25%) between its own two\n\
+                     newest same-shape carriers: wall_ms_trace_off or serve_p99_us growing,\n\
+                     stream_events_per_sec or serve_events_per_sec dropping."
                 );
                 std::process::exit(0);
             }

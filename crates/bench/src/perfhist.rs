@@ -1,14 +1,21 @@
 //! Perf-history analysis over the committed `BENCH_*.json` baselines.
 //!
 //! Every PR that touches performance commits a baseline written by
-//! `perfbaseline` (`BENCH_pr3.json`, `BENCH_pr4.json`, ...). This
-//! module parses all of them, orders them by PR number, renders a
-//! per-metric trajectory table, and gates the newest comparable pair
-//! on every metric in [`GATED_METRICS`], direction-aware: when the
-//! most recent baseline's headline wall time *grows* — or its
-//! streaming throughput *drops* — beyond a noise threshold against its
-//! predecessor *measured at the same sweep shape* (training length and
-//! thread count), the `perfhist` binary exits non-zero so CI fails.
+//! `perfbaseline` or `loadgen` (`BENCH_pr3.json`, `BENCH_pr9.json`,
+//! ...). This module parses all of them, orders them by PR number,
+//! renders a per-metric trajectory table, and gates each metric in
+//! [`GATED_METRICS`] independently, direction-aware: for every gated
+//! metric it finds the newest baseline *carrying* that metric and
+//! compares it against the newest older carrier *measured at the same
+//! sweep shape* (training length, stream count, and thread count).
+//! When a wall time *grows* — or a throughput *drops* — beyond a noise
+//! threshold, the `perfhist` binary exits non-zero so CI fails.
+//!
+//! Pair selection is per metric, not per file, so a baseline that
+//! introduces a brand-new gauge (the first `loadgen` run bringing
+//! `serve_events_per_sec`) abstains on the new metric instead of
+//! failing — and, crucially, does *not* un-gate the established
+//! metrics, which keep comparing their own newest carrier pair.
 //!
 //! Baselines from different PRs carry different field sets (`pr3` has
 //! no cache statistics), so parsing goes through the generic JSON
@@ -32,6 +39,9 @@ pub const TRACKED_METRICS: &[&str] = &[
     "trace_dropped",
     "stream_events_per_sec",
     "utilization_percent",
+    "serve_events_per_sec",
+    "serve_p50_us",
+    "serve_p99_us",
 ];
 
 /// Which way a gated metric is supposed to move: wall times regress
@@ -56,9 +66,9 @@ pub struct GatedMetric {
 }
 
 /// The metrics the regression gate compares, each with its regression
-/// direction. A baseline pair is gated on every metric both sides
-/// carry; a metric absent from either side abstains (older baselines
-/// predate newer gauges).
+/// direction. Each metric picks its own newest-carrier pair (see
+/// [`gate`]); a metric first measured by the newest baseline abstains
+/// until a second carrier exists.
 pub const GATED_METRICS: &[GatedMetric] = &[
     GatedMetric {
         name: "wall_ms_trace_off",
@@ -67,6 +77,14 @@ pub const GATED_METRICS: &[GatedMetric] = &[
     GatedMetric {
         name: "stream_events_per_sec",
         direction: Direction::HigherIsBetter,
+    },
+    GatedMetric {
+        name: "serve_events_per_sec",
+        direction: Direction::HigherIsBetter,
+    },
+    GatedMetric {
+        name: "serve_p99_us",
+        direction: Direction::LowerIsBetter,
     },
 ];
 
@@ -82,6 +100,8 @@ pub struct BaselineFile {
     pub order: u64,
     /// Sweep shape: training length.
     pub training_len: Option<u64>,
+    /// Sweep shape: distinct stream count (`loadgen` baselines).
+    pub streams: Option<u64>,
     /// Sweep shape: thread count.
     pub threads: Option<u64>,
     /// The parsed value tree, for metric lookups.
@@ -110,12 +130,14 @@ impl BaselineFile {
             .unwrap_or_else(|| stem.trim_start_matches("BENCH_").to_owned());
         let order = trailing_number(&label);
         let training_len = value.get("training_len").and_then(as_u64);
+        let streams = value.get("streams").and_then(as_u64);
         let threads = value.get("threads").and_then(as_u64);
         Ok(BaselineFile {
             path: path.to_owned(),
             label,
             order,
             training_len,
+            streams,
             threads,
             value,
         })
@@ -131,9 +153,14 @@ impl BaselineFile {
     }
 
     /// Whether two baselines measured the same sweep shape, making
-    /// their wall times comparable.
+    /// their wall times comparable. Shape is the full triple — an
+    /// offline-eval baseline (`training_len`, no `streams`) is never
+    /// comparable with a `loadgen` one (`streams`, no `training_len`),
+    /// and two `loadgen` runs must agree on the stream count.
     pub fn comparable_with(&self, other: &BaselineFile) -> bool {
-        self.training_len == other.training_len && self.threads == other.threads
+        self.training_len == other.training_len
+            && self.streams == other.streams
+            && self.threads == other.threads
     }
 }
 
@@ -212,8 +239,9 @@ pub fn render_trajectory(files: &[BaselineFile]) -> String {
     out.push('\n');
     let _ = write!(out, "{:<28}", "  (sweep)");
     for f in files {
-        let shape = match (f.training_len, f.threads) {
-            (Some(len), Some(t)) => format!("{}k/t{t}", len / 1000),
+        let shape = match (f.training_len, f.streams, f.threads) {
+            (Some(len), _, Some(t)) => format!("{}k/t{t}", len / 1000),
+            (None, Some(s), Some(t)) => format!("{}ks/t{t}", s / 1000),
             _ => "?".to_owned(),
         };
         let _ = write!(out, " {shape:>14}");
@@ -236,30 +264,35 @@ pub fn render_trajectory(files: &[BaselineFile]) -> String {
     out
 }
 
-/// The regression gate's verdict on one gated metric of the newest
-/// pair of baselines (or on the pair as a whole, for the abstaining
-/// variants that precede any metric lookup).
+/// The regression gate's verdict on one gated metric, over the pair of
+/// baselines that metric selected for itself.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Verdict {
     /// Fewer than two baselines: nothing to compare.
     TooFewBaselines,
-    /// The newest two baselines measured different sweep shapes;
-    /// nothing about them is comparable, so the gate abstains.
+    /// Older baselines carry this metric, but none of them measured
+    /// the newest carrier's sweep shape; this metric abstains.
     NotComparable {
-        /// Newest baseline's label.
+        /// The gated metric with no same-shape predecessor.
+        metric: &'static str,
+        /// The metric's newest carrier.
         newest: String,
-        /// Predecessor's label.
+        /// The newest older carrier (whose shape differs).
         previous: String,
     },
-    /// One side of the pair does not carry this metric (older
-    /// baselines predate newer gauges), so this metric abstains.
-    Absent {
-        /// The gated metric that is missing.
+    /// Exactly one baseline carries this metric — it was introduced by
+    /// that baseline and has nothing older to compare against, so it
+    /// abstains until a second carrier is committed.
+    Introduced {
+        /// The freshly introduced gated metric.
         metric: &'static str,
-        /// Newest baseline's label.
+        /// The introducing baseline's label.
         newest: String,
-        /// Predecessor's label.
-        previous: String,
+    },
+    /// No committed baseline carries this metric at all; it abstains.
+    NeverMeasured {
+        /// The gated metric no baseline carries.
+        metric: &'static str,
     },
     /// Newest is within the threshold of (or better than) its
     /// predecessor on this metric.
@@ -302,16 +335,21 @@ impl Verdict {
             Verdict::TooFewBaselines => {
                 "perfhist: fewer than two baselines; nothing to gate".to_owned()
             }
-            Verdict::NotComparable { newest, previous } => format!(
-                "perfhist: {newest} and {previous} measured different sweeps; gate abstains"
-            ),
-            Verdict::Absent {
+            Verdict::NotComparable {
                 metric,
                 newest,
                 previous,
             } => format!(
-                "perfhist: {metric} absent from {newest} or {previous}; this metric abstains"
+                "perfhist: {metric} carriers {newest} and {previous} measured \
+                 different sweeps; this metric abstains"
             ),
+            Verdict::Introduced { metric, newest } => format!(
+                "perfhist: {metric} first measured by {newest}; nothing older to \
+                 compare, so this metric abstains"
+            ),
+            Verdict::NeverMeasured { metric } => {
+                format!("perfhist: {metric} not measured by any baseline; this metric abstains")
+            }
             Verdict::Ok {
                 metric,
                 newest,
@@ -334,54 +372,61 @@ impl Verdict {
     }
 }
 
-/// Gates the newest baseline against its predecessor on every metric
-/// in [`GATED_METRICS`], direction-aware: a wall time regresses when
-/// it *grew* by more than `threshold_percent`, a throughput when it
-/// *dropped* by more than `threshold_percent`. Returns one verdict per
-/// gated metric (or a single abstaining verdict when the pair itself
-/// is not comparable); CI fails when any verdict
-/// [`is_regression`](Verdict::is_regression).
+/// Gates every metric in [`GATED_METRICS`] over its own
+/// newest-carrier pair, direction-aware: a wall time regresses when it
+/// *grew* by more than `threshold_percent`, a throughput when it
+/// *dropped* by more than `threshold_percent`.
+///
+/// Pair selection, per metric: the newest baseline carrying the metric
+/// is compared against the newest *older* carrier with the same sweep
+/// shape ([`BaselineFile::comparable_with`]), skipping interlopers
+/// that don't carry it. A metric carried by no baseline, or only by
+/// its introducing baseline, abstains — so a freshly committed
+/// `loadgen` baseline neither fails on its new gauges nor un-gates the
+/// established ones. Returns one verdict per gated metric; CI fails
+/// when any verdict [`is_regression`](Verdict::is_regression).
 pub fn gate(files: &[BaselineFile], threshold_percent: f64) -> Vec<Verdict> {
-    let Some(newest) = files.last() else {
+    if files.len() < 2 {
         return vec![Verdict::TooFewBaselines];
-    };
-    let Some(previous) = files.iter().rev().nth(1) else {
-        return vec![Verdict::TooFewBaselines];
-    };
-    if !newest.comparable_with(previous) {
-        return vec![Verdict::NotComparable {
-            newest: newest.label.clone(),
-            previous: previous.label.clone(),
-        }];
     }
     GATED_METRICS
         .iter()
-        .map(|gated| gate_metric(gated, newest, previous, threshold_percent))
+        .map(|gated| gate_metric(gated, files, threshold_percent))
         .collect()
 }
 
-fn gate_metric(
-    gated: &GatedMetric,
-    newest: &BaselineFile,
-    previous: &BaselineFile,
-    threshold_percent: f64,
-) -> Verdict {
-    let (Some(new_value), Some(old_value)) =
-        (newest.metric(gated.name), previous.metric(gated.name))
-    else {
-        return Verdict::Absent {
+/// Whether `file` carries a usable value for the metric: present and,
+/// for the *older* side of a pair, positive (a zero denominator cannot
+/// anchor a change percentage).
+fn carries(file: &BaselineFile, name: &str) -> bool {
+    file.metric(name).is_some_and(|v| v > 0.0)
+}
+
+fn gate_metric(gated: &GatedMetric, files: &[BaselineFile], threshold_percent: f64) -> Verdict {
+    let Some(newest_idx) = files.iter().rposition(|f| f.metric(gated.name).is_some()) else {
+        return Verdict::NeverMeasured { metric: gated.name };
+    };
+    let newest = &files[newest_idx];
+    let older = &files[..newest_idx];
+    let Some(latest_carrier) = older.iter().rev().find(|f| carries(f, gated.name)) else {
+        return Verdict::Introduced {
             metric: gated.name,
             newest: newest.label.clone(),
-            previous: previous.label.clone(),
         };
     };
-    if old_value <= 0.0 {
-        return Verdict::Absent {
+    let Some(previous) = older
+        .iter()
+        .rev()
+        .find(|f| carries(f, gated.name) && f.comparable_with(newest))
+    else {
+        return Verdict::NotComparable {
             metric: gated.name,
             newest: newest.label.clone(),
-            previous: previous.label.clone(),
+            previous: latest_carrier.label.clone(),
         };
-    }
+    };
+    let new_value = newest.metric(gated.name).unwrap_or(0.0);
+    let old_value = previous.metric(gated.name).unwrap_or(f64::INFINITY);
     let change_percent = (new_value - old_value) / old_value * 100.0;
     let regressed = match gated.direction {
         Direction::LowerIsBetter => change_percent > threshold_percent,
@@ -439,6 +484,32 @@ mod tests {
         parsed
     }
 
+    /// A loadgen-shaped baseline: serve gauges plus the `streams`
+    /// sweep field, no `training_len` and no wall time.
+    fn synthetic_serve(
+        label: &str,
+        eps: f64,
+        p50_us: f64,
+        p99_us: f64,
+        streams: u64,
+        threads: u64,
+    ) -> BaselineFile {
+        let json = format!(
+            r#"{{"bench": "{label}", "streams": {streams}, "threads": {threads},
+                "serve_events_per_sec": {eps}, "serve_p50_us": {p50_us},
+                "serve_p99_us": {p99_us}}}"#
+        );
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "detdiv-perfhist-test-serve-{}-BENCH_{label}.json",
+            std::process::id()
+        ));
+        std::fs::write(&path, json).unwrap();
+        let parsed = BaselineFile::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        parsed
+    }
+
     fn any_regression(verdicts: &[Verdict]) -> bool {
         verdicts.iter().any(Verdict::is_regression)
     }
@@ -465,14 +536,22 @@ mod tests {
             files.len() >= 2,
             "at least pr3 and pr4 baselines are committed"
         );
+        // Baselines come from different harnesses (`perfbaseline` vs
+        // `loadgen`), so no single metric spans all of them — but every
+        // committed file must carry at least one gated metric, and the
+        // headline wall time must still have a carrier.
         let headline = GATED_METRICS[0].name;
         for f in &files {
             assert!(
-                f.metric(headline).is_some(),
-                "{} carries {headline}",
+                GATED_METRICS.iter().any(|g| f.metric(g.name).is_some()),
+                "{} carries no gated metric",
                 f.path.display()
             );
         }
+        assert!(
+            files.iter().any(|f| f.metric(headline).is_some()),
+            "some baseline carries {headline}"
+        );
         let table = render_trajectory(&files);
         assert!(table.contains("pr3"));
         assert!(table.contains("pr4"));
@@ -529,7 +608,8 @@ mod tests {
         ];
         assert!(!any_regression(&gate(&gained, 25.0)), "speedups pass");
 
-        // A baseline predating the gauge abstains on that metric only.
+        // A gauge first measured by the newest baseline abstains on
+        // that metric only: it was introduced, nothing older carries it.
         let gap = vec![
             synthetic("pr1", 1000.0, 60_000, 1),
             synthetic_with_stream("pr2", 1000.0, Some(2_000_000.0), 60_000, 1),
@@ -539,7 +619,7 @@ mod tests {
         assert!(
             verdicts.iter().any(|v| matches!(
                 v,
-                Verdict::Absent {
+                Verdict::Introduced {
                     metric: "stream_events_per_sec",
                     ..
                 }
@@ -550,24 +630,124 @@ mod tests {
 
     #[test]
     fn gate_abstains_on_shape_mismatch_and_missing_data() {
+        // Shape mismatch is now per metric: the wall time abstains with
+        // its own NotComparable verdict (naming the nearest carrier it
+        // could not use), while metrics no file carries abstain as
+        // NeverMeasured. Nothing fails.
         let files = vec![
             synthetic("pr1", 1000.0, 60_000, 1),
             synthetic("pr2", 9000.0, 120_000, 1),
         ];
+        let verdicts = gate(&files, 10.0);
+        assert!(!any_regression(&verdicts));
         assert_eq!(
-            gate(&files, 10.0),
-            vec![Verdict::NotComparable {
+            verdicts[0],
+            Verdict::NotComparable {
+                metric: "wall_ms_trace_off",
                 newest: "pr2".to_owned(),
                 previous: "pr1".to_owned(),
-            }],
+            },
             "different training lengths are not comparable"
         );
+        for v in &verdicts[1..] {
+            assert!(
+                matches!(v, Verdict::NeverMeasured { .. }),
+                "uncarried metrics abstain: {v:?}"
+            );
+        }
         assert_eq!(
             gate(&files[..1], 10.0),
             vec![Verdict::TooFewBaselines],
             "a single baseline gates nothing"
         );
         assert_eq!(gate(&[], 10.0), vec![Verdict::TooFewBaselines]);
+    }
+
+    #[test]
+    fn introduced_metric_abstains_without_ungating_the_rest() {
+        // The satellite fix in one scene: pr9 is a loadgen baseline
+        // carrying only the serve gauges. The serve gauges abstain as
+        // freshly introduced — and the wall-time gate must KEEP
+        // comparing pr7 vs pr8 (its own newest carrier pair), catching
+        // the regression pr9's arrival would previously have hidden.
+        let files = vec![
+            synthetic("pr7", 1000.0, 60_000, 1),
+            synthetic("pr8", 2000.0, 60_000, 1),
+            synthetic_serve("pr9", 1_500_000.0, 40.0, 900.0, 1_000_000, 1),
+        ];
+        let verdicts = gate(&files, 25.0);
+        assert!(
+            matches!(
+                &verdicts[0],
+                Verdict::Regression { metric: "wall_ms_trace_off", newest, previous, .. }
+                    if newest == "pr8" && previous == "pr7"
+            ),
+            "the wall gate still fires on its own carrier pair: {verdicts:?}"
+        );
+        assert!(verdicts.iter().any(|v| matches!(
+            v,
+            Verdict::Introduced {
+                metric: "serve_events_per_sec",
+                ..
+            }
+        )));
+        assert!(verdicts.iter().any(|v| matches!(
+            v,
+            Verdict::Introduced {
+                metric: "serve_p99_us",
+                ..
+            }
+        )));
+
+        // A second loadgen baseline at the same shape arms the serve
+        // gates for real: a throughput drop and a p99 growth both trip.
+        let regressed = vec![
+            synthetic_serve("pr9", 1_500_000.0, 40.0, 900.0, 1_000_000, 1),
+            synthetic_serve("pr10", 700_000.0, 40.0, 2000.0, 1_000_000, 1),
+        ];
+        let verdicts = gate(&regressed, 25.0);
+        assert!(verdicts.iter().any(|v| matches!(
+            v,
+            Verdict::Regression {
+                metric: "serve_events_per_sec",
+                ..
+            }
+        )));
+        assert!(verdicts.iter().any(|v| matches!(
+            v,
+            Verdict::Regression {
+                metric: "serve_p99_us",
+                ..
+            }
+        )));
+        // ...while a loadgen run at a different stream count abstains:
+        // the sweep shapes are not comparable.
+        let reshaped = vec![
+            synthetic_serve("pr9", 1_500_000.0, 40.0, 900.0, 1_000_000, 1),
+            synthetic_serve("pr10", 700_000.0, 40.0, 2000.0, 250_000, 1),
+        ];
+        assert!(!any_regression(&gate(&reshaped, 25.0)));
+    }
+
+    #[test]
+    fn pair_selection_skips_non_carriers_and_incomparable_shapes() {
+        // pr2 measured a different sweep; pr3's wall time compares
+        // against pr1 (the newest older carrier at the same shape),
+        // not against its incomparable neighbor.
+        let files = vec![
+            synthetic("pr1", 1000.0, 60_000, 1),
+            synthetic("pr2", 9000.0, 120_000, 1),
+            synthetic("pr3", 1050.0, 60_000, 1),
+        ];
+        let verdicts = gate(&files, 10.0);
+        assert!(
+            matches!(
+                &verdicts[0],
+                Verdict::Ok { metric: "wall_ms_trace_off", newest, previous, .. }
+                    if newest == "pr3" && previous == "pr1"
+            ),
+            "{verdicts:?}"
+        );
     }
 
     #[test]

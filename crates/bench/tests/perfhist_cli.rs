@@ -201,6 +201,83 @@ fn streaming_throughput_regression_exits_nonzero() {
 }
 
 #[test]
+fn loadgen_baseline_introducing_serve_metrics_abstains_without_ungating_wall() {
+    // A loadgen-shaped BENCH_pr9.json (serve gauges + `streams`, no
+    // wall time) lands as the newest baseline. Two promises at once:
+    // its brand-new metrics abstain visibly instead of failing, and
+    // the wall-time gate keeps comparing ITS newest carrier pair
+    // (pr7 vs pr8) — where a planted 100% regression must still fail
+    // the run.
+    let dir = std::env::temp_dir().join(format!(
+        "detdiv-perfhist-cli-loadgen-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("BENCH_pr7.json"),
+        r#"{"bench": "pr7", "training_len": 60000, "threads": 1,
+            "wall_ms_trace_off": 1000.0, "trace_events": 800, "trace_dropped": 0}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("BENCH_pr8.json"),
+        r#"{"bench": "pr8", "training_len": 60000, "threads": 1,
+            "wall_ms_trace_off": 2000.0, "trace_events": 800, "trace_dropped": 0}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("BENCH_pr9.json"),
+        r#"{"bench": "pr9", "streams": 1000000, "threads": 4, "shards": 64,
+            "serve_events_per_sec": 1500000.0, "serve_p50_us": 40.0,
+            "serve_p99_us": 900.0}"#,
+    )
+    .unwrap();
+    let output = perfhist()
+        .args(["--dir", dir.to_str().unwrap(), "--threshold", "25"])
+        .output()
+        .expect("spawn perfhist");
+    assert!(
+        !output.status.success(),
+        "the pr7→pr8 wall regression must still fail with pr9 newest"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("REGRESSION") && stderr.contains("wall_ms_trace_off"),
+        "the established gate is not silently disarmed: {stderr:?}"
+    );
+    assert!(
+        stderr.contains("serve_events_per_sec")
+            && stderr.contains("serve_p99_us")
+            && stderr.contains("abstains"),
+        "the introduced serve gauges abstain visibly: {stderr:?}"
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("serve_events_per_sec") && stdout.contains("serve_p99_us"),
+        "serve gauges join the trajectory table: {stdout}"
+    );
+
+    // Fixing the wall regression turns the same directory green: the
+    // introduced gauges alone never fail a run.
+    std::fs::write(
+        dir.join("BENCH_pr8.json"),
+        r#"{"bench": "pr8", "training_len": 60000, "threads": 1,
+            "wall_ms_trace_off": 1010.0, "trace_events": 800, "trace_dropped": 0}"#,
+    )
+    .unwrap();
+    let output = perfhist()
+        .args(["--dir", dir.to_str().unwrap(), "--threshold", "25"])
+        .output()
+        .expect("spawn perfhist");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        output.status.success(),
+        "introduced metrics abstain, they never fail: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
 fn unreadable_input_fails_with_diagnostic() {
     let output = perfhist()
         .args(["/nonexistent/BENCH_nope.json"])

@@ -32,6 +32,9 @@
 //!   label when known.
 //! * `GET /flightz` — the live tail of the flight recorder's crash
 //!   ring: recorder status plus the most recent wide events as JSONL.
+//! * `GET /servez` — per-shard counters of the registered
+//!   `detdiv-serve` ingest service (queue depths, rejections,
+//!   escalations), or `{"registered":false}` when none is running.
 //!
 //! Shutdown sets a flag and pokes the listener with a self-connect so
 //! the accept loop observes it promptly, then joins the thread.
@@ -286,6 +289,12 @@ const ENDPOINTS: &[Endpoint] = &[
         summary: "flight recorder status and live event tail",
         render: render_flightz,
     },
+    Endpoint {
+        path: "/servez",
+        content_type: "application/json; charset=utf-8",
+        summary: "ingest service shard counters (queues, rejections, tiering)",
+        render: render_servez,
+    },
 ];
 
 fn route_get(path: &str, shared: &Shared) -> String {
@@ -435,6 +444,15 @@ fn render_streams(_shared: &Shared) -> String {
     } else {
         out.push_str("\n  ]\n}\n");
     }
+    out
+}
+
+/// Renders `/servez`: the registered ingest service's per-shard
+/// counters, or `{"registered":false}` when no service is running in
+/// this process.
+fn render_servez(_shared: &Shared) -> String {
+    let mut out = detdiv_serve::introspect::render_json();
+    out.push('\n');
     out
 }
 

@@ -235,9 +235,51 @@ fn not_found_hint_lists_every_endpoint() {
         "/profilez",
         "/streams",
         "/flightz",
+        "/servez",
     ] {
         assert!(body.contains(path), "404 hint lists {path}: {body}");
     }
+    scope.shutdown().unwrap();
+}
+
+#[test]
+fn servez_reports_the_registered_ingest_service() {
+    let _guard = SCOPE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let scope = Scope::start("127.0.0.1:0", fast_config()).expect("scope starts");
+    let addr = scope.local_addr();
+    let timeout = Duration::from_secs(2);
+
+    // No service registered yet.
+    let (status, body) = server::http_get(&addr, "/servez", timeout).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"registered\":false"), "{body}");
+
+    // Register a live service, push some traffic, and scrape again.
+    let service = detdiv_serve::IngestService::new(detdiv_serve::ServeConfig::new(2, 8), || {
+        vec![Box::new(detdiv_stream::Ewma::new(0.2, 2)) as Box<dyn detdiv_stream::StreamDetector>]
+    });
+    service.register_introspection();
+    for i in 0..8u64 {
+        service
+            .enqueue(detdiv_stream::SignalContext::new(
+                i,
+                detdiv_stream::hash_stream_id("scoped"),
+                detdiv_sequence::Symbol::new(0),
+                1.0,
+            ))
+            .unwrap();
+    }
+    service.drain(&detdiv_serve::NullSink);
+    let (status, body) = server::http_get(&addr, "/servez", timeout).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"registered\":true"), "{body}");
+    assert!(body.contains("\"shards\":2"), "{body}");
+    assert!(body.contains("\"processed\":8"), "{body}");
+
+    // Dropping the service clears the registration.
+    drop(service);
+    let (_, body) = server::http_get(&addr, "/servez", timeout).unwrap();
+    assert!(body.contains("\"registered\":false"), "{body}");
     scope.shutdown().unwrap();
 }
 

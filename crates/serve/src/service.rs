@@ -1,0 +1,637 @@
+//! The sharded ingest service.
+//!
+//! [`IngestService`] owns N shards, each a bounded ingestion queue plus
+//! an embedded [`StreamEngine`]. Producers call
+//! [`enqueue`](IngestService::enqueue) (cheap: one lock, one push, or a
+//! typed rejection); a drain cycle fans the shards out across the
+//! [`detdiv_par`] pool, each worker draining whole shards so any one
+//! stream's events are always processed in order by a single thread.
+//!
+//! Determinism: shard assignment is `hash % shards`, drains process
+//! each shard FIFO, and the pool writes results to pre-indexed slots —
+//! so per-stream verdict sequences are identical at every worker
+//! count. Wall-clock latency is the only thing that varies.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use detdiv_resil::RetryPolicy;
+use detdiv_stream::{
+    DetectionResult, Ewma, SignalContext, SlotResult, StreamDetector, StreamEngine,
+};
+
+use crate::config::{ServeConfig, Tier1Config, Tiering};
+use crate::introspect::ServiceStats;
+
+/// Why an event was not accepted. Rejection is the *only* backpressure
+/// mechanism: the service never buffers beyond the configured bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The stream's shard queue is at capacity; retry after a drain.
+    QueueFull {
+        /// The full shard.
+        shard: usize,
+        /// Its configured bound (current depth equals it).
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { shard, capacity } => {
+                write!(f, "shard {shard} queue full (capacity {capacity})")
+            }
+        }
+    }
+}
+
+/// Which tier produced a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The cheap always-on tier-1 gate.
+    Gate,
+    /// A full tier-2 detector bank.
+    Model,
+}
+
+/// One verdict delivered to a [`VerdictSink`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerdictEvent {
+    /// Shard that processed the event.
+    pub shard: usize,
+    /// Pre-hashed stream id.
+    pub stream_hash: u64,
+    /// The event's per-stream sequence number.
+    pub seq: u64,
+    /// Emitting tier.
+    pub tier: Tier,
+    /// Detector slot within the tier (always 0 for the gate).
+    pub slot: usize,
+    /// The verdict itself.
+    pub result: DetectionResult,
+    /// Enqueue→verdict latency. Wall-clock: the only
+    /// scheduling-dependent field, so deterministic sinks must ignore
+    /// it.
+    pub latency: Duration,
+}
+
+/// Receives verdicts during a drain. Called from pool workers, hence
+/// `&self` + `Sync`; events for one stream always arrive in order from
+/// a single worker at a time.
+pub trait VerdictSink: Sync {
+    /// One verdict. Keep it cheap — this is the drain hot path.
+    fn on_verdict(&self, event: &VerdictEvent);
+}
+
+/// A sink that drops everything (throughput measurement, warm-ups).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl VerdictSink for NullSink {
+    fn on_verdict(&self, _event: &VerdictEvent) {}
+}
+
+/// What one [`IngestService::drain`] cycle did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Events processed through detection.
+    pub processed: u64,
+    /// Verdicts emitted to the sink.
+    pub emitted: u64,
+    /// Streams escalated from tier 1 to tier 2 this cycle.
+    pub escalated: u64,
+    /// Detector slots newly degraded by caught panics.
+    pub degraded: u64,
+    /// Shards whose batch was deferred by shard-level supervision
+    /// (their events remain queued for the next drain).
+    pub deferred_shards: u64,
+}
+
+/// Shared bank factory: every shard's engine builds per-stream banks
+/// from the same recipe.
+type SharedFactory = Arc<dyn Fn() -> Vec<Box<dyn StreamDetector>> + Send + Sync>;
+type BankFactory = Box<dyn FnMut() -> Vec<Box<dyn StreamDetector>> + Send>;
+
+/// Tier-1 gate state for one stream (gated tiering only).
+pub(crate) struct Tier1 {
+    pub(crate) gate: Ewma,
+    pub(crate) escalated: bool,
+}
+
+pub(crate) struct Shard {
+    pub(crate) queue: VecDeque<(SignalContext, Instant)>,
+    pub(crate) engine: StreamEngine<BankFactory>,
+    /// Keyed by stream hash; present for every stream the shard has
+    /// seen when tiering is gated, empty under full tiering.
+    pub(crate) tier1: std::collections::HashMap<u64, Tier1>,
+}
+
+/// The sharded multi-stream ingest service.
+///
+/// # Examples
+///
+/// ```
+/// use detdiv_serve::{IngestService, NullSink, ServeConfig};
+/// use detdiv_stream::{hash_stream_id, Ewma, SignalContext, StreamDetector};
+/// use detdiv_sequence::Symbol;
+///
+/// let service = IngestService::new(ServeConfig::new(4, 64), || {
+///     vec![Box::new(Ewma::new(0.2, 3)) as Box<dyn StreamDetector>]
+/// });
+/// let stream = hash_stream_id("host-a");
+/// for i in 0..8 {
+///     let ctx = SignalContext::new(i, stream, Symbol::new(0), 5.0);
+///     service.enqueue(ctx).expect("queue has room");
+/// }
+/// let summary = service.drain(&NullSink);
+/// assert_eq!(summary.processed, 8);
+/// assert_eq!(summary.emitted, 5); // events 0..=2 were warmup
+/// ```
+pub struct IngestService {
+    config: ServeConfig,
+    pub(crate) shards: Vec<Mutex<Shard>>,
+    stats: Arc<ServiceStats>,
+}
+
+impl std::fmt::Debug for IngestService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestService")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+struct ShardDrain {
+    processed: u64,
+    emitted: u64,
+    escalated: u64,
+    degraded: u64,
+    deferred: bool,
+}
+
+impl IngestService {
+    /// Creates a service; `factory` is the tier-2 bank recipe, shared
+    /// by all shards.
+    pub fn new(
+        config: ServeConfig,
+        factory: impl Fn() -> Vec<Box<dyn StreamDetector>> + Send + Sync + 'static,
+    ) -> IngestService {
+        let factory: SharedFactory = Arc::new(factory);
+        let shards = (0..config.shards)
+            .map(|_| {
+                let f = Arc::clone(&factory);
+                Mutex::new(Shard {
+                    queue: VecDeque::new(),
+                    engine: StreamEngine::new(Box::new(move || f()) as BankFactory),
+                    tier1: std::collections::HashMap::new(),
+                })
+            })
+            .collect();
+        IngestService {
+            stats: Arc::new(ServiceStats::new(config.shards)),
+            config,
+            shards,
+        }
+    }
+
+    /// The service's shape.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The service's live counters (see [`crate::introspect`]).
+    pub fn stats(&self) -> &Arc<ServiceStats> {
+        &self.stats
+    }
+
+    /// Publishes this service's counters on the process-global
+    /// introspection registry (scope's `/servez`). The registration is
+    /// cleared when the service is dropped.
+    pub fn register_introspection(&self) {
+        crate::introspect::register(Arc::clone(&self.stats));
+    }
+
+    /// Shard owning `stream_id_hash`.
+    pub fn shard_of(&self, stream_id_hash: u64) -> usize {
+        (stream_id_hash % self.config.shards as u64) as usize
+    }
+
+    pub(crate) fn shard(&self, index: usize) -> std::sync::MutexGuard<'_, Shard> {
+        self.shards[index]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Offers one event to its stream's shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RejectReason::QueueFull`] — and counts the rejection —
+    /// when the shard queue is at capacity. The caller decides whether
+    /// to drop, retry after a drain, or shed the stream; the service
+    /// itself never buffers beyond the bound.
+    pub fn enqueue(&self, ctx: SignalContext) -> Result<(), RejectReason> {
+        let index = self.shard_of(ctx.stream_id_hash);
+        let mut shard = self.shard(index);
+        if shard.queue.len() >= self.config.queue_capacity {
+            drop(shard);
+            self.stats.shards[index]
+                .rejected
+                .fetch_add(1, Ordering::Relaxed);
+            if detdiv_obs::telemetry_enabled() {
+                detdiv_obs::incr_counter("serve/rejected", 1);
+            }
+            return Err(RejectReason::QueueFull {
+                shard: index,
+                capacity: self.config.queue_capacity,
+            });
+        }
+        shard.queue.push_back((ctx, Instant::now()));
+        let depth = shard.queue.len() as u64;
+        drop(shard);
+        let stats = &self.stats.shards[index];
+        stats.enqueued.fetch_add(1, Ordering::Relaxed);
+        stats.depth.store(depth, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Drains every shard queue through detection, fanning shards out
+    /// across the global [`detdiv_par`] pool and delivering verdicts to
+    /// `sink`.
+    ///
+    /// Each shard's batch runs under [`detdiv_resil::supervised`] at
+    /// the `serve/drain` fault site with the site claimed *before* any
+    /// event is popped: an injected (or real) shard-level panic defers
+    /// the whole batch — events stay queued for the next drain — and
+    /// never takes down sibling shards. Per-stream panics inside
+    /// detector slots are finer-grained still: the embedded engine
+    /// degrades exactly that slot (see the backpressure suite).
+    pub fn drain(&self, sink: &impl VerdictSink) -> DrainSummary {
+        let indices: Vec<usize> = (0..self.config.shards).collect();
+        let sink: &dyn VerdictSink = sink;
+        let policy = RetryPolicy::no_retry();
+        let per_shard = detdiv_par::global().map(&indices, |&index| {
+            let outcome = detdiv_resil::supervised("serve/drain", &policy, || {
+                if detdiv_resil::armed() {
+                    detdiv_resil::point("serve/drain");
+                }
+                self.drain_shard(index, sink)
+            });
+            match outcome {
+                detdiv_par::CellOutcome::Ok { value, .. } => value,
+                detdiv_par::CellOutcome::Failed { .. } => {
+                    self.stats.shards[index]
+                        .deferred
+                        .fetch_add(1, Ordering::Relaxed);
+                    ShardDrain {
+                        processed: 0,
+                        emitted: 0,
+                        escalated: 0,
+                        degraded: 0,
+                        deferred: true,
+                    }
+                }
+            }
+        });
+        let mut summary = DrainSummary::default();
+        for shard in &per_shard {
+            summary.processed += shard.processed;
+            summary.emitted += shard.emitted;
+            summary.escalated += shard.escalated;
+            summary.degraded += shard.degraded;
+            summary.deferred_shards += u64::from(shard.deferred);
+        }
+        if detdiv_obs::telemetry_enabled() && summary.processed > 0 {
+            detdiv_obs::incr_counter("serve/processed", summary.processed);
+            detdiv_obs::incr_counter("serve/emitted", summary.emitted);
+            if summary.escalated > 0 {
+                detdiv_obs::incr_counter("serve/escalated", summary.escalated);
+            }
+            if summary.degraded > 0 {
+                detdiv_obs::incr_counter("serve/degraded", summary.degraded);
+            }
+        }
+        summary
+    }
+
+    fn drain_shard(&self, index: usize, sink: &dyn VerdictSink) -> ShardDrain {
+        let mut shard = self.shard(index);
+        let shard = &mut *shard;
+        let mut drain = ShardDrain {
+            processed: 0,
+            emitted: 0,
+            escalated: 0,
+            degraded: 0,
+            deferred: false,
+        };
+        let degraded_before = shard.engine.degraded_slots();
+        let mut slot_buf: Vec<SlotResult> = Vec::new();
+        while let Some((ctx, enqueued_at)) = shard.queue.pop_front() {
+            drain.processed += 1;
+            match self.config.tiering {
+                Tiering::Full => {
+                    slot_buf.clear();
+                    shard.engine.push(&ctx, &mut slot_buf);
+                    let latency = enqueued_at.elapsed();
+                    for slot in &slot_buf {
+                        drain.emitted += 1;
+                        sink.on_verdict(&VerdictEvent {
+                            shard: index,
+                            stream_hash: ctx.stream_id_hash,
+                            seq: ctx.seq,
+                            tier: Tier::Model,
+                            slot: slot.slot,
+                            result: slot.result,
+                            latency,
+                        });
+                    }
+                }
+                Tiering::Gated(tier1_cfg) => {
+                    drain.emitted += drive_gated(
+                        shard,
+                        index,
+                        &ctx,
+                        enqueued_at,
+                        tier1_cfg,
+                        sink,
+                        &mut slot_buf,
+                        &mut drain.escalated,
+                    );
+                }
+            }
+        }
+        drain.degraded = shard.engine.degraded_slots() - degraded_before;
+        let streams = match self.config.tiering {
+            Tiering::Full => shard.engine.stream_count(),
+            Tiering::Gated(_) => shard.tier1.len(),
+        };
+        let stats = &self.stats.shards[index];
+        stats.depth.store(0, Ordering::Relaxed);
+        stats.streams.store(streams as u64, Ordering::Relaxed);
+        stats
+            .processed
+            .fetch_add(drain.processed, Ordering::Relaxed);
+        stats.emitted.fetch_add(drain.emitted, Ordering::Relaxed);
+        stats
+            .escalated
+            .fetch_add(drain.escalated, Ordering::Relaxed);
+        stats.degraded.fetch_add(drain.degraded, Ordering::Relaxed);
+        drain
+    }
+
+    /// Total events currently queued across all shards.
+    pub fn pending(&self) -> usize {
+        (0..self.config.shards)
+            .map(|i| self.shard(i).queue.len())
+            .sum()
+    }
+
+    /// Distinct streams resident across all shards.
+    pub fn stream_count(&self) -> usize {
+        (0..self.config.shards)
+            .map(|i| {
+                let shard = self.shard(i);
+                match self.config.tiering {
+                    Tiering::Full => shard.engine.stream_count(),
+                    Tiering::Gated(_) => shard.tier1.len(),
+                }
+            })
+            .sum()
+    }
+
+    /// Detector slots permanently degraded by caught panics, summed
+    /// over shards.
+    pub fn degraded_slots(&self) -> u64 {
+        (0..self.config.shards)
+            .map(|i| self.shard(i).engine.degraded_slots())
+            .sum()
+    }
+}
+
+impl Drop for IngestService {
+    fn drop(&mut self) {
+        crate::introspect::deregister(&self.stats);
+    }
+}
+
+/// Runs one event through the tier-1 gate and, once escalated, the
+/// tier-2 bank. Returns the number of verdicts emitted.
+#[allow(clippy::too_many_arguments)]
+fn drive_gated(
+    shard: &mut Shard,
+    index: usize,
+    ctx: &SignalContext,
+    enqueued_at: Instant,
+    tier1_cfg: Tier1Config,
+    sink: &dyn VerdictSink,
+    slot_buf: &mut Vec<SlotResult>,
+    escalated: &mut u64,
+) -> u64 {
+    let tier1 = shard
+        .tier1
+        .entry(ctx.stream_id_hash)
+        .or_insert_with(|| Tier1 {
+            gate: Ewma::new(tier1_cfg.alpha, tier1_cfg.warmup),
+            escalated: false,
+        });
+    let mut emitted = 0u64;
+    if !tier1.escalated {
+        match tier1.gate.update(ctx) {
+            Some(result) => {
+                emitted += 1;
+                sink.on_verdict(&VerdictEvent {
+                    shard: index,
+                    stream_hash: ctx.stream_id_hash,
+                    seq: ctx.seq,
+                    tier: Tier::Gate,
+                    slot: 0,
+                    result,
+                    latency: enqueued_at.elapsed(),
+                });
+                if result.score >= tier1_cfg.escalate_score {
+                    tier1.escalated = true;
+                    *escalated += 1;
+                }
+            }
+            None => return 0, // gate warmup: no verdict yet
+        }
+        if !tier1.escalated {
+            return emitted;
+        }
+        // Fall through: the escalating event is also tier 2's first.
+    }
+    slot_buf.clear();
+    shard.engine.push(ctx, slot_buf);
+    let latency = enqueued_at.elapsed();
+    for slot in slot_buf.iter() {
+        emitted += 1;
+        sink.on_verdict(&VerdictEvent {
+            shard: index,
+            stream_hash: ctx.stream_id_hash,
+            seq: ctx.seq,
+            tier: Tier::Model,
+            slot: slot.slot,
+            result: slot.result,
+            latency,
+        });
+    }
+    emitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detdiv_sequence::Symbol;
+    use detdiv_stream::hash_stream_id;
+    use std::sync::Mutex as StdMutex;
+
+    fn ewma_bank() -> Vec<Box<dyn StreamDetector>> {
+        vec![Box::new(Ewma::new(0.2, 3)) as Box<dyn StreamDetector>]
+    }
+
+    #[derive(Default)]
+    struct Collect(StdMutex<Vec<VerdictEvent>>);
+
+    impl VerdictSink for Collect {
+        fn on_verdict(&self, event: &VerdictEvent) {
+            self.0.lock().unwrap().push(*event);
+        }
+    }
+
+    #[test]
+    fn enqueue_routes_by_hash_and_drain_processes_fifo() {
+        let service = IngestService::new(ServeConfig::new(4, 64), ewma_bank);
+        let a = hash_stream_id("a");
+        let b = hash_stream_id("b");
+        for i in 0..6u64 {
+            service
+                .enqueue(SignalContext::new(i, a, Symbol::new(0), i as f64))
+                .unwrap();
+            service
+                .enqueue(SignalContext::new(i, b, Symbol::new(0), 1.0))
+                .unwrap();
+        }
+        assert_eq!(service.pending(), 12);
+        let sink = Collect::default();
+        let summary = service.drain(&sink);
+        assert_eq!(summary.processed, 12);
+        assert_eq!(service.pending(), 0);
+        assert_eq!(service.stream_count(), 2);
+        // Ewma warmup 3 → 3 verdicts per stream.
+        assert_eq!(summary.emitted, 6);
+        let events = sink.0.lock().unwrap();
+        let a_seqs: Vec<u64> = events
+            .iter()
+            .filter(|e| e.stream_hash == a)
+            .map(|e| e.seq)
+            .collect();
+        assert_eq!(a_seqs, vec![3, 4, 5], "per-stream verdicts in order");
+        for e in events.iter() {
+            assert_eq!(e.shard, service.shard_of(e.stream_hash));
+            assert_eq!(e.tier, Tier::Model);
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_with_typed_reason() {
+        let service = IngestService::new(ServeConfig::new(1, 3), ewma_bank);
+        let s = hash_stream_id("only");
+        for i in 0..3u64 {
+            service
+                .enqueue(SignalContext::new(i, s, Symbol::new(0), 1.0))
+                .unwrap();
+        }
+        let err = service
+            .enqueue(SignalContext::new(3, s, Symbol::new(0), 1.0))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RejectReason::QueueFull {
+                shard: 0,
+                capacity: 3
+            }
+        );
+        assert_eq!(err.to_string(), "shard 0 queue full (capacity 3)");
+        assert_eq!(
+            service.stats().shards[0].rejected.load(Ordering::Relaxed),
+            1
+        );
+        // A drain frees the queue; the rejected event can be re-offered.
+        service.drain(&NullSink);
+        assert!(service
+            .enqueue(SignalContext::new(3, s, Symbol::new(0), 1.0))
+            .is_ok());
+    }
+
+    #[test]
+    fn gated_tiering_escalates_only_anomalous_streams() {
+        let tier1 = Tier1Config {
+            alpha: 0.3,
+            warmup: 4,
+            escalate_score: 0.5,
+        };
+        let service = IngestService::new(ServeConfig::new(2, 256).gated(tier1), ewma_bank);
+        let quiet = hash_stream_id("quiet");
+        let noisy = hash_stream_id("noisy");
+        for i in 0..20u64 {
+            let spike = if i == 12 { 90.0 } else { 5.0 };
+            service
+                .enqueue(SignalContext::new(i, quiet, Symbol::new(0), 5.0))
+                .unwrap();
+            service
+                .enqueue(SignalContext::new(i, noisy, Symbol::new(0), spike))
+                .unwrap();
+        }
+        let sink = Collect::default();
+        let summary = service.drain(&sink);
+        assert_eq!(summary.escalated, 1, "only the spiking stream escalates");
+        let events = sink.0.lock().unwrap();
+        assert!(
+            events
+                .iter()
+                .filter(|e| e.stream_hash == quiet)
+                .all(|e| e.tier == Tier::Gate),
+            "quiet stream never reaches tier 2"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.stream_hash == noisy && e.tier == Tier::Model),
+            "escalated stream gets tier-2 verdicts"
+        );
+        // The escalating event itself is tier 2's first event.
+        let first_model_seq = events
+            .iter()
+            .filter(|e| e.stream_hash == noisy && e.tier == Tier::Model)
+            .map(|e| e.seq)
+            .min()
+            .unwrap();
+        let escalation_seq = events
+            .iter()
+            .filter(|e| e.stream_hash == noisy && e.tier == Tier::Gate)
+            .map(|e| e.seq)
+            .max()
+            .unwrap();
+        assert_eq!(
+            first_model_seq,
+            escalation_seq + 3,
+            "tier-2 Ewma warmup (3) after escalation"
+        );
+        assert_eq!(service.stream_count(), 2);
+    }
+
+    #[test]
+    fn drain_summary_is_stable_across_repeat_drains() {
+        let service = IngestService::new(ServeConfig::new(2, 16), ewma_bank);
+        let s = hash_stream_id("idle");
+        service
+            .enqueue(SignalContext::new(0, s, Symbol::new(0), 1.0))
+            .unwrap();
+        service.drain(&NullSink);
+        let empty = service.drain(&NullSink);
+        assert_eq!(empty, DrainSummary::default(), "empty drain is a no-op");
+    }
+}

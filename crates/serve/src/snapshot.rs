@@ -1,0 +1,352 @@
+//! Crash-safe shard-state snapshots.
+//!
+//! A snapshot is a checksummed-line file in the [`detdiv_resil`]
+//! journal wire format (`<fnv1a-hex-16> <payload>`), written atomically
+//! via [`AtomicFile`] so a crash mid-write can never clobber the
+//! previous good snapshot:
+//!
+//! ```text
+//! serve-snapshot v1 shards=4 tiering=gate
+//! stream 00f3ab… esc=1 t1=<hex|-> slots=2 h:<hex|-> d:-
+//! …
+//! end streams=117
+//! ```
+//!
+//! Per stream: the escalation flag, the tier-1 gate's serialized state,
+//! and each tier-2 slot's degraded flag + detector state
+//! ([`detdiv_stream::SlotState`]). Recovery is strictly best-effort and
+//! never fatal: a missing file, torn tail (no footer), checksum
+//! mismatch, count mismatch, version or tiering drift all yield
+//! [`RecoverOutcome::Discarded`] with a reason — the service simply
+//! starts cold. A stream whose bank shape no longer matches restarts
+//! from warmup (counted in `skipped`), never resumes wrong state.
+//!
+//! Events that were queued but not yet drained at snapshot time are
+//! not captured: the service is at-most-once across a crash, by
+//! design. Callers wanting a clean cut drain before snapshotting.
+
+use std::path::Path;
+use std::sync::atomic::Ordering;
+
+use detdiv_resil::{checksum_line, AtomicFile, Journal};
+use detdiv_stream::{Ewma, SlotState, StreamDetector};
+
+use crate::config::Tiering;
+use crate::service::{IngestService, Tier1};
+
+/// What a snapshot wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Streams captured.
+    pub streams: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+/// What recovery did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverOutcome {
+    /// The snapshot was applied.
+    Recovered {
+        /// Streams rebuilt.
+        streams: u64,
+        /// Streams whose tier-2 bank shape no longer matched the
+        /// factory and therefore restart from warmup.
+        skipped: u64,
+    },
+    /// The snapshot was unusable and ignored; the service starts cold.
+    Discarded {
+        /// Why (missing file, torn tail, checksum/count mismatch,
+        /// version or tiering drift).
+        reason: String,
+    },
+}
+
+fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok())
+        .collect()
+}
+
+fn opt_hex(state: &Option<Vec<u8>>) -> String {
+    match state {
+        Some(bytes) => to_hex(bytes),
+        None => "-".to_owned(),
+    }
+}
+
+fn parse_opt_hex(token: &str) -> Option<Option<Vec<u8>>> {
+    if token == "-" {
+        Some(None)
+    } else {
+        from_hex(token).map(Some)
+    }
+}
+
+fn tiering_token(tiering: &Tiering) -> &'static str {
+    match tiering {
+        Tiering::Full => "full",
+        Tiering::Gated(_) => "gate",
+    }
+}
+
+struct ParsedStream {
+    hash: u64,
+    escalated: bool,
+    tier1_state: Option<Vec<u8>>,
+    slots: Vec<SlotState>,
+}
+
+fn parse_stream_line(line: &str) -> Option<ParsedStream> {
+    let mut tokens = line.split_whitespace();
+    if tokens.next()? != "stream" {
+        return None;
+    }
+    let hash = u64::from_str_radix(tokens.next()?, 16).ok()?;
+    let escalated = match tokens.next()?.strip_prefix("esc=")? {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
+    let tier1_state = parse_opt_hex(tokens.next()?.strip_prefix("t1=")?)?;
+    let slot_count: usize = tokens.next()?.strip_prefix("slots=")?.parse().ok()?;
+    let mut slots = Vec::with_capacity(slot_count);
+    for _ in 0..slot_count {
+        let token = tokens.next()?;
+        let (flag, hex) = token.split_once(':')?;
+        let degraded = match flag {
+            "d" => true,
+            "h" => false,
+            _ => return None,
+        };
+        slots.push(SlotState {
+            degraded,
+            state: parse_opt_hex(hex)?,
+        });
+    }
+    if tokens.next().is_some() {
+        return None; // trailing garbage: version drift, discard
+    }
+    Some(ParsedStream {
+        hash,
+        escalated,
+        tier1_state,
+        slots,
+    })
+}
+
+impl IngestService {
+    /// Writes a snapshot of every shard's detector state to `path`,
+    /// atomically (write-temp + rename: a crash mid-snapshot leaves
+    /// any previous snapshot intact).
+    ///
+    /// Shards are locked one at a time in index order; producers may
+    /// keep enqueueing, but a consistent cut requires the caller to
+    /// drain first (queued events are not captured).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the atomic write.
+    pub fn snapshot(&self, path: impl AsRef<Path>) -> std::io::Result<SnapshotStats> {
+        let config = *self.config();
+        let mut body = String::new();
+        let mut streams = 0u64;
+        for index in 0..config.shards {
+            let shard = self.shard(index);
+            let hashes: Vec<u64> = match config.tiering {
+                Tiering::Full => shard.engine.stream_ids(),
+                Tiering::Gated(_) => {
+                    let mut keys: Vec<u64> = shard.tier1.keys().copied().collect();
+                    keys.sort_unstable();
+                    keys
+                }
+            };
+            for hash in hashes {
+                let (escalated, tier1_state) = match shard.tier1.get(&hash) {
+                    Some(t1) => (t1.escalated, t1.gate.state_bytes()),
+                    // Full tiering: every stream feeds the bank directly.
+                    None => (true, None),
+                };
+                let slots = shard.engine.snapshot_stream(hash).unwrap_or_default();
+                let mut line = format!(
+                    "stream {hash:016x} esc={} t1={} slots={}",
+                    u8::from(escalated),
+                    opt_hex(&tier1_state),
+                    slots.len()
+                );
+                for slot in &slots {
+                    line.push(' ');
+                    line.push(if slot.degraded { 'd' } else { 'h' });
+                    line.push(':');
+                    line.push_str(&opt_hex(&slot.state));
+                }
+                body.push_str(&checksum_line(&line));
+                body.push('\n');
+                streams += 1;
+            }
+        }
+        let header = format!(
+            "serve-snapshot v1 shards={} tiering={}",
+            config.shards,
+            tiering_token(&config.tiering)
+        );
+        let mut content = String::with_capacity(body.len() + 128);
+        content.push_str(&checksum_line(&header));
+        content.push('\n');
+        content.push_str(&body);
+        content.push_str(&checksum_line(&format!("end streams={streams}")));
+        content.push('\n');
+        let bytes = content.len() as u64;
+        AtomicFile::write(path.as_ref(), content)?;
+        self.stats().snapshots.fetch_add(1, Ordering::Relaxed);
+        Ok(SnapshotStats { streams, bytes })
+    }
+
+    /// Rebuilds detector state from a snapshot written by
+    /// [`snapshot`](IngestService::snapshot).
+    ///
+    /// Never fatal: any defect in the file — missing, torn tail,
+    /// checksum failure, count mismatch, version/shape drift — returns
+    /// [`RecoverOutcome::Discarded`] and leaves the service exactly as
+    /// it was. Nothing is applied until the whole file has parsed.
+    pub fn recover(&self, path: impl AsRef<Path>) -> RecoverOutcome {
+        let config = *self.config();
+        let discard = |reason: String| RecoverOutcome::Discarded { reason };
+        if !path.as_ref().exists() {
+            return discard("snapshot file missing".into());
+        }
+        let lines = match Journal::load(&path) {
+            Ok(lines) => lines,
+            Err(e) => return discard(format!("unreadable snapshot: {e}")),
+        };
+        let Some(header) = lines.first() else {
+            return discard("empty snapshot".into());
+        };
+        let expected_header = format!(
+            "serve-snapshot v1 shards={} tiering={}",
+            config.shards,
+            tiering_token(&config.tiering)
+        );
+        if *header != expected_header {
+            return discard(format!(
+                "header mismatch (found {header:?}, want {expected_header:?})"
+            ));
+        }
+        let Some(footer) = lines.last().filter(|_| lines.len() >= 2) else {
+            return discard("missing footer".into());
+        };
+        let Some(count) = footer
+            .strip_prefix("end streams=")
+            .and_then(|n| n.parse::<usize>().ok())
+        else {
+            return discard("missing footer (torn tail discarded)".into());
+        };
+        let body = &lines[1..lines.len() - 1];
+        if body.len() != count {
+            return discard(format!(
+                "stream count mismatch (footer says {count}, found {})",
+                body.len()
+            ));
+        }
+        // Parse everything before applying anything: a malformed line
+        // discards the snapshot, never half-applies it.
+        let mut parsed = Vec::with_capacity(body.len());
+        for line in body {
+            match parse_stream_line(line) {
+                Some(p) => parsed.push(p),
+                None => return discard(format!("malformed stream line: {line:?}")),
+            }
+        }
+        let mut streams = 0u64;
+        let mut skipped = 0u64;
+        for p in parsed {
+            let index = self.shard_of(p.hash);
+            let mut shard = self.shard(index);
+            if let Tiering::Gated(tier1_cfg) = config.tiering {
+                let mut gate = Ewma::new(tier1_cfg.alpha, tier1_cfg.warmup);
+                if let Some(bytes) = &p.tier1_state {
+                    // Rejected bytes leave the gate reset: cold start.
+                    let _ = gate.restore_state(bytes);
+                }
+                shard.tier1.insert(
+                    p.hash,
+                    Tier1 {
+                        gate,
+                        escalated: p.escalated,
+                    },
+                );
+            }
+            if !p.slots.is_empty() && !shard.engine.restore_stream(p.hash, &p.slots) {
+                // Bank shape drifted since the snapshot: the stream
+                // restarts from warmup instead of resuming wrong state.
+                skipped += 1;
+            }
+            streams += 1;
+        }
+        for index in 0..config.shards {
+            let shard = self.shard(index);
+            let resident = match config.tiering {
+                Tiering::Full => shard.engine.stream_count(),
+                Tiering::Gated(_) => shard.tier1.len(),
+            };
+            self.stats().shards[index]
+                .streams
+                .store(resident as u64, Ordering::Relaxed);
+        }
+        self.stats()
+            .recovered_streams
+            .fetch_add(streams, Ordering::Relaxed);
+        RecoverOutcome::Recovered { streams, skipped }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrips_and_rejects_odd_lengths() {
+        assert_eq!(to_hex(&[0x00, 0xff, 0x1a]), "00ff1a");
+        assert_eq!(from_hex("00ff1a"), Some(vec![0x00, 0xff, 0x1a]));
+        assert_eq!(from_hex(""), Some(Vec::new()));
+        assert!(from_hex("abc").is_none());
+        assert!(from_hex("zz").is_none());
+    }
+
+    #[test]
+    fn stream_lines_roundtrip() {
+        let line = "stream 00000000deadbeef esc=1 t1=0a0b slots=2 h:ff d:-";
+        let p = parse_stream_line(line).expect("parses");
+        assert_eq!(p.hash, 0xdead_beef);
+        assert!(p.escalated);
+        assert_eq!(p.tier1_state, Some(vec![0x0a, 0x0b]));
+        assert_eq!(
+            p.slots,
+            vec![
+                SlotState {
+                    degraded: false,
+                    state: Some(vec![0xff])
+                },
+                SlotState {
+                    degraded: true,
+                    state: None
+                }
+            ]
+        );
+        // Wrong slot counts and trailing garbage are version drift.
+        assert!(parse_stream_line("stream 1 esc=1 t1=- slots=1").is_none());
+        assert!(parse_stream_line("stream 1 esc=1 t1=- slots=0 h:-").is_none());
+        assert!(parse_stream_line("stream 1 esc=2 t1=- slots=0").is_none());
+    }
+}

@@ -134,6 +134,32 @@ impl StreamDetector for ModelAdapter {
         self.buf.clear();
         self.filled = 0;
     }
+
+    fn state_bytes(&self) -> Option<Vec<u8>> {
+        // The per-stream state is exactly the window buffer: symbol
+        // ids, little-endian u32 each (`filled` is its length; it never
+        // exceeds the window). The trained model is shared and
+        // reconstructed by the factory, never serialized.
+        let mut out = Vec::with_capacity(4 * self.buf.len());
+        for symbol in &self.buf {
+            out.extend_from_slice(&symbol.id().to_le_bytes());
+        }
+        Some(out)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        if !bytes.len().is_multiple_of(4) || bytes.len() / 4 > self.window {
+            self.reset();
+            return false;
+        }
+        self.buf.clear();
+        for chunk in bytes.chunks_exact(4) {
+            let id = u32::from_le_bytes(chunk.try_into().unwrap());
+            self.buf.push(Symbol::new(id));
+        }
+        self.filled = self.buf.len();
+        true
+    }
 }
 
 /// Streams `test` through a fresh [`ModelAdapter`] over `model` and
@@ -237,6 +263,38 @@ mod tests {
         adapter.reset();
         let r = adapter.update(&SignalContext::from_symbol(0, 0, symbols(&[1])[0]));
         assert!(r.is_none(), "post-reset first event must be warmup again");
+    }
+
+    #[test]
+    fn adapter_state_roundtrips_mid_stream() {
+        let model = trained_stide(3);
+        let test = symbols(&[1, 2, 3, 4, 2, 4, 1, 2, 3, 3, 1]);
+        let full = stream_scores(&model, &test);
+        // Feed half, snapshot the window buffer, restore, feed the rest.
+        let mut first = ModelAdapter::new(Arc::clone(&model));
+        for (i, &s) in test[..5].iter().enumerate() {
+            first.update(&SignalContext::from_symbol(i as u64, 0, s));
+        }
+        let state = first.state_bytes().expect("adapter is snapshotable");
+        let mut resumed = ModelAdapter::new(Arc::clone(&model));
+        assert!(resumed.restore_state(&state));
+        let mut tail = Vec::new();
+        for (i, &s) in test[5..].iter().enumerate() {
+            if let Some(r) = resumed.update(&SignalContext::from_symbol(5 + i as u64, 0, s)) {
+                tail.push(r.score);
+            }
+        }
+        // Events 5.. of the uninterrupted run produced full[3..] (the
+        // first window completes at event 2); the resumed run must
+        // reproduce them bit-for-bit.
+        assert_eq!(tail.len(), full.len() - 3);
+        for (a, b) in full[3..].iter().zip(&tail) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Oversized or misaligned state degrades to a cold start.
+        let mut fresh = ModelAdapter::new(model);
+        assert!(!fresh.restore_state(&[0u8; 5]));
+        assert!(!fresh.restore_state(&[0u8; 4 * 9]));
     }
 
     #[test]

@@ -38,6 +38,32 @@ pub trait StreamDetector: Send {
     /// Forgets all per-stream state, returning the detector to its
     /// pre-warmup condition (trained model state, if any, is retained).
     fn reset(&mut self);
+
+    /// Serializes the detector's *per-stream* state (never trained
+    /// model weights — those are reconstructed by the bank factory on
+    /// restore). `None` means the detector is not snapshotable; a
+    /// snapshotting caller must treat such a slot as starting from
+    /// warmup after recovery.
+    ///
+    /// The contract, enforced by the serve recovery suite: feeding
+    /// events `0..k`, calling `state_bytes`, constructing a fresh
+    /// detector from the same factory, restoring, and feeding events
+    /// `k..n` must reproduce the uninterrupted run's verdicts
+    /// bit-identically.
+    fn state_bytes(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state captured by
+    /// [`state_bytes`](StreamDetector::state_bytes) into a freshly
+    /// constructed detector. Returns `false` (leaving the detector
+    /// reset) when the bytes do not parse — a snapshot from a
+    /// different detector or version is degraded to a cold start, not
+    /// a panic.
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let _ = bytes;
+        false
+    }
 }
 
 impl<D: StreamDetector + ?Sized> StreamDetector for Box<D> {
@@ -55,5 +81,13 @@ impl<D: StreamDetector + ?Sized> StreamDetector for Box<D> {
 
     fn reset(&mut self) {
         (**self).reset()
+    }
+
+    fn state_bytes(&self) -> Option<Vec<u8>> {
+        (**self).state_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        (**self).restore_state(bytes)
     }
 }

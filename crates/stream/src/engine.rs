@@ -39,6 +39,19 @@ struct Slot {
     degraded: bool,
 }
 
+/// One slot's captured state in a stream snapshot: the degraded flag
+/// plus the detector's serialized per-stream state (`None` when the
+/// detector is not snapshotable — that slot restarts from warmup on
+/// [`StreamEngine::restore_stream`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotState {
+    /// Whether the slot had been permanently degraded by a caught
+    /// panic when the snapshot was taken.
+    pub degraded: bool,
+    /// [`StreamDetector::state_bytes`] at snapshot time.
+    pub state: Option<Vec<u8>>,
+}
+
 impl std::fmt::Debug for Slot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Slot")
@@ -277,6 +290,79 @@ where
     pub fn close_stream(&mut self, stream_id_hash: u64) -> bool {
         self.streams.remove(&stream_id_hash).is_some()
     }
+
+    /// Every stream id seen so far, ascending — the deterministic
+    /// iteration order snapshotting callers need.
+    pub fn stream_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.streams.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Captures one stream's per-slot state for a snapshot: each
+    /// slot's degraded flag plus its detector's
+    /// [`StreamDetector::state_bytes`] (which is `None` for
+    /// non-snapshotable detectors — such slots restart from warmup on
+    /// restore). `None` when the stream is unknown.
+    pub fn snapshot_stream(&self, stream_id_hash: u64) -> Option<Vec<SlotState>> {
+        let entry = self.streams.get(&stream_id_hash)?;
+        Some(
+            entry
+                .slots
+                .iter()
+                .map(|slot| SlotState {
+                    degraded: slot.degraded,
+                    state: slot.detector.state_bytes(),
+                })
+                .collect(),
+        )
+    }
+
+    /// Rebuilds one stream from snapshot state: constructs a fresh
+    /// bank via the factory, restores each slot's detector state and
+    /// degraded flag, and installs the entry (replacing any existing
+    /// one). Returns `false` — leaving the engine unchanged — when the
+    /// snapshot's slot count does not match the factory's bank (the
+    /// bank composition changed since the snapshot was taken).
+    ///
+    /// A slot whose `state` is `None`, or whose bytes the detector
+    /// rejects, starts cold (from warmup): recovery degrades to a
+    /// restart for that slot, never to wrong state.
+    pub fn restore_stream(&mut self, stream_id_hash: u64, slots: &[SlotState]) -> bool {
+        let mut bank: Vec<Slot> = (self.factory)()
+            .into_iter()
+            .map(|detector| Slot {
+                detector,
+                degraded: false,
+            })
+            .collect();
+        if bank.len() != slots.len() {
+            return false;
+        }
+        let mut restored_degraded = 0u64;
+        for (slot, saved) in bank.iter_mut().zip(slots) {
+            slot.degraded = saved.degraded;
+            if saved.degraded {
+                restored_degraded += 1;
+            }
+            if let Some(bytes) = &saved.state {
+                // A rejected payload leaves the detector reset: the
+                // restore_state contract.
+                let _ = slot.detector.restore_state(bytes);
+            }
+        }
+        if let Some(previous) = self.streams.insert(
+            stream_id_hash,
+            StreamEntry {
+                slots: bank,
+                stats: detdiv_flight::streams::handle(stream_id_hash),
+            },
+        ) {
+            self.degraded -= previous.slots.iter().filter(|s| s.degraded).count() as u64;
+        }
+        self.degraded += restored_degraded;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -402,6 +488,74 @@ mod tests {
         assert_eq!(snap.last_event_index, 3);
         assert!(detdiv_flight::streams::degraded_streams() >= 1);
         detdiv_flight::streams::set_enabled(false);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let make =
+            || StreamEngine::new(|| vec![Box::new(Ewma::new(0.2, 3)) as Box<dyn StreamDetector>]);
+        let s = hash_stream_id("resumable");
+        let values: Vec<f64> = (0..40).map(|i| ((i * 13) % 11) as f64).collect();
+        // Uninterrupted reference run.
+        let mut reference = make();
+        let mut expected = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            reference.push(
+                &SignalContext::new(i as u64, s, Symbol::new(0), v),
+                &mut expected,
+            );
+        }
+        // Run half, snapshot, restore into a fresh engine, run the rest.
+        let mut first = make();
+        let mut out = Vec::new();
+        for (i, &v) in values[..20].iter().enumerate() {
+            first.push(
+                &SignalContext::new(i as u64, s, Symbol::new(0), v),
+                &mut out,
+            );
+        }
+        assert_eq!(first.stream_ids(), vec![s]);
+        let saved = first.snapshot_stream(s).expect("known stream snapshots");
+        assert!(first.snapshot_stream(s ^ 1).is_none());
+        let mut resumed = make();
+        assert!(resumed.restore_stream(s, &saved));
+        let mut tail = Vec::new();
+        for (i, &v) in values[20..].iter().enumerate() {
+            resumed.push(
+                &SignalContext::new(20 + i as u64, s, Symbol::new(0), v),
+                &mut tail,
+            );
+        }
+        let expected_tail: Vec<_> = expected[expected.len() - tail.len()..].to_vec();
+        assert_eq!(tail.len(), expected_tail.len());
+        for (a, b) in expected_tail.iter().zip(&tail) {
+            assert_eq!(a.slot, b.slot);
+            assert_eq!(a.result.score.to_bits(), b.result.score.to_bits());
+        }
+        // A shape-mismatched snapshot is refused, not half-applied.
+        let mut other = StreamEngine::new(bank);
+        assert!(!other.restore_stream(s, &saved));
+        assert_eq!(other.stream_count(), 0);
+    }
+
+    #[test]
+    fn restore_stream_carries_degraded_flags() {
+        let mut engine = StreamEngine::new(bank);
+        let s = hash_stream_id("wounded");
+        let mut out = Vec::new();
+        engine.push(&SignalContext::new(0, s, Symbol::new(0), 13.0), &mut out);
+        assert_eq!(engine.degraded_slots(), 1);
+        let saved = engine.snapshot_stream(s).unwrap();
+        assert!(saved[0].degraded && !saved[1].degraded);
+        let mut recovered = StreamEngine::new(bank);
+        assert!(recovered.restore_stream(s, &saved));
+        assert_eq!(recovered.degraded_slots(), 1, "flag survives recovery");
+        // The degraded slot stays down: its trigger value cannot re-panic.
+        recovered.push(&SignalContext::new(1, s, Symbol::new(0), 13.0), &mut out);
+        assert_eq!(recovered.degraded_slots(), 1);
+        // Restoring over an existing entry replaces, not double-counts.
+        assert!(recovered.restore_stream(s, &saved));
+        assert_eq!(recovered.degraded_slots(), 1);
     }
 
     #[test]

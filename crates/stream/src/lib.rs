@@ -18,7 +18,8 @@
 //!   genuinely-online zero-dependency detectors with no training set at
 //!   all;
 //! * [`StreamEngine`] — multi-stream routing by pre-hashed id with
-//!   per-slot panic isolation and degradation accounting.
+//!   per-slot panic isolation, degradation accounting, and per-stream
+//!   snapshot/restore ([`SlotState`]) for crash-safe serving.
 //!
 //! Because streamed and batch scores are the same bits, the evaluation
 //! pipeline can swap scoring modes (`regenerate --stream`) and produce
@@ -39,5 +40,5 @@ mod online;
 pub use adapter::{stream_scores, ModelAdapter, REASON_ELEVATED, REASON_MAXIMAL, REASON_NORMAL};
 pub use context::{hash_stream_id, DetectionResult, SignalContext};
 pub use detector::StreamDetector;
-pub use engine::{SlotResult, StreamEngine};
+pub use engine::{SlotResult, SlotState, StreamEngine};
 pub use online::{AdaptiveThreshold, Cusum, Ewma, FadingHistogram, DEFAULT_WARMUP};

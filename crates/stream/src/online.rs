@@ -140,6 +140,28 @@ impl StreamDetector for Ewma {
         self.var = 0.0;
         self.observed = 0;
     }
+
+    fn state_bytes(&self) -> Option<Vec<u8>> {
+        // mean, var (f64 bits) then observed, all little-endian: the
+        // running statistics are the entire per-stream state.
+        let mut out = Vec::with_capacity(24);
+        out.extend_from_slice(&self.mean.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.var.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.observed.to_le_bytes());
+        Some(out)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let Ok(fixed) = <[u8; 24]>::try_from(bytes) else {
+            self.reset();
+            return false;
+        };
+        let word = |i: usize| u64::from_le_bytes(fixed[i * 8..(i + 1) * 8].try_into().unwrap());
+        self.mean = f64::from_bits(word(0));
+        self.var = f64::from_bits(word(1));
+        self.observed = word(2);
+        true
+    }
 }
 
 /// Two-sided CUSUM change detector (Page 1954).
@@ -596,6 +618,31 @@ mod tests {
                 _ => panic!("emission pattern diverged after reset"),
             }
         }
+    }
+
+    #[test]
+    fn ewma_state_roundtrips_mid_stream() {
+        let values: Vec<f64> = (0..120).map(|i| ((i * 31) % 17) as f64).collect();
+        let mut uninterrupted = Ewma::new(0.15, 6);
+        let full = feed(&mut uninterrupted, &values);
+        // Run to the midpoint, snapshot, restore into a fresh tracker.
+        let mut first_half = Ewma::new(0.15, 6);
+        feed(&mut first_half, &values[..60]);
+        let state = first_half.state_bytes().expect("ewma is snapshotable");
+        let mut resumed = Ewma::new(0.15, 6);
+        assert!(resumed.restore_state(&state));
+        let tail = feed(&mut resumed, &values[60..]);
+        for (x, y) in full[60..].iter().zip(&tail) {
+            match (x, y) {
+                (Some(x), Some(y)) => assert_eq!(x.score.to_bits(), y.score.to_bits()),
+                (None, None) => {}
+                _ => panic!("emission pattern diverged after restore"),
+            }
+        }
+        // Garbage bytes degrade to a reset, never a panic.
+        let mut fresh = Ewma::new(0.15, 6);
+        assert!(!fresh.restore_state(b"short"));
+        assert_eq!(fresh.mean(), 0.0);
     }
 
     #[test]

@@ -388,4 +388,47 @@ fi
     --crash "$FLIGHT_DIR/chaos/audit.jsonl.crash"
 echo "chaos flight run byte-identical to fault-free, with a parseable crash dump"
 
+banner "serve gate (loadgen determinism across widths + chaos + snapshot/resume)"
+# The sharded ingest service: a loadgen smoke run's stdout (stream and
+# event counts plus the per-shard verdict digest) must be identical at
+# worker widths 1 and 4 — the cross-width determinism contract at the
+# service layer. The chaos variant must survive injected panics with
+# every event accounted for (its digest is legitimately different:
+# which slots die depends on the fault plan's hit order, so it is not
+# compared). A snapshot/resume chain must recover warm state.
+SERVE_DIR="$GATE_DIR/serve"
+mkdir -p "$SERVE_DIR"
+LOADGEN_ARGS="--streams 20000 --events-per-stream 4 --shards 16 --queue-cap 1024"
+DETDIV_LOG=off DETDIV_THREADS=1 timeout 300 ./target/release/loadgen \
+    $LOADGEN_ARGS --threads 1 > "$SERVE_DIR/t1_stdout.txt" 2> /dev/null
+DETDIV_LOG=off DETDIV_THREADS=4 timeout 300 ./target/release/loadgen \
+    $LOADGEN_ARGS --threads 4 > "$SERVE_DIR/t4_stdout.txt" 2> /dev/null
+cmp "$SERVE_DIR/t1_stdout.txt" "$SERVE_DIR/t4_stdout.txt"
+echo "loadgen verdict digest identical at widths 1 and 4 ($(cat "$SERVE_DIR/t1_stdout.txt"))"
+DETDIV_LOG=off DETDIV_THREADS=4 timeout 300 ./target/release/loadgen \
+    $LOADGEN_ARGS --threads 4 --fault "$FAULT_SPEC" \
+    > "$SERVE_DIR/chaos_stdout.txt" 2> "$SERVE_DIR/chaos_stderr.txt"
+grep -q "events=80000" "$SERVE_DIR/chaos_stdout.txt" || {
+    echo "serve gate: chaos run lost events" >&2
+    exit 1
+}
+echo "chaos loadgen survived injected panics with every event processed"
+DETDIV_LOG=off DETDIV_THREADS=1 timeout 300 ./target/release/loadgen \
+    $LOADGEN_ARGS --threads 1 --snapshot "$SERVE_DIR/state.snap" \
+    > /dev/null 2> /dev/null
+DETDIV_LOG=off DETDIV_THREADS=1 timeout 300 ./target/release/loadgen \
+    $LOADGEN_ARGS --threads 1 --resume "$SERVE_DIR/state.snap" \
+    > /dev/null 2> "$SERVE_DIR/resume_stderr.txt"
+grep -q "resumed 20000 stream(s)" "$SERVE_DIR/resume_stderr.txt" || {
+    echo "serve gate: resume did not recover the snapshotted streams" >&2
+    exit 1
+}
+echo "snapshot/resume chain recovered all 20000 streams warm"
+# The serve test battery (differential, recovery, backpressure) must
+# hold at both worker widths — the suites assert per-stream identity,
+# which is the part width must never perturb.
+DETDIV_THREADS=1 cargo test -q -p detdiv-serve > /dev/null
+DETDIV_THREADS=4 cargo test -q -p detdiv-serve > /dev/null
+echo "serve suites green at widths 1 and 4"
+
 banner "CI green"

@@ -34,6 +34,12 @@
 //!   exposing Prometheus-format metrics, health, snapshot and
 //!   self-profile endpoints, plus a background time-series sampler
 //!   (arm with `regenerate --serve HOST:PORT` or `DETDIV_SERVE`);
+//! * [`serve`] — the sharded multi-stream ingest service: per-stream
+//!   detector state sharded across bounded queues with typed
+//!   backpressure, a cheap always-on tier-1 gate fronting the trained
+//!   tier-2 bank, per-stream degradation under faults, and crash-safe
+//!   shard-state snapshots with `--resume`-style recovery (drive it at
+//!   scale with the `loadgen` binary);
 //! * [`stream`] — the online streaming engine: a push-based
 //!   [`stream::StreamDetector`] contract, sliding-window adapters that
 //!   score event-by-event bit-identically to the batch path (switch the
@@ -89,6 +95,7 @@ pub use detdiv_par as par;
 pub use detdiv_rules as rules;
 pub use detdiv_scope as scope;
 pub use detdiv_sequence as sequence;
+pub use detdiv_serve as serve;
 pub use detdiv_stream as stream;
 pub use detdiv_synth as synth;
 pub use detdiv_trace as trace;
@@ -107,6 +114,7 @@ pub mod prelude {
         symbols, Alphabet, NgramCounter, NgramSet, StreamProfile, SubstringIndex, Symbol,
         DEFAULT_RARE_THRESHOLD,
     };
+    pub use detdiv_serve::{IngestService, ServeConfig, Tier1Config, Tiering, VerdictSink};
     pub use detdiv_stream::{
         stream_scores, DetectionResult, ModelAdapter, SignalContext, StreamDetector, StreamEngine,
     };
