@@ -27,6 +27,15 @@
 //!   panic hook or on stream degradation). Validated for checksums, a
 //!   leading `crash` record naming the reason, and an event count that
 //!   matches the remaining lines.
+//! * `--guard` — require and validate the overload guard's audit trail
+//!   (`guard` records from `loadgen --overload`): per shard, record
+//!   sequence numbers must be strictly increasing, the degradation
+//!   ladder must form an unbroken transition chain starting at `full`
+//!   (watchdog forcings included), and every breaker chain must start
+//!   at `closed` and step contiguously (`open` ↔ `half-open` ↔
+//!   `closed`). Hibernate/rehydrate records must carry their fixed
+//!   outcomes. This is the "every ladder/breaker move is
+//!   reconstructable from the flight log" gate.
 //!
 //! Any violation prints a one-line diagnostic and exits nonzero, so CI
 //! can gate on "every alarm in the report is reconstructable from the
@@ -42,20 +51,23 @@ struct Args {
     dump: String,
     report: Option<String>,
     crash: Option<String>,
+    guard: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut dump = None;
     let mut report = None;
     let mut crash = None;
+    let mut guard = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--dump" => dump = Some(it.next().ok_or("--dump needs a path")?),
             "--report" => report = Some(it.next().ok_or("--report needs a path")?),
             "--crash" => crash = Some(it.next().ok_or("--crash needs a path")?),
+            "--guard" => guard = true,
             "--help" | "-h" => {
-                println!("usage: flightcheck --dump PATH [--report PATH] [--crash PATH]");
+                println!("usage: flightcheck --dump PATH [--report PATH] [--crash PATH] [--guard]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
@@ -65,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
         dump: dump.ok_or("--dump is required")?,
         report,
         crash,
+        guard,
     })
 }
 
@@ -291,6 +304,109 @@ fn check_report(records: &[(String, Value)], report_path: &str) -> Result<(usize
     Ok((cells_checked, alarms_checked))
 }
 
+/// Per-kind record counts from the guard audit trail, for the summary
+/// line (and for CI to grep).
+#[derive(Default)]
+struct GuardCounts {
+    ladder: usize,
+    breaker: usize,
+    watchdog: usize,
+    hibernate: usize,
+    rehydrate: usize,
+}
+
+/// A required hex-encoded unsigned field of a guard record.
+fn field_hex(record: &Value, name: &str, what: &str) -> Result<u64, String> {
+    let raw = field_str(record, name, what)?;
+    u64::from_str_radix(raw, 16).map_err(|_| format!("{what}: field {name:?} is not hex: {raw:?}"))
+}
+
+/// Validates the overload guard's audit trail: per-shard strictly
+/// increasing sequence numbers, an unbroken ladder transition chain
+/// from `full` (watchdog forcings participate — they carry the levels
+/// they observed or forced), breaker chains from `closed`, and fixed
+/// hibernate/rehydrate outcomes.
+fn check_guard(records: &[(String, Value)]) -> Result<GuardCounts, String> {
+    let mut counts = GuardCounts::default();
+    // shard -> (last seq, expected ladder level, expected breaker state)
+    let mut shards: BTreeMap<u64, (Option<u64>, &str, &str)> = BTreeMap::new();
+    for (_, record) in records {
+        if record.get("t").and_then(Value::as_str) != Some("guard") {
+            continue;
+        }
+        let shard = field_hex(record, "shard", "guard")?;
+        let what = format!("guard shard {shard}");
+        let seq = field_hex(record, "seq", &what)?;
+        let kind = field_str(record, "kind", &what)?;
+        let from = field_str(record, "from", &what)?;
+        let to = field_str(record, "to", &what)?;
+        let state = shards.entry(shard).or_insert((None, "full", "closed"));
+        if state.0.is_some_and(|last| seq <= last) {
+            return Err(format!(
+                "{what}: seq {seq} is not strictly increasing (last {})",
+                state.0.expect("checked")
+            ));
+        }
+        state.0 = Some(seq);
+        match kind {
+            "ladder" | "watchdog" => {
+                if kind == "ladder" {
+                    counts.ladder += 1;
+                } else {
+                    counts.watchdog += 1;
+                }
+                if from != state.1 {
+                    return Err(format!(
+                        "{what}: {kind} record leaves level {from:?} but the chain is at {:?}",
+                        state.1
+                    ));
+                }
+                state.1 = match to {
+                    "full" => "full",
+                    "gated-only" => "gated-only",
+                    "tier1-only" => "tier1-only",
+                    "shedding" => "shedding",
+                    other => return Err(format!("{what}: unknown ladder level {other:?}")),
+                };
+            }
+            "breaker" => {
+                counts.breaker += 1;
+                if from != state.2 {
+                    return Err(format!(
+                        "{what}: breaker record leaves state {from:?} but the chain is at {:?}",
+                        state.2
+                    ));
+                }
+                state.2 = match to {
+                    "closed" => "closed",
+                    "open" => "open",
+                    "half-open" => "half-open",
+                    other => return Err(format!("{what}: unknown breaker state {other:?}")),
+                };
+            }
+            "hibernate" => {
+                counts.hibernate += 1;
+                if to != "spilled" {
+                    return Err(format!("{what}: hibernate record with outcome {to:?}"));
+                }
+            }
+            "rehydrate" => {
+                counts.rehydrate += 1;
+                if to != "restored" && to != "cold" {
+                    return Err(format!("{what}: rehydrate record with outcome {to:?}"));
+                }
+            }
+            other => return Err(format!("{what}: unknown guard record kind {other:?}")),
+        }
+    }
+    let total =
+        counts.ladder + counts.breaker + counts.watchdog + counts.hibernate + counts.rehydrate;
+    if total == 0 {
+        return Err("--guard was given but the dump holds no guard records".into());
+    }
+    Ok(counts)
+}
+
 /// Validates a crash blackbox dump: checksums, the leading `crash`
 /// record, and its event count. Returns `(reason, events)`.
 fn check_crash(path: &str) -> Result<(String, usize), String> {
@@ -323,6 +439,14 @@ fn run(args: &Args) -> Result<String, String> {
         let (reason, events) = check_crash(crash)?;
         summary.push_str(&format!(
             "; crash dump intact ({events} events, reason {reason:?})"
+        ));
+    }
+    if args.guard {
+        let c = check_guard(&records)?;
+        summary.push_str(&format!(
+            "; guard trail intact ({} ladder, {} breaker, {} watchdog, {} hibernate, \
+             {} rehydrate)",
+            c.ladder, c.breaker, c.watchdog, c.hibernate, c.rehydrate
         ));
     }
     Ok(summary)

@@ -7,6 +7,7 @@
 //! ```text
 //! loadgen [--streams N] [--events-per-stream N] [--shards N]
 //!         [--queue-cap N] [--threads N] [--full-tiering]
+//!         [--overload] [--guard-bytes N] [--flight PATH]
 //!         [--fault SPEC] [--snapshot PATH] [--resume PATH] [--out PATH]
 //! ```
 //!
@@ -29,6 +30,25 @@
 //! run; `--resume` recovers one before ingesting (a discarded snapshot
 //! is reported, never fatal) — together they exercise the recovery
 //! path under load: run A snapshots, run B resumes and continues.
+//!
+//! `--overload` attaches the `detdiv-guard` overload protection and
+//! switches the producer to an open-loop arrival pattern at twice the
+//! service's drain capacity: between drains it offers two full queue
+//! generations, so queues overflow, the degradation ladder climbs to
+//! shedding, and rejected events are *dropped* (typed-counted, never
+//! retried) instead of absorbed. After the offered load ends, a
+//! recovery phase drains until every queue is empty and every ladder is
+//! back at `Full`, counting the cycles that took. The run asserts the
+//! no-silent-drop invariant `offered == delivered + shed` and that the
+//! resident-bytes peak stayed within `--guard-bytes` (default 1 MiB,
+//! env `DETDIV_GUARD_BYTES`); shed counts, recovery cycles, and the
+//! verdict digest all land on stdout because the guard's decisions are
+//! pure functions of observed counters — identical at every width.
+//!
+//! `--flight PATH` arms the flight recorder for the run and exports
+//! the audit log — under `--overload` every guard transition (ladder,
+//! breaker, hibernate/rehydrate) lands in the dump for
+//! `flightcheck --guard`.
 
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
@@ -36,9 +56,11 @@ use std::time::Instant;
 
 use detdiv_core::SequenceAnomalyDetector;
 use detdiv_detectors::Stide;
+use detdiv_guard::{BreakerConfig, DegradationLevel, GuardConfig};
 use detdiv_sequence::{symbols, Symbol};
 use detdiv_serve::{
-    IngestService, RecoverOutcome, ServeConfig, Tier1Config, VerdictEvent, VerdictSink,
+    IngestService, RecoverOutcome, RejectReason, ServeConfig, Tier1Config, VerdictEvent,
+    VerdictSink,
 };
 use detdiv_stream::{ModelAdapter, SignalContext, StreamDetector};
 use serde::Serialize;
@@ -80,6 +102,24 @@ struct Baseline {
     serve_p99_us: f64,
     /// Latencies the percentiles were computed from.
     latency_samples: usize,
+    /// Events offered by the producer (== `events` except under
+    /// `--overload`, where shed events are offered but not delivered).
+    offered: u64,
+    /// Events shed (guard shedding + queue-full drops) under
+    /// `--overload`; always 0 otherwise.
+    shed: u64,
+    /// Shed events rejected by the guard's shedding ladder level.
+    shed_guard: u64,
+    /// Shed events dropped on a full queue while overloaded.
+    shed_queue: u64,
+    /// Drain cycles the recovery phase needed to return every ladder to
+    /// `Full` with empty queues (0 outside `--overload`).
+    recovery_cycles: u64,
+    /// `shed_guard / offered` — the guard's shed rate under overload.
+    guard_shed_rate: f64,
+    /// Peak summed resident detector-state bytes reported by the guard
+    /// (0 without `--overload`).
+    serve_resident_bytes_peak: u64,
     /// Combined per-shard verdict digest (the determinism check).
     digest: String,
 }
@@ -91,6 +131,9 @@ struct Args {
     queue_cap: usize,
     threads: Option<usize>,
     full_tiering: bool,
+    overload: bool,
+    guard_bytes: Option<u64>,
+    flight: Option<String>,
     fault: Option<String>,
     snapshot: Option<String>,
     resume: Option<String>,
@@ -105,6 +148,9 @@ fn parse_args() -> Result<Args, String> {
         queue_cap: 4096,
         threads: None,
         full_tiering: false,
+        overload: false,
+        guard_bytes: None,
+        flight: None,
         fault: None,
         snapshot: None,
         resume: None,
@@ -144,6 +190,17 @@ fn parse_args() -> Result<Args, String> {
                 args.threads = Some(n);
             }
             "--full-tiering" => args.full_tiering = true,
+            "--overload" => args.overload = true,
+            "--guard-bytes" => {
+                let n: u64 = value("--guard-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--guard-bytes: {e}"))?;
+                if n == 0 {
+                    return Err("--guard-bytes: must be at least 1".to_owned());
+                }
+                args.guard_bytes = Some(n);
+            }
+            "--flight" => args.flight = Some(value("--flight")?),
             "--fault" => args.fault = Some(value("--fault")?),
             "--snapshot" => args.snapshot = Some(value("--snapshot")?),
             "--resume" => args.resume = Some(value("--resume")?),
@@ -152,9 +209,12 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: loadgen [--streams N] [--events-per-stream N] [--shards N]\n\
                      \x20       [--queue-cap N] [--threads N] [--full-tiering]\n\
+                     \x20       [--overload] [--guard-bytes N] [--flight PATH]\n\
                      \x20       [--fault SPEC] [--snapshot PATH] [--resume PATH] [--out PATH]\n\
                      Drives N synthetic keyed streams through a sharded ingest service and\n\
-                     prints a deterministic verdict digest; --out writes the BENCH baseline."
+                     prints a deterministic verdict digest; --out writes the BENCH baseline.\n\
+                     --overload attaches the guard and offers load at 2x drain capacity,\n\
+                     shedding (never silently dropping) the overflow."
                 );
                 std::process::exit(0);
             }
@@ -163,6 +223,9 @@ fn parse_args() -> Result<Args, String> {
         if args.streams == 0 || args.events_per_stream == 0 || args.shards == 0 {
             return Err("streams, events-per-stream, and shards must be positive".to_owned());
         }
+    }
+    if args.overload && args.full_tiering {
+        return Err("--overload requires gated tiering (drop --full-tiering)".to_owned());
     }
     Ok(args)
 }
@@ -280,14 +343,18 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(spec) = &args.fault {
         detdiv_resil::arm(detdiv_resil::FaultPlan::parse(spec)?);
     }
+    if let Some(path) = &args.flight {
+        detdiv_flight::arm(path);
+    }
     eprintln!(
         "loadgen: streams={} events/stream={} shards={} queue-cap={} threads={threads} \
-         tiering={}{}",
+         tiering={}{}{}",
         args.streams,
         args.events_per_stream,
         args.shards,
         args.queue_cap,
         if args.full_tiering { "full" } else { "gate" },
+        if args.overload { " (overload)" } else { "" },
         if args.fault.is_some() {
             " (chaos armed)"
         } else {
@@ -319,9 +386,38 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             escalate_score: 0.5,
         })
     };
-    let service = IngestService::new(config, move || {
-        vec![Box::new(ModelAdapter::new(Arc::clone(&model))) as Box<dyn StreamDetector>]
+    let factory =
+        move || vec![Box::new(ModelAdapter::new(Arc::clone(&model))) as Box<dyn StreamDetector>];
+    // Overload runs attach the guard: resident-byte budget from
+    // --guard-bytes (or DETDIV_GUARD_BYTES, default 1 MiB), hibernation
+    // segments in DETDIV_GUARD_DIR or a per-process temp directory
+    // (only the latter is removed on exit), and a hair-trigger breaker
+    // so a single tier-2 failure (chaos runs) opens it.
+    let env_guard = GuardConfig::from_env();
+    let temp_spill = env_guard.spill_dir.is_none();
+    let spill_dir = args.overload.then(|| {
+        env_guard.spill_dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("detdiv-loadgen-guard-{}", std::process::id()))
+        })
     });
+    let guard_budget = args
+        .guard_bytes
+        .or(env_guard.budget_bytes)
+        .unwrap_or(1 << 20);
+    let service = if args.overload {
+        let guard_config = GuardConfig {
+            budget_bytes: Some(guard_budget),
+            spill_dir: spill_dir.clone(),
+            breaker: BreakerConfig {
+                failure_threshold: 1,
+                open_cycles: 2,
+            },
+            ..GuardConfig::default()
+        };
+        IngestService::with_guard(config, guard_config, factory)?
+    } else {
+        IngestService::new(config, factory)
+    };
     service.register_introspection();
 
     if let Some(path) = &args.resume {
@@ -341,36 +437,144 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let mut escalated = 0u64;
     let mut degraded = 0u64;
     let mut rejections = 0u64;
+    let mut offered = 0u64;
+    let mut shed_guard = 0u64;
+    let mut shed_queue = 0u64;
+    let mut recovery_cycles = 0u64;
     let started = Instant::now();
-    for seq in 0..args.events_per_stream {
-        for i in 0..args.streams {
-            let ctx = event(i, seq);
-            while let Err(_reject) = service.enqueue(ctx) {
-                // Backpressure: the queue is full, so drain the service
-                // and retry — the producer absorbs the pushback instead
-                // of the service buffering without bound.
-                rejections += 1;
+    if args.overload {
+        // Open-loop overload in alternating waves. A *burst* wave
+        // offers two full queue generations back to back with a single
+        // drain between them: the first generation overfills every
+        // queue (half of it drops on QueueFull), the drain sees 100%
+        // fill and jumps the ladder to Shedding, and the second
+        // generation is then shed by the guard at the door — arrival at
+        // ~4x what the service delivers. Cool-down drains walk the
+        // ladder back to Full, then a short *paced* wave (quarter-fill,
+        // drained immediately) delivers traffic normally so gates warm
+        // up, spike streams escalate, and tier-2 banks engage — which
+        // is what gives the chaos variant a breaker to trip. Every
+        // decision is a pure function of per-shard queue depths at
+        // drain boundaries, and the single-threaded producer makes
+        // those identical at every worker width, so shed counts and the
+        // verdict digest are width-invariant.
+        let total = args.streams * args.events_per_stream;
+        let capacity = (args.shards * args.queue_cap) as u64;
+        let offer = |k: u64,
+                     service: &IngestService,
+                     offered: &mut u64,
+                     shed_guard: &mut u64,
+                     shed_queue: &mut u64| {
+            let (seq, i) = (k / args.streams, k % args.streams);
+            *offered += 1;
+            match service.enqueue(event(i, seq)) {
+                Ok(()) => {}
+                Err(RejectReason::Shedding { .. }) => *shed_guard += 1,
+                Err(_) => *shed_queue += 1,
+            }
+        };
+        let mut k = 0u64;
+        let mut wave = 0u64;
+        let paced_rounds = [capacity / 4; 8];
+        let burst_rounds = [2 * capacity, 2 * capacity];
+        while k < total {
+            // Paced first: the early seqs (where the planted spikes
+            // live) are delivered at Full so tier-2 actually engages
+            // before the first burst slams the ladder shut.
+            let burst = !wave.is_multiple_of(2);
+            let rounds: &[u64] = if burst { &burst_rounds } else { &paced_rounds };
+            for &round in rounds {
+                let end = (k + round).min(total);
+                while k < end {
+                    offer(k, &service, &mut offered, &mut shed_guard, &mut shed_queue);
+                    k += 1;
+                }
                 let summary = service.drain(&sink);
                 processed += summary.processed;
                 emitted += summary.emitted;
                 escalated += summary.escalated;
                 degraded += summary.degraded;
             }
+            if burst {
+                // Cool down: drain (offering nothing) until every
+                // ladder is back at Full, so the next wave starts from
+                // a healthy service. These cycles are the recovery-time
+                // metric: how long the ladder takes to walk back down
+                // once the overload stops.
+                let mut cool = 0u32;
+                while !service
+                    .guard_levels()
+                    .iter()
+                    .all(|level| *level == DegradationLevel::Full)
+                {
+                    let summary = service.drain(&sink);
+                    processed += summary.processed;
+                    emitted += summary.emitted;
+                    escalated += summary.escalated;
+                    degraded += summary.degraded;
+                    recovery_cycles += 1;
+                    cool += 1;
+                    if cool > 64 {
+                        return Err("ladder failed to cool down after a burst".into());
+                    }
+                }
+            }
+            wave += 1;
         }
-    }
-    // Final drains: under --fault a shard batch may defer, so spin
-    // until every queue is empty (the fault plan's hit index advances,
-    // so progress is guaranteed).
-    let mut spins = 0u32;
-    while service.pending() > 0 {
-        let summary = service.drain(&sink);
-        processed += summary.processed;
-        emitted += summary.emitted;
-        escalated += summary.escalated;
-        degraded += summary.degraded;
-        spins += 1;
-        if spins > 4096 {
-            return Err("drain made no progress".into());
+        // Recovery: the offered load has ended; drain until every queue
+        // is empty and every ladder has cooled back to Full, counting
+        // the cycles that takes (the recovery-time metric).
+        loop {
+            let recovered = service.pending() == 0
+                && service
+                    .guard_levels()
+                    .iter()
+                    .all(|level| *level == DegradationLevel::Full);
+            if recovered {
+                break;
+            }
+            let summary = service.drain(&sink);
+            processed += summary.processed;
+            emitted += summary.emitted;
+            escalated += summary.escalated;
+            degraded += summary.degraded;
+            recovery_cycles += 1;
+            if recovery_cycles > 4096 {
+                return Err("overload recovery made no progress".into());
+            }
+        }
+    } else {
+        for seq in 0..args.events_per_stream {
+            for i in 0..args.streams {
+                let ctx = event(i, seq);
+                while let Err(_reject) = service.enqueue(ctx) {
+                    // Backpressure: the queue is full, so drain the service
+                    // and retry — the producer absorbs the pushback instead
+                    // of the service buffering without bound.
+                    rejections += 1;
+                    let summary = service.drain(&sink);
+                    processed += summary.processed;
+                    emitted += summary.emitted;
+                    escalated += summary.escalated;
+                    degraded += summary.degraded;
+                }
+            }
+        }
+        offered = args.streams * args.events_per_stream;
+        // Final drains: under --fault a shard batch may defer, so spin
+        // until every queue is empty (the fault plan's hit index advances,
+        // so progress is guaranteed).
+        let mut spins = 0u32;
+        while service.pending() > 0 {
+            let summary = service.drain(&sink);
+            processed += summary.processed;
+            emitted += summary.emitted;
+            escalated += summary.escalated;
+            degraded += summary.degraded;
+            spins += 1;
+            if spins > 4096 {
+                return Err("drain made no progress".into());
+            }
         }
     }
     let wall = started.elapsed();
@@ -378,9 +582,28 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         detdiv_resil::disarm();
     }
 
-    let expected = args.streams * args.events_per_stream;
-    if processed != expected {
-        return Err(format!("processed {processed} of {expected} events").into());
+    // No silent drops: every offered event was either delivered through
+    // detection or typed-counted as shed.
+    let shed = shed_guard + shed_queue;
+    if processed + shed != offered {
+        return Err(format!(
+            "accounting hole: offered {offered} != delivered {processed} + shed {shed}"
+        )
+        .into());
+    }
+    let resident_peak = service
+        .guard_stats()
+        .map(|stats| {
+            stats
+                .resident_peak
+                .load(std::sync::atomic::Ordering::Relaxed)
+        })
+        .unwrap_or(0);
+    if args.overload && resident_peak > guard_budget {
+        return Err(format!(
+            "resident bytes peaked at {resident_peak}, over the {guard_budget} budget"
+        )
+        .into());
     }
 
     let mut latencies = std::mem::take(&mut *sink.latencies.lock().unwrap());
@@ -410,13 +633,41 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         service.stream_count(),
         latencies.len()
     );
+    if args.overload {
+        eprintln!(
+            "loadgen: overload offered={offered} delivered={processed} shed={shed} \
+             (guard {shed_guard}, queue {shed_queue}), recovered to Full in \
+             {recovery_cycles} cycle(s), resident peak {resident_peak} bytes \
+             (budget {guard_budget})"
+        );
+    }
     // stdout carries only the deterministic facts CI diffs across
-    // worker counts; timing stays on stderr.
-    println!(
-        "loadgen: streams={} events={processed} digest={:016x}",
-        args.streams,
-        sink.combined()
-    );
+    // worker counts; timing stays on stderr. (resident peak is *not*
+    // printed here: per-shard cycles overlap freely, so the instant the
+    // peak is sampled at differs across widths.)
+    if args.overload {
+        println!(
+            "loadgen: overload streams={} offered={offered} delivered={processed} \
+             shed={shed} shed_guard={shed_guard} shed_queue={shed_queue} \
+             recovery_cycles={recovery_cycles} digest={:016x}",
+            args.streams,
+            sink.combined()
+        );
+    } else {
+        println!(
+            "loadgen: streams={} events={processed} digest={:016x}",
+            args.streams,
+            sink.combined()
+        );
+    }
+
+    if let Some(path) = &args.flight {
+        detdiv_flight::disarm();
+        match detdiv_flight::export(path) {
+            Ok(records) => eprintln!("loadgen: exported {records} flight record(s) -> {path}"),
+            Err(e) => return Err(format!("flight export to {path} failed: {e}").into()),
+        }
+    }
 
     if let Some(out) = &args.out {
         let baseline = Baseline {
@@ -436,11 +687,30 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             serve_p50_us: p50,
             serve_p99_us: p99,
             latency_samples: latencies.len(),
+            offered,
+            shed,
+            shed_guard,
+            shed_queue,
+            recovery_cycles,
+            guard_shed_rate: if offered > 0 {
+                shed_guard as f64 / offered as f64
+            } else {
+                0.0
+            },
+            serve_resident_bytes_peak: resident_peak,
             digest: format!("{:016x}", sink.combined()),
         };
         // Crash-safe: the baseline appears complete or not at all.
         detdiv_resil::AtomicFile::write(out, serde_json::to_string_pretty(&baseline)?)?;
         eprintln!("loadgen: wrote {out}");
+    }
+    if let Some(dir) = &spill_dir {
+        drop(service);
+        // Hibernation segments are scratch state; drop them with the
+        // run — but never delete a user-chosen DETDIV_GUARD_DIR.
+        if temp_spill {
+            let _ = std::fs::remove_dir_all(dir);
+        }
     }
     Ok(())
 }

@@ -42,6 +42,8 @@ pub const TRACKED_METRICS: &[&str] = &[
     "serve_events_per_sec",
     "serve_p50_us",
     "serve_p99_us",
+    "guard_shed_rate",
+    "serve_resident_bytes_peak",
 ];
 
 /// Which way a gated metric is supposed to move: wall times regress
@@ -84,6 +86,13 @@ pub const GATED_METRICS: &[GatedMetric] = &[
     },
     GatedMetric {
         name: "serve_p99_us",
+        direction: Direction::LowerIsBetter,
+    },
+    // Resident-state ceiling under overload (`loadgen --overload`): the
+    // hibernation budget must keep working-set growth in check, so a
+    // higher peak than the comparable baseline is a regression.
+    GatedMetric {
+        name: "serve_resident_bytes_peak",
         direction: Direction::LowerIsBetter,
     },
 ];

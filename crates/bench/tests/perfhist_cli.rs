@@ -278,6 +278,74 @@ fn loadgen_baseline_introducing_serve_metrics_abstains_without_ungating_wall() {
 }
 
 #[test]
+fn resident_bytes_ceiling_regression_exits_nonzero() {
+    // Two overload-shaped baselines (same streams/threads shape): the
+    // resident-state peak doubling past the threshold must fail the
+    // LowerIsBetter gate, while the tracked-but-ungated shed rate only
+    // joins the trajectory table.
+    let dir = std::env::temp_dir().join(format!(
+        "detdiv-perfhist-cli-resident-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("BENCH_pr9.json"),
+        r#"{"bench": "pr9", "streams": 2000, "threads": 1, "shards": 16,
+            "serve_events_per_sec": 1500000.0, "serve_p50_us": 40.0,
+            "serve_p99_us": 900.0, "guard_shed_rate": 0.38,
+            "serve_resident_bytes_peak": 65536}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("BENCH_pr10.json"),
+        r#"{"bench": "pr10", "streams": 2000, "threads": 1, "shards": 16,
+            "serve_events_per_sec": 1500000.0, "serve_p50_us": 40.0,
+            "serve_p99_us": 900.0, "guard_shed_rate": 0.39,
+            "serve_resident_bytes_peak": 131072}"#,
+    )
+    .unwrap();
+    let output = perfhist()
+        .args(["--dir", dir.to_str().unwrap(), "--threshold", "25"])
+        .output()
+        .expect("spawn perfhist");
+    assert!(
+        !output.status.success(),
+        "a doubled resident-bytes ceiling must fail the gate"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("REGRESSION") && stderr.contains("serve_resident_bytes_peak"),
+        "diagnostic names the regressed ceiling: {stderr:?}"
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("guard_shed_rate"),
+        "the shed rate is tracked in the trajectory: {stdout}"
+    );
+
+    // An equal-or-lower ceiling passes: the gate is a ceiling, not a
+    // fingerprint.
+    std::fs::write(
+        dir.join("BENCH_pr10.json"),
+        r#"{"bench": "pr10", "streams": 2000, "threads": 1, "shards": 16,
+            "serve_events_per_sec": 1500000.0, "serve_p50_us": 40.0,
+            "serve_p99_us": 900.0, "guard_shed_rate": 0.39,
+            "serve_resident_bytes_peak": 65536}"#,
+    )
+    .unwrap();
+    let output = perfhist()
+        .args(["--dir", dir.to_str().unwrap(), "--threshold", "25"])
+        .output()
+        .expect("spawn perfhist");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        output.status.success(),
+        "a held ceiling passes: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
 fn unreadable_input_fails_with_diagnostic() {
     let output = perfhist()
         .args(["/nonexistent/BENCH_nope.json"])

@@ -73,7 +73,8 @@ mod recorder;
 pub mod streams;
 
 pub use record::{
-    push_json_escaped, CellRecord, DegradedRecord, FailureRecord, HeaderRecord, StreamRecord,
+    push_json_escaped, CellRecord, DegradedRecord, FailureRecord, GuardRecord, HeaderRecord,
+    StreamRecord,
 };
 pub use recorder::{
     arm, armed, disarm, drain, dropped, env_path, export, flush_thread, path, record, recorded,

@@ -236,6 +236,53 @@ impl DegradedRecord<'_> {
     }
 }
 
+/// One guard-subsystem transition: a ladder movement, breaker state
+/// change, hibernation/rehydration, or watchdog trip.
+///
+/// Every numeric field renders as fixed-width hex so the export's
+/// lexicographic sort groups a shard's records in chronological order
+/// (`seq` is a per-shard monotonic counter), which is what lets
+/// `flightcheck --guard` replay each shard's ladder and breaker chains
+/// straight off the sorted dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardRecord<'a> {
+    /// Shard id.
+    pub shard: usize,
+    /// Per-shard monotonic record counter (0-based).
+    pub seq: u64,
+    /// Drain cycle at which the transition took effect.
+    pub cycle: u64,
+    /// Transition kind: `ladder`, `breaker`, `hibernate`, `rehydrate`
+    /// or `watchdog`.
+    pub kind: &'a str,
+    /// State before (`ladder`/`breaker`/`watchdog` kinds; `""`
+    /// otherwise).
+    pub from: &'a str,
+    /// State after (or the cause label for hibernate/rehydrate).
+    pub to: &'a str,
+    /// The stream involved (hibernate/rehydrate kinds; 0 otherwise).
+    pub stream_hash: u64,
+}
+
+impl GuardRecord<'_> {
+    /// Renders the one-line JSON payload.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(160);
+        let _ = write!(
+            out,
+            "{{\"t\":\"guard\",\"shard\":\"{:04x}\",\"seq\":\"{:016x}\",\"cycle\":\"{:016x}\",",
+            self.shard, self.seq, self.cycle
+        );
+        push_str_field(&mut out, "kind", self.kind);
+        out.push(',');
+        push_str_field(&mut out, "from", self.from);
+        out.push(',');
+        push_str_field(&mut out, "to", self.to);
+        let _ = write!(out, ",\"stream_hash\":\"{:016x}\"}}", self.stream_hash);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +352,36 @@ mod tests {
         let line = r.render();
         assert!(line.contains("row/\\\"evil\\\"\\n"), "{line}");
         assert!(line.contains("tab\\there"), "{line}");
+    }
+
+    #[test]
+    fn guard_renders_fixed_width_hex_in_sortable_order() {
+        let r = GuardRecord {
+            shard: 3,
+            seq: 1,
+            cycle: 9,
+            kind: "ladder",
+            from: "full",
+            to: "shedding",
+            stream_hash: 0,
+        };
+        assert_eq!(
+            r.render(),
+            "{\"t\":\"guard\",\"shard\":\"0003\",\"seq\":\"0000000000000001\",\"cycle\":\"0000000000000009\",\"kind\":\"ladder\",\"from\":\"full\",\"to\":\"shedding\",\"stream_hash\":\"0000000000000000\"}"
+        );
+        // Lexicographic order of rendered lines == (shard, seq) order,
+        // the property the export sort relies on.
+        let later = GuardRecord {
+            seq: 2,
+            ..r.clone()
+        };
+        let other_shard = GuardRecord {
+            shard: 4,
+            seq: 0,
+            ..r.clone()
+        };
+        assert!(r.render() < later.render());
+        assert!(later.render() < other_shard.render());
     }
 
     #[test]

@@ -35,6 +35,10 @@
 //! * `GET /servez` — per-shard counters of the registered
 //!   `detdiv-serve` ingest service (queue depths, rejections,
 //!   escalations), or `{"registered":false}` when none is running.
+//! * `GET /guardz` — per-shard overload-guard state of the registered
+//!   service (degradation ladder level, breaker state, resident bytes,
+//!   shed and hibernation counters), or `{"registered":false}` when no
+//!   guarded service is running.
 //!
 //! Shutdown sets a flag and pokes the listener with a self-connect so
 //! the accept loop observes it promptly, then joins the thread.
@@ -295,6 +299,12 @@ const ENDPOINTS: &[Endpoint] = &[
         summary: "ingest service shard counters (queues, rejections, tiering)",
         render: render_servez,
     },
+    Endpoint {
+        path: "/guardz",
+        content_type: "application/json; charset=utf-8",
+        summary: "overload guard state (ladder levels, breaker, hibernation)",
+        render: render_guardz,
+    },
 ];
 
 fn route_get(path: &str, shared: &Shared) -> String {
@@ -452,6 +462,16 @@ fn render_streams(_shared: &Shared) -> String {
 /// this process.
 fn render_servez(_shared: &Shared) -> String {
     let mut out = detdiv_serve::introspect::render_json();
+    out.push('\n');
+    out
+}
+
+/// Renders `/guardz`: the registered service's overload-guard state —
+/// per-shard degradation level, breaker state, resident bytes and
+/// shed/hibernation counters — or `{"registered":false}` when no
+/// guarded service is running in this process.
+fn render_guardz(_shared: &Shared) -> String {
+    let mut out = detdiv_guard::introspect::render_json();
     out.push('\n');
     out
 }

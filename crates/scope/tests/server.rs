@@ -236,6 +236,7 @@ fn not_found_hint_lists_every_endpoint() {
         "/streams",
         "/flightz",
         "/servez",
+        "/guardz",
     ] {
         assert!(body.contains(path), "404 hint lists {path}: {body}");
     }
@@ -279,6 +280,41 @@ fn servez_reports_the_registered_ingest_service() {
     // Dropping the service clears the registration.
     drop(service);
     let (_, body) = server::http_get(&addr, "/servez", timeout).unwrap();
+    assert!(body.contains("\"registered\":false"), "{body}");
+    scope.shutdown().unwrap();
+}
+
+#[test]
+fn guardz_reports_the_registered_guard() {
+    let _guard = SCOPE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let scope = Scope::start("127.0.0.1:0", fast_config()).expect("scope starts");
+    let addr = scope.local_addr();
+    let timeout = Duration::from_secs(2);
+
+    // No guarded service registered yet.
+    let (status, body) = server::http_get(&addr, "/guardz", timeout).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"registered\":false"), "{body}");
+
+    let service = detdiv_serve::IngestService::with_guard(
+        detdiv_serve::ServeConfig::new(2, 8).gated(detdiv_serve::Tier1Config::default()),
+        detdiv_guard::GuardConfig::default(),
+        || {
+            vec![Box::new(detdiv_stream::Ewma::new(0.2, 2))
+                as Box<dyn detdiv_stream::StreamDetector>]
+        },
+    )
+    .expect("guarded service builds");
+    service.register_introspection();
+    service.drain(&detdiv_serve::NullSink);
+    let (status, body) = server::http_get(&addr, "/guardz", timeout).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"registered\":true"), "{body}");
+    assert!(body.contains("\"level\":\"full\""), "{body}");
+
+    // Dropping the service clears the registration.
+    drop(service);
+    let (_, body) = server::http_get(&addr, "/guardz", timeout).unwrap();
     assert!(body.contains("\"registered\":false"), "{body}");
     scope.shutdown().unwrap();
 }

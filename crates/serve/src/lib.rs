@@ -28,8 +28,17 @@
 //!   takes down the service.
 //! * **Crash-safe snapshots** — periodic shard-state snapshots in the
 //!   [`detdiv_resil`] journal wire format, written atomically;
-//!   recovery resumes verdicts bit-identically and discards (never
+//!   recovery resumes verdicts bit-identically (including queued but
+//!   undrained events, captured as residue lines) and discards (never
 //!   trips over) torn or corrupt snapshots.
+//! * **Overload protection** — services built with
+//!   [`IngestService::with_guard`] attach the `detdiv-guard`
+//!   degradation ladder, tier-2 circuit breaker, cold-stream
+//!   hibernation, and stuck-shard watchdog to every shard: under
+//!   pressure the service defers escalations, falls back to gate
+//!   verdicts, spills idle streams to disk, and finally sheds load
+//!   with a typed [`RejectReason::Shedding`] — each step deterministic,
+//!   audited through `detdiv-flight`, and reversed as pressure drains.
 //!
 //! Live counters are exported through [`introspect`] (scope's
 //! `/servez` endpoint) and plain [`detdiv_obs`] counters
@@ -41,11 +50,16 @@
 #![warn(clippy::print_stdout, clippy::print_stderr)]
 
 mod config;
+mod guard;
 pub mod introspect;
 mod service;
 mod snapshot;
 
 pub use config::{ServeConfig, Tier1Config, Tiering};
+pub use guard::{
+    REASON_BREAKER_FALLBACK, REASON_ESCALATION_DEFERRED, REASON_ESCALATION_DEFERRED_BREAKER,
+    REASON_TIER1_ONLY,
+};
 pub use service::{
     DrainSummary, IngestService, NullSink, RejectReason, Tier, VerdictEvent, VerdictSink,
 };

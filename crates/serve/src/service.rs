@@ -17,12 +17,18 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use detdiv_guard::introspect::GuardStats;
+use detdiv_guard::{DegradationLevel, GuardConfig, HibernationStore, PressureSample};
 use detdiv_resil::RetryPolicy;
 use detdiv_stream::{
     DetectionResult, Ewma, SignalContext, SlotResult, StreamDetector, StreamEngine,
 };
 
 use crate::config::{ServeConfig, Tier1Config, Tiering};
+use crate::guard::{
+    GuardRuntime, GuardShard, REASON_BREAKER_FALLBACK, REASON_ESCALATION_DEFERRED,
+    REASON_ESCALATION_DEFERRED_BREAKER, REASON_TIER1_ONLY,
+};
 use crate::introspect::ServiceStats;
 
 /// Why an event was not accepted. Rejection is the *only* backpressure
@@ -36,6 +42,13 @@ pub enum RejectReason {
         /// Its configured bound (current depth equals it).
         capacity: usize,
     },
+    /// The shard's degradation ladder is at `Shedding`: the guard is
+    /// deliberately refusing new load until pressure recedes. Retry
+    /// after the ladder recovers (drains keep running while shedding).
+    Shedding {
+        /// The shedding shard.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for RejectReason {
@@ -43,6 +56,9 @@ impl std::fmt::Display for RejectReason {
         match self {
             RejectReason::QueueFull { shard, capacity } => {
                 write!(f, "shard {shard} queue full (capacity {capacity})")
+            }
+            RejectReason::Shedding { shard } => {
+                write!(f, "shard {shard} shedding load (overload protection)")
             }
         }
     }
@@ -127,6 +143,9 @@ pub(crate) struct Shard {
     /// Keyed by stream hash; present for every stream the shard has
     /// seen when tiering is gated, empty under full tiering.
     pub(crate) tier1: std::collections::HashMap<u64, Tier1>,
+    /// Overload-protection state; `None` unless the service was built
+    /// with [`IngestService::with_guard`].
+    pub(crate) guard: Option<GuardShard>,
 }
 
 /// The sharded multi-stream ingest service.
@@ -154,6 +173,7 @@ pub struct IngestService {
     config: ServeConfig,
     pub(crate) shards: Vec<Mutex<Shard>>,
     stats: Arc<ServiceStats>,
+    pub(crate) guard: Option<GuardRuntime>,
 }
 
 impl std::fmt::Debug for IngestService {
@@ -187,6 +207,7 @@ impl IngestService {
                     queue: VecDeque::new(),
                     engine: StreamEngine::new(Box::new(move || f()) as BankFactory),
                     tier1: std::collections::HashMap::new(),
+                    guard: None,
                 })
             })
             .collect();
@@ -194,7 +215,64 @@ impl IngestService {
             stats: Arc::new(ServiceStats::new(config.shards)),
             config,
             shards,
+            guard: None,
         }
+    }
+
+    /// Creates a service with the overload-protection guard attached:
+    /// a per-shard degradation ladder, a tier-2 escalation circuit
+    /// breaker, and (when `guard_config.spill_dir` is set) cold-stream
+    /// hibernation under the byte budget. See the `detdiv-guard` crate
+    /// docs for the policy semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `config.tiering` is [`Tiering::Gated`]: the guard's
+    /// degraded modes are defined in terms of the tier-1 gate, so full
+    /// tiering has nothing to degrade to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures creating the hibernation segment files
+    /// (`<spill_dir>/shard-<i>.seg`).
+    pub fn with_guard(
+        config: ServeConfig,
+        guard_config: GuardConfig,
+        factory: impl Fn() -> Vec<Box<dyn StreamDetector>> + Send + Sync + 'static,
+    ) -> std::io::Result<IngestService> {
+        assert!(
+            matches!(config.tiering, Tiering::Gated(_)),
+            "the guard requires gated tiering"
+        );
+        // Estimate per-stream costs once from a probe bank: the gate is
+        // a small fixed-size EWMA plus map-entry overhead; a tier-2
+        // bank is each slot's state-bytes cap plus the same overhead.
+        let gate_cost = 64u64;
+        let bank_cost: u64 = factory()
+            .iter()
+            .map(|d| d.state_bytes_cap() as u64 + 64)
+            .sum();
+        let mut service = IngestService::new(config, factory);
+        if let Some(dir) = &guard_config.spill_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        for (index, shard) in service.shards.iter().enumerate() {
+            let store = match &guard_config.spill_dir {
+                Some(dir) => Some(HibernationStore::create(
+                    dir.join(format!("shard-{index}.seg")),
+                )?),
+                None => None,
+            };
+            shard.lock().unwrap_or_else(PoisonError::into_inner).guard =
+                Some(GuardShard::new(&guard_config, store));
+        }
+        service.guard = Some(GuardRuntime {
+            stats: Arc::new(GuardStats::new(service.config.shards)),
+            config: guard_config,
+            gate_cost,
+            bank_cost,
+        });
+        Ok(service)
     }
 
     /// The service's shape.
@@ -207,11 +285,49 @@ impl IngestService {
         &self.stats
     }
 
+    /// The guard's live counters, when the service was built with
+    /// [`with_guard`](IngestService::with_guard).
+    pub fn guard_stats(&self) -> Option<&Arc<GuardStats>> {
+        self.guard.as_ref().map(|g| &g.stats)
+    }
+
+    /// Every shard's current degradation level (all `Full` without a
+    /// guard).
+    pub fn guard_levels(&self) -> Vec<DegradationLevel> {
+        (0..self.config.shards)
+            .map(|i| {
+                self.shard(i)
+                    .guard
+                    .as_ref()
+                    .map(|g| g.ladder.level())
+                    .unwrap_or(DegradationLevel::Full)
+            })
+            .collect()
+    }
+
+    /// The full ladder-transition history, as `(shard, transition)`
+    /// pairs in shard order (chronological within a shard). Empty
+    /// without a guard.
+    pub fn guard_transitions(&self) -> Vec<(usize, detdiv_guard::LadderTransition)> {
+        let mut out = Vec::new();
+        for index in 0..self.config.shards {
+            let shard = self.shard(index);
+            if let Some(g) = &shard.guard {
+                out.extend(g.transitions.iter().map(|&t| (index, t)));
+            }
+        }
+        out
+    }
+
     /// Publishes this service's counters on the process-global
-    /// introspection registry (scope's `/servez`). The registration is
-    /// cleared when the service is dropped.
+    /// introspection registry (scope's `/servez`, and `/guardz` when a
+    /// guard is attached). The registration is cleared when the service
+    /// is dropped.
     pub fn register_introspection(&self) {
         crate::introspect::register(Arc::clone(&self.stats));
+        if let Some(guard) = &self.guard {
+            detdiv_guard::introspect::register(Arc::clone(&guard.stats));
+        }
     }
 
     /// Shard owning `stream_id_hash`.
@@ -235,6 +351,23 @@ impl IngestService {
     /// itself never buffers beyond the bound.
     pub fn enqueue(&self, ctx: SignalContext) -> Result<(), RejectReason> {
         let index = self.shard_of(ctx.stream_id_hash);
+        if let Some(guard) = &self.guard {
+            // The drain publishes each shard's ladder level at cycle
+            // end; a `Shedding` shard refuses new load without taking
+            // its lock.
+            if guard.stats.shard_level(index) == DegradationLevel::Shedding {
+                guard.stats.shards[index]
+                    .shed
+                    .fetch_add(1, Ordering::Relaxed);
+                self.stats.shards[index]
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                if detdiv_obs::telemetry_enabled() {
+                    detdiv_obs::incr_counter("serve/shed", 1);
+                }
+                return Err(RejectReason::Shedding { shard: index });
+            }
+        }
         let mut shard = self.shard(index);
         if shard.queue.len() >= self.config.queue_capacity {
             drop(shard);
@@ -327,6 +460,30 @@ impl IngestService {
             degraded: 0,
             deferred: false,
         };
+        let started = Instant::now();
+        // Guard cycle begin: advance the breaker's cooldown clock, then
+        // classify this cycle's pressure sample and let the ladder
+        // react. Every input is a deterministic counter (the queue
+        // depth at cycle start, the previous cycle's resident-bytes
+        // estimate and deadline flag), so the ladder trajectory is
+        // width-invariant.
+        if let (Some(g), Some(rt)) = (shard.guard.as_mut(), self.guard.as_ref()) {
+            if let Some((from, to)) = g.breaker.on_cycle() {
+                g.push_event("breaker", from.name(), to.name(), 0);
+            }
+            let sample = PressureSample {
+                queue_depth: shard.queue.len(),
+                queue_capacity: self.config.queue_capacity,
+                resident_bytes: g.resident_bytes,
+                budget_bytes: rt.config.shard_budget(self.config.shards),
+                deadline_breached: g.deadline_breached,
+            };
+            g.deadline_breached = false;
+            if let Some(t) = g.ladder.observe(sample.classify(&rt.config)) {
+                g.transitions.push(t);
+                g.push_event("ladder", t.from.name(), t.to.name(), 0);
+            }
+        }
         let degraded_before = shard.engine.degraded_slots();
         let mut slot_buf: Vec<SlotResult> = Vec::new();
         while let Some((ctx, enqueued_at)) = shard.queue.pop_front() {
@@ -350,6 +507,7 @@ impl IngestService {
                     }
                 }
                 Tiering::Gated(tier1_cfg) => {
+                    rehydrate_if_hibernated(shard, &ctx, tier1_cfg);
                     drain.emitted += drive_gated(
                         shard,
                         index,
@@ -360,10 +518,15 @@ impl IngestService {
                         &mut slot_buf,
                         &mut drain.escalated,
                     );
+                    if let Some(g) = shard.guard.as_mut() {
+                        let cycle = g.ladder.cycle();
+                        g.last_touch.insert(ctx.stream_id_hash, cycle);
+                    }
                 }
             }
         }
         drain.degraded = shard.engine.degraded_slots() - degraded_before;
+        self.guard_cycle_end(index, shard, started);
         let streams = match self.config.tiering {
             Tiering::Full => shard.engine.stream_count(),
             Tiering::Gated(_) => shard.tier1.len(),
@@ -380,6 +543,122 @@ impl IngestService {
             .fetch_add(drain.escalated, Ordering::Relaxed);
         stats.degraded.fetch_add(drain.degraded, Ordering::Relaxed);
         drain
+    }
+
+    /// Guard end-of-cycle work: the stuck-shard watchdog, the resident
+    /// estimate + hibernation pass, and publishing gauges/flight
+    /// records. Runs under the shard lock, after the queue has drained.
+    fn guard_cycle_end(&self, index: usize, shard: &mut Shard, started: Instant) {
+        let Some(rt) = self.guard.as_ref() else {
+            return;
+        };
+        let Some(g) = shard.guard.as_mut() else {
+            return;
+        };
+        // Stuck-shard watchdog: a drain that blew its wall-clock
+        // deadline counts as a breaker failure, degrades the shard to
+        // tier-1 immediately, and raises pressure for the next cycle.
+        if let Some(deadline) = rt.config.drain_deadline {
+            if started.elapsed() > deadline {
+                g.deadline_breached = true;
+                if let Some((from, to)) = g.breaker.on_failure() {
+                    g.push_event("breaker", from.name(), to.name(), 0);
+                }
+                let (from, to) = match g.ladder.force_at_least(DegradationLevel::Tier1Only) {
+                    Some(t) => {
+                        g.transitions.push(t);
+                        (t.from.name(), t.to.name())
+                    }
+                    None => (g.ladder.level().name(), g.ladder.level().name()),
+                };
+                g.push_event("watchdog", from, to, 0);
+            }
+        }
+        // Resident estimate: every gated stream costs a gate entry;
+        // escalated streams (those with a bank in the engine) cost the
+        // bank on top.
+        let mut resident = shard.tier1.len() as u64 * rt.gate_cost
+            + shard.engine.stream_count() as u64 * rt.bank_cost;
+        // Hibernation: while over the shard's budget slice, spill the
+        // least-recently-touched streams to the checksummed segment.
+        // LRU order is (last-touch cycle, hash) — both deterministic —
+        // so the spill sequence is width-invariant too.
+        if let Some(budget) = rt.config.shard_budget(self.config.shards) {
+            if resident > budget && g.store.is_some() {
+                let mut candidates: Vec<(u64, u64)> = shard
+                    .tier1
+                    .keys()
+                    .map(|&h| (g.last_touch.get(&h).copied().unwrap_or(0), h))
+                    .collect();
+                candidates.sort_unstable();
+                for (_, hash) in candidates {
+                    if resident <= budget {
+                        break;
+                    }
+                    let slots = shard.engine.snapshot_stream(hash).unwrap_or_default();
+                    let line =
+                        crate::snapshot::render_stream_line(hash, shard.tier1.get(&hash), &slots);
+                    let store = g.store.as_mut().expect("checked above");
+                    if store.spill(hash, &line).is_err() {
+                        // An unwritable segment leaves the stream
+                        // resident; pressure stays high instead of
+                        // losing state.
+                        continue;
+                    }
+                    shard.tier1.remove(&hash);
+                    let had_bank = shard.engine.close_stream(hash);
+                    g.last_touch.remove(&hash);
+                    resident = resident
+                        .saturating_sub(rt.gate_cost + if had_bank { rt.bank_cost } else { 0 });
+                    g.push_event("hibernate", "", "spilled", hash);
+                }
+            }
+        }
+        g.resident_bytes = resident;
+        // Publish gauges and counters, then flush this cycle's events
+        // to the flight recorder as one-line guard records.
+        let gs = &rt.stats.shards[index];
+        gs.level.store(g.ladder.level().index(), Ordering::Relaxed);
+        gs.breaker_state
+            .store(g.breaker.state().index(), Ordering::Relaxed);
+        gs.resident_bytes.store(resident, Ordering::Relaxed);
+        rt.stats.update_resident_peak();
+        let armed = detdiv_flight::armed();
+        for event in g.events.drain(..) {
+            match event.kind {
+                "ladder" => {
+                    gs.ladder_transitions.fetch_add(1, Ordering::Relaxed);
+                }
+                "breaker" if event.to == "open" => {
+                    gs.breaker_opens.fetch_add(1, Ordering::Relaxed);
+                }
+                "hibernate" => {
+                    gs.hibernated.fetch_add(1, Ordering::Relaxed);
+                }
+                "rehydrate" => {
+                    gs.rehydrated.fetch_add(1, Ordering::Relaxed);
+                }
+                "watchdog" => {
+                    gs.watchdog_trips.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+            if armed {
+                detdiv_flight::record(
+                    detdiv_flight::GuardRecord {
+                        shard: index,
+                        seq: g.seq,
+                        cycle: event.cycle,
+                        kind: event.kind,
+                        from: event.from,
+                        to: event.to,
+                        stream_hash: event.stream_hash,
+                    }
+                    .render(),
+                );
+            }
+            g.seq += 1;
+        }
     }
 
     /// Total events currently queued across all shards.
@@ -414,11 +693,46 @@ impl IngestService {
 impl Drop for IngestService {
     fn drop(&mut self) {
         crate::introspect::deregister(&self.stats);
+        if let Some(guard) = &self.guard {
+            detdiv_guard::introspect::deregister(&guard.stats);
+        }
+    }
+}
+
+/// Rehydrates a hibernated stream before its event is processed: the
+/// spilled line is recalled from the segment, checksum-verified, parsed
+/// and applied. A corrupt or unparsable record degrades the stream to a
+/// cold start (it rebuilds from gate warmup) — never a panic.
+fn rehydrate_if_hibernated(shard: &mut Shard, ctx: &SignalContext, tier1_cfg: Tier1Config) {
+    let hash = ctx.stream_id_hash;
+    let payload = match shard.guard.as_mut().and_then(|g| g.store.as_mut()) {
+        Some(store) if store.contains(hash) => store.recall(hash).ok().flatten(),
+        _ => return,
+    };
+    let parsed = payload
+        .as_deref()
+        .and_then(crate::snapshot::parse_stream_line);
+    if let Some(p) = &parsed {
+        crate::snapshot::apply_parsed_stream(shard, p, Some(tier1_cfg));
+    }
+    if let Some(g) = shard.guard.as_mut() {
+        g.push_event(
+            "rehydrate",
+            "",
+            if parsed.is_some() { "restored" } else { "cold" },
+            hash,
+        );
     }
 }
 
 /// Runs one event through the tier-1 gate and, once escalated, the
-/// tier-2 bank. Returns the number of verdicts emitted.
+/// tier-2 bank — subject to the guard's degradation level and circuit
+/// breaker when one is attached. Returns the number of verdicts
+/// emitted.
+///
+/// Without a guard (or with one at `Full` and a closed breaker) the
+/// emission sequence is byte-identical to the pre-guard service, which
+/// the differential suite pins down.
 #[allow(clippy::too_many_arguments)]
 fn drive_gated(
     shard: &mut Shard,
@@ -430,6 +744,11 @@ fn drive_gated(
     slot_buf: &mut Vec<SlotResult>,
     escalated: &mut u64,
 ) -> u64 {
+    let (level, breaker_admits) = match &shard.guard {
+        Some(g) => (g.ladder.level(), g.breaker.admits()),
+        None => (DegradationLevel::Full, true),
+    };
+    let guarded = shard.guard.is_some();
     let tier1 = shard
         .tier1
         .entry(ctx.stream_id_hash)
@@ -439,30 +758,91 @@ fn drive_gated(
         });
     let mut emitted = 0u64;
     if !tier1.escalated {
-        match tier1.gate.update(ctx) {
-            Some(result) => {
-                emitted += 1;
-                sink.on_verdict(&VerdictEvent {
-                    shard: index,
-                    stream_hash: ctx.stream_id_hash,
-                    seq: ctx.seq,
-                    tier: Tier::Gate,
-                    slot: 0,
-                    result,
-                    latency: enqueued_at.elapsed(),
-                });
-                if result.score >= tier1_cfg.escalate_score {
-                    tier1.escalated = true;
-                    *escalated += 1;
-                }
+        let Some(result) = tier1.gate.update(ctx) else {
+            return 0; // gate warmup: no verdict yet
+        };
+        let wants_escalation = result.score >= tier1_cfg.escalate_score;
+        // New escalations are admitted only at Full with a non-open
+        // breaker; a deferred escalation still emits the gate verdict,
+        // retagged so consumers can see the degradation.
+        let admit = level == DegradationLevel::Full && breaker_admits;
+        let result = if wants_escalation && !admit {
+            DetectionResult {
+                reason: if level != DegradationLevel::Full {
+                    REASON_ESCALATION_DEFERRED
+                } else {
+                    REASON_ESCALATION_DEFERRED_BREAKER
+                },
+                ..result
             }
-            None => return 0, // gate warmup: no verdict yet
-        }
-        if !tier1.escalated {
+        } else {
+            result
+        };
+        emitted += 1;
+        sink.on_verdict(&VerdictEvent {
+            shard: index,
+            stream_hash: ctx.stream_id_hash,
+            seq: ctx.seq,
+            tier: Tier::Gate,
+            slot: 0,
+            result,
+            latency: enqueued_at.elapsed(),
+        });
+        if !(wants_escalation && admit) {
             return emitted;
         }
+        tier1.escalated = true;
+        *escalated += 1;
         // Fall through: the escalating event is also tier 2's first.
+    } else if level >= DegradationLevel::Tier1Only || !breaker_admits {
+        // Degraded fallback: the escalated stream's tier-2 bank is
+        // suppressed this cycle; its gate verdict stands in at halved
+        // confidence so downstream consumers can discount it.
+        let reason = if !breaker_admits {
+            REASON_BREAKER_FALLBACK
+        } else {
+            REASON_TIER1_ONLY
+        };
+        if let Some(result) = tier1.gate.update(ctx) {
+            let result = DetectionResult {
+                confidence: result.confidence * 0.5,
+                reason,
+                ..result
+            };
+            emitted += 1;
+            sink.on_verdict(&VerdictEvent {
+                shard: index,
+                stream_hash: ctx.stream_id_hash,
+                seq: ctx.seq,
+                tier: Tier::Gate,
+                slot: 0,
+                result,
+                latency: enqueued_at.elapsed(),
+            });
+            if detdiv_flight::armed() {
+                detdiv_flight::record(
+                    detdiv_flight::StreamRecord {
+                        stream_label: "",
+                        stream_hash: ctx.stream_id_hash,
+                        slot: 0,
+                        detector: "guard-fallback",
+                        event_index: ctx.seq,
+                        score: result.score,
+                        confidence: result.confidence,
+                        reason,
+                        warmup: false,
+                    }
+                    .render(),
+                );
+            }
+        }
+        return emitted;
     }
+    let degraded_before = if guarded {
+        shard.engine.degraded_slots()
+    } else {
+        0
+    };
     slot_buf.clear();
     shard.engine.push(ctx, slot_buf);
     let latency = enqueued_at.elapsed();
@@ -477,6 +857,22 @@ fn drive_gated(
             result: slot.result,
             latency,
         });
+    }
+    // Breaker accounting: a push that newly degraded a slot is a
+    // supervised failure; a clean push is a success (and closes a
+    // half-open breaker's probe).
+    if guarded {
+        let failed = shard.engine.degraded_slots() > degraded_before;
+        if let Some(g) = shard.guard.as_mut() {
+            let transition = if failed {
+                g.breaker.on_failure()
+            } else {
+                g.breaker.on_success()
+            };
+            if let Some((from, to)) = transition {
+                g.push_event("breaker", from.name(), to.name(), ctx.stream_id_hash);
+            }
+        }
     }
     emitted
 }
@@ -633,5 +1029,237 @@ mod tests {
         service.drain(&NullSink);
         let empty = service.drain(&NullSink);
         assert_eq!(empty, DrainSummary::default(), "empty drain is a no-op");
+    }
+
+    #[test]
+    fn shedding_shard_rejects_and_ladder_recovers_as_pressure_drains() {
+        let service = IngestService::with_guard(
+            ServeConfig::new(1, 10).gated(Tier1Config::default()),
+            GuardConfig::default(),
+            ewma_bank,
+        )
+        .unwrap();
+        let s = hash_stream_id("hot");
+        // 9/10 queue fill ≥ shed_at (0.9): the first drain cycle jumps
+        // the ladder straight to Shedding.
+        for i in 0..9u64 {
+            service
+                .enqueue(SignalContext::new(i, s, Symbol::new(0), 1.0))
+                .unwrap();
+        }
+        service.drain(&NullSink);
+        assert_eq!(service.guard_levels(), vec![DegradationLevel::Shedding]);
+        let err = service
+            .enqueue(SignalContext::new(9, s, Symbol::new(0), 1.0))
+            .unwrap_err();
+        assert_eq!(err, RejectReason::Shedding { shard: 0 });
+        assert_eq!(
+            err.to_string(),
+            "shard 0 shedding load (overload protection)"
+        );
+        let stats = service.guard_stats().unwrap();
+        assert_eq!(stats.shards[0].shed.load(Ordering::Relaxed), 1);
+        // Calm cycles walk the ladder back down one rung per
+        // cool_cycles (2): 3 rungs → 6 empty drains to reach Full.
+        for _ in 0..6 {
+            service.drain(&NullSink);
+        }
+        assert_eq!(service.guard_levels(), vec![DegradationLevel::Full]);
+        assert!(service
+            .enqueue(SignalContext::new(9, s, Symbol::new(0), 1.0))
+            .is_ok());
+        let transitions = service.guard_transitions();
+        assert_eq!(
+            transitions.len(),
+            4,
+            "Full→Shedding plus three cooldown rungs"
+        );
+        assert_eq!(transitions[0].1.to, DegradationLevel::Shedding);
+        assert_eq!(transitions[3].1.to, DegradationLevel::Full);
+    }
+
+    #[test]
+    fn watchdog_degrades_a_stuck_shard_to_tier1() {
+        use detdiv_guard::TransitionCause;
+        let guard = GuardConfig {
+            drain_deadline: Some(std::time::Duration::ZERO),
+            ..GuardConfig::default()
+        };
+        let service = IngestService::with_guard(
+            ServeConfig::new(1, 64).gated(Tier1Config::default()),
+            guard,
+            ewma_bank,
+        )
+        .unwrap();
+        let s = hash_stream_id("slow");
+        service
+            .enqueue(SignalContext::new(0, s, Symbol::new(0), 1.0))
+            .unwrap();
+        service.drain(&NullSink);
+        assert_eq!(service.guard_levels(), vec![DegradationLevel::Tier1Only]);
+        let transitions = service.guard_transitions();
+        assert_eq!(transitions.len(), 1);
+        assert_eq!(transitions[0].1.cause, TransitionCause::Watchdog);
+        let stats = service.guard_stats().unwrap();
+        assert_eq!(stats.shards[0].watchdog_trips.load(Ordering::Relaxed), 1);
+    }
+
+    struct Boom;
+
+    impl StreamDetector for Boom {
+        fn name(&self) -> &str {
+            "boom"
+        }
+        fn warmup_len(&self) -> usize {
+            0
+        }
+        fn update(&mut self, _ctx: &SignalContext) -> Option<DetectionResult> {
+            panic!("boom")
+        }
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn breaker_opens_on_tier2_failure_and_gate_verdicts_stand_in() {
+        use detdiv_guard::BreakerConfig;
+        let guard = GuardConfig {
+            breaker: BreakerConfig {
+                failure_threshold: 1,
+                open_cycles: 100,
+            },
+            ..GuardConfig::default()
+        };
+        let tier1 = Tier1Config {
+            alpha: 0.3,
+            warmup: 2,
+            escalate_score: 0.5,
+        };
+        let service =
+            IngestService::with_guard(ServeConfig::new(1, 64).gated(tier1), guard, || {
+                vec![Box::new(Boom) as Box<dyn StreamDetector>]
+            })
+            .unwrap();
+        let a = hash_stream_id("first");
+        let b = hash_stream_id("second");
+        // Stream `a` escalates at seq 3; its tier-2 push panics, which
+        // trips the breaker (threshold 1) mid-drain.
+        for (i, v) in [5.0, 5.0, 5.0, 90.0, 5.0].iter().enumerate() {
+            service
+                .enqueue(SignalContext::new(i as u64, a, Symbol::new(0), *v))
+                .unwrap();
+        }
+        // Stream `b` tries to escalate after the breaker opened.
+        for (i, v) in [5.0, 5.0, 5.0, 90.0].iter().enumerate() {
+            service
+                .enqueue(SignalContext::new(i as u64, b, Symbol::new(0), *v))
+                .unwrap();
+        }
+        let sink = Collect::default();
+        service.drain(&sink);
+        let stats = service.guard_stats().unwrap();
+        assert_eq!(stats.shards[0].breaker_opens.load(Ordering::Relaxed), 1);
+        let events = sink.0.lock().unwrap();
+        let a4 = events
+            .iter()
+            .find(|e| e.stream_hash == a && e.seq == 4)
+            .expect("escalated stream still gets a verdict");
+        assert_eq!(a4.tier, Tier::Gate);
+        assert_eq!(a4.result.reason, REASON_BREAKER_FALLBACK);
+        let b3 = events
+            .iter()
+            .find(|e| e.stream_hash == b && e.seq == 3)
+            .expect("deferred escalation still emits the gate verdict");
+        assert_eq!(b3.result.reason, REASON_ESCALATION_DEFERRED_BREAKER);
+        assert!(
+            events.iter().all(|e| e.tier == Tier::Gate),
+            "no tier-2 verdict survives the panicking bank"
+        );
+    }
+
+    #[test]
+    fn hibernation_spills_idle_streams_and_rehydrates_transparently() {
+        let dir = std::env::temp_dir().join(format!(
+            "detdiv-guard-hibernate-{}-{}",
+            std::process::id(),
+            hash_stream_id("hibernate-test")
+        ));
+        let guard = GuardConfig {
+            // 1 shard → shard budget 200 bytes; four resident gates
+            // (4 × 64 = 256) overflow it by one stream.
+            budget_bytes: Some(200),
+            spill_dir: Some(dir.clone()),
+            ..GuardConfig::default()
+        };
+        let tier1 = Tier1Config {
+            alpha: 0.3,
+            warmup: 2,
+            escalate_score: 0.99,
+        };
+        let feed = |service: &IngestService, sink: &Collect| {
+            let a = hash_stream_id("idle-a");
+            // Cycle 1: only `a` is active. Varied values keep the gate's
+            // variance nonzero so the cycle-3 event scores finitely
+            // (below escalate_score) instead of pinning to 1.0.
+            for (i, v) in [5.0, 6.0, 5.5].iter().enumerate() {
+                service
+                    .enqueue(SignalContext::new(i as u64, a, Symbol::new(0), *v))
+                    .unwrap();
+            }
+            service.drain(sink);
+            // Cycle 2: three new streams push the shard over budget;
+            // `a` (least recently touched) is the spill candidate.
+            for name in ["busy-b", "busy-c", "busy-d"] {
+                let h = hash_stream_id(name);
+                for i in 0..3u64 {
+                    service
+                        .enqueue(SignalContext::new(i, h, Symbol::new(0), 7.0))
+                        .unwrap();
+                }
+            }
+            service.drain(sink);
+            // Cycle 3: `a` comes back; a guarded service must rehydrate
+            // it with its gate state intact.
+            service
+                .enqueue(SignalContext::new(3, a, Symbol::new(0), 6.0))
+                .unwrap();
+            service.drain(sink);
+            a
+        };
+        let guarded =
+            IngestService::with_guard(ServeConfig::new(1, 64).gated(tier1), guard, ewma_bank)
+                .unwrap();
+        let sink = Collect::default();
+        let a = feed(&guarded, &sink);
+        let stats = guarded.guard_stats().unwrap();
+        // Cycle 2 spills `a`; cycle 3 rehydrates it and — over budget
+        // again — spills the next least-recently-touched stream.
+        assert_eq!(stats.shards[0].hibernated.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.shards[0].rehydrated.load(Ordering::Relaxed), 1);
+        // Control: the same feed without a guard. Hibernation must not
+        // change a single verdict.
+        let control = IngestService::new(ServeConfig::new(1, 64).gated(tier1), ewma_bank);
+        let control_sink = Collect::default();
+        feed(&control, &control_sink);
+        let fp = |events: &[VerdictEvent]| -> Vec<(u64, u64, Tier, u64, &'static str)> {
+            events
+                .iter()
+                .filter(|e| e.stream_hash == a)
+                .map(|e| {
+                    (
+                        e.stream_hash,
+                        e.seq,
+                        e.tier,
+                        e.result.score.to_bits(),
+                        e.result.reason,
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(
+            fp(&sink.0.lock().unwrap()),
+            fp(&control_sink.0.lock().unwrap()),
+            "rehydrated stream's verdicts are bit-identical to the unguarded control"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

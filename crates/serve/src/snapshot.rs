@@ -6,39 +6,49 @@
 //! previous good snapshot:
 //!
 //! ```text
-//! serve-snapshot v1 shards=4 tiering=gate
+//! serve-snapshot v2 shards=4 tiering=gate
 //! stream 00f3ab… esc=1 t1=<hex|-> slots=2 h:<hex|-> d:-
 //! …
-//! end streams=117
+//! queued <seq> <hash> <symbol> <value-bits>     (all fixed-width hex)
+//! …
+//! end streams=117 queued=3
 //! ```
 //!
 //! Per stream: the escalation flag, the tier-1 gate's serialized state,
 //! and each tier-2 slot's degraded flag + detector state
-//! ([`detdiv_stream::SlotState`]). Recovery is strictly best-effort and
-//! never fatal: a missing file, torn tail (no footer), checksum
-//! mismatch, count mismatch, version or tiering drift all yield
+//! ([`detdiv_stream::SlotState`]). Hibernated streams (spilled by the
+//! guard's cold-stream hibernation) are included from their segment
+//! records, so a snapshot taken under memory pressure still captures
+//! every stream. Recovery is strictly best-effort and never fatal: a
+//! missing file, torn tail (no footer), checksum mismatch, count
+//! mismatch, version or tiering drift all yield
 //! [`RecoverOutcome::Discarded`] with a reason — the service simply
 //! starts cold. A stream whose bank shape no longer matches restarts
 //! from warmup (counted in `skipped`), never resumes wrong state.
 //!
 //! Events that were queued but not yet drained at snapshot time are
-//! not captured: the service is at-most-once across a crash, by
-//! design. Callers wanting a clean cut drain before snapshotting.
+//! captured as `queued` residue lines (shard order, FIFO within a
+//! shard) and re-enqueued by recovery, so snapshotting no longer
+//! requires the caller to drain first for a clean cut.
 
 use std::path::Path;
 use std::sync::atomic::Ordering;
+use std::time::Instant;
 
 use detdiv_resil::{checksum_line, AtomicFile, Journal};
-use detdiv_stream::{Ewma, SlotState, StreamDetector};
+use detdiv_sequence::Symbol;
+use detdiv_stream::{Ewma, SignalContext, SlotState, StreamDetector};
 
-use crate::config::Tiering;
-use crate::service::{IngestService, Tier1};
+use crate::config::{Tier1Config, Tiering};
+use crate::service::{IngestService, Shard, Tier1};
 
 /// What a snapshot wrote.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SnapshotStats {
-    /// Streams captured.
+    /// Streams captured (resident + hibernated).
     pub streams: u64,
+    /// Queued-but-undrained events captured as residue lines.
+    pub queued: u64,
     /// File size in bytes.
     pub bytes: u64,
 }
@@ -101,14 +111,64 @@ fn tiering_token(tiering: &Tiering) -> &'static str {
     }
 }
 
-struct ParsedStream {
-    hash: u64,
-    escalated: bool,
-    tier1_state: Option<Vec<u8>>,
-    slots: Vec<SlotState>,
+pub(crate) struct ParsedStream {
+    pub(crate) hash: u64,
+    pub(crate) escalated: bool,
+    pub(crate) tier1_state: Option<Vec<u8>>,
+    pub(crate) slots: Vec<SlotState>,
 }
 
-fn parse_stream_line(line: &str) -> Option<ParsedStream> {
+/// Renders one stream's serialized state as a `stream …` line — the
+/// format shared by snapshot files and the guard's hibernation
+/// segments.
+pub(crate) fn render_stream_line(hash: u64, tier1: Option<&Tier1>, slots: &[SlotState]) -> String {
+    let (escalated, tier1_state) = match tier1 {
+        Some(t1) => (t1.escalated, t1.gate.state_bytes()),
+        // Full tiering: every stream feeds the bank directly.
+        None => (true, None),
+    };
+    let mut line = format!(
+        "stream {hash:016x} esc={} t1={} slots={}",
+        u8::from(escalated),
+        opt_hex(&tier1_state),
+        slots.len()
+    );
+    for slot in slots {
+        line.push(' ');
+        line.push(if slot.degraded { 'd' } else { 'h' });
+        line.push(':');
+        line.push_str(&opt_hex(&slot.state));
+    }
+    line
+}
+
+/// Applies a parsed stream line to a shard: rebuilds the tier-1 gate
+/// (gated tiering only) and restores the tier-2 slots. Returns `false`
+/// when the bank shape no longer matched and the stream restarts from
+/// warmup instead of resuming wrong state.
+pub(crate) fn apply_parsed_stream(
+    shard: &mut Shard,
+    p: &ParsedStream,
+    tier1_cfg: Option<Tier1Config>,
+) -> bool {
+    if let Some(cfg) = tier1_cfg {
+        let mut gate = Ewma::new(cfg.alpha, cfg.warmup);
+        if let Some(bytes) = &p.tier1_state {
+            // Rejected bytes leave the gate reset: cold start.
+            let _ = gate.restore_state(bytes);
+        }
+        shard.tier1.insert(
+            p.hash,
+            Tier1 {
+                gate,
+                escalated: p.escalated,
+            },
+        );
+    }
+    p.slots.is_empty() || shard.engine.restore_stream(p.hash, &p.slots)
+}
+
+pub(crate) fn parse_stream_line(line: &str) -> Option<ParsedStream> {
     let mut tokens = line.split_whitespace();
     if tokens.next()? != "stream" {
         return None;
@@ -146,14 +206,46 @@ fn parse_stream_line(line: &str) -> Option<ParsedStream> {
     })
 }
 
+/// Parses the `end streams=N queued=M` footer.
+fn parse_footer(line: &str) -> Option<(usize, usize)> {
+    let rest = line.strip_prefix("end streams=")?;
+    let (streams, queued) = rest.split_once(" queued=")?;
+    Some((streams.parse().ok()?, queued.parse().ok()?))
+}
+
+/// Parses a `queued <seq> <hash> <symbol> <value-bits>` residue line
+/// back into the event it captured.
+fn parse_queued_line(line: &str) -> Option<SignalContext> {
+    let mut tokens = line.split_whitespace();
+    if tokens.next()? != "queued" {
+        return None;
+    }
+    let seq = u64::from_str_radix(tokens.next()?, 16).ok()?;
+    let hash = u64::from_str_radix(tokens.next()?, 16).ok()?;
+    let symbol = u32::from_str_radix(tokens.next()?, 16).ok()?;
+    let bits = u64::from_str_radix(tokens.next()?, 16).ok()?;
+    if tokens.next().is_some() {
+        return None; // trailing garbage: version drift, discard
+    }
+    Some(SignalContext::new(
+        seq,
+        hash,
+        Symbol::new(symbol),
+        f64::from_bits(bits),
+    ))
+}
+
 impl IngestService {
-    /// Writes a snapshot of every shard's detector state to `path`,
+    /// Writes a snapshot of every shard's detector state — plus any
+    /// queued-but-undrained events as residue lines — to `path`,
     /// atomically (write-temp + rename: a crash mid-snapshot leaves
     /// any previous snapshot intact).
     ///
     /// Shards are locked one at a time in index order; producers may
-    /// keep enqueueing, but a consistent cut requires the caller to
-    /// drain first (queued events are not captured).
+    /// keep enqueueing concurrently, in which case an event enqueued
+    /// during the walk may or may not make the cut (it is never
+    /// half-captured). Hibernated streams are read from their segment
+    /// records, so they survive the snapshot like resident ones.
     ///
     /// # Errors
     ///
@@ -161,9 +253,12 @@ impl IngestService {
     pub fn snapshot(&self, path: impl AsRef<Path>) -> std::io::Result<SnapshotStats> {
         let config = *self.config();
         let mut body = String::new();
+        let mut residue = String::new();
         let mut streams = 0u64;
+        let mut queued = 0u64;
         for index in 0..config.shards {
-            let shard = self.shard(index);
+            let mut shard = self.shard(index);
+            let shard = &mut *shard;
             let hashes: Vec<u64> = match config.tiering {
                 Tiering::Full => shard.engine.stream_ids(),
                 Tiering::Gated(_) => {
@@ -172,45 +267,68 @@ impl IngestService {
                     keys
                 }
             };
+            // Resident streams and hibernated streams are disjoint (a
+            // spill removes the resident entry); merge them sorted by
+            // hash so the file layout is deterministic.
+            let mut lines: Vec<(u64, String)> = Vec::with_capacity(hashes.len());
             for hash in hashes {
-                let (escalated, tier1_state) = match shard.tier1.get(&hash) {
-                    Some(t1) => (t1.escalated, t1.gate.state_bytes()),
-                    // Full tiering: every stream feeds the bank directly.
-                    None => (true, None),
-                };
                 let slots = shard.engine.snapshot_stream(hash).unwrap_or_default();
-                let mut line = format!(
-                    "stream {hash:016x} esc={} t1={} slots={}",
-                    u8::from(escalated),
-                    opt_hex(&tier1_state),
-                    slots.len()
-                );
-                for slot in &slots {
-                    line.push(' ');
-                    line.push(if slot.degraded { 'd' } else { 'h' });
-                    line.push(':');
-                    line.push_str(&opt_hex(&slot.state));
+                lines.push((
+                    hash,
+                    render_stream_line(hash, shard.tier1.get(&hash), &slots),
+                ));
+            }
+            if let Some(store) = shard.guard.as_mut().and_then(|g| g.store.as_mut()) {
+                for hash in store.hashes() {
+                    // The spilled payload already is a stream line; a
+                    // corrupt record is skipped (that stream restarts
+                    // cold after recovery), never fatal.
+                    if let Ok(Some(line)) = store.peek(hash) {
+                        lines.push((hash, line));
+                    }
                 }
-                body.push_str(&checksum_line(&line));
+                lines.sort_unstable_by_key(|(hash, _)| *hash);
+            }
+            for (_, line) in &lines {
+                body.push_str(&checksum_line(line));
                 body.push('\n');
                 streams += 1;
             }
+            for (ctx, _) in &shard.queue {
+                let line = format!(
+                    "queued {:016x} {:016x} {:08x} {:016x}",
+                    ctx.seq,
+                    ctx.stream_id_hash,
+                    ctx.symbol.id(),
+                    ctx.value.to_bits()
+                );
+                residue.push_str(&checksum_line(&line));
+                residue.push('\n');
+                queued += 1;
+            }
         }
         let header = format!(
-            "serve-snapshot v1 shards={} tiering={}",
+            "serve-snapshot v2 shards={} tiering={}",
             config.shards,
             tiering_token(&config.tiering)
         );
-        let mut content = String::with_capacity(body.len() + 128);
+        let mut content = String::with_capacity(body.len() + residue.len() + 128);
         content.push_str(&checksum_line(&header));
         content.push('\n');
         content.push_str(&body);
-        content.push_str(&checksum_line(&format!("end streams={streams}")));
+        content.push_str(&residue);
+        content.push_str(&checksum_line(&format!(
+            "end streams={streams} queued={queued}"
+        )));
         content.push('\n');
         let bytes = content.len() as u64;
         AtomicFile::write(path.as_ref(), content)?;
         self.stats().snapshots.fetch_add(1, Ordering::Relaxed);
-        Ok(SnapshotStats { streams, bytes })
+        Ok(SnapshotStats {
+            streams,
+            queued,
+            bytes,
+        })
     }
 
     /// Rebuilds detector state from a snapshot written by
@@ -234,7 +352,7 @@ impl IngestService {
             return discard("empty snapshot".into());
         };
         let expected_header = format!(
-            "serve-snapshot v1 shards={} tiering={}",
+            "serve-snapshot v2 shards={} tiering={}",
             config.shards,
             tiering_token(&config.tiering)
         );
@@ -246,53 +364,72 @@ impl IngestService {
         let Some(footer) = lines.last().filter(|_| lines.len() >= 2) else {
             return discard("missing footer".into());
         };
-        let Some(count) = footer
-            .strip_prefix("end streams=")
-            .and_then(|n| n.parse::<usize>().ok())
-        else {
+        let Some((stream_count, queued_count)) = parse_footer(footer) else {
             return discard("missing footer (torn tail discarded)".into());
         };
         let body = &lines[1..lines.len() - 1];
-        if body.len() != count {
+        if body.len() != stream_count + queued_count {
             return discard(format!(
-                "stream count mismatch (footer says {count}, found {})",
+                "line count mismatch (footer says {} streams + {} queued, found {})",
+                stream_count,
+                queued_count,
                 body.len()
             ));
         }
         // Parse everything before applying anything: a malformed line
         // discards the snapshot, never half-applies it.
-        let mut parsed = Vec::with_capacity(body.len());
+        let mut parsed = Vec::with_capacity(stream_count);
+        let mut residue = Vec::with_capacity(queued_count);
         for line in body {
-            match parse_stream_line(line) {
-                Some(p) => parsed.push(p),
-                None => return discard(format!("malformed stream line: {line:?}")),
+            if line.starts_with("stream ") {
+                match parse_stream_line(line) {
+                    Some(p) => parsed.push(p),
+                    None => return discard(format!("malformed stream line: {line:?}")),
+                }
+            } else {
+                match parse_queued_line(line) {
+                    Some(ctx) => residue.push(ctx),
+                    None => return discard(format!("malformed queued line: {line:?}")),
+                }
             }
         }
+        if parsed.len() != stream_count || residue.len() != queued_count {
+            return discard(format!(
+                "kind count mismatch (footer says {} streams + {} queued, found {} + {})",
+                stream_count,
+                queued_count,
+                parsed.len(),
+                residue.len()
+            ));
+        }
+        let tier1_cfg = match config.tiering {
+            Tiering::Gated(cfg) => Some(cfg),
+            Tiering::Full => None,
+        };
         let mut streams = 0u64;
         let mut skipped = 0u64;
         for p in parsed {
             let index = self.shard_of(p.hash);
             let mut shard = self.shard(index);
-            if let Tiering::Gated(tier1_cfg) = config.tiering {
-                let mut gate = Ewma::new(tier1_cfg.alpha, tier1_cfg.warmup);
-                if let Some(bytes) = &p.tier1_state {
-                    // Rejected bytes leave the gate reset: cold start.
-                    let _ = gate.restore_state(bytes);
-                }
-                shard.tier1.insert(
-                    p.hash,
-                    Tier1 {
-                        gate,
-                        escalated: p.escalated,
-                    },
-                );
-            }
-            if !p.slots.is_empty() && !shard.engine.restore_stream(p.hash, &p.slots) {
+            if !apply_parsed_stream(&mut shard, &p, tier1_cfg) {
                 // Bank shape drifted since the snapshot: the stream
                 // restarts from warmup instead of resuming wrong state.
                 skipped += 1;
             }
             streams += 1;
+        }
+        // Re-enqueue the queued residue in file order (shard order, FIFO
+        // within a shard — exactly the order a post-snapshot drain would
+        // have processed it). Latency clocks restart at recovery time.
+        for ctx in residue {
+            let index = self.shard_of(ctx.stream_id_hash);
+            let mut shard = self.shard(index);
+            shard.queue.push_back((ctx, Instant::now()));
+            let depth = shard.queue.len() as u64;
+            drop(shard);
+            self.stats().shards[index]
+                .depth
+                .store(depth, Ordering::Relaxed);
         }
         for index in 0..config.shards {
             let shard = self.shard(index);

@@ -222,6 +222,89 @@ fn gated_escalation_after_recovery_still_matches() {
     assert_recovery_resumes(config, "gated-late", &mixed_feed(30, 22));
 }
 
+/// Snapshot taken while queues still hold undrained events: the
+/// residue must ride the snapshot and replay after recovery — not
+/// vanish (the pre-v2 bug) and not double-process.
+fn assert_queued_residue_survives(config: ServeConfig, name: &str) {
+    let all = mixed_feed(30, 10);
+    let half = all.len() / 2;
+    let quarter = half + all.len() / 4;
+
+    let uninterrupted = IngestService::new(config, bank_factory());
+    let reference = Collect::default();
+    push_all(&uninterrupted, &all, &reference);
+    let expected = reference.by_stream();
+
+    // First process: drain the first half, then enqueue a quarter more
+    // WITHOUT draining and snapshot with the queues loaded.
+    let path = temp_path(name);
+    let first = IngestService::new(config, bank_factory());
+    let before_crash = Collect::default();
+    push_all(&first, &all[..half], &before_crash);
+    for &(hash, seq, value) in &all[half..quarter] {
+        first
+            .enqueue(SignalContext::new(
+                seq,
+                hash,
+                Symbol::new(value),
+                f64::from(value),
+            ))
+            .expect("capacity covers the feed");
+    }
+    let stats = first.snapshot(&path).expect("snapshot writes");
+    assert_eq!(
+        stats.queued,
+        (quarter - half) as u64,
+        "the snapshot must carry every queued event"
+    );
+    drop(first); // the queued quarter now exists only in the snapshot
+
+    let recovered = IngestService::new(config, bank_factory());
+    match recovered.recover(&path) {
+        RecoverOutcome::Recovered { streams, skipped } => {
+            assert_eq!(streams, stats.streams);
+            assert_eq!(skipped, 0);
+        }
+        RecoverOutcome::Discarded { reason } => panic!("snapshot discarded: {reason}"),
+    }
+    assert_eq!(
+        recovered.pending() as u64,
+        stats.queued,
+        "recovery re-enqueues the residue"
+    );
+    // Drain the replayed residue, then feed the untouched tail.
+    let after_crash = Collect::default();
+    recovered.drain(&after_crash);
+    push_all(&recovered, &all[quarter..], &after_crash);
+
+    let head = before_crash.by_stream();
+    let tail = after_crash.by_stream();
+    for (stream, want) in &expected {
+        let mut got = head.get(stream).cloned().unwrap_or_default();
+        got.extend(tail.get(stream).cloned().unwrap_or_default());
+        assert_eq!(
+            &got, want,
+            "stream {stream:#x}: queued residue must replay exactly once, \
+             bit-identically"
+        );
+    }
+}
+
+#[test]
+fn full_tiering_snapshot_with_loaded_queues_replays_the_residue() {
+    assert_queued_residue_survives(ServeConfig::new(4, 2048), "queued-full");
+}
+
+#[test]
+fn gated_tiering_snapshot_with_loaded_queues_replays_the_residue() {
+    let config = ServeConfig::new(4, 2048).gated(Tier1Config {
+        alpha: 0.3,
+        warmup: 4,
+        escalate_score: 0.5,
+    });
+    assert_queued_residue_survives(config, "queued-gated");
+}
+
 #[test]
 fn torn_tail_snapshot_is_discarded_not_fatal() {
     use std::io::Write;

@@ -160,6 +160,10 @@ impl StreamDetector for ModelAdapter {
         self.filled = self.buf.len();
         true
     }
+
+    fn state_bytes_cap(&self) -> usize {
+        4 * self.window
+    }
 }
 
 /// Streams `test` through a fresh [`ModelAdapter`] over `model` and

@@ -64,6 +64,16 @@ pub trait StreamDetector: Send {
         let _ = bytes;
         false
     }
+
+    /// Upper bound on the size of the buffer
+    /// [`state_bytes`](StreamDetector::state_bytes) would return, in
+    /// bytes. The guard layer sums this across resident detectors to
+    /// estimate memory pressure without serializing anything, so the
+    /// bound must be cheap and deterministic. The default (64) covers
+    /// small fixed-size states and non-snapshotable detectors.
+    fn state_bytes_cap(&self) -> usize {
+        64
+    }
 }
 
 impl<D: StreamDetector + ?Sized> StreamDetector for Box<D> {
@@ -89,5 +99,9 @@ impl<D: StreamDetector + ?Sized> StreamDetector for Box<D> {
 
     fn restore_state(&mut self, bytes: &[u8]) -> bool {
         (**self).restore_state(bytes)
+    }
+
+    fn state_bytes_cap(&self) -> usize {
+        (**self).state_bytes_cap()
     }
 }

@@ -162,6 +162,10 @@ impl StreamDetector for Ewma {
         self.observed = word(2);
         true
     }
+
+    fn state_bytes_cap(&self) -> usize {
+        24
+    }
 }
 
 /// Two-sided CUSUM change detector (Page 1954).

@@ -431,4 +431,57 @@ DETDIV_THREADS=1 cargo test -q -p detdiv-serve > /dev/null
 DETDIV_THREADS=4 cargo test -q -p detdiv-serve > /dev/null
 echo "serve suites green at widths 1 and 4"
 
+banner "overload gate (guard shedding determinism + accounting + flight reconstruction)"
+# The overload-protection subsystem: loadgen --overload drives arrival
+# far past drain capacity against a small resident-byte budget. The
+# pinned properties: the overload stdout (offered/delivered/shed split,
+# recovery cycles, verdict digest) is identical at worker widths 1 and
+# 4; shed + delivered == offered (zero silent drops — loadgen itself
+# exits non-zero on an accounting hole); shedding actually happened on
+# both the queue-full and guard paths; the ladder returned to Full
+# (loadgen refuses to print otherwise); and every ladder/breaker/
+# hibernate move is reconstructable from the flight log. The chaos
+# variant adds seeded tier-2 panics: the breaker must open and the
+# guard audit trail must still chain cleanly.
+OVERLOAD_DIR="$GATE_DIR/overload"
+mkdir -p "$OVERLOAD_DIR"
+OVERLOAD_ARGS="--streams 2000 --events-per-stream 40 --shards 16 --queue-cap 1024 \
+    --overload --guard-bytes 65536"
+DETDIV_LOG=off DETDIV_THREADS=1 timeout 300 ./target/release/loadgen \
+    $OVERLOAD_ARGS --threads 1 > "$OVERLOAD_DIR/t1_stdout.txt" 2> /dev/null
+DETDIV_LOG=off DETDIV_THREADS=4 timeout 300 ./target/release/loadgen \
+    $OVERLOAD_ARGS --threads 4 > "$OVERLOAD_DIR/t4_stdout.txt" 2> /dev/null
+cmp "$OVERLOAD_DIR/t1_stdout.txt" "$OVERLOAD_DIR/t4_stdout.txt"
+echo "overload stdout identical at widths 1 and 4 ($(cat "$OVERLOAD_DIR/t1_stdout.txt"))"
+grep -q "offered=80000" "$OVERLOAD_DIR/t1_stdout.txt" || {
+    echo "overload gate: not every event was offered" >&2
+    exit 1
+}
+grep -Eq "shed_guard=[1-9][0-9]* shed_queue=[1-9][0-9]*" "$OVERLOAD_DIR/t1_stdout.txt" || {
+    echo "overload gate: shedding did not engage on both paths" >&2
+    exit 1
+}
+DETDIV_LOG=off DETDIV_THREADS=4 timeout 300 ./target/release/loadgen \
+    $OVERLOAD_ARGS --threads 4 --flight "$OVERLOAD_DIR/audit.jsonl" \
+    > /dev/null 2> /dev/null
+./target/release/flightcheck --dump "$OVERLOAD_DIR/audit.jsonl" --guard \
+    > "$OVERLOAD_DIR/flightcheck.txt"
+grep -q "guard trail intact" "$OVERLOAD_DIR/flightcheck.txt"
+echo "guard audit trail reconstructs ($(cat "$OVERLOAD_DIR/flightcheck.txt"))"
+DETDIV_LOG=off DETDIV_THREADS=4 timeout 300 ./target/release/loadgen \
+    $OVERLOAD_ARGS --threads 4 --fault "$FAULT_SPEC" \
+    --flight "$OVERLOAD_DIR/chaos_audit.jsonl" \
+    > "$OVERLOAD_DIR/chaos_stdout.txt" 2> /dev/null
+grep -q "offered=80000" "$OVERLOAD_DIR/chaos_stdout.txt" || {
+    echo "overload gate: chaos run lost events" >&2
+    exit 1
+}
+./target/release/flightcheck --dump "$OVERLOAD_DIR/chaos_audit.jsonl" --guard \
+    > "$OVERLOAD_DIR/chaos_flightcheck.txt"
+grep -Eq "[1-9][0-9]* breaker" "$OVERLOAD_DIR/chaos_flightcheck.txt" || {
+    echo "overload gate: injected tier-2 panics never opened the breaker" >&2
+    exit 1
+}
+echo "chaos overload run opened the breaker and its audit trail still chains"
+
 banner "CI green"
